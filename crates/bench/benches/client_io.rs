@@ -1,0 +1,116 @@
+//! End-to-end client benchmarks on an in-process cluster, including
+//! the chunk-size ablation the paper lists as future work (§V:
+//! "Investigate GekkoFS' with various chunk sizes").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gekkofs::{Cluster, ClusterConfig};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bench_metadata_ops(c: &mut Criterion) {
+    let cluster = Cluster::deploy(ClusterConfig::new(4)).unwrap();
+    let fs = cluster.mount().unwrap();
+    let i = AtomicU64::new(0);
+    c.bench_function("client/create", |b| {
+        b.iter(|| {
+            let n = i.fetch_add(1, Ordering::Relaxed);
+            fs.create(&format!("/bench/f{n}"), 0o644).unwrap();
+        })
+    });
+    fs.create("/bench/stat-target", 0o644).unwrap();
+    c.bench_function("client/stat", |b| {
+        b.iter(|| black_box(fs.stat("/bench/stat-target").unwrap()))
+    });
+    c.bench_function("client/create_remove_cycle", |b| {
+        b.iter(|| {
+            let n = i.fetch_add(1, Ordering::Relaxed);
+            let p = format!("/bench/tmp{n}");
+            fs.create(&p, 0o644).unwrap();
+            fs.unlink(&p).unwrap();
+        })
+    });
+    cluster.shutdown();
+}
+
+fn bench_data_path(c: &mut Criterion) {
+    let cluster = Cluster::deploy(ClusterConfig::new(4)).unwrap();
+    let fs = cluster.mount().unwrap();
+    fs.create("/data", 0o644).unwrap();
+    let buf_8k = vec![1u8; 8 * 1024];
+    let buf_1m = vec![2u8; 1024 * 1024];
+    let off = AtomicU64::new(0);
+    c.bench_function("client/write_8k", |b| {
+        b.iter(|| {
+            let o = off.fetch_add(8 * 1024, Ordering::Relaxed);
+            fs.write_at_path("/data", o, &buf_8k).unwrap();
+        })
+    });
+    c.bench_function("client/write_1m_striped", |b| {
+        b.iter(|| {
+            let o = off.fetch_add(1024 * 1024, Ordering::Relaxed);
+            fs.write_at_path("/data", o, &buf_1m).unwrap();
+        })
+    });
+    fs.write_at_path("/data", 0, &buf_1m).unwrap();
+    c.bench_function("client/read_8k", |b| {
+        b.iter(|| black_box(fs.read_at_path("/data", 4096, 8 * 1024).unwrap()))
+    });
+    c.bench_function("client/read_1m_striped", |b| {
+        b.iter(|| black_box(fs.read_at_path("/data", 0, 1024 * 1024).unwrap()))
+    });
+    cluster.shutdown();
+}
+
+/// §V ablation: chunk size. A 4 MiB write under different chunk sizes
+/// trades fan-out parallelism against per-chunk overheads.
+fn bench_chunk_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("client/chunk_size_4m_write");
+    let buf = vec![3u8; 4 * 1024 * 1024];
+    for chunk_kib in [64u64, 256, 512, 1024, 4096] {
+        let cluster = Cluster::deploy(
+            ClusterConfig::new(4).with_chunk_size(chunk_kib * 1024),
+        )
+        .unwrap();
+        let fs = cluster.mount().unwrap();
+        fs.create("/big", 0o644).unwrap();
+        let off = AtomicU64::new(0);
+        group.bench_function(format!("{chunk_kib}KiB"), |b| {
+            b.iter(|| {
+                let o = off.fetch_add(4 * 1024 * 1024, Ordering::Relaxed) % (64 * 1024 * 1024);
+                fs.write_at_path("/big", o, &buf).unwrap();
+            })
+        });
+        cluster.shutdown();
+    }
+    group.finish();
+}
+
+/// §V ablation: distribution pattern (simple hash vs jump consistent
+/// hashing) on the end-to-end create path.
+fn bench_distributor_kind(c: &mut Criterion) {
+    let mut group = c.benchmark_group("client/distributor_create");
+    for (name, kind) in [
+        ("simple", gekkofs::DistributorKind::SimpleHash),
+        ("jump", gekkofs::DistributorKind::Jump),
+    ] {
+        let cluster =
+            Cluster::deploy(ClusterConfig::new(8).with_distributor(kind)).unwrap();
+        let fs = cluster.mount().unwrap();
+        let i = AtomicU64::new(0);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let n = i.fetch_add(1, Ordering::Relaxed);
+                fs.create(&format!("/d/f{n}"), 0o644).unwrap();
+            })
+        });
+        cluster.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_metadata_ops, bench_data_path, bench_chunk_size, bench_distributor_kind
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Distributor microbenchmarks — the per-operation placement cost and
+//! the §V "different data distribution patterns" ablation
+//! (modulo-hash vs jump consistent hashing).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gkfs_common::distributor::{Distributor, JumpDistributor, SimpleHashDistributor};
+use gkfs_common::hash::{fnv1a64, xxh64};
+use std::hint::black_box;
+
+fn bench_hashes(c: &mut Criterion) {
+    let path = "/scratch/job-1234/checkpoints/step-000042/rank-0015.dat";
+    c.bench_function("hash/xxh64_path", |b| {
+        b.iter(|| black_box(xxh64(path.as_bytes(), 0)))
+    });
+    c.bench_function("hash/fnv1a64_path", |b| {
+        b.iter(|| black_box(fnv1a64(path.as_bytes())))
+    });
+}
+
+fn bench_distributors(c: &mut Criterion) {
+    let path = "/scratch/job-1234/checkpoints/step-000042/rank-0015.dat";
+    let simple = SimpleHashDistributor::new(512);
+    let jump = JumpDistributor::new(512);
+    c.bench_function("distributor/simple_metadata", |b| {
+        b.iter(|| black_box(simple.locate_metadata(path)))
+    });
+    c.bench_function("distributor/jump_metadata", |b| {
+        b.iter(|| black_box(jump.locate_metadata(path)))
+    });
+    // Chunk placement for a 64 MiB write = 128 lookups.
+    c.bench_function("distributor/simple_128_chunks", |b| {
+        b.iter(|| {
+            for id in 0..128u64 {
+                black_box(simple.locate_chunk(path, id));
+            }
+        })
+    });
+    c.bench_function("distributor/jump_128_chunks", |b| {
+        b.iter(|| {
+            for id in 0..128u64 {
+                black_box(jump.locate_chunk(path, id));
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_hashes, bench_distributors
+}
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! RPC-layer microbenchmarks: per-call overhead on both transports and
+//! the handler-pool-width ablation (Margo tuning, DESIGN.md).
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use gkfs_rpc::{HandlerRegistry, Opcode, Request, Response, RpcServer, TcpEndpoint, TcpServer};
+use gkfs_rpc::transport::Endpoint;
+use std::hint::black_box;
+
+fn echo_registry() -> HandlerRegistry {
+    let mut reg = HandlerRegistry::new();
+    reg.register_fn(Opcode::Ping, |req| Response::ok(req.body).with_bulk(req.bulk));
+    reg
+}
+
+fn bench_inproc(c: &mut Criterion) {
+    let server = RpcServer::new(echo_registry(), 4);
+    let ep = server.endpoint();
+    c.bench_function("rpc/inproc_roundtrip", |b| {
+        b.iter(|| {
+            black_box(
+                ep.call(Request::new(Opcode::Ping, &b"x"[..]))
+                    .unwrap(),
+            );
+        })
+    });
+    let bulk = Bytes::from(vec![7u8; 512 * 1024]);
+    c.bench_function("rpc/inproc_bulk_512k", |b| {
+        b.iter(|| {
+            black_box(
+                ep.call(Request::new(Opcode::Ping, &b""[..]).with_bulk(bulk.clone()))
+                    .unwrap(),
+            );
+        })
+    });
+}
+
+fn bench_tcp(c: &mut Criterion) {
+    let server = TcpServer::bind("127.0.0.1:0", echo_registry(), 4).unwrap();
+    let ep = TcpEndpoint::connect(&server.local_addr().to_string()).unwrap();
+    c.bench_function("rpc/tcp_roundtrip", |b| {
+        b.iter(|| {
+            black_box(ep.call(Request::new(Opcode::Ping, &b"x"[..])).unwrap());
+        })
+    });
+    let bulk = Bytes::from(vec![7u8; 512 * 1024]);
+    c.bench_function("rpc/tcp_bulk_512k", |b| {
+        b.iter(|| {
+            black_box(
+                ep.call(Request::new(Opcode::Ping, &b""[..]).with_bulk(bulk.clone()))
+                    .unwrap(),
+            );
+        })
+    });
+    server.shutdown();
+}
+
+/// Ablation: how much does the Margo-style handler pool width matter
+/// under concurrent load?
+fn bench_pool_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rpc/pool_width_8clients");
+    for width in [1usize, 2, 4, 8] {
+        let mut reg = HandlerRegistry::new();
+        reg.register_fn(Opcode::Ping, |req| {
+            // Simulate ~5 µs of daemon-side work.
+            let mut acc = 0u64;
+            for i in 0..2_000u64 {
+                acc = acc.wrapping_add(i.wrapping_mul(31));
+            }
+            std::hint::black_box(acc);
+            Response::ok(req.body)
+        });
+        let server = RpcServer::new(reg, width);
+        group.bench_function(format!("width{width}"), |b| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for _ in 0..8 {
+                        let ep = server.endpoint();
+                        s.spawn(move || {
+                            for _ in 0..16 {
+                                ep.call(Request::new(Opcode::Ping, &b""[..])).unwrap();
+                            }
+                        });
+                    }
+                });
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_inproc, bench_tcp, bench_pool_width
+}
+criterion_main!(benches);

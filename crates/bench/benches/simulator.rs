@@ -1,0 +1,57 @@
+//! Meta-benchmark: how fast is the discrete-event simulator itself?
+//! The figure binaries sweep ~10⁷–10⁸ simulated operations; keeping
+//! the event rate high is what makes regenerating the paper's figures
+//! a minutes-scale job on a laptop.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gkfs_sim::engine::{run_closed_loop, MultiServer};
+use gkfs_sim::{
+    sim_ior, sim_mdtest, IorPhase, IorSimConfig, MdtestPhase, MdtestSimConfig, SystemKind,
+};
+use std::hint::black_box;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/engine");
+    let ops: u64 = 100_000;
+    g.throughput(Throughput::Elements(ops));
+    g.bench_function("closed_loop_100k_events", |b| {
+        b.iter(|| {
+            let mut server = MultiServer::new(4);
+            black_box(run_closed_loop(100, ops / 100, |_p, _i, now| {
+                server.submit(now, 1_000)
+            }))
+        })
+    });
+    g.finish();
+}
+
+fn bench_models(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/models");
+    // One mdtest point: 16 nodes x 16 procs x 200 files = 51.2K events.
+    g.throughput(Throughput::Elements(16 * 16 * 200));
+    g.bench_function("mdtest_point_16nodes", |b| {
+        b.iter(|| {
+            let mut cfg =
+                MdtestSimConfig::new(16, MdtestPhase::Create, SystemKind::GekkoFS);
+            cfg.files_per_process = 200;
+            black_box(sim_mdtest(&cfg))
+        })
+    });
+    // One IOR point: 8 nodes x 16 procs x 32 transfers (1 MiB = 2 chunks).
+    g.throughput(Throughput::Elements(8 * 16 * 32));
+    g.bench_function("ior_point_8nodes_1m", |b| {
+        b.iter(|| {
+            let mut cfg = IorSimConfig::new(8, IorPhase::Write, 1024 * 1024);
+            cfg.data_per_proc = 32 * 1024 * 1024;
+            black_box(sim_ior(&cfg))
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_engine, bench_models
+}
+criterion_main!(benches);

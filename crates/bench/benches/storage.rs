@@ -1,0 +1,50 @@
+//! Chunk-storage microbenchmarks: the one-file-per-chunk layer on both
+//! backends.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gkfs_storage::{ChunkStorage, FileChunkStorage, MemChunkStorage};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bench_backend(c: &mut Criterion, name: &str, storage: &dyn ChunkStorage) {
+    let chunk = vec![0xA5u8; 512 * 1024];
+    let i = AtomicU64::new(0);
+    c.bench_function(&format!("storage/{name}/write_512k_chunk"), |b| {
+        b.iter(|| {
+            let n = i.fetch_add(1, Ordering::Relaxed);
+            storage.write_chunk("/bench/file", n, 0, &chunk).unwrap();
+        })
+    });
+    // Prepare a chunk for reads.
+    storage.write_chunk("/bench/read", 0, 0, &chunk).unwrap();
+    c.bench_function(&format!("storage/{name}/read_512k_chunk"), |b| {
+        b.iter(|| {
+            black_box(storage.read_chunk("/bench/read", 0, 0, 512 * 1024).unwrap());
+        })
+    });
+    c.bench_function(&format!("storage/{name}/read_8k_random_offset"), |b| {
+        b.iter(|| {
+            let n = i.fetch_add(13, Ordering::Relaxed);
+            let off = (n * 8192) % (504 * 1024);
+            black_box(storage.read_chunk("/bench/read", 0, off, 8192).unwrap());
+        })
+    });
+}
+
+fn bench_storages(c: &mut Criterion) {
+    let mem = MemChunkStorage::new();
+    bench_backend(c, "mem", &mem);
+
+    let dir = std::env::temp_dir().join(format!("gkfs-bench-storage-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let file = FileChunkStorage::open(&dir).unwrap();
+    bench_backend(c, "file", &file);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_storages
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Deployment time: "it can be easily deployed in under 20 seconds on
+//! a 512 node cluster by any user" (§I; §IV: daemon restarts take
+//! <20 s at 512 nodes).
+
+use gkfs_sim::{sim_deploy_time, SimParams};
+use std::time::Instant;
+
+fn main() {
+    let params = SimParams::default();
+    println!("== deployment time vs node count ==\n");
+    println!("{:>6} {:>14}", "nodes", "simulated");
+    for nodes in gkfs_bench::NODE_SWEEP {
+        let t = sim_deploy_time(nodes, &params);
+        println!("{:>6} {:>13.2}s", nodes, t.as_secs_f64());
+    }
+    println!("\npaper bound: < 20 s at 512 nodes\n");
+
+    println!("== real in-process deployment (measured) ==\n");
+    println!("{:>6} {:>14} {:>14}", "nodes", "deploy", "shutdown");
+    for nodes in [1usize, 8, 64, 256, 512] {
+        let t0 = Instant::now();
+        let cluster = gekkofs::Cluster::deploy(gekkofs::ClusterConfig::new(nodes)).unwrap();
+        let deploy = t0.elapsed();
+        let t1 = Instant::now();
+        cluster.shutdown();
+        let stop = t1.elapsed();
+        println!(
+            "{:>6} {:>13.3}s {:>13.3}s",
+            nodes,
+            deploy.as_secs_f64(),
+            stop.as_secs_f64()
+        );
+    }
+    println!("\n(in-process daemons skip ssh fan-out; the simulated column");
+    println!(" models the remote-launch tree of a real cluster)");
+}

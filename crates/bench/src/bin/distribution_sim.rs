@@ -1,0 +1,71 @@
+//! §V future work, item 3: "explore different data distribution
+//! patterns" — wide striping (GekkoFS) vs write-local placement
+//! (BurstFS-style, the §II contrast), at simulated scale.
+//!
+//! Three observables tell the story:
+//!
+//! 1. balanced file-per-process **writes**: both placements are
+//!    SSD-bound — wide striping costs nothing;
+//! 2. **fabric traffic**: wide striping ships (N-1)/N of all bytes,
+//!    write-local ships none;
+//! 3. **N-to-1 reads** (restart/broadcast): wide striping scales,
+//!    write-local collapses onto the writer's single SSD — the paper's
+//!    §II critique of BurstFS ("limited to write data locally").
+
+use gkfs_sim::{sim_ior, IorPhase, IorSimConfig, SharedFileMode};
+
+const MIB: u64 = 1024 * 1024;
+
+fn cfg(nodes: usize, phase: IorPhase, locality: bool, n_to_one: bool) -> IorSimConfig {
+    let mut c = IorSimConfig::new(nodes, phase, 1 * MIB);
+    c.mode = SharedFileMode::FilePerProcess;
+    c.locality = locality;
+    c.n_to_one_read = n_to_one;
+    c.data_per_proc = 8 * MIB;
+    c
+}
+
+fn main() {
+    println!("== §V ablation: wide striping vs write-local placement ==\n");
+
+    println!("1) balanced file-per-process WRITES [MiB/s] (both SSD-bound)");
+    println!("{:>6} {:>14} {:>14}", "nodes", "wide-stripe", "write-local");
+    for nodes in [4usize, 16, 64] {
+        let wide = sim_ior(&cfg(nodes, IorPhase::Write, false, false));
+        let local = sim_ior(&cfg(nodes, IorPhase::Write, true, false));
+        println!(
+            "{:>6} {:>14.0} {:>14.0}",
+            nodes,
+            wide.mib_per_sec(),
+            local.mib_per_sec()
+        );
+    }
+
+    println!("\n2) fabric traffic for those writes [fraction of bytes]");
+    for nodes in [4usize, 16, 64] {
+        let wide = sim_ior(&cfg(nodes, IorPhase::Write, false, false));
+        let local = sim_ior(&cfg(nodes, IorPhase::Write, true, false));
+        println!(
+            "  {nodes:>4} nodes: wide {:.2}  local {:.2}   (expected (N-1)/N = {:.2})",
+            wide.net_bytes as f64 / wide.total_bytes as f64,
+            local.net_bytes as f64 / local.total_bytes as f64,
+            (nodes - 1) as f64 / nodes as f64
+        );
+    }
+
+    println!("\n3) N-to-1 READS: every rank reads rank 0's output [MiB/s]");
+    println!("{:>6} {:>14} {:>14}", "nodes", "wide-stripe", "write-local");
+    for nodes in [4usize, 16, 64] {
+        let wide = sim_ior(&cfg(nodes, IorPhase::Read, false, true));
+        let local = sim_ior(&cfg(nodes, IorPhase::Read, true, true));
+        println!(
+            "{:>6} {:>14.0} {:>14.0}",
+            nodes,
+            wide.mib_per_sec(),
+            local.mib_per_sec()
+        );
+    }
+    println!("\nwide striping pays the network on writes and wins every");
+    println!("cross-node access pattern; write-local saves the fabric but");
+    println!("pins each file to one SSD — the §II BurstFS limitation.");
+}

@@ -1,0 +1,71 @@
+//! §IV-B shared-file experiment: the size-update hotspot and the
+//! client-cache fix.
+//!
+//! Paper: *"No more than approximately 150K write operations per
+//! second were achieved ... due to network contention on the daemon
+//! which maintains the shared file's metadata ... we added a
+//! rudimentary client cache to locally buffer size updates ... As a
+//! result, shared file I/O throughput for sequential and random access
+//! were similar to file-per-process performances."*
+
+use gkfs_sim::{sim_ior, IorPhase, IorSimConfig, SharedFileMode};
+use gkfs_workloads::{run_ior, IorConfig};
+
+const KIB: u64 = 1024;
+const MIB: u64 = 1024 * 1024;
+
+fn sim(nodes: usize, mode: SharedFileMode) -> (f64, f64) {
+    let mut cfg = IorSimConfig::new(nodes, IorPhase::Write, 8 * KIB);
+    cfg.mode = mode;
+    cfg.data_per_proc = 2 * MIB;
+    let r = sim_ior(&cfg);
+    (r.iops(), r.mib_per_sec())
+}
+
+fn main() {
+    println!("== §IV-B: shared-file writes (8 KiB transfers) ==\n");
+    println!(
+        "{:>6} {:>16} {:>16} {:>16}",
+        "nodes", "fpp ops/s", "shared ops/s", "shared+cache"
+    );
+    for nodes in [4usize, 16, 64, 256, 512] {
+        let (fpp, _) = sim(nodes, SharedFileMode::FilePerProcess);
+        let (nocache, _) = sim(nodes, SharedFileMode::SharedNoCache);
+        let (cached, _) = sim(nodes, SharedFileMode::SharedCached { window: 256 });
+        println!(
+            "{:>6} {:>16} {:>16} {:>16}",
+            nodes,
+            gkfs_bench::human_ops(fpp),
+            gkfs_bench::human_ops(nocache),
+            gkfs_bench::human_ops(cached)
+        );
+    }
+    println!("\npaper: uncached shared-file writes cap at ~150K ops/s (flat),");
+    println!("       cached ~= file-per-process\n");
+
+    // Real-FS demonstration: same experiment through the actual client
+    // cache (ClusterConfig::with_size_cache), small scale.
+    println!("== real-FS check (in-process, 4 nodes x 8 procs, 8 KiB shared) ==");
+    for (label, cache) in [("no cache", 0usize), ("cache w=32", 32)] {
+        let config = gekkofs::ClusterConfig::new(4).with_size_cache(cache);
+        let cluster = gekkofs::Cluster::deploy(config).unwrap();
+        let cfg = IorConfig {
+            processes: 8,
+            transfer_size: 8 * KIB,
+            block_size: 2 * MIB,
+            file_per_process: false,
+            random: false,
+            work_dir: "/shared".into(),
+        };
+        let r = run_ior(&cluster, &cfg).unwrap();
+        println!(
+            "  {label:>10}: {:.0} write ops/s ({:.0} MiB/s)",
+            r.write_iops(),
+            r.write_mib_per_sec()
+        );
+        cluster.shutdown();
+    }
+    println!("\n(in-process RPC is so cheap that the hotspot needs scale to bite;");
+    println!(" the cache's correctness — same final size, fewer updates — is");
+    println!(" asserted in the test suites)");
+}

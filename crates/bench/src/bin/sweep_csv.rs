@@ -1,0 +1,135 @@
+//! Emit every figure's data series as CSV (for plotting), mirroring
+//! what the pretty-printing binaries show:
+//!
+//! ```sh
+//! cargo run --release -p gkfs-bench --bin sweep_csv [outdir]
+//! ```
+//!
+//! Writes `fig2.csv`, `fig3.csv`, `random_access.csv`,
+//! `shared_file.csv`, `deploy_time.csv` under `outdir` (default
+//! `results/`).
+
+use gkfs_bench::NODE_SWEEP;
+use gkfs_sim::{
+    sim_deploy_time, sim_ior, sim_mdtest, IorPhase, IorSimConfig, LustreDirMode, MdtestPhase,
+    MdtestSimConfig, SharedFileMode, SimParams, SystemKind,
+};
+use std::fmt::Write as _;
+
+const KIB: u64 = 1024;
+const MIB: u64 = 1024 * 1024;
+
+fn mdtest(nodes: usize, phase: MdtestPhase, system: SystemKind) -> f64 {
+    let mut cfg = MdtestSimConfig::new(nodes, phase, system);
+    cfg.files_per_process = if nodes >= 128 { 300 } else { 1000 };
+    cfg.lustre_total_files = 80_000;
+    sim_mdtest(&cfg).ops_per_sec()
+}
+
+fn ior(nodes: usize, phase: IorPhase, xfer: u64, random: bool, mode: SharedFileMode) -> f64 {
+    let mut cfg = IorSimConfig::new(nodes, phase, xfer);
+    cfg.random = random;
+    cfg.mode = mode;
+    cfg.data_per_proc = match xfer {
+        x if x <= 64 * KIB => 4 * MIB,
+        x if x <= MIB => 16 * MIB,
+        _ => 64 * MIB,
+    };
+    sim_ior(&cfg).mib_per_sec()
+}
+
+fn main() {
+    let outdir = std::env::args().nth(1).unwrap_or_else(|| "results".into());
+    std::fs::create_dir_all(&outdir).expect("create output dir");
+    let params = SimParams::default();
+
+    // ---- fig2.csv: metadata ops/s -------------------------------
+    let mut csv = String::from("phase,nodes,gekkofs,lustre_single,lustre_unique\n");
+    for (phase, name) in [
+        (MdtestPhase::Create, "create"),
+        (MdtestPhase::Stat, "stat"),
+        (MdtestPhase::Remove, "remove"),
+    ] {
+        for nodes in NODE_SWEEP {
+            writeln!(
+                csv,
+                "{name},{nodes},{:.0},{:.0},{:.0}",
+                mdtest(nodes, phase, SystemKind::GekkoFS),
+                mdtest(nodes, phase, SystemKind::Lustre(LustreDirMode::SingleDir)),
+                mdtest(nodes, phase, SystemKind::Lustre(LustreDirMode::UniqueDir)),
+            )
+            .unwrap();
+        }
+    }
+    std::fs::write(format!("{outdir}/fig2.csv"), &csv).unwrap();
+
+    // ---- fig3.csv: sequential throughput ------------------------
+    let mut csv = String::from("phase,nodes,xfer,mib_s,ssd_peak_mib_s\n");
+    for (phase, name) in [(IorPhase::Write, "write"), (IorPhase::Read, "read")] {
+        for (xfer, label) in [(8 * KIB, "8k"), (64 * KIB, "64k"), (MIB, "1m"), (64 * MIB, "64m")] {
+            for nodes in NODE_SWEEP {
+                let peak = match phase {
+                    IorPhase::Write => params.ssd_peak_write_mib_s(nodes),
+                    IorPhase::Read => params.ssd_peak_read_mib_s(nodes),
+                };
+                writeln!(
+                    csv,
+                    "{name},{nodes},{label},{:.0},{:.0}",
+                    ior(nodes, phase, xfer, false, SharedFileMode::FilePerProcess),
+                    peak
+                )
+                .unwrap();
+            }
+        }
+    }
+    std::fs::write(format!("{outdir}/fig3.csv"), &csv).unwrap();
+
+    // ---- random_access.csv --------------------------------------
+    let mut csv = String::from("phase,xfer,seq_mib_s,rand_mib_s\n");
+    for (phase, name) in [(IorPhase::Write, "write"), (IorPhase::Read, "read")] {
+        for (xfer, label) in [(8 * KIB, "8k"), (64 * KIB, "64k"), (MIB, "1m")] {
+            writeln!(
+                csv,
+                "{name},{label},{:.0},{:.0}",
+                ior(512, phase, xfer, false, SharedFileMode::FilePerProcess),
+                ior(512, phase, xfer, true, SharedFileMode::FilePerProcess),
+            )
+            .unwrap();
+        }
+    }
+    std::fs::write(format!("{outdir}/random_access.csv"), &csv).unwrap();
+
+    // ---- shared_file.csv -----------------------------------------
+    let mut csv = String::from("nodes,fpp_iops,shared_iops,shared_cached_iops\n");
+    for nodes in [4usize, 16, 64, 256, 512] {
+        let run = |mode| {
+            let mut cfg = IorSimConfig::new(nodes, IorPhase::Write, 8 * KIB);
+            cfg.mode = mode;
+            cfg.data_per_proc = 2 * MIB;
+            sim_ior(&cfg).iops()
+        };
+        writeln!(
+            csv,
+            "{nodes},{:.0},{:.0},{:.0}",
+            run(SharedFileMode::FilePerProcess),
+            run(SharedFileMode::SharedNoCache),
+            run(SharedFileMode::SharedCached { window: 256 }),
+        )
+        .unwrap();
+    }
+    std::fs::write(format!("{outdir}/shared_file.csv"), &csv).unwrap();
+
+    // ---- deploy_time.csv -----------------------------------------
+    let mut csv = String::from("nodes,seconds\n");
+    for nodes in NODE_SWEEP {
+        writeln!(
+            csv,
+            "{nodes},{:.2}",
+            sim_deploy_time(nodes, &params).as_secs_f64()
+        )
+        .unwrap();
+    }
+    std::fs::write(format!("{outdir}/deploy_time.csv"), &csv).unwrap();
+
+    println!("wrote fig2.csv fig3.csv random_access.csv shared_file.csv deploy_time.csv to {outdir}/");
+}

@@ -1,0 +1,82 @@
+//! # gkfs-bench — benchmark harness for the paper's evaluation
+//!
+//! Two kinds of targets live here:
+//!
+//! * **Figure binaries** (`src/bin/`): regenerate every figure and
+//!   in-text experiment of the paper's §IV, printing the same series
+//!   the plots show. Run with `--release`:
+//!   - `fig2` — Fig. 2a/b/c: create/stat/remove ops/s vs node count,
+//!     GekkoFS vs Lustre single/unique dir (+ the §IV-A headline
+//!     ratios), with a real-FS validation pass at small node counts.
+//!   - `fig3` — Fig. 3a/b: sequential write/read MiB/s vs node count
+//!     for 8 KiB / 64 KiB / 1 MiB / 64 MiB transfers, with the
+//!     aggregated-SSD-peak reference and a real-FS validation pass.
+//!   - `random_access` — §IV-B: random vs sequential throughput.
+//!   - `shared_file` — §IV-B: the shared-file ceiling and the client
+//!     size-update cache fix.
+//!   - `deploy_time` — §I/§IV: deployment time vs node count.
+//! * **Criterion microbenches** (`benches/`): kvstore, RPC, chunking/
+//!   distribution, storage backends, end-to-end client I/O, and the
+//!   DESIGN.md ablations (chunk size, distributor choice, handler pool
+//!   width, bloom filters).
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+
+/// Format one row of a fixed-width results table.
+pub fn row(cells: &[&dyn Display], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{:>w$}", c.to_string(), w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// Human-readable ops/s (e.g. `46.1M`).
+pub fn human_ops(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.1}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}K", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+/// Human-readable MiB/s (switches to GiB/s when large).
+pub fn human_mib(v: f64) -> String {
+    if v >= 10_240.0 {
+        format!("{:.1}G", v / 1024.0)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+/// The node counts on the paper's x-axes.
+pub const NODE_SWEEP: [usize; 10] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_ops_scales() {
+        assert_eq!(human_ops(42.0), "42");
+        assert_eq!(human_ops(46_100_000.0), "46.1M");
+        assert_eq!(human_ops(33_400.0), "33.4K");
+    }
+
+    #[test]
+    fn human_mib_switches_units() {
+        assert_eq!(human_mib(350.0), "350");
+        assert_eq!(human_mib(144_384.0), "141.0G");
+    }
+
+    #[test]
+    fn row_alignment() {
+        let r = row(&[&"a", &12, &3.5], &[4, 6, 8]);
+        assert_eq!(r, "   a      12       3.5");
+    }
+}

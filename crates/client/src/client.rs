@@ -1,0 +1,1249 @@
+//! The GekkoFS client: routing, chunking, and the POSIX-relaxed
+//! operation set.
+//!
+//! Every operation resolves its target daemon(s) locally — *"each
+//! client is able to independently resolve the responsible node for a
+//! file system operation"* (§III-B-a) — so there is no metadata server
+//! and no coordination:
+//!
+//! * metadata ops go to `distributor.locate_metadata(path)`;
+//! * each data chunk goes to `distributor.locate_chunk(path, id)`;
+//! * `readdir`, `unlink` (data), and `truncate` (data) broadcast to all
+//!   daemons, because chunks and sibling entries are spread everywhere.
+//!
+//! Consistency follows the paper (§III-A): operations on one file are
+//! strongly consistent (the owning daemon serializes them); directory
+//! listings are eventually consistent; `rename`/links are unsupported;
+//! nothing is cached except the optional write-size window from §IV-B.
+
+use crate::filemap::{FileMap, OpenFile};
+use crate::rpc::DaemonRing;
+use crate::size_cache::SizeCache;
+use crate::stat_cache::StatCache;
+use bytes::Bytes;
+use gkfs_common::chunk::{chunk_range, ChunkLayout};
+use gkfs_common::distributor::{Distributor, NodeId};
+use gkfs_common::path as gpath;
+use gkfs_common::types::Dirent;
+use gkfs_common::{ClusterConfig, FileKind, GkfsError, Metadata, OpenFlags, Result};
+use gkfs_rpc::proto::{ChunkOp, DaemonStatsResp};
+use gkfs_rpc::Endpoint;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Client-side operation counters.
+#[derive(Debug, Default)]
+pub struct ClientStats {
+    /// create/mkdir operations issued.
+    pub creates: AtomicU64,
+    /// stat operations issued.
+    pub stats: AtomicU64,
+    /// unlink/rmdir operations issued.
+    pub removes: AtomicU64,
+    /// Write calls issued.
+    pub write_ops: AtomicU64,
+    /// Read calls issued.
+    pub read_ops: AtomicU64,
+    /// Total bytes written.
+    pub bytes_written: AtomicU64,
+    /// Total bytes read.
+    pub bytes_read: AtomicU64,
+    /// Size updates actually sent to metadata owners.
+    pub size_updates_sent: AtomicU64,
+    /// Size updates absorbed by the client cache (§IV-B).
+    pub size_updates_buffered: AtomicU64,
+}
+
+/// Seek origin for [`GekkoClient::lseek`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Whence {
+    /// Absolute offset (`SEEK_SET`).
+    Set,
+    /// Relative to the current position (`SEEK_CUR`).
+    Cur,
+    /// Relative to end of file (`SEEK_END`).
+    End,
+}
+
+/// A mounted GekkoFS namespace, as seen by one client process.
+pub struct GekkoClient {
+    ring: DaemonRing,
+    dist: Arc<dyn Distributor>,
+    layout: ChunkLayout,
+    files: FileMap,
+    size_cache: SizeCache,
+    stat_cache: Option<StatCache>,
+    stats: ClientStats,
+}
+
+fn now_ns() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+}
+
+impl GekkoClient {
+    /// Mount: connect the given per-daemon endpoints using the shared
+    /// cluster configuration. Creates the root directory if missing.
+    /// The client is assumed to run on node 0; use
+    /// [`GekkoClient::mount_on`] when placement is locality-sensitive.
+    pub fn mount(endpoints: Vec<Arc<dyn Endpoint>>, config: &ClusterConfig) -> Result<GekkoClient> {
+        Self::mount_on(endpoints, config, 0)
+    }
+
+    /// Mount as a client co-located with daemon `local_node` — the
+    /// node identity only matters for the `WriteLocal` distribution
+    /// ablation, where a client's chunks land on its own daemon.
+    pub fn mount_on(
+        endpoints: Vec<Arc<dyn Endpoint>>,
+        config: &ClusterConfig,
+        local_node: NodeId,
+    ) -> Result<GekkoClient> {
+        if endpoints.len() != config.nodes {
+            return Err(GkfsError::InvalidArgument(format!(
+                "{} endpoints but config says {} nodes",
+                endpoints.len(),
+                config.nodes
+            )));
+        }
+        if local_node >= config.nodes {
+            return Err(GkfsError::InvalidArgument(format!(
+                "local node {local_node} out of range 0..{}",
+                config.nodes
+            )));
+        }
+        let client = GekkoClient {
+            ring: DaemonRing::new(endpoints),
+            dist: config.make_distributor_for(local_node),
+            layout: ChunkLayout::new(config.chunk_size),
+            files: FileMap::new(),
+            size_cache: SizeCache::new(config.size_cache_ops),
+            stat_cache: if config.stat_cache_ttl_ms > 0 {
+                Some(StatCache::new(std::time::Duration::from_millis(
+                    config.stat_cache_ttl_ms,
+                )))
+            } else {
+                None
+            },
+            stats: ClientStats::default(),
+        };
+        // Root directory: non-exclusive create on its owner.
+        let root_owner = client.dist.locate_metadata(gpath::ROOT);
+        client
+            .ring
+            .create(root_owner, gpath::ROOT, FileKind::Directory, 0o755, false, now_ns())?;
+        gkfs_common::gkfs_info!(
+            "mounted: {} nodes, chunk={} size_cache={} stat_cache={}ms",
+            config.nodes,
+            config.chunk_size,
+            config.size_cache_ops,
+            config.stat_cache_ttl_ms
+        );
+        Ok(client)
+    }
+
+    /// stat operations issued.
+    pub fn stats(&self) -> &ClientStats {
+        &self.stats
+    }
+
+    /// The descriptor table (exposed for the preload ABI).
+    pub fn files(&self) -> &FileMap {
+        &self.files
+    }
+
+    /// Number of daemons in the mounted namespace.
+    pub fn nodes(&self) -> usize {
+        self.ring.nodes()
+    }
+
+    fn meta_owner(&self, path: &str) -> NodeId {
+        self.dist.locate_metadata(path)
+    }
+
+    // ---------------------------------------------------------------
+    // Metadata operations
+    // ---------------------------------------------------------------
+
+    /// Create a regular file (exclusive, like `O_CREAT|O_EXCL`).
+    pub fn create(&self, path: &str, mode: u32) -> Result<()> {
+        let path = gpath::normalize(path)?;
+        self.stats.creates.fetch_add(1, Ordering::Relaxed);
+        if let Some(cache) = &self.stat_cache {
+            cache.invalidate(&path);
+        }
+        self.ring
+            .create(self.meta_owner(&path), &path, FileKind::File, mode, true, now_ns())
+    }
+
+    /// Create a directory (exclusive).
+    ///
+    /// Note that GekkoFS' namespace is flat: parent directories are
+    /// *not* required to exist (mdtest-style workloads create files
+    /// wherever they like), matching the paper's "internally kept flat
+    /// namespace".
+    pub fn mkdir(&self, path: &str, mode: u32) -> Result<()> {
+        let path = gpath::normalize(path)?;
+        if path == gpath::ROOT {
+            return Err(GkfsError::Exists);
+        }
+        self.stats.creates.fetch_add(1, Ordering::Relaxed);
+        self.ring
+            .create(self.meta_owner(&path), &path, FileKind::Directory, mode, true, now_ns())
+    }
+
+    /// Fetch metadata. A client with buffered size updates sees its own
+    /// writes reflected (read-your-writes within one client).
+    pub fn stat(&self, path: &str) -> Result<Metadata> {
+        let path = gpath::normalize(path)?;
+        self.stats.stats.fetch_add(1, Ordering::Relaxed);
+        let mut meta = self.fetch_meta(&path)?;
+        if let Some(local) = self.size_cache.peek(&path) {
+            meta.size = meta.size.max(local);
+        }
+        Ok(meta)
+    }
+
+    /// Fetch metadata through the optional §V stat cache. Negative
+    /// results (NotFound) are never cached — a create must be visible
+    /// immediately.
+    fn fetch_meta(&self, path: &str) -> Result<Metadata> {
+        if let Some(cache) = &self.stat_cache {
+            if let Some(m) = cache.get(path) {
+                return Ok(m);
+            }
+            let m = self.ring.stat(self.meta_owner(path), path)?;
+            cache.put(path, m.clone());
+            return Ok(m);
+        }
+        self.ring.stat(self.meta_owner(path), path)
+    }
+
+    /// Remove a regular file: metadata from its owner, chunks from
+    /// every daemon.
+    pub fn unlink(&self, path: &str) -> Result<()> {
+        let path = gpath::normalize(path)?;
+        self.stats.removes.fetch_add(1, Ordering::Relaxed);
+        if let Some(cache) = &self.stat_cache {
+            cache.invalidate(&path);
+        }
+        let meta = self.ring.stat(self.meta_owner(&path), &path)?;
+        if meta.is_dir() {
+            return Err(GkfsError::IsDirectory);
+        }
+        self.ring.remove_meta(self.meta_owner(&path), &path)?;
+        // Zero-byte files (the mdtest workload) hold no chunks: skip
+        // the data fan-out entirely. This is what lets removes scale
+        // in §IV-A. Otherwise target exactly the daemons that can own
+        // one of the file's chunks — the client derives the set from
+        // the size and the distributor, no state needed.
+        if meta.size > 0 {
+            let chunks = self.layout.chunk_count(meta.size);
+            let mut targets: Vec<NodeId> = (0..chunks)
+                .map(|c| self.dist.locate_chunk(&path, c))
+                .collect();
+            targets.sort_unstable();
+            targets.dedup();
+            let results: Vec<Result<()>> = std::thread::scope(|s| {
+                targets
+                    .into_iter()
+                    .map(|n| {
+                        let ring = &self.ring;
+                        let path = &path;
+                        s.spawn(move || ring.remove_chunks(n, path))
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .collect()
+            });
+            for r in results {
+                r?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Remove an empty directory.
+    pub fn rmdir(&self, path: &str) -> Result<()> {
+        let path = gpath::normalize(path)?;
+        if path == gpath::ROOT {
+            return Err(GkfsError::InvalidArgument("cannot remove root".into()));
+        }
+        self.stats.removes.fetch_add(1, Ordering::Relaxed);
+        let meta = self.ring.stat(self.meta_owner(&path), &path)?;
+        if !meta.is_dir() {
+            return Err(GkfsError::NotDirectory);
+        }
+        // Emptiness is checked across all daemons. This is the paper's
+        // eventual-consistency caveat: a concurrent create can slip in.
+        let listings = self.ring.broadcast(|n| self.ring.readdir(n, &path));
+        for l in listings {
+            if !l?.is_empty() {
+                return Err(GkfsError::NotEmpty);
+            }
+        }
+        self.ring.remove_meta(self.meta_owner(&path), &path)?;
+        Ok(())
+    }
+
+    /// List a directory: broadcast prefix scans, merge, sort.
+    /// Eventually consistent (§III-A: "GekkoFS does not guarantee to
+    /// return the current state of the directory").
+    pub fn readdir(&self, path: &str) -> Result<Vec<Dirent>> {
+        let path = gpath::normalize(path)?;
+        let meta = self.ring.stat(self.meta_owner(&path), &path)?;
+        if !meta.is_dir() {
+            return Err(GkfsError::NotDirectory);
+        }
+        let listings = self.ring.broadcast(|n| self.ring.readdir(n, &path));
+        let mut all = Vec::new();
+        for l in listings {
+            all.extend(l?);
+        }
+        all.sort_by(|a, b| a.name.cmp(&b.name));
+        all.dedup_by(|a, b| a.name == b.name);
+        Ok(all)
+    }
+
+    /// Truncate (or extend) a file to `new_size`.
+    pub fn truncate(&self, path: &str, new_size: u64) -> Result<()> {
+        let path = gpath::normalize(path)?;
+        // Pending buffered size updates for this path are now moot.
+        self.size_cache.drain(&path);
+        if let Some(cache) = &self.stat_cache {
+            cache.invalidate(&path);
+        }
+        self.ring
+            .truncate_meta(self.meta_owner(&path), &path, new_size, now_ns())?;
+        let (keep_chunk, keep_bytes) = if new_size == 0 {
+            (0, 0)
+        } else {
+            let last = self.layout.chunk_of(new_size - 1);
+            (last, new_size - last * self.layout.chunk_size)
+        };
+        let results = self
+            .ring
+            .broadcast(|n| self.ring.truncate_chunks(n, &path, keep_chunk, keep_bytes));
+        for r in results {
+            r?;
+        }
+        Ok(())
+    }
+
+    /// Renames are deliberately unsupported (§III-A).
+    pub fn rename(&self, _from: &str, _to: &str) -> Result<()> {
+        Err(GkfsError::Unsupported("rename"))
+    }
+
+    /// Hard links are deliberately unsupported (§III-A).
+    pub fn link(&self, _from: &str, _to: &str) -> Result<()> {
+        Err(GkfsError::Unsupported("link"))
+    }
+
+    /// Symbolic links are deliberately unsupported (§III-A).
+    pub fn symlink(&self, _from: &str, _to: &str) -> Result<()> {
+        Err(GkfsError::Unsupported("symlink"))
+    }
+
+    // ---------------------------------------------------------------
+    // Descriptor-based operations
+    // ---------------------------------------------------------------
+
+    /// Open (optionally creating) a file, returning a GekkoFS fd.
+    pub fn open(&self, path: &str, flags: OpenFlags) -> Result<i32> {
+        let path = gpath::normalize(path)?;
+        let kind = if flags.create {
+            self.stats.creates.fetch_add(1, Ordering::Relaxed);
+            self.ring.create(
+                self.meta_owner(&path),
+                &path,
+                FileKind::File,
+                0o644,
+                flags.exclusive,
+                now_ns(),
+            )?;
+            if flags.exclusive {
+                // Freshly created: must be a file — no extra stat on
+                // the mdtest hot path.
+                FileKind::File
+            } else {
+                // Non-exclusive create may have hit an existing entry
+                // of either kind; `open(dir, O_CREAT|O_WRONLY)` must
+                // fail with EISDIR, not scribble on a directory.
+                let meta = self.ring.stat(self.meta_owner(&path), &path)?;
+                if meta.is_dir() && flags.write {
+                    return Err(GkfsError::IsDirectory);
+                }
+                meta.kind
+            }
+        } else {
+            let meta = self.ring.stat(self.meta_owner(&path), &path)?;
+            if meta.is_dir() && flags.write {
+                return Err(GkfsError::IsDirectory);
+            }
+            meta.kind
+        };
+        if flags.truncate && kind == FileKind::File {
+            self.truncate(&path, 0)?;
+        }
+        let file = OpenFile::new(path.clone(), flags, kind);
+        if flags.append {
+            let size = self.stat(&path)?.size;
+            file.seek_to(size);
+        }
+        Ok(self.files.insert(file))
+    }
+
+    /// Close a descriptor, flushing any buffered size update.
+    pub fn close(&self, fd: i32) -> Result<()> {
+        let file = self.files.remove(fd)?;
+        self.flush_size(&file.path)
+    }
+
+    /// `dup(2)`.
+    pub fn dup(&self, fd: i32) -> Result<i32> {
+        self.files.dup(fd)
+    }
+
+    /// Reposition a descriptor.
+    pub fn lseek(&self, fd: i32, offset: i64, whence: Whence) -> Result<u64> {
+        let file = self.files.get(fd)?;
+        let base = match whence {
+            Whence::Set => 0i64,
+            Whence::Cur => file.pos() as i64,
+            Whence::End => self.stat(&file.path)?.size as i64,
+        };
+        let target = base + offset;
+        if target < 0 {
+            return Err(GkfsError::InvalidArgument("seek before start".into()));
+        }
+        Ok(file.seek_to(target as u64))
+    }
+
+    /// Write at the current position, advancing it.
+    pub fn write(&self, fd: i32, data: &[u8]) -> Result<usize> {
+        let file = self.files.get(fd)?;
+        if !file.flags.write {
+            return Err(GkfsError::BadFileDescriptor);
+        }
+        let offset = if file.flags.append {
+            // O_APPEND: position at current EOF. Concurrent appenders
+            // from different clients may interleave — GekkoFS offers no
+            // distributed locking (§III-A).
+            let size = self.stat(&file.path)?.size;
+            file.seek_to(size + data.len() as u64);
+            size
+        } else {
+            file.advance(data.len() as u64)
+        };
+        self.write_at_path(&file.path, offset, data)?;
+        Ok(data.len())
+    }
+
+    /// Positional write (`pwrite`); does not move the descriptor.
+    pub fn pwrite(&self, fd: i32, offset: u64, data: &[u8]) -> Result<usize> {
+        let file = self.files.get(fd)?;
+        if !file.flags.write {
+            return Err(GkfsError::BadFileDescriptor);
+        }
+        self.write_at_path(&file.path, offset, data)?;
+        Ok(data.len())
+    }
+
+    /// Read from the current position, advancing by the bytes returned.
+    pub fn read(&self, fd: i32, len: usize) -> Result<Vec<u8>> {
+        let file = self.files.get(fd)?;
+        if !file.flags.read {
+            return Err(GkfsError::BadFileDescriptor);
+        }
+        let size = self.stat(&file.path)?.size;
+        let pos = file.pos();
+        let avail = size.saturating_sub(pos).min(len as u64);
+        let start = file.advance(avail);
+        self.read_at_path(&file.path, start, avail)
+    }
+
+    /// Positional read (`pread`); does not move the descriptor.
+    pub fn pread(&self, fd: i32, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let file = self.files.get(fd)?;
+        if !file.flags.read {
+            return Err(GkfsError::BadFileDescriptor);
+        }
+        self.read_at_path(&file.path, offset, len as u64)
+    }
+
+    /// Flush buffered size updates for this descriptor's file.
+    pub fn fsync(&self, fd: i32) -> Result<()> {
+        let file = self.files.get(fd)?;
+        self.flush_size(&file.path)
+    }
+
+    // ---------------------------------------------------------------
+    // Data path
+    // ---------------------------------------------------------------
+
+    /// Write `data` at `offset` of `path`: split into chunks, group by
+    /// owning daemon, fan out in parallel, then update the file size at
+    /// the metadata owner (possibly through the §IV-B cache).
+    pub fn write_at_path(&self, path: &str, offset: u64, data: &[u8]) -> Result<()> {
+        let path = gpath::normalize(path)?;
+        self.stats.write_ops.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_written
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        if data.is_empty() {
+            // POSIX: a zero-length write has no effect — in particular
+            // it must not extend the file via a size update.
+            return Ok(());
+        }
+
+        {
+            let pieces = chunk_range(self.layout, offset, data.len() as u64);
+            // Group chunk-pieces by their owning daemon, gathering each
+            // daemon's bulk buffer (the scatter/gather list an RDMA
+            // transport would build).
+            let mut per_node: HashMap<NodeId, (Vec<ChunkOp>, Vec<u8>)> = HashMap::new();
+            for p in &pieces {
+                let node = self.dist.locate_chunk(&path, p.chunk_id);
+                let entry = per_node.entry(node).or_default();
+                entry.0.push(ChunkOp {
+                    chunk_id: p.chunk_id,
+                    offset: p.offset,
+                    len: p.len,
+                });
+                entry
+                    .1
+                    .extend_from_slice(&data[p.buf_offset as usize..(p.buf_offset + p.len) as usize]);
+            }
+            self.fan_out_writes(&path, per_node)?;
+        }
+
+        // Size update to the metadata owner.
+        let candidate = offset + data.len() as u64;
+        if let Some(cache) = &self.stat_cache {
+            cache.bump_size(&path, candidate, now_ns());
+        }
+        match self.size_cache.record(&path, candidate, now_ns()) {
+            Some(pending) => {
+                self.stats.size_updates_sent.fetch_add(1, Ordering::Relaxed);
+                self.ring.update_size(
+                    self.meta_owner(&pending.path),
+                    &pending.path,
+                    pending.size,
+                    pending.mtime_ns,
+                )?;
+            }
+            None => {
+                self.stats
+                    .size_updates_buffered
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+
+    fn fan_out_writes(
+        &self,
+        path: &str,
+        per_node: HashMap<NodeId, (Vec<ChunkOp>, Vec<u8>)>,
+    ) -> Result<()> {
+        if per_node.len() == 1 {
+            let (node, (ops, bulk)) = per_node.into_iter().next().unwrap();
+            return self.ring.write_chunks(node, path, ops, Bytes::from(bulk));
+        }
+        let results: Vec<Result<()>> = std::thread::scope(|s| {
+            per_node
+                .into_iter()
+                .map(|(node, (ops, bulk))| {
+                    let ring = &self.ring;
+                    s.spawn(move || ring.write_chunks(node, path, ops, Bytes::from(bulk)))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for r in results {
+            r?;
+        }
+        Ok(())
+    }
+
+    /// Read `len` bytes at `offset` of `path`. Returns the bytes up to
+    /// EOF; holes read as zeros.
+    pub fn read_at_path(&self, path: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
+        let path = gpath::normalize(path)?;
+        self.stats.read_ops.fetch_add(1, Ordering::Relaxed);
+        let size = {
+            let mut meta = self.fetch_meta(&path)?;
+            if let Some(local) = self.size_cache.peek(&path) {
+                meta.size = meta.size.max(local);
+            }
+            if meta.is_dir() {
+                return Err(GkfsError::IsDirectory);
+            }
+            meta.size
+        };
+        if offset >= size || len == 0 {
+            return Ok(Vec::new());
+        }
+        let effective = len.min(size - offset);
+        let pieces = chunk_range(self.layout, offset, effective);
+        let mut per_node: HashMap<NodeId, Vec<(u64, ChunkOp)>> = HashMap::new();
+        for p in &pieces {
+            let node = self.dist.locate_chunk(&path, p.chunk_id);
+            per_node.entry(node).or_default().push((
+                p.buf_offset,
+                ChunkOp {
+                    chunk_id: p.chunk_id,
+                    offset: p.offset,
+                    len: p.len,
+                },
+            ));
+        }
+
+        // Holes read as zeros: pre-zero the buffer, copy what returns.
+        let mut out = vec![0u8; effective as usize];
+        let gathered: Vec<Result<(Vec<(u64, ChunkOp)>, Vec<u64>, Bytes)>> =
+            std::thread::scope(|s| {
+                per_node
+                    .into_iter()
+                    .map(|(node, batch)| {
+                        let ring = &self.ring;
+                        let path = &path;
+                        s.spawn(move || {
+                            let ops: Vec<ChunkOp> = batch.iter().map(|(_, op)| *op).collect();
+                            let (lens, bulk) = ring.read_chunks(node, path, ops)?;
+                            Ok((batch, lens, bulk))
+                        })
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .collect()
+            });
+        for g in gathered {
+            let (batch, lens, bulk) = g?;
+            let mut cursor = 0usize;
+            for ((buf_off, op), got) in batch.iter().zip(lens.iter()) {
+                let got = *got as usize;
+                debug_assert!(got as u64 <= op.len);
+                out[*buf_off as usize..*buf_off as usize + got]
+                    .copy_from_slice(&bulk[cursor..cursor + got]);
+                cursor += got;
+            }
+        }
+        self.stats
+            .bytes_read
+            .fetch_add(out.len() as u64, Ordering::Relaxed);
+        Ok(out)
+    }
+
+    // ---------------------------------------------------------------
+    // Maintenance
+    // ---------------------------------------------------------------
+
+    /// Flush the buffered size update for one path, if any.
+    pub fn flush_size(&self, path: &str) -> Result<()> {
+        if let Some(p) = self.size_cache.drain(path) {
+            self.stats.size_updates_sent.fetch_add(1, Ordering::Relaxed);
+            self.ring
+                .update_size(self.meta_owner(&p.path), &p.path, p.size, p.mtime_ns)?;
+        }
+        Ok(())
+    }
+
+    /// Flush all buffered size updates (unmount).
+    pub fn flush_all(&self) -> Result<()> {
+        for p in self.size_cache.drain_all() {
+            self.stats.size_updates_sent.fetch_add(1, Ordering::Relaxed);
+            self.ring
+                .update_size(self.meta_owner(&p.path), &p.path, p.size, p.mtime_ns)?;
+        }
+        Ok(())
+    }
+
+    /// Aggregate daemon statistics across the cluster.
+    pub fn cluster_stats(&self) -> Result<Vec<DaemonStatsResp>> {
+        self.ring
+            .broadcast(|n| self.ring.daemon_stats(n))
+            .into_iter()
+            .collect()
+    }
+
+    /// Consistency check across the whole namespace (the `fsck` admin
+    /// operation):
+    ///
+    /// * **orphan chunks** — a daemon holds chunk files for a path
+    ///   with no metadata entry (e.g. a remove whose data fan-out was
+    ///   interrupted). These waste SSD space and are safe to purge.
+    /// * **chunkless files** — metadata says `size > 0` but no daemon
+    ///   holds any chunk. Legitimate for files extended purely by
+    ///   `truncate` (they read as zeros), so reported for inspection,
+    ///   not treated as damage.
+    ///
+    /// Like `readdir`, the scan is eventually consistent: run it on a
+    /// quiescent namespace for exact results.
+    pub fn fsck(&self) -> Result<FsckReport> {
+        // 1. Global chunk inventory.
+        let mut chunk_holders: HashMap<String, Vec<NodeId>> = HashMap::new();
+        for (node, inv) in self
+            .ring
+            .broadcast(|n| self.ring.chunk_inventory(n))
+            .into_iter()
+            .enumerate()
+        {
+            for (path, _count) in inv? {
+                chunk_holders.entry(path).or_default().push(node);
+            }
+        }
+
+        // 2. Walk the namespace.
+        let mut files: HashMap<String, u64> = HashMap::new();
+        let mut stack = vec![gpath::ROOT.to_string()];
+        let mut dirs = 0usize;
+        while let Some(dir) = stack.pop() {
+            dirs += 1;
+            for e in self.readdir(&dir)? {
+                let p = gpath::join(&dir, &e.name);
+                match e.kind {
+                    FileKind::Directory => stack.push(p),
+                    FileKind::File => {
+                        files.insert(p, e.size);
+                    }
+                }
+            }
+        }
+
+        // 3. Cross-reference.
+        let mut orphan_chunks = Vec::new();
+        for (path, nodes) in &chunk_holders {
+            if !files.contains_key(path) {
+                for n in nodes {
+                    orphan_chunks.push((*n, path.clone()));
+                }
+            }
+        }
+        orphan_chunks.sort();
+        let mut chunkless_files: Vec<String> = files
+            .iter()
+            .filter(|(p, size)| **size > 0 && !chunk_holders.contains_key(*p))
+            .map(|(p, _)| p.clone())
+            .collect();
+        chunkless_files.sort();
+
+        Ok(FsckReport {
+            files_checked: files.len(),
+            directories_checked: dirs,
+            orphan_chunks,
+            chunkless_files,
+        })
+    }
+
+    /// Purge the orphan chunks a previous [`GekkoClient::fsck`] found.
+    /// Returns how many (node, path) holdings were removed.
+    pub fn fsck_purge(&self, report: &FsckReport) -> Result<usize> {
+        for (node, path) in &report.orphan_chunks {
+            self.ring.remove_chunks(*node, path)?;
+        }
+        Ok(report.orphan_chunks.len())
+    }
+}
+
+/// Outcome of [`GekkoClient::fsck`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FsckReport {
+    /// Regular files examined.
+    pub files_checked: usize,
+    /// Directories walked.
+    pub directories_checked: usize,
+    /// `(daemon, path)` pairs holding chunks with no metadata entry.
+    pub orphan_chunks: Vec<(NodeId, String)>,
+    /// Files whose size is positive but which have no chunks anywhere
+    /// (sparse-by-truncate, or lost data).
+    pub chunkless_files: Vec<String>,
+}
+
+impl FsckReport {
+    /// No orphans found (chunkless files are informational).
+    pub fn is_clean(&self) -> bool {
+        self.orphan_chunks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gkfs_daemon::Daemon;
+
+    fn cluster(nodes: usize) -> (Vec<Arc<Daemon>>, GekkoClient) {
+        cluster_with(nodes, ClusterConfig::new(nodes))
+    }
+
+    fn cluster_with(nodes: usize, config: ClusterConfig) -> (Vec<Arc<Daemon>>, GekkoClient) {
+        let daemons: Vec<Arc<Daemon>> = (0..nodes)
+            .map(|_| Daemon::spawn(gkfs_common::DaemonConfig::default()).unwrap())
+            .collect();
+        let endpoints: Vec<Arc<dyn Endpoint>> = daemons.iter().map(|d| d.endpoint()).collect();
+        let client = GekkoClient::mount(endpoints, &config).unwrap();
+        (daemons, client)
+    }
+
+    #[test]
+    fn create_stat_unlink() {
+        let (_d, c) = cluster(4);
+        c.create("/file", 0o644).unwrap();
+        let m = c.stat("/file").unwrap();
+        assert_eq!(m.kind, FileKind::File);
+        assert_eq!(m.size, 0);
+        assert!(matches!(c.create("/file", 0o644), Err(GkfsError::Exists)));
+        c.unlink("/file").unwrap();
+        assert!(matches!(c.stat("/file"), Err(GkfsError::NotFound)));
+    }
+
+    #[test]
+    fn write_read_roundtrip_single_chunk() {
+        let (_d, c) = cluster(4);
+        c.create("/f", 0o644).unwrap();
+        c.write_at_path("/f", 0, b"hello distributed world").unwrap();
+        assert_eq!(c.stat("/f").unwrap().size, 23);
+        let data = c.read_at_path("/f", 0, 100).unwrap();
+        assert_eq!(data, b"hello distributed world");
+        let mid = c.read_at_path("/f", 6, 11).unwrap();
+        assert_eq!(mid, b"distributed");
+    }
+
+    #[test]
+    fn write_read_spanning_many_chunks_and_nodes() {
+        // Small chunks force wide striping.
+        let config = ClusterConfig::new(4).with_chunk_size(4096);
+        let (_d, c) = cluster_with(4, config);
+        c.create("/big", 0o644).unwrap();
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        c.write_at_path("/big", 0, &data).unwrap();
+        assert_eq!(c.stat("/big").unwrap().size, 100_000);
+        let back = c.read_at_path("/big", 0, 100_000).unwrap();
+        assert_eq!(back, data);
+        // Unaligned interior read crossing chunk boundaries.
+        let slice = c.read_at_path("/big", 4000, 10_000).unwrap();
+        assert_eq!(slice, &data[4000..14_000]);
+        // Verify chunks really spread over multiple daemons.
+        let stats = c.cluster_stats().unwrap();
+        let nodes_with_data = stats.iter().filter(|s| s.storage_write_bytes > 0).count();
+        assert!(nodes_with_data >= 3, "striping hit {nodes_with_data} nodes");
+    }
+
+    #[test]
+    fn sparse_files_read_zeros() {
+        let config = ClusterConfig::new(2).with_chunk_size(4096);
+        let (_d, c) = cluster_with(2, config);
+        c.create("/sparse", 0o644).unwrap();
+        c.write_at_path("/sparse", 10_000, b"tail").unwrap();
+        assert_eq!(c.stat("/sparse").unwrap().size, 10_004);
+        let head = c.read_at_path("/sparse", 0, 16).unwrap();
+        assert_eq!(head, vec![0u8; 16]);
+        let tail = c.read_at_path("/sparse", 10_000, 10).unwrap();
+        assert_eq!(tail, b"tail");
+    }
+
+    #[test]
+    fn reads_stop_at_eof() {
+        let (_d, c) = cluster(2);
+        c.create("/short", 0o644).unwrap();
+        c.write_at_path("/short", 0, b"12345").unwrap();
+        assert_eq!(c.read_at_path("/short", 0, 1000).unwrap(), b"12345");
+        assert!(c.read_at_path("/short", 5, 10).unwrap().is_empty());
+        assert!(c.read_at_path("/short", 500, 10).unwrap().is_empty());
+    }
+
+    #[test]
+    fn fd_read_write_seek() {
+        let (_d, c) = cluster(3);
+        let fd = c
+            .open("/fd-file", OpenFlags::create_truncate().with_exclusive())
+            .unwrap();
+        // create_truncate is write-only; reopen for read-write.
+        c.close(fd).unwrap();
+        let fd = c.open("/fd-file", OpenFlags::RDWR).unwrap();
+        assert_eq!(c.write(fd, b"abcdef").unwrap(), 6);
+        assert_eq!(c.lseek(fd, 0, Whence::Set).unwrap(), 0);
+        assert_eq!(c.read(fd, 3).unwrap(), b"abc");
+        assert_eq!(c.read(fd, 10).unwrap(), b"def");
+        assert!(c.read(fd, 10).unwrap().is_empty(), "at EOF");
+        assert_eq!(c.lseek(fd, -2, Whence::End).unwrap(), 4);
+        assert_eq!(c.read(fd, 10).unwrap(), b"ef");
+        c.close(fd).unwrap();
+        assert!(matches!(c.read(fd, 1), Err(GkfsError::BadFileDescriptor)));
+    }
+
+    #[test]
+    fn pread_pwrite_do_not_move_position() {
+        let (_d, c) = cluster(2);
+        let fd = c.open("/p", OpenFlags::RDWR.with_create()).unwrap();
+        c.pwrite(fd, 0, b"0123456789").unwrap();
+        assert_eq!(c.pread(fd, 4, 3).unwrap(), b"456");
+        assert_eq!(c.files().get(fd).unwrap().pos(), 0, "position unmoved");
+        assert_eq!(c.read(fd, 2).unwrap(), b"01");
+        c.close(fd).unwrap();
+    }
+
+    #[test]
+    fn append_mode_writes_at_eof() {
+        let (_d, c) = cluster(2);
+        c.create("/log", 0o644).unwrap();
+        c.write_at_path("/log", 0, b"first").unwrap();
+        let fd = c.open("/log", OpenFlags::WRONLY.with_append()).unwrap();
+        c.write(fd, b"|second").unwrap();
+        c.close(fd).unwrap();
+        assert_eq!(c.read_at_path("/log", 0, 100).unwrap(), b"first|second");
+    }
+
+    #[test]
+    fn open_nonexistent_fails_without_create() {
+        let (_d, c) = cluster(2);
+        assert!(matches!(
+            c.open("/nope", OpenFlags::RDONLY),
+            Err(GkfsError::NotFound)
+        ));
+        // O_CREAT|O_EXCL on existing file fails.
+        c.create("/exists", 0o644).unwrap();
+        assert!(matches!(
+            c.open("/exists", OpenFlags::WRONLY.with_create().with_exclusive()),
+            Err(GkfsError::Exists)
+        ));
+        // Plain O_CREAT succeeds on existing file.
+        let fd = c.open("/exists", OpenFlags::WRONLY.with_create()).unwrap();
+        c.close(fd).unwrap();
+    }
+
+    #[test]
+    fn open_creat_on_directory_is_eisdir() {
+        let (_d, c) = cluster(2);
+        c.mkdir("/a-dir", 0o755).unwrap();
+        // Non-exclusive O_CREAT|O_WRONLY on a directory: EISDIR.
+        assert!(matches!(
+            c.open("/a-dir", OpenFlags::WRONLY.with_create()),
+            Err(GkfsError::IsDirectory)
+        ));
+        // Read-only open of the directory (for the file map) works.
+        let fd = c.open("/a-dir", OpenFlags::RDONLY.with_create()).unwrap();
+        assert_eq!(c.files().get(fd).unwrap().kind, FileKind::Directory);
+        c.close(fd).unwrap();
+        // Exclusive create of the same path still refuses (Exists).
+        assert!(matches!(
+            c.open("/a-dir", OpenFlags::WRONLY.with_create().with_exclusive()),
+            Err(GkfsError::Exists)
+        ));
+    }
+
+    #[test]
+    fn open_truncate_clears_data() {
+        let (_d, c) = cluster(2);
+        c.create("/t", 0o644).unwrap();
+        c.write_at_path("/t", 0, b"old contents").unwrap();
+        let fd = c.open("/t", OpenFlags::WRONLY.with_truncate()).unwrap();
+        c.close(fd).unwrap();
+        assert_eq!(c.stat("/t").unwrap().size, 0);
+        assert!(c.read_at_path("/t", 0, 100).unwrap().is_empty());
+    }
+
+    #[test]
+    fn mkdir_readdir_rmdir() {
+        let (_d, c) = cluster(4);
+        c.mkdir("/dir", 0o755).unwrap();
+        for i in 0..20 {
+            c.create(&format!("/dir/f{i:02}"), 0o644).unwrap();
+        }
+        c.mkdir("/dir/sub", 0o755).unwrap();
+        let entries = c.readdir("/dir").unwrap();
+        assert_eq!(entries.len(), 21);
+        assert!(entries.windows(2).all(|w| w[0].name <= w[1].name), "sorted");
+        assert_eq!(
+            entries.iter().filter(|e| e.kind == FileKind::Directory).count(),
+            1
+        );
+        // Non-empty directory refuses rmdir.
+        assert!(matches!(c.rmdir("/dir"), Err(GkfsError::NotEmpty)));
+        for i in 0..20 {
+            c.unlink(&format!("/dir/f{i:02}")).unwrap();
+        }
+        c.rmdir("/dir/sub").unwrap();
+        c.rmdir("/dir").unwrap();
+        assert!(matches!(c.stat("/dir"), Err(GkfsError::NotFound)));
+    }
+
+    #[test]
+    fn readdir_reports_sizes_like_ls_l() {
+        // §III-A motivates readdir with `ls -l`: the listing must carry
+        // sizes without a per-entry stat round.
+        let (_d, c) = cluster(3);
+        c.mkdir("/ls", 0o755).unwrap();
+        c.create("/ls/small", 0o644).unwrap();
+        c.write_at_path("/ls/small", 0, b"12345").unwrap();
+        c.create("/ls/large", 0o644).unwrap();
+        c.write_at_path("/ls/large", 0, &vec![0u8; 10_000]).unwrap();
+        c.mkdir("/ls/sub", 0o755).unwrap();
+        let entries = c.readdir("/ls").unwrap();
+        let by_name: std::collections::HashMap<&str, &gkfs_common::types::Dirent> =
+            entries.iter().map(|e| (e.name.as_str(), e)).collect();
+        assert_eq!(by_name["small"].size, 5);
+        assert_eq!(by_name["large"].size, 10_000);
+        assert_eq!(by_name["sub"].size, 0);
+        assert_eq!(by_name["sub"].kind, FileKind::Directory);
+    }
+
+    #[test]
+    fn readdir_root_and_type_errors() {
+        let (_d, c) = cluster(2);
+        c.create("/a", 0o644).unwrap();
+        let root = c.readdir("/").unwrap();
+        assert_eq!(root.len(), 1);
+        assert!(matches!(c.readdir("/a"), Err(GkfsError::NotDirectory)));
+        assert!(matches!(c.rmdir("/a"), Err(GkfsError::NotDirectory)));
+        assert!(matches!(c.unlink("/"), Err(GkfsError::IsDirectory)));
+    }
+
+    #[test]
+    fn truncate_shrinks_and_extends() {
+        let config = ClusterConfig::new(3).with_chunk_size(4096);
+        let (_d, c) = cluster_with(3, config);
+        c.create("/t", 0o644).unwrap();
+        let data: Vec<u8> = (0..20_000u32).map(|i| (i % 256) as u8).collect();
+        c.write_at_path("/t", 0, &data).unwrap();
+        c.truncate("/t", 5000).unwrap();
+        assert_eq!(c.stat("/t").unwrap().size, 5000);
+        let back = c.read_at_path("/t", 0, 20_000).unwrap();
+        assert_eq!(back, &data[..5000]);
+        // Extending truncate zero-fills.
+        c.truncate("/t", 8000).unwrap();
+        assert_eq!(c.stat("/t").unwrap().size, 8000);
+        let back = c.read_at_path("/t", 0, 8000).unwrap();
+        assert_eq!(&back[..5000], &data[..5000]);
+        assert!(back[5000..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn unsupported_operations() {
+        let (_d, c) = cluster(1);
+        assert!(matches!(c.rename("/a", "/b"), Err(GkfsError::Unsupported(_))));
+        assert!(matches!(c.link("/a", "/b"), Err(GkfsError::Unsupported(_))));
+        assert!(matches!(c.symlink("/a", "/b"), Err(GkfsError::Unsupported(_))));
+    }
+
+    #[test]
+    fn size_cache_buffers_and_flushes() {
+        let config = ClusterConfig::new(2).with_size_cache(8);
+        let (_d, c) = cluster_with(2, config);
+        c.create("/cached", 0o644).unwrap();
+        for i in 0..5 {
+            c.write_at_path("/cached", i * 10, &[1u8; 10]).unwrap();
+        }
+        // Fewer writes than the window: nothing sent yet, but the
+        // writing client still sees its own size.
+        assert_eq!(c.stats().size_updates_sent.load(Ordering::Relaxed), 0);
+        assert_eq!(c.stat("/cached").unwrap().size, 50);
+        c.flush_size("/cached").unwrap();
+        assert_eq!(c.stats().size_updates_sent.load(Ordering::Relaxed), 1);
+        // After flush the daemons agree.
+        for i in 5..8 {
+            c.write_at_path("/cached", i * 10, &[1u8; 10]).unwrap();
+        }
+        for i in 8..16 {
+            c.write_at_path("/cached", i * 10, &[1u8; 10]).unwrap();
+        }
+        // 11 buffered writes crossed the window of 8 once.
+        assert!(c.stats().size_updates_sent.load(Ordering::Relaxed) >= 2);
+        c.flush_all().unwrap();
+        assert_eq!(c.stat("/cached").unwrap().size, 160);
+    }
+
+    #[test]
+    fn concurrent_shared_file_writers_converge() {
+        let config = ClusterConfig::new(4).with_chunk_size(4096);
+        let (_d, c) = cluster_with(4, config);
+        c.create("/shared", 0o644).unwrap();
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let c = &c;
+                s.spawn(move || {
+                    for i in 0..50u64 {
+                        let off = (t * 50 + i) * 100;
+                        c.write_at_path("/shared", off, &[t as u8 + 1; 100]).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.stat("/shared").unwrap().size, 40_000);
+        let data = c.read_at_path("/shared", 0, 40_000).unwrap();
+        assert!(data.iter().all(|&b| (1..=8).contains(&b)));
+    }
+
+    #[test]
+    fn deep_paths_and_many_files_balance() {
+        let (_d, c) = cluster(8);
+        for i in 0..400 {
+            c.create(&format!("/load/f{i}"), 0o644).unwrap();
+        }
+        let stats = c.cluster_stats().unwrap();
+        let counts: Vec<u64> = stats.iter().map(|s| s.meta_entries).collect();
+        let total: u64 = counts.iter().sum();
+        assert_eq!(total, 401, "400 files + root (no /load dir needed: flat ns)");
+        let max = *counts.iter().max().unwrap();
+        assert!(max < 120, "metadata should balance, worst node has {max}");
+    }
+
+    #[test]
+    fn write_local_distribution_pins_data_to_own_node() {
+        use gkfs_common::config::DistributorKind;
+        let config = ClusterConfig::new(4)
+            .with_chunk_size(4096)
+            .with_distributor(DistributorKind::WriteLocal);
+        let daemons: Vec<Arc<Daemon>> = (0..4)
+            .map(|_| Daemon::spawn(gkfs_common::DaemonConfig::default()).unwrap())
+            .collect();
+        let endpoints = |d: &Vec<Arc<Daemon>>| -> Vec<Arc<dyn Endpoint>> {
+            d.iter().map(|x| x.endpoint()).collect()
+        };
+
+        // Rank on node 2 writes its private file: every byte must land
+        // on daemon 2 (the BurstFS pattern).
+        let c2 = GekkoClient::mount_on(endpoints(&daemons), &config, 2).unwrap();
+        c2.create("/rank2.out", 0o644).unwrap();
+        let data: Vec<u8> = (0..50_000u32).map(|i| i as u8).collect();
+        c2.write_at_path("/rank2.out", 0, &data).unwrap();
+        for (n, d) in daemons.iter().enumerate() {
+            let (_, w_bytes, _, _) = d.backends().data.stats().snapshot();
+            if n == 2 {
+                assert_eq!(w_bytes, 50_000, "all data on the local node");
+            } else {
+                assert_eq!(w_bytes, 0, "node {n} must hold nothing");
+            }
+        }
+        // The writer reads its own data back fine.
+        assert_eq!(c2.read_at_path("/rank2.out", 0, 50_000).unwrap(), data);
+
+        // The documented BurstFS limitation: a client on another node
+        // can stat the file (metadata is hash-placed) but resolves the
+        // chunks to *its* node and sees holes.
+        let c0 = GekkoClient::mount_on(endpoints(&daemons), &config, 0).unwrap();
+        assert_eq!(c0.stat("/rank2.out").unwrap().size, 50_000);
+        let cross = c0.read_at_path("/rank2.out", 0, 100).unwrap();
+        assert_eq!(cross, vec![0u8; 100], "cross-node read sees holes");
+    }
+
+    #[test]
+    fn mount_validates_config() {
+        let d = Daemon::spawn(gkfs_common::DaemonConfig::default()).unwrap();
+        let eps: Vec<Arc<dyn Endpoint>> = vec![d.endpoint()];
+        assert!(GekkoClient::mount(eps, &ClusterConfig::new(2)).is_err());
+    }
+
+    #[test]
+    fn fsck_clean_namespace() {
+        let config = ClusterConfig::new(4).with_chunk_size(4096);
+        let (_d, c) = cluster_with(4, config);
+        c.mkdir("/data", 0o755).unwrap();
+        for i in 0..10 {
+            let p = format!("/data/f{i}");
+            c.create(&p, 0o644).unwrap();
+            c.write_at_path(&p, 0, &vec![1u8; 10_000]).unwrap();
+        }
+        let report = c.fsck().unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(report.files_checked, 10);
+        assert!(report.directories_checked >= 2, "root + /data");
+        assert!(report.chunkless_files.is_empty());
+    }
+
+    #[test]
+    fn fsck_finds_and_purges_orphan_chunks() {
+        let config = ClusterConfig::new(3).with_chunk_size(4096);
+        let (daemons, c) = cluster_with(3, config);
+        c.create("/will-orphan", 0o644).unwrap();
+        c.write_at_path("/will-orphan", 0, &vec![7u8; 30_000]).unwrap();
+        // Sabotage: remove the metadata entry directly on its owner,
+        // leaving the chunks stranded (a remove whose fan-out died).
+        let mut removed = false;
+        for d in &daemons {
+            if d.backends().meta.remove("/will-orphan").is_ok() {
+                removed = true;
+                break;
+            }
+        }
+        assert!(removed);
+        let report = c.fsck().unwrap();
+        assert!(!report.is_clean());
+        assert!(report
+            .orphan_chunks
+            .iter()
+            .all(|(_, p)| p == "/will-orphan"));
+        let purged = c.fsck_purge(&report).unwrap();
+        assert!(purged > 0);
+        // Second pass: clean.
+        assert!(c.fsck().unwrap().is_clean());
+    }
+
+    #[test]
+    fn fsck_reports_truncate_extended_files_as_chunkless() {
+        let (_d, c) = cluster(2);
+        c.create("/sparse-only", 0o644).unwrap();
+        c.truncate("/sparse-only", 5000).unwrap();
+        let report = c.fsck().unwrap();
+        assert!(report.is_clean(), "sparse files are not damage");
+        assert_eq!(report.chunkless_files, vec!["/sparse-only".to_string()]);
+    }
+
+    #[test]
+    fn stat_cache_eliminates_round_trips_but_sees_own_writes() {
+        let config = ClusterConfig::new(2).with_stat_cache_ttl_ms(60_000);
+        let (daemons, c) = cluster_with(2, config);
+        c.create("/hot", 0o644).unwrap();
+        c.write_at_path("/hot", 0, b"12345").unwrap();
+
+        let gets = |ds: &Vec<Arc<Daemon>>| -> u64 {
+            ds.iter()
+                .map(|d| d.backends().meta.db().stats().gets.load(Ordering::Relaxed))
+                .sum()
+        };
+        let before = gets(&daemons);
+        // A storm of stats: at most one daemon round trip.
+        for _ in 0..100 {
+            assert_eq!(c.stat("/hot").unwrap().size, 5);
+        }
+        let delta = gets(&daemons) - before;
+        assert!(delta <= 1, "cache should absorb the storm, saw {delta} gets");
+
+        // The client's own writes stay visible (bump_size).
+        c.write_at_path("/hot", 100, b"x").unwrap();
+        assert_eq!(c.stat("/hot").unwrap().size, 101);
+        // Truncate invalidates; next stat refetches the exact value.
+        c.truncate("/hot", 3).unwrap();
+        assert_eq!(c.stat("/hot").unwrap().size, 3);
+        // Unlink invalidates; stat misses cleanly.
+        c.unlink("/hot").unwrap();
+        assert!(c.stat("/hot").is_err());
+    }
+
+    #[test]
+    fn stat_cache_staleness_is_bounded_by_ttl() {
+        let config = ClusterConfig::new(2).with_stat_cache_ttl_ms(30);
+        let (_d, observer) = cluster_with(2, config);
+        observer.create("/ttl", 0o644).unwrap();
+        // Prime the observer's cache with size 0.
+        assert_eq!(observer.stat("/ttl").unwrap().size, 0);
+        // A different client (no shared cache) grows the file.
+        let writer = {
+            let endpoints: Vec<Arc<dyn Endpoint>> =
+                _d.iter().map(|d| d.endpoint()).collect();
+            GekkoClient::mount(endpoints, &ClusterConfig::new(2)).unwrap()
+        };
+        writer.write_at_path("/ttl", 0, b"abcdef").unwrap();
+        // Within the TTL the observer may still see the stale size;
+        // after expiry it must see the truth.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert_eq!(observer.stat("/ttl").unwrap().size, 6);
+    }
+}

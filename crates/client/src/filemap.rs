@@ -1,0 +1,226 @@
+//! The file map: file descriptors without the kernel.
+//!
+//! GekkoFS cannot use kernel descriptors for its own files — the
+//! preload library owns a range of descriptor numbers and resolves
+//! them itself. We reproduce that: descriptors start at a high base
+//! (so they can never collide with real kernel fds when the C ABI is
+//! preloaded into an application) and map to [`OpenFile`] records with
+//! their own offset state.
+
+use gkfs_common::types::{FileKind, OpenFlags};
+use gkfs_common::{GkfsError, Result};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI32, Ordering};
+use std::sync::Arc;
+
+/// First descriptor handed out — mirrors GekkoFS' offset trick that
+/// keeps its fd space disjoint from the kernel's.
+pub const FD_BASE: i32 = 100_000;
+
+/// One open file or directory.
+pub struct OpenFile {
+    /// Path.
+    pub path: String,
+    /// Flags.
+    pub flags: OpenFlags,
+    /// Kind.
+    pub kind: FileKind,
+    /// Current seek position. A lock (not an atomic) because
+    /// read-modify-write sequences on it must be atomic with the I/O
+    /// size decision.
+    pos: Mutex<u64>,
+}
+
+impl OpenFile {
+    /// New.
+    pub fn new(path: impl Into<String>, flags: OpenFlags, kind: FileKind) -> OpenFile {
+        OpenFile {
+            path: path.into(),
+            flags,
+            kind,
+            pos: Mutex::new(0),
+        }
+    }
+
+    /// Current position.
+    pub fn pos(&self) -> u64 {
+        *self.pos.lock()
+    }
+
+    /// Set the position, returning the new value.
+    pub fn seek_to(&self, pos: u64) -> u64 {
+        *self.pos.lock() = pos;
+        pos
+    }
+
+    /// Advance by `delta` from the current position and return the
+    /// *starting* offset of the I/O — the atomic "claim" used by
+    /// `read`/`write`.
+    pub fn advance(&self, delta: u64) -> u64 {
+        let mut p = self.pos.lock();
+        let start = *p;
+        *p = start + delta;
+        start
+    }
+}
+
+/// Descriptor table for one client.
+pub struct FileMap {
+    files: RwLock<HashMap<i32, Arc<OpenFile>>>,
+    next_fd: AtomicI32,
+}
+
+impl Default for FileMap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FileMap {
+    /// New.
+    pub fn new() -> FileMap {
+        FileMap {
+            files: RwLock::new(HashMap::new()),
+            next_fd: AtomicI32::new(FD_BASE),
+        }
+    }
+
+    /// Insert an open file, returning its new descriptor.
+    pub fn insert(&self, file: OpenFile) -> i32 {
+        let fd = self.next_fd.fetch_add(1, Ordering::Relaxed);
+        self.files.write().insert(fd, Arc::new(file));
+        fd
+    }
+
+    /// Resolve a descriptor.
+    pub fn get(&self, fd: i32) -> Result<Arc<OpenFile>> {
+        self.files
+            .read()
+            .get(&fd)
+            .cloned()
+            .ok_or(GkfsError::BadFileDescriptor)
+    }
+
+    /// Is this descriptor one of ours? (The preload layer uses this to
+    /// decide whether to forward a call to the kernel.)
+    pub fn owns(&self, fd: i32) -> bool {
+        fd >= FD_BASE && self.files.read().contains_key(&fd)
+    }
+
+    /// Close a descriptor, returning the file it referenced.
+    pub fn remove(&self, fd: i32) -> Result<Arc<OpenFile>> {
+        self.files
+            .write()
+            .remove(&fd)
+            .ok_or(GkfsError::BadFileDescriptor)
+    }
+
+    /// `dup`: new descriptor sharing the same open-file record
+    /// (and therefore the same offset), as POSIX requires.
+    pub fn dup(&self, fd: i32) -> Result<i32> {
+        let file = self.get(fd)?;
+        let new_fd = self.next_fd.fetch_add(1, Ordering::Relaxed);
+        self.files.write().insert(new_fd, file);
+        Ok(new_fd)
+    }
+
+    /// Number of open descriptors.
+    pub fn len(&self) -> usize {
+        self.files.read().len()
+    }
+
+    /// Is empty.
+    pub fn is_empty(&self) -> bool {
+        self.files.read().is_empty()
+    }
+
+    /// Paths of all currently open files (used to flush size caches on
+    /// unmount).
+    pub fn open_paths(&self) -> Vec<String> {
+        self.files
+            .read()
+            .values()
+            .map(|f| f.path.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(path: &str) -> OpenFile {
+        OpenFile::new(path, OpenFlags::RDWR, FileKind::File)
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let map = FileMap::new();
+        let fd = map.insert(file("/a"));
+        assert!(fd >= FD_BASE);
+        assert_eq!(map.get(fd).unwrap().path, "/a");
+        assert!(map.owns(fd));
+        assert!(!map.owns(3)); // a typical kernel fd
+        map.remove(fd).unwrap();
+        assert!(matches!(map.get(fd), Err(GkfsError::BadFileDescriptor)));
+        assert!(matches!(map.remove(fd), Err(GkfsError::BadFileDescriptor)));
+    }
+
+    #[test]
+    fn descriptors_are_unique() {
+        let map = FileMap::new();
+        let fds: Vec<i32> = (0..100).map(|i| map.insert(file(&format!("/f{i}")))).collect();
+        let mut sorted = fds.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 100);
+    }
+
+    #[test]
+    fn dup_shares_offset() {
+        let map = FileMap::new();
+        let fd = map.insert(file("/x"));
+        let fd2 = map.dup(fd).unwrap();
+        assert_ne!(fd, fd2);
+        map.get(fd).unwrap().seek_to(500);
+        assert_eq!(map.get(fd2).unwrap().pos(), 500, "dup'd fds share position");
+        // Closing one leaves the other usable.
+        map.remove(fd).unwrap();
+        assert_eq!(map.get(fd2).unwrap().path, "/x");
+    }
+
+    #[test]
+    fn advance_claims_ranges_atomically() {
+        let map = FileMap::new();
+        let fd = map.insert(file("/seq"));
+        let f = map.get(fd).unwrap();
+        let mut starts: Vec<u64> = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| {
+                    let f = f.clone();
+                    s.spawn(move || (0..100).map(|_| f.advance(10)).collect::<Vec<u64>>())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        starts.sort();
+        // 800 disjoint 10-byte claims: 0, 10, ..., 7990.
+        assert_eq!(starts.len(), 800);
+        for (i, s) in starts.iter().enumerate() {
+            assert_eq!(*s, i as u64 * 10);
+        }
+    }
+
+    #[test]
+    fn open_paths_lists_all() {
+        let map = FileMap::new();
+        map.insert(file("/a"));
+        map.insert(file("/b"));
+        let mut paths = map.open_paths();
+        paths.sort();
+        assert_eq!(paths, vec!["/a", "/b"]);
+    }
+}

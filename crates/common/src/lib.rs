@@ -1,0 +1,40 @@
+//! # gkfs-common — shared foundations for the GekkoFS reproduction
+//!
+//! This crate holds everything that both sides of the file system — the
+//! client library and the per-node daemon — must agree on:
+//!
+//! * [`error`] — errno-shaped error type shared across RPC boundaries.
+//! * [`hash`] — stable, from-scratch hash functions (XXH64, FNV-1a) used
+//!   by the distributor. Stability matters: every client must map a path
+//!   to the same daemon without coordination.
+//! * [`distributor`] — the pseudo-random placement function from the
+//!   paper (§III-B): `hash(path)` places metadata, `hash(path, chunk_id)`
+//!   places each data chunk (wide striping).
+//! * [`chunk`] — chunk arithmetic for splitting byte ranges into
+//!   fixed-size chunks (default 512 KiB, as in the paper's evaluation).
+//! * [`path`] — normalization of the flat namespace GekkoFS keeps
+//!   internally (directory entries are objects, not directory blocks).
+//! * [`types`] — file metadata, open flags, and file modes.
+//! * [`wire`] — a small, explicit little-endian codec used by both the
+//!   RPC layer and the KV store's on-disk formats.
+//! * [`crc`] — CRC32 (IEEE) for WAL and SSTable block integrity.
+//! * [`config`] — daemon/cluster configuration knobs.
+
+#![warn(missing_docs)]
+
+pub mod chunk;
+pub mod config;
+pub mod crc;
+pub mod distributor;
+pub mod error;
+pub mod hash;
+pub mod log;
+pub mod path;
+pub mod types;
+pub mod wire;
+
+pub use chunk::{chunk_range, ChunkInfo, ChunkLayout};
+pub use config::{ClusterConfig, DaemonConfig, DEFAULT_CHUNK_SIZE};
+pub use distributor::{Distributor, JumpDistributor, LocalityDistributor, SimpleHashDistributor};
+pub use error::{GkfsError, Result};
+pub use types::{FileKind, Metadata, OpenFlags};

@@ -1,0 +1,190 @@
+//! Path handling for GekkoFS' flat namespace.
+//!
+//! GekkoFS does not keep directory blocks: every file-system object is
+//! a key-value pair keyed by its *absolute, normalized* path (§II, "a
+//! new technique to handle directories ... replaces directory entries
+//! by objects"). All placement and metadata lookups therefore require a
+//! canonical textual form, produced by [`normalize`].
+//!
+//! `readdir` is implemented as a prefix scan over the flat key space,
+//! which is why [`is_direct_child`] and [`dir_prefix`] live here.
+
+use crate::error::{GkfsError, Result};
+
+/// The root path of every GekkoFS namespace.
+pub const ROOT: &str = "/";
+
+/// Separator character — GekkoFS paths are always `/`-separated,
+/// independent of the host platform.
+pub const SEP: char = '/';
+
+/// Normalize a path into the canonical flat-namespace form:
+///
+/// * must be absolute (`/...`) — the client resolves relative paths
+///   against its own CWD before calling into the FS;
+/// * duplicate separators collapsed (`/a//b` → `/a/b`);
+/// * `.` segments removed, `..` segments resolved lexically;
+/// * no trailing separator except for the root itself.
+///
+/// Returns `InvalidArgument` for relative paths, empty paths, and paths
+/// that escape the root via `..`, and for segments containing NUL.
+pub fn normalize(path: &str) -> Result<String> {
+    if path.is_empty() {
+        return Err(GkfsError::InvalidArgument("empty path".into()));
+    }
+    if !path.starts_with(SEP) {
+        return Err(GkfsError::InvalidArgument(format!(
+            "path must be absolute: {path:?}"
+        )));
+    }
+    if path.contains('\0') {
+        return Err(GkfsError::InvalidArgument("path contains NUL".into()));
+    }
+    let mut stack: Vec<&str> = Vec::new();
+    for seg in path.split(SEP) {
+        match seg {
+            "" | "." => {}
+            ".." => {
+                if stack.pop().is_none() {
+                    return Err(GkfsError::InvalidArgument(format!(
+                        "path escapes root: {path:?}"
+                    )));
+                }
+            }
+            s => stack.push(s),
+        }
+    }
+    if stack.is_empty() {
+        return Ok(ROOT.to_string());
+    }
+    let mut out = String::with_capacity(path.len());
+    for seg in stack {
+        out.push(SEP);
+        out.push_str(seg);
+    }
+    Ok(out)
+}
+
+/// Parent directory of a normalized path. The parent of the root is the
+/// root itself (matching POSIX `dirname("/") == "/"`).
+pub fn parent(path: &str) -> &str {
+    if path == ROOT {
+        return ROOT;
+    }
+    match path.rfind(SEP) {
+        Some(0) => ROOT,
+        Some(idx) => &path[..idx],
+        None => ROOT,
+    }
+}
+
+/// Final component of a normalized path (`basename`). The root has an
+/// empty name.
+pub fn name(path: &str) -> &str {
+    if path == ROOT {
+        return "";
+    }
+    match path.rfind(SEP) {
+        Some(idx) => &path[idx + 1..],
+        None => path,
+    }
+}
+
+/// Join a normalized directory path and a single component.
+pub fn join(dir: &str, component: &str) -> String {
+    if dir == ROOT {
+        format!("/{component}")
+    } else {
+        format!("{dir}/{component}")
+    }
+}
+
+/// The scan prefix for enumerating entries *under* `dir` in the flat
+/// key space (used by the daemon's readdir prefix scan).
+pub fn dir_prefix(dir: &str) -> String {
+    if dir == ROOT {
+        ROOT.to_string()
+    } else {
+        format!("{dir}/")
+    }
+}
+
+/// Is `candidate` a *direct* child of `dir`? Used to filter prefix-scan
+/// results: `/a/b` is a direct child of `/a`, `/a/b/c` is not.
+pub fn is_direct_child(dir: &str, candidate: &str) -> bool {
+    let prefix = dir_prefix(dir);
+    match candidate.strip_prefix(prefix.as_str()) {
+        Some(rest) => !rest.is_empty() && !rest.contains(SEP),
+        None => false,
+    }
+}
+
+/// Depth of a normalized path (root = 0, `/a` = 1, `/a/b` = 2).
+pub fn depth(path: &str) -> usize {
+    if path == ROOT {
+        0
+    } else {
+        path.matches(SEP).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_basics() {
+        assert_eq!(normalize("/").unwrap(), "/");
+        assert_eq!(normalize("/a/b").unwrap(), "/a/b");
+        assert_eq!(normalize("/a//b///c").unwrap(), "/a/b/c");
+        assert_eq!(normalize("/a/./b/.").unwrap(), "/a/b");
+        assert_eq!(normalize("/a/b/../c").unwrap(), "/a/c");
+        assert_eq!(normalize("/a/b/..").unwrap(), "/a");
+        assert_eq!(normalize("/a/..").unwrap(), "/");
+        assert_eq!(normalize("/a/b/").unwrap(), "/a/b");
+    }
+
+    #[test]
+    fn normalize_rejects_bad_paths() {
+        assert!(normalize("").is_err());
+        assert!(normalize("relative/path").is_err());
+        assert!(normalize("/..").is_err());
+        assert!(normalize("/a/../../b").is_err());
+        assert!(normalize("/a\0b").is_err());
+    }
+
+    #[test]
+    fn parent_and_name() {
+        assert_eq!(parent("/"), "/");
+        assert_eq!(parent("/a"), "/");
+        assert_eq!(parent("/a/b/c"), "/a/b");
+        assert_eq!(name("/"), "");
+        assert_eq!(name("/a"), "a");
+        assert_eq!(name("/a/b/c"), "c");
+    }
+
+    #[test]
+    fn join_roundtrips_with_parent_name() {
+        for p in ["/a", "/a/b", "/x/y/z"] {
+            assert_eq!(join(parent(p), name(p)), p);
+        }
+        assert_eq!(join("/", "top"), "/top");
+    }
+
+    #[test]
+    fn direct_child_detection() {
+        assert!(is_direct_child("/", "/a"));
+        assert!(is_direct_child("/a", "/a/b"));
+        assert!(!is_direct_child("/a", "/a"));
+        assert!(!is_direct_child("/a", "/a/b/c"));
+        assert!(!is_direct_child("/a", "/ab"));
+        assert!(!is_direct_child("/a/b", "/a/c"));
+    }
+
+    #[test]
+    fn depth_counts_components() {
+        assert_eq!(depth("/"), 0);
+        assert_eq!(depth("/a"), 1);
+        assert_eq!(depth("/a/b/c"), 3);
+    }
+}

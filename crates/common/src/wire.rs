@@ -1,0 +1,316 @@
+//! A small, explicit little-endian wire codec.
+//!
+//! Both the RPC message bodies and the KV store's on-disk formats are
+//! encoded with this codec. We deliberately avoid a serialization
+//! framework on the hot path: GekkoFS RPC headers are a handful of
+//! integers and one path string, and the paper's throughput numbers
+//! (tens of millions of ops/s) leave no room for reflective encoders.
+//!
+//! All integers are little-endian and fixed-width except where `varint`
+//! is used explicitly (length prefixes inside SSTable blocks).
+
+use crate::error::{GkfsError, Result};
+
+/// Append-only encoder producing a `Vec<u8>`.
+#[derive(Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Start encoding / decoding.
+    pub fn new() -> Encoder {
+        Encoder { buf: Vec::new() }
+    }
+
+    /// With capacity.
+    pub fn with_capacity(cap: usize) -> Encoder {
+        Encoder {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// U8.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// U16.
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// U32.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// U64.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// I64.
+    pub fn i64(&mut self, v: i64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// LEB128-style unsigned varint (used in block-local encodings
+    /// where most values are small).
+    pub fn varint(&mut self, mut v: u64) -> &mut Self {
+        loop {
+            let byte = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                break;
+            }
+            self.buf.push(byte | 0x80);
+        }
+        self
+    }
+
+    /// Length-prefixed (u32) byte string.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) -> &mut Self {
+        self.bytes(v.as_bytes())
+    }
+
+    /// Raw bytes with no length prefix (caller knows the framing).
+    pub fn raw(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Bytes encoded so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been encoded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Into vec.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// As slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Cursor-style decoder over a byte slice. Every accessor returns
+/// `Corruption` on underrun so malformed frames can never panic a
+/// daemon.
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Start encoding / decoding.
+    pub fn new(buf: &'a [u8]) -> Decoder<'a> {
+        Decoder { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(GkfsError::Corruption(format!(
+                "decode underrun: need {n} bytes at offset {} of {}",
+                self.pos,
+                self.buf.len()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// U8.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// U16.
+    pub fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// U32.
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// U64.
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// I64.
+    pub fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Varint.
+    pub fn varint(&mut self) -> Result<u64> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            if shift >= 64 {
+                return Err(GkfsError::Corruption("varint overflow".into()));
+            }
+            v |= ((byte & 0x7F) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Length-prefixed byte string (pairs with [`Encoder::bytes`]).
+    pub fn bytes(&mut self) -> Result<&'a [u8]> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    /// Length-prefixed UTF-8 string (pairs with [`Encoder::str`]).
+    pub fn str(&mut self) -> Result<&'a str> {
+        std::str::from_utf8(self.bytes()?)
+            .map_err(|e| GkfsError::Corruption(format!("invalid utf8 in frame: {e}")))
+    }
+
+    /// Raw bytes with no length prefix.
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.take(n)
+    }
+
+    /// Everything not yet consumed.
+    pub fn rest(&mut self) -> &'a [u8] {
+        let s = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        s
+    }
+
+    /// Remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Assert the frame was consumed exactly — trailing garbage is
+    /// treated as corruption.
+    pub fn finish(&self) -> Result<()> {
+        if self.pos != self.buf.len() {
+            return Err(GkfsError::Corruption(format!(
+                "{} trailing bytes in frame",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut e = Encoder::new();
+        e.u8(7).u16(1234).u32(0xDEADBEEF).u64(u64::MAX).i64(-42);
+        let v = e.into_vec();
+        let mut d = Decoder::new(&v);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u16().unwrap(), 1234);
+        assert_eq!(d.u32().unwrap(), 0xDEADBEEF);
+        assert_eq!(d.u64().unwrap(), u64::MAX);
+        assert_eq!(d.i64().unwrap(), -42);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn string_and_bytes_roundtrip() {
+        let mut e = Encoder::new();
+        e.str("/some/path").bytes(b"\x00\x01\x02").str("");
+        let v = e.into_vec();
+        let mut d = Decoder::new(&v);
+        assert_eq!(d.str().unwrap(), "/some/path");
+        assert_eq!(d.bytes().unwrap(), b"\x00\x01\x02");
+        assert_eq!(d.str().unwrap(), "");
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        let vals = [0u64, 1, 127, 128, 300, 16383, 16384, u32::MAX as u64, u64::MAX];
+        let mut e = Encoder::new();
+        for &v in &vals {
+            e.varint(v);
+        }
+        let buf = e.into_vec();
+        let mut d = Decoder::new(&buf);
+        for &v in &vals {
+            assert_eq!(d.varint().unwrap(), v);
+        }
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn varint_compactness() {
+        let mut e = Encoder::new();
+        e.varint(5);
+        assert_eq!(e.len(), 1);
+        let mut e = Encoder::new();
+        e.varint(u64::MAX);
+        assert_eq!(e.len(), 10);
+    }
+
+    #[test]
+    fn underrun_is_error_not_panic() {
+        let mut d = Decoder::new(&[1, 2]);
+        assert!(d.u64().is_err());
+        let mut d = Decoder::new(&[10, 0, 0, 0]); // claims 10 bytes follow
+        assert!(d.bytes().is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_detected() {
+        let mut e = Encoder::new();
+        e.u8(1);
+        let mut v = e.into_vec();
+        v.push(99);
+        let mut d = Decoder::new(&v);
+        d.u8().unwrap();
+        assert!(d.finish().is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_is_corruption() {
+        let mut e = Encoder::new();
+        e.bytes(&[0xFF, 0xFE]);
+        let v = e.into_vec();
+        let mut d = Decoder::new(&v);
+        assert!(matches!(d.str(), Err(GkfsError::Corruption(_))));
+    }
+
+    #[test]
+    fn truncated_varint_is_error() {
+        let mut d = Decoder::new(&[0x80, 0x80]); // continuation bits, no end
+        assert!(d.varint().is_err());
+    }
+}

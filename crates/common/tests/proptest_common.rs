@@ -1,0 +1,91 @@
+//! Property tests for the foundations: path normalization and the
+//! placement invariants every component relies on.
+
+use gkfs_common::distributor::{
+    Distributor, JumpDistributor, LocalityDistributor, SimpleHashDistributor,
+};
+use gkfs_common::path as gpath;
+use proptest::prelude::*;
+
+/// Arbitrary path-ish strings: segments from a small alphabet glued
+/// with separators and dot-segments.
+fn path_strategy() -> impl Strategy<Value = String> {
+    let segment = prop_oneof![
+        4 => "[a-z]{1,8}".prop_map(|s| s),
+        1 => Just(".".to_string()),
+        1 => Just("..".to_string()),
+        1 => Just("".to_string()),
+    ];
+    prop::collection::vec(segment, 0..8).prop_map(|segs| format!("/{}", segs.join("/")))
+}
+
+proptest! {
+    #[test]
+    fn normalize_is_idempotent(p in path_strategy()) {
+        if let Ok(n) = gpath::normalize(&p) {
+            // Normalizing a normalized path is the identity.
+            prop_assert_eq!(gpath::normalize(&n).unwrap(), n.clone());
+            // Normalized paths are absolute, have no dot segments, no
+            // duplicate separators, no trailing separator (except "/").
+            prop_assert!(n.starts_with('/'));
+            if n != "/" {
+                prop_assert!(!n.ends_with('/'));
+            }
+            prop_assert!(!n.contains("//"));
+            for seg in n.split('/').skip(1) {
+                prop_assert!(seg != "." && seg != "..");
+            }
+        }
+    }
+
+    #[test]
+    fn parent_name_join_roundtrip(p in path_strategy()) {
+        if let Ok(n) = gpath::normalize(&p) {
+            if n != "/" {
+                prop_assert_eq!(gpath::join(gpath::parent(&n), gpath::name(&n)), n.clone());
+                prop_assert!(gpath::is_direct_child(gpath::parent(&n), &n));
+            }
+            // Depth decreases by exactly one toward the parent.
+            if n != "/" {
+                prop_assert_eq!(gpath::depth(gpath::parent(&n)) + 1, gpath::depth(&n));
+            }
+        }
+    }
+
+    #[test]
+    fn distributors_always_in_range_and_deterministic(
+        path in "[a-z/]{1,32}",
+        chunk in any::<u64>(),
+        nodes in 1usize..700,
+    ) {
+        let p = format!("/{path}");
+        for d in [
+            Box::new(SimpleHashDistributor::new(nodes)) as Box<dyn Distributor>,
+            Box::new(JumpDistributor::new(nodes)),
+            Box::new(LocalityDistributor::new(nodes, nodes - 1)),
+        ] {
+            let m1 = d.locate_metadata(&p);
+            let m2 = d.locate_metadata(&p);
+            prop_assert!(m1 < nodes);
+            prop_assert_eq!(m1, m2, "metadata placement deterministic");
+            let c1 = d.locate_chunk(&p, chunk);
+            let c2 = d.locate_chunk(&p, chunk);
+            prop_assert!(c1 < nodes);
+            prop_assert_eq!(c1, c2, "chunk placement deterministic");
+        }
+    }
+
+    #[test]
+    fn locality_and_simple_agree_on_metadata(
+        path in "[a-z/]{1,32}",
+        nodes in 1usize..100,
+        local in any::<usize>(),
+    ) {
+        // Metadata placement must be identical for all clients — the
+        // locality distributor may only move *chunks*.
+        let p = format!("/{path}");
+        let simple = SimpleHashDistributor::new(nodes);
+        let localdist = LocalityDistributor::new(nodes, local % nodes);
+        prop_assert_eq!(simple.locate_metadata(&p), localdist.locate_metadata(&p));
+    }
+}

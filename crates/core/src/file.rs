@@ -1,0 +1,195 @@
+//! `GekkoFile` — a `std::io`-compatible handle over a GekkoFS file.
+//!
+//! The raw [`GekkoClient`] API mirrors the POSIX surface the preload
+//! layer needs (`open`/`read`/`write`/`lseek` on integer descriptors).
+//! Rust applications want `std::io::{Read, Write, Seek}` instead, so
+//! they can hand a GekkoFS file to anything generic over those traits
+//! (`io::copy`, `BufReader`, serializers, …). This wrapper provides
+//! exactly that, closing the descriptor on drop.
+
+use gkfs_client::GekkoClient;
+use gkfs_common::{GkfsError, OpenFlags};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+
+/// An open GekkoFS file with RAII close and `std::io` impls.
+///
+/// ```no_run
+/// use gekkofs::{Cluster, ClusterConfig, GekkoFile, OpenFlags};
+/// use std::io::{Read, Write, Seek, SeekFrom};
+///
+/// let cluster = Cluster::deploy(ClusterConfig::new(2)).unwrap();
+/// let fs = cluster.mount().unwrap();
+/// let mut f = GekkoFile::open(&fs, "/log.txt", OpenFlags::RDWR.with_create()).unwrap();
+/// f.write_all(b"hello").unwrap();
+/// f.seek(SeekFrom::Start(0)).unwrap();
+/// let mut buf = String::new();
+/// f.read_to_string(&mut buf).unwrap();
+/// assert_eq!(buf, "hello");
+/// ```
+pub struct GekkoFile<'fs> {
+    fs: &'fs GekkoClient,
+    fd: i32,
+    closed: bool,
+}
+
+fn to_io(e: GkfsError) -> io::Error {
+    io::Error::from_raw_os_error(e.errno())
+}
+
+impl<'fs> GekkoFile<'fs> {
+    /// Open (optionally creating) `path` on the mounted client.
+    pub fn open(
+        fs: &'fs GekkoClient,
+        path: &str,
+        flags: OpenFlags,
+    ) -> gkfs_common::Result<GekkoFile<'fs>> {
+        let fd = fs.open(path, flags)?;
+        Ok(GekkoFile {
+            fs,
+            fd,
+            closed: false,
+        })
+    }
+
+    /// Create a new file for writing (`O_CREAT|O_EXCL|O_WRONLY`).
+    pub fn create_new(fs: &'fs GekkoClient, path: &str) -> gkfs_common::Result<GekkoFile<'fs>> {
+        Self::open(fs, path, OpenFlags::WRONLY.with_create().with_exclusive())
+    }
+
+    /// The underlying GekkoFS descriptor.
+    pub fn as_raw_fd(&self) -> i32 {
+        self.fd
+    }
+
+    /// Current file size (via the metadata owner).
+    pub fn len(&self) -> gkfs_common::Result<u64> {
+        let path = self.fs.files().get(self.fd)?.path.clone();
+        Ok(self.fs.stat(&path)?.size)
+    }
+
+    /// True when the file has zero length.
+    pub fn is_empty(&self) -> gkfs_common::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Flush buffered size updates and close. Errors are reported
+    /// (unlike drop, which must swallow them).
+    pub fn close(mut self) -> gkfs_common::Result<()> {
+        self.closed = true;
+        self.fs.close(self.fd)
+    }
+}
+
+impl Read for GekkoFile<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let data = self.fs.read(self.fd, buf.len()).map_err(to_io)?;
+        buf[..data.len()].copy_from_slice(&data);
+        Ok(data.len())
+    }
+}
+
+impl Write for GekkoFile<'_> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.fs.write(self.fd, buf).map_err(to_io)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.fs.fsync(self.fd).map_err(to_io)
+    }
+}
+
+impl Seek for GekkoFile<'_> {
+    fn seek(&mut self, pos: SeekFrom) -> io::Result<u64> {
+        use gkfs_client::client::Whence;
+        let (off, whence) = match pos {
+            SeekFrom::Start(o) => (o as i64, Whence::Set),
+            SeekFrom::Current(o) => (o, Whence::Cur),
+            SeekFrom::End(o) => (o, Whence::End),
+        };
+        self.fs.lseek(self.fd, off, whence).map_err(to_io)
+    }
+}
+
+impl Drop for GekkoFile<'_> {
+    fn drop(&mut self) {
+        if !self.closed {
+            let _ = self.fs.close(self.fd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cluster, ClusterConfig};
+
+    #[test]
+    fn std_io_traits_roundtrip() {
+        let cluster = Cluster::deploy(ClusterConfig::new(2)).unwrap();
+        let fs = cluster.mount().unwrap();
+        let mut f = GekkoFile::open(&fs, "/io", OpenFlags::RDWR.with_create()).unwrap();
+        f.write_all(b"hello std::io world").unwrap();
+        f.flush().unwrap();
+        f.seek(SeekFrom::Start(6)).unwrap();
+        let mut s = String::new();
+        f.read_to_string(&mut s).unwrap();
+        assert_eq!(s, "std::io world");
+        assert_eq!(f.len().unwrap(), 19);
+        f.close().unwrap();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn io_copy_between_gekko_files() {
+        let cluster = Cluster::deploy(ClusterConfig::new(2).with_chunk_size(4096)).unwrap();
+        let fs = cluster.mount().unwrap();
+        let payload: Vec<u8> = (0..60_000u32).map(|i| (i % 251) as u8).collect();
+        {
+            let mut src = GekkoFile::create_new(&fs, "/src").unwrap();
+            src.write_all(&payload).unwrap();
+        } // drop closes
+        let mut src = GekkoFile::open(&fs, "/src", OpenFlags::RDONLY).unwrap();
+        let mut dst = GekkoFile::create_new(&fs, "/dst").unwrap();
+        let n = std::io::copy(&mut src, &mut dst).unwrap();
+        assert_eq!(n, payload.len() as u64);
+        drop((src, dst));
+        assert_eq!(
+            fs.read_at_path("/dst", 0, payload.len() as u64).unwrap(),
+            payload
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn bufreader_line_parsing() {
+        use std::io::BufRead;
+        let cluster = Cluster::deploy(ClusterConfig::new(2)).unwrap();
+        let fs = cluster.mount().unwrap();
+        {
+            let mut f = GekkoFile::create_new(&fs, "/lines").unwrap();
+            for i in 0..100 {
+                writeln!(f, "line-{i}").unwrap();
+            }
+        }
+        let f = GekkoFile::open(&fs, "/lines", OpenFlags::RDONLY).unwrap();
+        let lines: Vec<String> = std::io::BufReader::new(f)
+            .lines()
+            .map(|l| l.unwrap())
+            .collect();
+        assert_eq!(lines.len(), 100);
+        assert_eq!(lines[42], "line-42");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn io_errors_carry_errno() {
+        let cluster = Cluster::deploy(ClusterConfig::new(1)).unwrap();
+        let fs = cluster.mount().unwrap();
+        // Read on a write-only handle -> EBADF through std::io.
+        let mut f = GekkoFile::create_new(&fs, "/wo").unwrap();
+        let mut buf = [0u8; 4];
+        let err = f.read(&mut buf).unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(9), "EBADF");
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,109 @@
+//! `gkfs-daemon` — the per-node GekkoFS server process.
+//!
+//! A real deployment starts one of these on every node of a job (the
+//! paper: "deployed in under 20 seconds on a 512 node cluster by any
+//! user" — i.e. plain user-space processes, no root, no kernel
+//! modules):
+//!
+//! ```sh
+//! gkfs-daemon --listen 0.0.0.0:9820 --root /local/ssd/gkfs &
+//! ```
+//!
+//! The daemon prints `LISTENING <addr>` once ready (launchers collect
+//! these lines into the hosts file clients mount from) and serves
+//! until stdin closes or the process is terminated — tying its
+//! lifetime to the launching job script, which is exactly the
+//! "temporary file system" lifecycle of §III.
+
+use gkfs_common::DaemonConfig;
+use gkfs_daemon::Daemon;
+use std::io::Read;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gkfs-daemon [--listen ADDR] [--root DIR] [--handlers N] \
+         [--chunk-size BYTES] [--wal]\n\
+         \n\
+         --listen ADDR       TCP listen address (default 127.0.0.1:0)\n\
+         --root DIR          node-local storage directory (default: in-memory)\n\
+         --handlers N        RPC handler threads (default 4)\n\
+         --chunk-size BYTES  chunk size, power of two (default 524288)\n\
+         --wal               enable the metadata write-ahead log\n\
+         --no-stdin          don't watch stdin; serve until killed"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut listen = "127.0.0.1:0".to_string();
+    let mut config = DaemonConfig::default();
+    let mut watch_stdin = true;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => listen = args.next().unwrap_or_else(|| usage()),
+            "--root" => {
+                config.root_dir = Some(args.next().unwrap_or_else(|| usage()).into());
+            }
+            "--handlers" => {
+                config.handler_threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--chunk-size" => {
+                config.chunk_size = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--wal" => config.kv_wal = true,
+            "--no-stdin" => watch_stdin = false,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+
+    let daemon = match Daemon::spawn(config) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("gkfs-daemon: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = match daemon.serve_tcp(&listen) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("gkfs-daemon: failed to listen on {listen}: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The launcher scrapes this line into the hosts file.
+    println!("LISTENING {addr}");
+    // Flush eagerly: launchers read the line through a pipe.
+    use std::io::Write;
+    std::io::stdout().flush().ok();
+
+    if watch_stdin {
+        // Serve until the controlling job closes our stdin (or kills
+        // us). Launchers that cannot keep a pipe open use --no-stdin.
+        let mut sink = [0u8; 64];
+        let mut stdin = std::io::stdin();
+        loop {
+            match stdin.read(&mut sink) {
+                Ok(0) | Err(_) => break, // EOF: job script ended
+                Ok(_) => {}              // ignore chatter
+            }
+        }
+        daemon.shutdown();
+    } else {
+        // Serve until killed.
+        loop {
+            std::thread::park();
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! RPC handlers — the daemon's service surface.
+//!
+//! One handler per opcode, each a thin translation between the wire
+//! protocol ([`gkfs_rpc::proto`]) and the two backends (metadata, chunk
+//! storage). Handlers run concurrently on the daemon's pool; all
+//! synchronization lives in the backends.
+
+use crate::metadata::MetadataBackend;
+use bytes::Bytes;
+use gkfs_common::{FileKind, GkfsError, Metadata, Result};
+use gkfs_rpc::proto::*;
+use gkfs_rpc::{HandlerRegistry, Opcode, Request, Response};
+use gkfs_storage::ChunkStorage;
+use std::sync::Arc;
+
+/// Shared state captured by every handler closure.
+pub struct Backends {
+    /// Meta.
+    pub meta: MetadataBackend,
+    /// Data.
+    pub data: Arc<dyn ChunkStorage>,
+}
+
+/// Helper: run a fallible handler body, mapping `Err` onto an error
+/// response so failures never tear down the connection.
+fn respond(f: impl FnOnce() -> Result<Response>) -> Response {
+    f().unwrap_or_else(Response::err)
+}
+
+/// Build the full handler registry over the given backends.
+pub fn build_registry(backends: Arc<Backends>) -> HandlerRegistry {
+    let mut reg = HandlerRegistry::new();
+
+    reg.register_fn(Opcode::Ping, |req: Request| {
+        Response::ok(req.body) // echo: used for deployment handshakes
+    });
+
+    {
+        let b = backends.clone();
+        reg.register_fn(Opcode::Create, move |req| {
+            respond(|| {
+                let r = CreateReq::decode(&req.body)?;
+                let mut meta = match r.kind {
+                    0 => Metadata::new_file(r.now_ns),
+                    1 => Metadata::new_dir(r.now_ns),
+                    k => {
+                        return Err(GkfsError::InvalidArgument(format!("bad kind {k}")));
+                    }
+                };
+                meta.mode = r.mode;
+                b.meta.create(&r.path, &meta, r.exclusive)?;
+                Ok(Response::ok(Bytes::new()))
+            })
+        });
+    }
+
+    {
+        let b = backends.clone();
+        reg.register_fn(Opcode::Stat, move |req| {
+            respond(|| {
+                let r = PathReq::decode(&req.body)?;
+                let meta = b.meta.stat(&r.path)?;
+                Ok(Response::ok(meta.encode()))
+            })
+        });
+    }
+
+    {
+        let b = backends.clone();
+        reg.register_fn(Opcode::RemoveMeta, move |req| {
+            respond(|| {
+                let r = PathReq::decode(&req.body)?;
+                let meta = b.meta.remove(&r.path)?;
+                let kind = match meta.kind {
+                    FileKind::File => 0,
+                    FileKind::Directory => 1,
+                };
+                Ok(Response::ok(RemoveMetaResp { kind }.encode()))
+            })
+        });
+    }
+
+    {
+        let b = backends.clone();
+        reg.register_fn(Opcode::UpdateSize, move |req| {
+            respond(|| {
+                let r = UpdateSizeReq::decode(&req.body)?;
+                b.meta.update_size(&r.path, r.size, r.mtime_ns)?;
+                Ok(Response::ok(Bytes::new()))
+            })
+        });
+    }
+
+    {
+        let b = backends.clone();
+        reg.register_fn(Opcode::TruncateMeta, move |req| {
+            respond(|| {
+                let r = TruncateMetaReq::decode(&req.body)?;
+                b.meta.truncate(&r.path, r.new_size, r.mtime_ns)?;
+                Ok(Response::ok(Bytes::new()))
+            })
+        });
+    }
+
+    {
+        let b = backends.clone();
+        reg.register_fn(Opcode::ReadDir, move |req| {
+            respond(|| {
+                let r = PathReq::decode(&req.body)?;
+                let entries = b
+                    .meta
+                    .readdir(&r.path)?
+                    .into_iter()
+                    .map(|d| DirentWire {
+                        name: d.name,
+                        kind: match d.kind {
+                            FileKind::File => 0,
+                            FileKind::Directory => 1,
+                        },
+                        size: d.size,
+                    })
+                    .collect();
+                Ok(Response::ok(ReadDirResp { entries }.encode()))
+            })
+        });
+    }
+
+    {
+        let b = backends.clone();
+        reg.register_fn(Opcode::WriteChunks, move |req| {
+            respond(|| {
+                let r = ChunkBatchReq::decode(&req.body)?;
+                check_bulk_len(&r, req.bulk.len())?;
+                let mut cursor = 0usize;
+                for op in &r.ops {
+                    let data = &req.bulk[cursor..cursor + op.len as usize];
+                    b.data.write_chunk(&r.path, op.chunk_id, op.offset, data)?;
+                    cursor += op.len as usize;
+                }
+                Ok(Response::ok(Bytes::new()))
+            })
+        });
+    }
+
+    {
+        let b = backends.clone();
+        reg.register_fn(Opcode::ReadChunks, move |req| {
+            respond(|| {
+                let r = ChunkBatchReq::decode(&req.body)?;
+                let mut bulk = Vec::with_capacity(r.total_len() as usize);
+                let mut lens = Vec::with_capacity(r.ops.len());
+                for op in &r.ops {
+                    let data = b.data.read_chunk(&r.path, op.chunk_id, op.offset, op.len)?;
+                    lens.push(data.len() as u64);
+                    bulk.extend_from_slice(&data);
+                }
+                Ok(Response::ok(ReadChunksResp { lens }.encode()).with_bulk(bulk))
+            })
+        });
+    }
+
+    {
+        let b = backends.clone();
+        reg.register_fn(Opcode::RemoveChunks, move |req| {
+            respond(|| {
+                let r = PathReq::decode(&req.body)?;
+                b.data.remove_chunks(&r.path)?;
+                Ok(Response::ok(Bytes::new()))
+            })
+        });
+    }
+
+    {
+        let b = backends.clone();
+        reg.register_fn(Opcode::TruncateChunks, move |req| {
+            respond(|| {
+                let r = TruncateChunksReq::decode(&req.body)?;
+                b.data.truncate_chunks(&r.path, r.keep_chunk, r.keep_bytes)?;
+                Ok(Response::ok(Bytes::new()))
+            })
+        });
+    }
+
+    {
+        let b = backends.clone();
+        reg.register_fn(Opcode::ChunkInventory, move |_req| {
+            respond(|| {
+                let entries = b
+                    .data
+                    .list_paths()?
+                    .into_iter()
+                    .map(|(p, c)| (p, c as u64))
+                    .collect();
+                Ok(Response::ok(ChunkInventoryResp { entries }.encode()))
+            })
+        });
+    }
+
+    {
+        let b = backends.clone();
+        reg.register_fn(Opcode::DaemonStats, move |_req| {
+            respond(|| {
+                let kv = b.meta.db().stats();
+                let (_, w_bytes, _, r_bytes) = b.data.stats().snapshot();
+                let resp = DaemonStatsResp {
+                    meta_entries: b.meta.entry_count()? as u64,
+                    kv_puts: kv.puts.load(std::sync::atomic::Ordering::Relaxed),
+                    kv_gets: kv.gets.load(std::sync::atomic::Ordering::Relaxed),
+                    kv_merges: kv.merges.load(std::sync::atomic::Ordering::Relaxed),
+                    storage_write_bytes: w_bytes,
+                    storage_read_bytes: r_bytes,
+                };
+                Ok(Response::ok(resp.encode()))
+            })
+        });
+    }
+
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gkfs_storage::MemChunkStorage;
+
+    fn registry() -> HandlerRegistry {
+        let backends = Arc::new(Backends {
+            meta: MetadataBackend::open_memory().unwrap(),
+            data: Arc::new(MemChunkStorage::new()),
+        });
+        build_registry(backends)
+    }
+
+    fn call(reg: &HandlerRegistry, op: Opcode, body: Vec<u8>) -> Response {
+        reg.dispatch(Request::new(op, body))
+    }
+
+    fn call_bulk(reg: &HandlerRegistry, op: Opcode, body: Vec<u8>, bulk: Vec<u8>) -> Response {
+        reg.dispatch(Request::new(op, body).with_bulk(bulk))
+    }
+
+    #[test]
+    fn create_stat_remove_through_rpc() {
+        let reg = registry();
+        let create = CreateReq {
+            path: "/f".into(),
+            kind: 0,
+            mode: 0o644,
+            exclusive: true,
+            now_ns: 42,
+        };
+        call(&reg, Opcode::Create, create.encode()).into_result().unwrap();
+        // Duplicate exclusive create fails.
+        let resp = call(&reg, Opcode::Create, create.encode());
+        assert!(matches!(
+            resp.into_result(),
+            Err(GkfsError::Exists)
+        ));
+        // Stat returns the metadata.
+        let resp = call(&reg, Opcode::Stat, PathReq::new("/f").encode())
+            .into_result()
+            .unwrap();
+        let meta = Metadata::decode(&resp.body).unwrap();
+        assert_eq!(meta.ctime_ns, 42);
+        // Remove reports the kind.
+        let resp = call(&reg, Opcode::RemoveMeta, PathReq::new("/f").encode())
+            .into_result()
+            .unwrap();
+        assert_eq!(RemoveMetaResp::decode(&resp.body).unwrap().kind, 0);
+        // Stat now fails.
+        let resp = call(&reg, Opcode::Stat, PathReq::new("/f").encode());
+        assert!(matches!(resp.into_result(), Err(GkfsError::NotFound)));
+    }
+
+    #[test]
+    fn write_then_read_chunks() {
+        let reg = registry();
+        let batch = ChunkBatchReq {
+            path: "/data".into(),
+            ops: vec![
+                ChunkOp { chunk_id: 0, offset: 0, len: 5 },
+                ChunkOp { chunk_id: 1, offset: 10, len: 3 },
+            ],
+        };
+        call_bulk(&reg, Opcode::WriteChunks, batch.encode(), b"hello+++".to_vec())
+            .into_result()
+            .unwrap();
+        let resp = call(&reg, Opcode::ReadChunks, batch.encode())
+            .into_result()
+            .unwrap();
+        let lens = ReadChunksResp::decode(&resp.body).unwrap().lens;
+        assert_eq!(lens, vec![5, 3]);
+        assert_eq!(&resp.bulk[..], b"hello+++");
+    }
+
+    #[test]
+    fn write_with_wrong_bulk_length_rejected() {
+        let reg = registry();
+        let batch = ChunkBatchReq {
+            path: "/data".into(),
+            ops: vec![ChunkOp { chunk_id: 0, offset: 0, len: 100 }],
+        };
+        let resp = call_bulk(&reg, Opcode::WriteChunks, batch.encode(), vec![0; 50]);
+        assert!(matches!(
+            resp.into_result(),
+            Err(GkfsError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn size_update_and_truncate_via_rpc() {
+        let reg = registry();
+        call(
+            &reg,
+            Opcode::Create,
+            CreateReq {
+                path: "/f".into(),
+                kind: 0,
+                mode: 0o644,
+                exclusive: true,
+                now_ns: 0,
+            }
+            .encode(),
+        )
+        .into_result()
+        .unwrap();
+        call(
+            &reg,
+            Opcode::UpdateSize,
+            UpdateSizeReq { path: "/f".into(), size: 4096, mtime_ns: 1 }.encode(),
+        )
+        .into_result()
+        .unwrap();
+        let resp = call(&reg, Opcode::Stat, PathReq::new("/f").encode())
+            .into_result()
+            .unwrap();
+        assert_eq!(Metadata::decode(&resp.body).unwrap().size, 4096);
+        call(
+            &reg,
+            Opcode::TruncateMeta,
+            TruncateMetaReq { path: "/f".into(), new_size: 10, mtime_ns: 2 }.encode(),
+        )
+        .into_result()
+        .unwrap();
+        let resp = call(&reg, Opcode::Stat, PathReq::new("/f").encode())
+            .into_result()
+            .unwrap();
+        assert_eq!(Metadata::decode(&resp.body).unwrap().size, 10);
+    }
+
+    #[test]
+    fn readdir_and_stats() {
+        let reg = registry();
+        for p in ["/d", "/d/a", "/d/b"] {
+            call(
+                &reg,
+                Opcode::Create,
+                CreateReq {
+                    path: p.into(),
+                    kind: if p == "/d" { 1 } else { 0 },
+                    mode: 0o755,
+                    exclusive: true,
+                    now_ns: 0,
+                }
+                .encode(),
+            )
+            .into_result()
+            .unwrap();
+        }
+        let resp = call(&reg, Opcode::ReadDir, PathReq::new("/d").encode())
+            .into_result()
+            .unwrap();
+        let rd = ReadDirResp::decode(&resp.body).unwrap();
+        assert_eq!(rd.entries.len(), 2);
+
+        let resp = call(&reg, Opcode::DaemonStats, Vec::new()).into_result().unwrap();
+        let stats = DaemonStatsResp::decode(&resp.body).unwrap();
+        assert_eq!(stats.meta_entries, 3);
+        assert!(stats.kv_puts >= 3);
+    }
+
+    #[test]
+    fn malformed_body_is_error_response_not_crash() {
+        let reg = registry();
+        let resp = call(&reg, Opcode::Create, vec![1, 2, 3]);
+        assert!(resp.into_result().is_err());
+        let resp = call(&reg, Opcode::Stat, vec![0xFF; 2]);
+        assert!(resp.into_result().is_err());
+    }
+}

@@ -1,0 +1,29 @@
+//! # gkfs-daemon — the GekkoFS server process
+//!
+//! Paper §III-B-b: *"GekkoFS daemons consist of three parts: 1) A
+//! key-value store (KV store) used for storing metadata; 2) an I/O
+//! persistence layer that reads/writes data from/to the underlying
+//! local storage system (one file per chunk); and 3) an RPC-based
+//! communication layer that accepts local and remote connections to
+//! handle file system operations."*
+//!
+//! * [`metadata`] — the metadata backend over [`gkfs_kvstore`],
+//!   including the size merge operator that makes write-size updates
+//!   read-free.
+//! * [`handlers`] — the RPC handler set, one per opcode.
+//! * [`daemon`] — daemon lifecycle: construction, in-process endpoint
+//!   creation, TCP serving, shutdown.
+//!
+//! Each daemon is fully independent (*"receives forwarded file system
+//! operations from clients and processes them independently"*): it
+//! never talks to other daemons, has no view of the distributor, and
+//! trusts clients to route operations to the right owner.
+
+#![warn(missing_docs)]
+
+pub mod daemon;
+pub mod handlers;
+pub mod metadata;
+
+pub use daemon::Daemon;
+pub use metadata::MetadataBackend;

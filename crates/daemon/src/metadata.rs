@@ -1,0 +1,311 @@
+//! The metadata backend: GekkoFS' flat namespace over the KV store.
+//!
+//! Every file-system object is one KV pair keyed by its absolute path.
+//! Directory entries are *objects*, not directory blocks (paper §II:
+//! *"replaces directory entries by objects, stored within a strongly
+//! consistent key-value store"*); `readdir` is a prefix scan.
+//!
+//! Size updates from writes use a **merge operator** instead of
+//! read-modify-write: the operand carries `(candidate_size, mtime)`
+//! and folding takes the maximum of sizes. This is the mechanism the
+//! paper's shared-file experiment exercises (§IV-B — the daemon
+//! "maintains the shared file's metadata whose size needs to be
+//! constantly updated").
+
+use gkfs_common::path as gpath;
+use gkfs_common::types::Dirent;
+use gkfs_common::wire::{Decoder, Encoder};
+use gkfs_common::{GkfsError, Metadata, Result};
+#[cfg(test)]
+use gkfs_common::FileKind;
+use gkfs_kvstore::{Db, DbOptions, MergeOperator};
+use std::sync::Arc;
+
+/// Merge operator over encoded [`Metadata`] values. Operands are
+/// `(candidate_size: u64, mtime_ns: u64)` pairs; folding keeps the
+/// maximum size and latest mtime. A merge against a missing base (a
+/// size update racing a concurrent remove) resurrects nothing: it
+/// produces a plain file record so the fold stays total, and the
+/// subsequent tombstone from the remove shadows it.
+#[derive(Debug, Default)]
+pub struct MetaSizeMergeOperator;
+
+/// Encode a size-update operand.
+pub fn encode_size_operand(size: u64, mtime_ns: u64) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.u64(size).u64(mtime_ns);
+    e.into_vec()
+}
+
+fn decode_size_operand(buf: &[u8]) -> Option<(u64, u64)> {
+    let mut d = Decoder::new(buf);
+    let size = d.u64().ok()?;
+    let mtime = d.u64().ok()?;
+    d.finish().ok()?;
+    Some((size, mtime))
+}
+
+impl MergeOperator for MetaSizeMergeOperator {
+    fn full_merge(&self, _key: &[u8], base: Option<&[u8]>, operands: &[Vec<u8>]) -> Vec<u8> {
+        let mut meta = base
+            .and_then(|b| Metadata::decode(b).ok())
+            .unwrap_or_else(|| Metadata::new_file(0));
+        for op in operands {
+            if let Some((size, mtime)) = decode_size_operand(op) {
+                meta.size = meta.size.max(size);
+                meta.mtime_ns = meta.mtime_ns.max(mtime);
+            }
+        }
+        meta.encode()
+    }
+}
+
+/// Metadata operations executed by the daemon on behalf of clients.
+pub struct MetadataBackend {
+    db: Arc<Db>,
+}
+
+impl MetadataBackend {
+    /// Build over a fresh in-memory KV store.
+    pub fn open_memory() -> Result<MetadataBackend> {
+        let opts = DbOptions {
+            merge_operator: Some(Arc::new(MetaSizeMergeOperator)),
+            ..DbOptions::default()
+        };
+        Ok(MetadataBackend {
+            db: Db::open_memory(opts)?,
+        })
+    }
+
+    /// Build over a KV store persisted under `dir`, with WAL as asked.
+    pub fn open_dir(dir: impl Into<std::path::PathBuf>, wal: bool) -> Result<MetadataBackend> {
+        let opts = DbOptions {
+            merge_operator: Some(Arc::new(MetaSizeMergeOperator)),
+            wal,
+            ..DbOptions::default()
+        };
+        Ok(MetadataBackend {
+            db: Db::open_dir(dir, opts)?,
+        })
+    }
+
+    /// Underlying store (stats, tests).
+    pub fn db(&self) -> &Arc<Db> {
+        &self.db
+    }
+
+    /// Create an entry. With `exclusive`, an existing entry fails with
+    /// `Exists`; without, it is a no-op success (open-with-`O_CREAT`).
+    pub fn create(&self, path: &str, meta: &Metadata, exclusive: bool) -> Result<()> {
+        let inserted = self.db.put_if_absent(path.as_bytes(), &meta.encode())?;
+        if !inserted && exclusive {
+            return Err(GkfsError::Exists);
+        }
+        Ok(())
+    }
+
+    /// Fetch an entry's metadata.
+    pub fn stat(&self, path: &str) -> Result<Metadata> {
+        match self.db.get(path.as_bytes())? {
+            Some(v) => Metadata::decode(&v),
+            None => Err(GkfsError::NotFound),
+        }
+    }
+
+    /// Remove an entry, returning its (pre-removal) metadata.
+    pub fn remove(&self, path: &str) -> Result<Metadata> {
+        let meta = self.stat(path)?;
+        self.db.delete(path.as_bytes())?;
+        Ok(meta)
+    }
+
+    /// Merge a size candidate into a file's metadata (read-free).
+    pub fn update_size(&self, path: &str, size: u64, mtime_ns: u64) -> Result<()> {
+        self.db
+            .merge(path.as_bytes(), &encode_size_operand(size, mtime_ns))
+    }
+
+    /// Set an exact size (truncate). Errors on directories.
+    pub fn truncate(&self, path: &str, new_size: u64, mtime_ns: u64) -> Result<()> {
+        let mut meta = self.stat(path)?;
+        if meta.is_dir() {
+            return Err(GkfsError::IsDirectory);
+        }
+        meta.size = new_size;
+        meta.mtime_ns = mtime_ns;
+        self.db.put(path.as_bytes(), &meta.encode())
+    }
+
+    /// Direct children of `dir` known to this daemon — one shard of the
+    /// global (eventually consistent) `readdir`.
+    pub fn readdir(&self, dir: &str) -> Result<Vec<Dirent>> {
+        let prefix = gpath::dir_prefix(dir);
+        let mut out = Vec::new();
+        for (k, v) in self.db.scan_prefix(prefix.as_bytes())? {
+            let child = std::str::from_utf8(&k)
+                .map_err(|e| GkfsError::Corruption(format!("non-utf8 key: {e}")))?;
+            if !gpath::is_direct_child(dir, child) {
+                continue;
+            }
+            let meta = Metadata::decode(&v)?;
+            out.push(Dirent {
+                name: gpath::name(child).to_string(),
+                kind: meta.kind,
+                size: meta.size,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Does `dir` have any descendant entries on this daemon?
+    pub fn has_children(&self, dir: &str) -> Result<bool> {
+        let prefix = gpath::dir_prefix(dir);
+        Ok(!self.db.scan_prefix(prefix.as_bytes())?.is_empty())
+    }
+
+    /// Total entries held by this daemon.
+    pub fn entry_count(&self) -> Result<usize> {
+        self.db.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn backend() -> MetadataBackend {
+        MetadataBackend::open_memory().unwrap()
+    }
+
+    #[test]
+    fn create_stat_remove_cycle() {
+        let b = backend();
+        let meta = Metadata::new_file(100);
+        b.create("/f", &meta, true).unwrap();
+        assert_eq!(b.stat("/f").unwrap(), meta);
+        let removed = b.remove("/f").unwrap();
+        assert_eq!(removed, meta);
+        assert_eq!(b.stat("/f"), Err(GkfsError::NotFound));
+        assert_eq!(b.remove("/f"), Err(GkfsError::NotFound));
+    }
+
+    #[test]
+    fn exclusive_create_conflicts() {
+        let b = backend();
+        b.create("/f", &Metadata::new_file(1), true).unwrap();
+        assert_eq!(
+            b.create("/f", &Metadata::new_file(2), true),
+            Err(GkfsError::Exists)
+        );
+        // Non-exclusive create of an existing entry succeeds and does
+        // not clobber the original.
+        b.create("/f", &Metadata::new_file(3), false).unwrap();
+        assert_eq!(b.stat("/f").unwrap().ctime_ns, 1);
+    }
+
+    #[test]
+    fn size_updates_take_max() {
+        let b = backend();
+        b.create("/f", &Metadata::new_file(0), true).unwrap();
+        b.update_size("/f", 1000, 5).unwrap();
+        b.update_size("/f", 500, 6).unwrap(); // smaller: ignored for size
+        b.update_size("/f", 2000, 7).unwrap();
+        let m = b.stat("/f").unwrap();
+        assert_eq!(m.size, 2000);
+        assert_eq!(m.mtime_ns, 7);
+        assert_eq!(m.kind, FileKind::File);
+    }
+
+    #[test]
+    fn concurrent_size_updates_converge_to_max() {
+        let b = backend();
+        b.create("/shared", &Metadata::new_file(0), true).unwrap();
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let b = &b;
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        b.update_size("/shared", t * 1000 + i, i).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(b.stat("/shared").unwrap().size, 7499);
+    }
+
+    #[test]
+    fn truncate_sets_exact_size() {
+        let b = backend();
+        b.create("/f", &Metadata::new_file(0), true).unwrap();
+        b.update_size("/f", 10_000, 1).unwrap();
+        b.truncate("/f", 100, 2).unwrap();
+        assert_eq!(b.stat("/f").unwrap().size, 100);
+        // Truncate can also extend (POSIX ftruncate).
+        b.truncate("/f", 5000, 3).unwrap();
+        assert_eq!(b.stat("/f").unwrap().size, 5000);
+        // Directories refuse.
+        b.create("/d", &Metadata::new_dir(0), true).unwrap();
+        assert_eq!(b.truncate("/d", 0, 4), Err(GkfsError::IsDirectory));
+        // Missing files refuse.
+        assert_eq!(b.truncate("/ghost", 0, 5), Err(GkfsError::NotFound));
+    }
+
+    #[test]
+    fn readdir_returns_direct_children_only() {
+        let b = backend();
+        b.create("/dir", &Metadata::new_dir(0), true).unwrap();
+        b.create("/dir/a", &Metadata::new_file(0), true).unwrap();
+        b.create("/dir/sub", &Metadata::new_dir(0), true).unwrap();
+        b.create("/dir/sub/deep", &Metadata::new_file(0), true).unwrap();
+        b.create("/dirx", &Metadata::new_file(0), true).unwrap();
+        let mut names: Vec<(String, FileKind)> = b
+            .readdir("/dir")
+            .unwrap()
+            .into_iter()
+            .map(|d| (d.name, d.kind))
+            .collect();
+        names.sort();
+        assert_eq!(
+            names,
+            vec![
+                ("a".to_string(), FileKind::File),
+                ("sub".to_string(), FileKind::Directory)
+            ]
+        );
+        // Root listing sees /dir and /dirx but not nested entries.
+        let root: Vec<String> = b.readdir("/").unwrap().into_iter().map(|d| d.name).collect();
+        assert_eq!(root.len(), 2);
+    }
+
+    #[test]
+    fn has_children_sees_descendants_at_any_depth() {
+        let b = backend();
+        b.create("/d", &Metadata::new_dir(0), true).unwrap();
+        assert!(!b.has_children("/d").unwrap());
+        b.create("/d/x/y", &Metadata::new_file(0), true).unwrap();
+        assert!(b.has_children("/d").unwrap());
+    }
+
+    #[test]
+    fn merge_racing_remove_is_shadowed() {
+        // A size update applied after a remove must not resurrect the
+        // file for long: the operator materializes a record, but the
+        // usual sequence is update-then-remove, where the tombstone
+        // wins. Verify the remove-then-update edge produces a record
+        // (fold stays total) that a second remove clears.
+        let b = backend();
+        b.create("/f", &Metadata::new_file(0), true).unwrap();
+        b.remove("/f").unwrap();
+        b.update_size("/f", 77, 1).unwrap();
+        assert_eq!(b.stat("/f").unwrap().size, 77);
+        b.remove("/f").unwrap();
+        assert_eq!(b.stat("/f"), Err(GkfsError::NotFound));
+    }
+
+    #[test]
+    fn operand_encoding_roundtrip() {
+        let op = encode_size_operand(123, 456);
+        assert_eq!(decode_size_operand(&op), Some((123, 456)));
+        assert_eq!(decode_size_operand(b"short"), None);
+    }
+}

@@ -1,0 +1,257 @@
+//! Storage abstraction under the LSM engine.
+//!
+//! The engine persists three kinds of objects: immutable SSTable blobs
+//! (written once, then only read), an append-only write-ahead log, and
+//! a small MANIFEST blob naming the live tables. All three go through
+//! [`BlobStore`], with two implementations:
+//!
+//! * [`MemBlobStore`] — everything in process memory. Used by tests
+//!   and by the in-process cluster, and the natural choice for GekkoFS'
+//!   ephemeral deployments where the KV store's contents die with the
+//!   job anyway.
+//! * [`FsBlobStore`] — one file per blob in a directory on the
+//!   node-local file system (the paper's XFS-formatted SSD).
+
+use gkfs_common::Result;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fs;
+use std::io::{Read, Write};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Backend for the engine's persistent objects.
+pub trait BlobStore: Send + Sync {
+    /// Write an immutable blob (SSTable, MANIFEST). Overwrites any
+    /// existing blob of the same name atomically.
+    fn put_blob(&self, name: &str, data: &[u8]) -> Result<()>;
+
+    /// Read a whole blob. Returns `NotFound` if absent.
+    fn get_blob(&self, name: &str) -> Result<Arc<Vec<u8>>>;
+
+    /// Delete a blob. Deleting a missing blob is not an error (it can
+    /// happen after a crash between manifest write and table delete).
+    fn delete_blob(&self, name: &str) -> Result<()>;
+
+    /// Append bytes to the (single) write-ahead log.
+    fn append_log(&self, data: &[u8]) -> Result<()>;
+
+    /// Read the entire write-ahead log.
+    fn read_log(&self) -> Result<Vec<u8>>;
+
+    /// Truncate the write-ahead log to empty (after a flush).
+    fn reset_log(&self) -> Result<()>;
+
+    /// List blob names (for recovery sweeps / tests).
+    fn list_blobs(&self) -> Result<Vec<String>>;
+}
+
+/// In-memory blob store.
+#[derive(Default)]
+pub struct MemBlobStore {
+    blobs: RwLock<HashMap<String, Arc<Vec<u8>>>>,
+    log: RwLock<Vec<u8>>,
+}
+
+impl MemBlobStore {
+    /// Create an empty in-memory blob store.
+    pub fn new() -> MemBlobStore {
+        MemBlobStore::default()
+    }
+}
+
+impl BlobStore for MemBlobStore {
+    fn put_blob(&self, name: &str, data: &[u8]) -> Result<()> {
+        self.blobs
+            .write()
+            .insert(name.to_string(), Arc::new(data.to_vec()));
+        Ok(())
+    }
+
+    fn get_blob(&self, name: &str) -> Result<Arc<Vec<u8>>> {
+        self.blobs
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or(gkfs_common::GkfsError::NotFound)
+    }
+
+    fn delete_blob(&self, name: &str) -> Result<()> {
+        self.blobs.write().remove(name);
+        Ok(())
+    }
+
+    fn append_log(&self, data: &[u8]) -> Result<()> {
+        self.log.write().extend_from_slice(data);
+        Ok(())
+    }
+
+    fn read_log(&self) -> Result<Vec<u8>> {
+        Ok(self.log.read().clone())
+    }
+
+    fn reset_log(&self) -> Result<()> {
+        self.log.write().clear();
+        Ok(())
+    }
+
+    fn list_blobs(&self) -> Result<Vec<String>> {
+        Ok(self.blobs.read().keys().cloned().collect())
+    }
+}
+
+/// File-system-backed blob store: one file per blob under `dir`,
+/// plus `wal.log` for the write-ahead log.
+pub struct FsBlobStore {
+    dir: PathBuf,
+    // Serializes log appends; file handle kept open for append speed.
+    log: parking_lot::Mutex<fs::File>,
+}
+
+impl FsBlobStore {
+    /// Open (creating if needed) a blob store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<FsBlobStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let log = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .read(true)
+            .open(dir.join("wal.log"))?;
+        Ok(FsBlobStore {
+            dir,
+            log: parking_lot::Mutex::new(log),
+        })
+    }
+
+    fn blob_path(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+}
+
+impl BlobStore for FsBlobStore {
+    fn put_blob(&self, name: &str, data: &[u8]) -> Result<()> {
+        // Write-then-rename for atomicity.
+        let tmp = self.dir.join(format!("{name}.tmp"));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(data)?;
+            f.sync_data()?;
+        }
+        fs::rename(&tmp, self.blob_path(name))?;
+        Ok(())
+    }
+
+    fn get_blob(&self, name: &str) -> Result<Arc<Vec<u8>>> {
+        let mut f = fs::File::open(self.blob_path(name))?;
+        let mut buf = Vec::new();
+        f.read_to_end(&mut buf)?;
+        Ok(Arc::new(buf))
+    }
+
+    fn delete_blob(&self, name: &str) -> Result<()> {
+        match fs::remove_file(self.blob_path(name)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn append_log(&self, data: &[u8]) -> Result<()> {
+        let mut log = self.log.lock();
+        log.write_all(data)?;
+        Ok(())
+    }
+
+    fn read_log(&self) -> Result<Vec<u8>> {
+        let mut buf = Vec::new();
+        let mut f = fs::File::open(self.dir.join("wal.log"))?;
+        f.read_to_end(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn reset_log(&self) -> Result<()> {
+        let mut log = self.log.lock();
+        // Truncate via a separate handle (truncate and append modes are
+        // mutually exclusive on one OpenOptions), then reopen for append.
+        fs::File::create(self.dir.join("wal.log"))?;
+        *log = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .read(true)
+            .open(self.dir.join("wal.log"))?;
+        Ok(())
+    }
+
+    fn list_blobs(&self) -> Result<Vec<String>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name != "wal.log" && !name.ends_with(".tmp") {
+                out.push(name);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &dyn BlobStore) {
+        store.put_blob("t1.sst", b"table-one").unwrap();
+        store.put_blob("t2.sst", b"table-two").unwrap();
+        assert_eq!(&**store.get_blob("t1.sst").unwrap(), b"table-one");
+        // Overwrite.
+        store.put_blob("t1.sst", b"table-one-v2").unwrap();
+        assert_eq!(&**store.get_blob("t1.sst").unwrap(), b"table-one-v2");
+        // List.
+        let mut names = store.list_blobs().unwrap();
+        names.sort();
+        assert_eq!(names, vec!["t1.sst", "t2.sst"]);
+        // Delete (idempotent).
+        store.delete_blob("t1.sst").unwrap();
+        store.delete_blob("t1.sst").unwrap();
+        assert!(store.get_blob("t1.sst").is_err());
+        // Log.
+        store.append_log(b"aaa").unwrap();
+        store.append_log(b"bbb").unwrap();
+        assert_eq!(store.read_log().unwrap(), b"aaabbb");
+        store.reset_log().unwrap();
+        assert_eq!(store.read_log().unwrap(), b"");
+        store.append_log(b"ccc").unwrap();
+        assert_eq!(store.read_log().unwrap(), b"ccc");
+    }
+
+    #[test]
+    fn mem_store_contract() {
+        exercise(&MemBlobStore::new());
+    }
+
+    #[test]
+    fn fs_store_contract() {
+        let dir = std::env::temp_dir().join(format!("gkfs-blob-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        exercise(&FsBlobStore::open(&dir).unwrap());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fs_store_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("gkfs-blob-r-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let s = FsBlobStore::open(&dir).unwrap();
+            s.put_blob("keep.sst", b"persisted").unwrap();
+            s.append_log(b"wal-bytes").unwrap();
+        }
+        {
+            let s = FsBlobStore::open(&dir).unwrap();
+            assert_eq!(&**s.get_blob("keep.sst").unwrap(), b"persisted");
+            assert_eq!(s.read_log().unwrap(), b"wal-bytes");
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,178 @@
+//! Bloom filters for SSTables, implemented from scratch.
+//!
+//! Every SSTable carries a bloom filter over its keys so point lookups
+//! can skip tables that cannot contain the key — the same optimization
+//! RocksDB relies on to keep metadata `stat` fast once data has been
+//! flushed out of the memtable.
+//!
+//! We use the standard double-hashing scheme (Kirsch & Mitzenmacher):
+//! `h_i(x) = h1(x) + i * h2(x)`, with both halves derived from one
+//! XXH64 invocation.
+
+use gkfs_common::hash::xxh64;
+use gkfs_common::wire::{Decoder, Encoder};
+use gkfs_common::{GkfsError, Result};
+
+/// A fixed-size bloom filter built over a known key set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    num_bits: u64,
+    num_hashes: u32,
+}
+
+impl BloomFilter {
+    /// Build a filter sized for `n` keys at `bits_per_key` bits each
+    /// (10 bits/key ≈ 1% false-positive rate, RocksDB's default).
+    pub fn builder(n: usize, bits_per_key: usize) -> BloomBuilder {
+        let num_bits = ((n.max(1) * bits_per_key) as u64).max(64);
+        // Optimal k = ln2 * bits/key, clamped to something sane.
+        let num_hashes = ((bits_per_key as f64 * 0.69) as u32).clamp(1, 30);
+        BloomBuilder {
+            filter: BloomFilter {
+                bits: vec![0u64; num_bits.div_ceil(64) as usize],
+                num_bits,
+                num_hashes,
+            },
+        }
+    }
+
+    #[inline]
+    fn positions(&self, key: &[u8]) -> impl Iterator<Item = u64> + '_ {
+        let h = xxh64(key, 0xB10053);
+        let h1 = h & 0xFFFF_FFFF;
+        let h2 = (h >> 32) | 1; // odd, so it cycles through all bits
+        (0..self.num_hashes as u64).map(move |i| (h1.wrapping_add(i.wrapping_mul(h2))) % self.num_bits)
+    }
+
+    /// May `key` be in the set? False positives possible, false
+    /// negatives never.
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        self.positions(key)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .all(|p| self.bits[(p / 64) as usize] & (1 << (p % 64)) != 0)
+    }
+
+    /// Serialize to the SSTable footer format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::with_capacity(self.bits.len() * 8 + 16);
+        e.u64(self.num_bits);
+        e.u32(self.num_hashes);
+        e.u32(self.bits.len() as u32);
+        for w in &self.bits {
+            e.u64(*w);
+        }
+        e.into_vec()
+    }
+
+    /// Deserialize from [`BloomFilter::encode`] output.
+    pub fn decode(buf: &[u8]) -> Result<BloomFilter> {
+        let mut d = Decoder::new(buf);
+        let num_bits = d.u64()?;
+        let num_hashes = d.u32()?;
+        let words = d.u32()? as usize;
+        if num_bits == 0 || num_hashes == 0 || words != (num_bits.div_ceil(64)) as usize {
+            return Err(GkfsError::Corruption("bad bloom header".into()));
+        }
+        let mut bits = Vec::with_capacity(words);
+        for _ in 0..words {
+            bits.push(d.u64()?);
+        }
+        d.finish()?;
+        Ok(BloomFilter {
+            bits,
+            num_bits,
+            num_hashes,
+        })
+    }
+
+    /// Size of the serialized filter in bytes.
+    pub fn encoded_len(&self) -> usize {
+        16 + self.bits.len() * 8
+    }
+}
+
+/// Incremental builder returned by [`BloomFilter::builder`].
+pub struct BloomBuilder {
+    filter: BloomFilter,
+}
+
+impl BloomBuilder {
+    /// Add.
+    pub fn add(&mut self, key: &[u8]) {
+        let positions: Vec<u64> = self.filter.positions(key).collect();
+        for p in positions {
+            self.filter.bits[(p / 64) as usize] |= 1 << (p % 64);
+        }
+    }
+
+    /// Finish.
+    pub fn finish(self) -> BloomFilter {
+        self.filter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(keys: &[&[u8]]) -> BloomFilter {
+        let mut b = BloomFilter::builder(keys.len(), 10);
+        for k in keys {
+            b.add(k);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let keys: Vec<Vec<u8>> = (0..5000).map(|i| format!("/dir/f{i}").into_bytes()).collect();
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        let f = build(&refs);
+        for k in &keys {
+            assert!(f.may_contain(k), "false negative for {k:?}");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_reasonable() {
+        let keys: Vec<Vec<u8>> = (0..10_000).map(|i| format!("k{i}").into_bytes()).collect();
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        let f = build(&refs);
+        let fp = (0..10_000)
+            .filter(|i| f.may_contain(format!("absent{i}").as_bytes()))
+            .count();
+        // 10 bits/key targets ~1%; accept up to 3%.
+        assert!(fp < 300, "false positive rate too high: {fp}/10000");
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let f = build(&[b"alpha", b"beta", b"gamma"]);
+        let decoded = BloomFilter::decode(&f.encode()).unwrap();
+        assert_eq!(f, decoded);
+        assert!(decoded.may_contain(b"alpha"));
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let f = build(&[b"x"]);
+        let mut buf = f.encode();
+        buf.truncate(buf.len() - 1);
+        assert!(BloomFilter::decode(&buf).is_err());
+        assert!(BloomFilter::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn empty_filter_is_valid() {
+        let f = BloomFilter::builder(0, 10).finish();
+        // An empty filter must simply say "no" (or at worst rarely yes).
+        let hits = (0..100)
+            .filter(|i| f.may_contain(format!("q{i}").as_bytes()))
+            .count();
+        assert_eq!(hits, 0);
+        let rt = BloomFilter::decode(&f.encode()).unwrap();
+        assert_eq!(f, rt);
+    }
+}

@@ -1,0 +1,1071 @@
+//! The database facade: WAL + memtable + leveled tables.
+//!
+//! Write path (the RocksDB shape the paper relies on for fast creates):
+//! append to WAL, insert into the memtable, return. When the memtable
+//! exceeds its budget it is flushed to an L0 SSTable; when enough L0
+//! tables pile up, everything is compacted into a single sorted L1 run
+//! (a deliberately simple two-level policy — GekkoFS metadata values
+//! are tiny and the file system is ephemeral, so write amplification
+//! matters less than code you can reason about).
+//!
+//! Merge operands that cannot be folded in the memtable are resolved at
+//! **flush time** against the table levels, so SSTables only ever
+//! contain `Put`/`Delete` entries. This keeps reads and compaction
+//! simple while preserving the read-free write path that makes merge
+//! operators attractive (§IV-B's size-update fix).
+//!
+//! Concurrency: one `RwLock` over the whole state. Point reads take
+//! the read lock; mutations take the write lock briefly (memtable
+//! insert); flush/compaction happen inline under the write lock. A
+//! GekkoFS daemon runs one `Db` shared by its handler pool.
+
+use crate::blobstore::{BlobStore, FsBlobStore, MemBlobStore};
+use crate::memtable::{MemTable, Value};
+use crate::merge::MergeOperator;
+use crate::sstable::{Table, TableBuilder, Tag};
+use crate::wal::{replay, WalRecord};
+use gkfs_common::wire::{Decoder, Encoder};
+use gkfs_common::{GkfsError, Result};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Tuning knobs for a [`Db`].
+#[derive(Clone)]
+pub struct DbOptions {
+    /// Memtable budget in bytes before a flush is triggered.
+    pub memtable_bytes: usize,
+    /// Number of L0 tables that triggers a full compaction.
+    pub l0_compaction_trigger: usize,
+    /// Write-ahead logging. GekkoFS deployments are ephemeral, so the
+    /// daemon usually runs without it; tests for crash recovery turn
+    /// it on.
+    pub wal: bool,
+    /// Optional merge operator (required before calling [`Db::merge`]).
+    pub merge_operator: Option<Arc<dyn MergeOperator>>,
+}
+
+impl Default for DbOptions {
+    fn default() -> Self {
+        DbOptions {
+            memtable_bytes: 4 * 1024 * 1024,
+            l0_compaction_trigger: 4,
+            wal: false,
+            merge_operator: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for DbOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DbOptions")
+            .field("memtable_bytes", &self.memtable_bytes)
+            .field("l0_compaction_trigger", &self.l0_compaction_trigger)
+            .field("wal", &self.wal)
+            .field("merge_operator", &self.merge_operator.is_some())
+            .finish()
+    }
+}
+
+/// Operational counters, readable at any time.
+#[derive(Debug, Default)]
+pub struct DbStats {
+    /// Point inserts/overwrites served.
+    pub puts: AtomicU64,
+    /// Point lookups served.
+    pub gets: AtomicU64,
+    /// Deletions served.
+    pub deletes: AtomicU64,
+    /// Merge operands applied.
+    pub merges: AtomicU64,
+    /// Prefix/range scans served.
+    pub scans: AtomicU64,
+    /// Memtable flushes performed.
+    pub flushes: AtomicU64,
+    /// Full compactions performed.
+    pub compactions: AtomicU64,
+    /// Point lookups answered without touching a table thanks to a
+    /// bloom-filter miss.
+    pub bloom_skips: AtomicU64,
+}
+
+impl DbStats {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+struct TableHandle {
+    id: u64,
+    table: Table,
+}
+
+struct State {
+    mem: MemTable,
+    /// Flushed tables, newest last. May overlap each other.
+    l0: Vec<TableHandle>,
+    /// One sorted, non-overlapping run (possibly several blobs split by
+    /// size), ordered by key range.
+    l1: Vec<TableHandle>,
+}
+
+/// A group of mutations applied atomically: concurrent readers see
+/// either none or all of them, and crash recovery replays all-or-none
+/// (the batch is one WAL record). The RocksDB `WriteBatch` analogue —
+/// GekkoFS-style metadata transactions (e.g. create + parent touch)
+/// build on this.
+#[derive(Default, Debug, Clone)]
+pub struct WriteBatch {
+    records: Vec<WalRecord>,
+}
+
+impl WriteBatch {
+    /// Start an empty batch.
+    pub fn new() -> WriteBatch {
+        WriteBatch::default()
+    }
+
+    /// Queue an insert/overwrite.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> &mut Self {
+        self.records.push(WalRecord::Put {
+            key: key.to_vec(),
+            value: value.to_vec(),
+        });
+        self
+    }
+
+    /// Queue a deletion.
+    pub fn delete(&mut self, key: &[u8]) -> &mut Self {
+        self.records.push(WalRecord::Delete { key: key.to_vec() });
+        self
+    }
+
+    /// Queue a merge operand.
+    pub fn merge(&mut self, key: &[u8], operand: &[u8]) -> &mut Self {
+        self.records.push(WalRecord::Merge {
+            key: key.to_vec(),
+            operand: operand.to_vec(),
+        });
+        self
+    }
+
+    /// Number of queued mutations.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no mutations are queued.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// An embedded LSM key-value store. Cloning the handle is cheap and
+/// shares the underlying database.
+pub struct Db {
+    state: RwLock<State>,
+    store: Arc<dyn BlobStore>,
+    opts: DbOptions,
+    next_id: AtomicU64,
+    stats: DbStats,
+}
+
+const MANIFEST: &str = "MANIFEST";
+
+impl Db {
+    /// Open a database over an arbitrary blob store, recovering any
+    /// existing manifest and WAL.
+    pub fn open(store: Arc<dyn BlobStore>, opts: DbOptions) -> Result<Arc<Db>> {
+        let mut state = State {
+            mem: MemTable::new(),
+            l0: Vec::new(),
+            l1: Vec::new(),
+        };
+        let mut max_id = 0u64;
+
+        // Recover table levels from the manifest, if present.
+        if let Ok(blob) = store.get_blob(MANIFEST) {
+            let mut d = Decoder::new(&blob);
+            for level in [&mut state.l0, &mut state.l1] {
+                let n = d.u32()?;
+                for _ in 0..n {
+                    let id = d.u64()?;
+                    max_id = max_id.max(id);
+                    let table = Table::open(store.get_blob(&table_name(id))?)?;
+                    level.push(TableHandle { id, table });
+                }
+            }
+            d.finish()?;
+        }
+
+        let db = Db {
+            state: RwLock::new(state),
+            store,
+            opts,
+            next_id: AtomicU64::new(max_id + 1),
+            stats: DbStats::default(),
+        };
+
+        // Replay the WAL into the memtable.
+        if db.opts.wal {
+            let log = db.store.read_log().unwrap_or_default();
+            let records = replay(&log)?;
+            let mut st = db.state.write();
+            fn apply(
+                st: &mut State,
+                rec: WalRecord,
+                merge_op: &Option<Arc<dyn MergeOperator>>,
+            ) -> Result<()> {
+                match rec {
+                    WalRecord::Put { key, value } => st.mem.put(&key, &value),
+                    WalRecord::Delete { key } => st.mem.delete(&key),
+                    WalRecord::Merge { key, operand } => {
+                        let op = merge_op.as_ref().ok_or_else(|| {
+                            GkfsError::InvalidArgument(
+                                "WAL contains merges but no merge operator configured".into(),
+                            )
+                        })?;
+                        st.mem.merge(&key, &operand, op.as_ref());
+                    }
+                    WalRecord::Batch(inner) => {
+                        for r in inner {
+                            apply(st, r, merge_op)?;
+                        }
+                    }
+                }
+                Ok(())
+            }
+            let merge_op = db.opts.merge_operator.clone();
+            for rec in records {
+                apply(&mut st, rec, &merge_op)?;
+            }
+        }
+        Ok(Arc::new(db))
+    }
+
+    /// Open a fully in-memory database (tests, in-process daemons).
+    pub fn open_memory(opts: DbOptions) -> Result<Arc<Db>> {
+        Db::open(Arc::new(MemBlobStore::new()), opts)
+    }
+
+    /// Open a database persisted under `dir`.
+    pub fn open_dir(dir: impl Into<std::path::PathBuf>, opts: DbOptions) -> Result<Arc<Db>> {
+        Db::open(Arc::new(FsBlobStore::open(dir)?), opts)
+    }
+
+    /// Stats.
+    pub fn stats(&self) -> &DbStats {
+        &self.stats
+    }
+
+    /// Insert or overwrite `key`.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        DbStats::bump(&self.stats.puts);
+        if self.opts.wal {
+            self.store.append_log(
+                &WalRecord::Put {
+                    key: key.to_vec(),
+                    value: value.to_vec(),
+                }
+                .encode(),
+            )?;
+        }
+        let mut st = self.state.write();
+        st.mem.put(key, value);
+        self.maybe_flush(&mut st)
+    }
+
+    /// Insert `key` only if absent. Returns `true` if inserted,
+    /// `false` if the key already existed. Atomic with respect to all
+    /// other writers — this backs GekkoFS' exclusive create.
+    pub fn put_if_absent(&self, key: &[u8], value: &[u8]) -> Result<bool> {
+        let mut st = self.state.write();
+        let exists = match st.mem.get(key) {
+            Some(Value::Put(_)) | Some(Value::Merge(_)) => true,
+            Some(Value::Delete) => false,
+            None => self.get_from_tables(&st, key)?.is_some(),
+        };
+        if exists {
+            return Ok(false);
+        }
+        DbStats::bump(&self.stats.puts);
+        if self.opts.wal {
+            self.store.append_log(
+                &WalRecord::Put {
+                    key: key.to_vec(),
+                    value: value.to_vec(),
+                }
+                .encode(),
+            )?;
+        }
+        st.mem.put(key, value);
+        self.maybe_flush(&mut st)?;
+        Ok(true)
+    }
+
+    /// Delete `key` (idempotent).
+    pub fn delete(&self, key: &[u8]) -> Result<()> {
+        DbStats::bump(&self.stats.deletes);
+        if self.opts.wal {
+            self.store
+                .append_log(&WalRecord::Delete { key: key.to_vec() }.encode())?;
+        }
+        let mut st = self.state.write();
+        st.mem.delete(key);
+        self.maybe_flush(&mut st)
+    }
+
+    /// Apply a merge operand to `key` (requires a configured merge
+    /// operator).
+    pub fn merge(&self, key: &[u8], operand: &[u8]) -> Result<()> {
+        DbStats::bump(&self.stats.merges);
+        let op = self.merge_operator()?;
+        if self.opts.wal {
+            self.store.append_log(
+                &WalRecord::Merge {
+                    key: key.to_vec(),
+                    operand: operand.to_vec(),
+                }
+                .encode(),
+            )?;
+        }
+        let mut st = self.state.write();
+        st.mem.merge(key, operand, op.as_ref());
+        self.maybe_flush(&mut st)
+    }
+
+    fn merge_operator(&self) -> Result<Arc<dyn MergeOperator>> {
+        self.opts
+            .merge_operator
+            .clone()
+            .ok_or_else(|| GkfsError::InvalidArgument("no merge operator configured".into()))
+    }
+
+    /// Apply a [`WriteBatch`] atomically: one lock acquisition, one
+    /// WAL record, no interleaving with other writers or readers.
+    pub fn write(&self, batch: WriteBatch) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let needs_merge_op = batch
+            .records
+            .iter()
+            .any(|r| matches!(r, WalRecord::Merge { .. }));
+        let op = if needs_merge_op {
+            Some(self.merge_operator()?)
+        } else {
+            None
+        };
+        if self.opts.wal {
+            self.store
+                .append_log(&WalRecord::Batch(batch.records.clone()).encode())?;
+        }
+        let mut st = self.state.write();
+        for rec in &batch.records {
+            match rec {
+                WalRecord::Put { key, value } => {
+                    DbStats::bump(&self.stats.puts);
+                    st.mem.put(key, value);
+                }
+                WalRecord::Delete { key } => {
+                    DbStats::bump(&self.stats.deletes);
+                    st.mem.delete(key);
+                }
+                WalRecord::Merge { key, operand } => {
+                    DbStats::bump(&self.stats.merges);
+                    st.mem.merge(key, operand, op.as_deref().unwrap());
+                }
+                WalRecord::Batch(_) => unreachable!("batches do not nest"),
+            }
+        }
+        self.maybe_flush(&mut st)
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        DbStats::bump(&self.stats.gets);
+        let st = self.state.read();
+        match st.mem.get(key) {
+            Some(Value::Put(v)) => return Ok(Some(v.clone())),
+            Some(Value::Delete) => return Ok(None),
+            Some(Value::Merge(ops)) => {
+                let base = self.get_from_tables(&st, key)?;
+                let op = self.merge_operator()?;
+                return Ok(Some(op.full_merge(key, base.as_deref(), ops)));
+            }
+            None => {}
+        }
+        self.get_from_tables(&st, key)
+    }
+
+    /// Does `key` exist? (Cheaper than `get` for existence checks —
+    /// used by the daemon's create path.)
+    pub fn contains(&self, key: &[u8]) -> Result<bool> {
+        Ok(self.get(key)?.is_some())
+    }
+
+    fn get_from_tables(&self, st: &State, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        // L0 newest first — later flushes shadow earlier ones.
+        for th in st.l0.iter().rev() {
+            if !th.table.may_contain(key) {
+                DbStats::bump(&self.stats.bloom_skips);
+                continue;
+            }
+            match th.table.get(key)? {
+                Some((Tag::Put, v)) => return Ok(Some(v)),
+                Some((Tag::Delete, _)) => return Ok(None),
+                None => {}
+            }
+        }
+        for th in &st.l1 {
+            if !th.table.may_contain(key) {
+                DbStats::bump(&self.stats.bloom_skips);
+                continue;
+            }
+            match th.table.get(key)? {
+                Some((Tag::Put, v)) => return Ok(Some(v)),
+                Some((Tag::Delete, _)) => return Ok(None),
+                None => {}
+            }
+        }
+        Ok(None)
+    }
+
+    /// All live `(key, value)` pairs whose key starts with `prefix`, in
+    /// key order. This powers the daemon's `readdir` prefix scan over
+    /// the flat namespace.
+    pub fn scan_prefix(&self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        DbStats::bump(&self.stats.scans);
+        let st = self.state.read();
+
+        // Accumulate oldest-to-newest so newer sources shadow older.
+        let mut acc: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
+        let in_prefix = |k: &[u8]| k.starts_with(prefix);
+
+        for th in st.l1.iter().chain(st.l0.iter()) {
+            for entry in th.table.iter_from(prefix) {
+                let (tag, k, v) = entry?;
+                if !in_prefix(&k) {
+                    break;
+                }
+                match tag {
+                    Tag::Put => acc.insert(k, Some(v)),
+                    Tag::Delete => acc.insert(k, None),
+                };
+            }
+        }
+        let op = self.opts.merge_operator.clone();
+        for (k, v) in st.mem.range(prefix, None) {
+            if !in_prefix(k) {
+                break;
+            }
+            match v {
+                Value::Put(val) => {
+                    acc.insert(k.to_vec(), Some(val.clone()));
+                }
+                Value::Delete => {
+                    acc.insert(k.to_vec(), None);
+                }
+                Value::Merge(ops) => {
+                    let base = acc.get(k).cloned().flatten();
+                    let op = op.as_ref().ok_or_else(|| {
+                        GkfsError::InvalidArgument("no merge operator configured".into())
+                    })?;
+                    acc.insert(k.to_vec(), Some(op.full_merge(k, base.as_deref(), ops)));
+                }
+            }
+        }
+
+        Ok(acc
+            .into_iter()
+            .filter_map(|(k, v)| v.map(|v| (k, v)))
+            .collect())
+    }
+
+    /// All live `(key, value)` pairs with `start <= key < end`
+    /// (`end = None` means unbounded), in key order.
+    pub fn scan_range(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        DbStats::bump(&self.stats.scans);
+        let st = self.state.read();
+        let in_range =
+            |k: &[u8]| k >= start && end.map(|e| k < e).unwrap_or(true);
+
+        let mut acc: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
+        for th in st.l1.iter().chain(st.l0.iter()) {
+            for entry in th.table.iter_from(start) {
+                let (tag, k, v) = entry?;
+                if let Some(e) = end {
+                    if k.as_slice() >= e {
+                        break;
+                    }
+                }
+                match tag {
+                    Tag::Put => acc.insert(k, Some(v)),
+                    Tag::Delete => acc.insert(k, None),
+                };
+            }
+        }
+        let op = self.opts.merge_operator.clone();
+        for (k, v) in st.mem.range(start, end) {
+            if !in_range(k) {
+                break;
+            }
+            match v {
+                Value::Put(val) => {
+                    acc.insert(k.to_vec(), Some(val.clone()));
+                }
+                Value::Delete => {
+                    acc.insert(k.to_vec(), None);
+                }
+                Value::Merge(ops) => {
+                    let base = acc.get(k).cloned().flatten();
+                    let op = op.as_ref().ok_or_else(|| {
+                        GkfsError::InvalidArgument("no merge operator configured".into())
+                    })?;
+                    acc.insert(k.to_vec(), Some(op.full_merge(k, base.as_deref(), ops)));
+                }
+            }
+        }
+        Ok(acc
+            .into_iter()
+            .filter_map(|(k, v)| v.map(|v| (k, v)))
+            .collect())
+    }
+
+    /// Total number of live keys (scan; test/diagnostic use).
+    pub fn len(&self) -> Result<usize> {
+        Ok(self.scan_prefix(&[])?.len())
+    }
+
+    /// True when no mutations are queued.
+    pub fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Force a memtable flush (normally automatic).
+    pub fn flush(&self) -> Result<()> {
+        let mut st = self.state.write();
+        self.flush_locked(&mut st)
+    }
+
+    fn maybe_flush(&self, st: &mut State) -> Result<()> {
+        if st.mem.approx_bytes() >= self.opts.memtable_bytes {
+            self.flush_locked(st)?;
+        }
+        Ok(())
+    }
+
+    fn flush_locked(&self, st: &mut State) -> Result<()> {
+        if st.mem.is_empty() {
+            return Ok(());
+        }
+        DbStats::bump(&self.stats.flushes);
+        let entries = st.mem.take();
+        let mut builder = TableBuilder::new(entries.len());
+        for (k, v) in &entries {
+            match v {
+                Value::Put(val) => builder.add(Tag::Put, k, val),
+                Value::Delete => builder.add(Tag::Delete, k, b""),
+                Value::Merge(ops) => {
+                    // Resolve the merge against the table levels now so
+                    // tables never contain merge records.
+                    let base = self.get_from_tables(st, k)?;
+                    let op = self.merge_operator()?;
+                    builder.add(Tag::Put, k, &op.full_merge(k, base.as_deref(), ops));
+                }
+            }
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let blob = builder.finish();
+        self.store.put_blob(&table_name(id), &blob)?;
+        let table = Table::open(Arc::new(blob))?;
+        st.l0.push(TableHandle { id, table });
+        self.write_manifest(st)?;
+        if self.opts.wal {
+            self.store.reset_log()?;
+        }
+        if st.l0.len() >= self.opts.l0_compaction_trigger {
+            self.compact_locked(st)?;
+        }
+        Ok(())
+    }
+
+    /// Force a full compaction (normally automatic).
+    pub fn compact(&self) -> Result<()> {
+        let mut st = self.state.write();
+        self.flush_locked(&mut st)?;
+        self.compact_locked(&mut st)
+    }
+
+    /// Merge all L0 tables and the L1 run into a fresh L1 run.
+    /// Because this is a *full* compaction, tombstones can be dropped.
+    fn compact_locked(&self, st: &mut State) -> Result<()> {
+        if st.l0.is_empty() && st.l1.len() <= 1 {
+            return Ok(());
+        }
+        DbStats::bump(&self.stats.compactions);
+
+        // Newest-wins accumulation, oldest sources first.
+        let mut acc: BTreeMap<Vec<u8>, (Tag, Vec<u8>)> = BTreeMap::new();
+        for th in st.l1.iter().chain(st.l0.iter()) {
+            for entry in th.table.iter() {
+                let (tag, k, v) = entry?;
+                acc.insert(k, (tag, v));
+            }
+        }
+
+        // Emit live entries into size-bounded output tables.
+        const TARGET_TABLE_BYTES: usize = 8 * 1024 * 1024;
+        let mut new_l1: Vec<TableHandle> = Vec::new();
+        let mut builder = TableBuilder::new(acc.len());
+        let mut bytes = 0usize;
+        let mut live = 0usize;
+        for (k, (tag, v)) in &acc {
+            if *tag == Tag::Delete {
+                continue; // full compaction: tombstones drop out
+            }
+            builder.add(Tag::Put, k, v);
+            bytes += k.len() + v.len();
+            live += 1;
+            if bytes >= TARGET_TABLE_BYTES {
+                let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+                let blob = std::mem::replace(&mut builder, TableBuilder::new(acc.len() - live))
+                    .finish();
+                self.store.put_blob(&table_name(id), &blob)?;
+                new_l1.push(TableHandle {
+                    id,
+                    table: Table::open(Arc::new(blob))?,
+                });
+                bytes = 0;
+            }
+        }
+        if !builder.is_empty() {
+            let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+            let blob = builder.finish();
+            self.store.put_blob(&table_name(id), &blob)?;
+            new_l1.push(TableHandle {
+                id,
+                table: Table::open(Arc::new(blob))?,
+            });
+        }
+
+        let old: Vec<u64> = st
+            .l0
+            .iter()
+            .chain(st.l1.iter())
+            .map(|th| th.id)
+            .collect();
+        st.l0.clear();
+        st.l1 = new_l1;
+        self.write_manifest(st)?;
+        for id in old {
+            self.store.delete_blob(&table_name(id))?;
+        }
+        Ok(())
+    }
+
+    fn write_manifest(&self, st: &State) -> Result<()> {
+        let mut e = Encoder::new();
+        e.u32(st.l0.len() as u32);
+        for th in &st.l0 {
+            e.u64(th.id);
+        }
+        e.u32(st.l1.len() as u32);
+        for th in &st.l1 {
+            e.u64(th.id);
+        }
+        self.store.put_blob(MANIFEST, e.as_slice())
+    }
+
+    /// Diagnostic snapshot of the level shape: `(memtable_keys, l0
+    /// tables, l1 tables)`.
+    pub fn level_shape(&self) -> (usize, usize, usize) {
+        let st = self.state.read();
+        (st.mem.len(), st.l0.len(), st.l1.len())
+    }
+
+    /// Human-readable one-call status dump — the RocksDB
+    /// `GetProperty("rocksdb.stats")` analogue, used by operators and
+    /// the daemon's diagnostics.
+    pub fn stats_summary(&self) -> String {
+        let (mem, l0, l1) = self.level_shape();
+        let s = &self.stats;
+        let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        format!(
+            "levels: memtable={mem} keys, L0={l0} tables, L1={l1} tables\n\
+             ops: puts={} gets={} deletes={} merges={} scans={}\n\
+             maintenance: flushes={} compactions={} bloom_skips={}",
+            ld(&s.puts),
+            ld(&s.gets),
+            ld(&s.deletes),
+            ld(&s.merges),
+            ld(&s.scans),
+            ld(&s.flushes),
+            ld(&s.compactions),
+            ld(&s.bloom_skips),
+        )
+    }
+}
+
+fn table_name(id: u64) -> String {
+    format!("sst-{id:012}.sst")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge::{Add64MergeOperator, Max64MergeOperator};
+
+    fn small_opts() -> DbOptions {
+        DbOptions {
+            memtable_bytes: 4096, // force frequent flushes in tests
+            l0_compaction_trigger: 3,
+            wal: false,
+            merge_operator: Some(Arc::new(Max64MergeOperator)),
+        }
+    }
+
+    #[test]
+    fn put_get_delete_through_levels() {
+        let db = Db::open_memory(small_opts()).unwrap();
+        for i in 0..500 {
+            db.put(format!("/k{i:04}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        let (_, l0, l1) = db.level_shape();
+        assert!(l0 + l1 > 0, "expected flushes to have happened");
+        for i in (0..500).step_by(17) {
+            assert_eq!(
+                db.get(format!("/k{i:04}").as_bytes()).unwrap().as_deref(),
+                Some(format!("v{i}").as_bytes())
+            );
+        }
+        db.delete(b"/k0000").unwrap();
+        assert!(db.get(b"/k0000").unwrap().is_none());
+        // Deleted key stays gone across flush + compaction.
+        db.compact().unwrap();
+        assert!(db.get(b"/k0000").unwrap().is_none());
+        assert_eq!(db.len().unwrap(), 499);
+    }
+
+    #[test]
+    fn overwrite_latest_wins_across_levels() {
+        let db = Db::open_memory(small_opts()).unwrap();
+        db.put(b"/x", b"old").unwrap();
+        db.flush().unwrap();
+        db.put(b"/x", b"new").unwrap();
+        assert_eq!(db.get(b"/x").unwrap().as_deref(), Some(&b"new"[..]));
+        db.flush().unwrap();
+        assert_eq!(db.get(b"/x").unwrap().as_deref(), Some(&b"new"[..]));
+        db.compact().unwrap();
+        assert_eq!(db.get(b"/x").unwrap().as_deref(), Some(&b"new"[..]));
+    }
+
+    #[test]
+    fn tombstone_shadows_older_table() {
+        let db = Db::open_memory(small_opts()).unwrap();
+        db.put(b"/gone", b"v").unwrap();
+        db.flush().unwrap();
+        db.delete(b"/gone").unwrap();
+        db.flush().unwrap();
+        assert!(db.get(b"/gone").unwrap().is_none());
+        let scan = db.scan_prefix(b"/gone").unwrap();
+        assert!(scan.is_empty());
+    }
+
+    #[test]
+    fn merge_max_across_flushes() {
+        let db = Db::open_memory(small_opts()).unwrap();
+        db.put(b"/f:size", &100u64.to_le_bytes()).unwrap();
+        db.flush().unwrap();
+        // Base now lives in a table; merges must stack and resolve.
+        db.merge(b"/f:size", &50u64.to_le_bytes()).unwrap();
+        db.merge(b"/f:size", &300u64.to_le_bytes()).unwrap();
+        let v = db.get(b"/f:size").unwrap().unwrap();
+        assert_eq!(u64::from_le_bytes(v[..].try_into().unwrap()), 300);
+        db.flush().unwrap();
+        let v = db.get(b"/f:size").unwrap().unwrap();
+        assert_eq!(u64::from_le_bytes(v[..].try_into().unwrap()), 300);
+    }
+
+    #[test]
+    fn merge_without_operator_errors() {
+        let db = Db::open_memory(DbOptions::default()).unwrap();
+        assert!(matches!(
+            db.merge(b"/k", b"x"),
+            Err(GkfsError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn scan_prefix_merges_all_sources() {
+        let db = Db::open_memory(small_opts()).unwrap();
+        db.put(b"/dir/a", b"1").unwrap();
+        db.flush().unwrap();
+        db.put(b"/dir/b", b"2").unwrap();
+        db.flush().unwrap();
+        db.put(b"/dir/c", b"3").unwrap(); // stays in memtable
+        db.put(b"/other/x", b"9").unwrap();
+        db.delete(b"/dir/a").unwrap(); // tombstone in memtable
+        let entries = db.scan_prefix(b"/dir/").unwrap();
+        let keys: Vec<&[u8]> = entries.iter().map(|(k, _)| k.as_slice()).collect();
+        assert_eq!(keys, vec![&b"/dir/b"[..], b"/dir/c"]);
+    }
+
+    #[test]
+    fn scan_prefix_resolves_memtable_merges() {
+        let db = Db::open_memory(small_opts()).unwrap();
+        db.put(b"/f", &10u64.to_le_bytes()).unwrap();
+        db.flush().unwrap();
+        db.merge(b"/f", &99u64.to_le_bytes()).unwrap();
+        let entries = db.scan_prefix(b"/f").unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(
+            u64::from_le_bytes(entries[0].1[..].try_into().unwrap()),
+            99
+        );
+    }
+
+    #[test]
+    fn compaction_reduces_table_count_and_preserves_data() {
+        let db = Db::open_memory(small_opts()).unwrap();
+        for i in 0..2000 {
+            db.put(format!("/k{i:05}").as_bytes(), b"payload-payload").unwrap();
+        }
+        db.compact().unwrap();
+        let (mem, l0, l1) = db.level_shape();
+        assert_eq!(mem, 0);
+        assert_eq!(l0, 0);
+        assert!(l1 >= 1);
+        assert_eq!(db.len().unwrap(), 2000);
+        assert_eq!(
+            db.get(b"/k01234").unwrap().as_deref(),
+            Some(&b"payload-payload"[..])
+        );
+    }
+
+    #[test]
+    fn persistence_across_reopen() {
+        let store = Arc::new(MemBlobStore::new());
+        let mut opts = small_opts();
+        opts.wal = true;
+        {
+            let db = Db::open(store.clone(), opts.clone()).unwrap();
+            for i in 0..100 {
+                db.put(format!("/p{i}").as_bytes(), b"v").unwrap();
+            }
+            db.merge(b"/p0:size", &7u64.to_le_bytes()).unwrap();
+            // No explicit flush: some state is only in the WAL.
+        }
+        {
+            let db = Db::open(store, opts).unwrap();
+            assert_eq!(db.get(b"/p42").unwrap().as_deref(), Some(&b"v"[..]));
+            let v = db.get(b"/p0:size").unwrap().unwrap();
+            assert_eq!(u64::from_le_bytes(v[..].try_into().unwrap()), 7);
+        }
+    }
+
+    #[test]
+    fn persistence_on_disk() {
+        let dir = std::env::temp_dir().join(format!("gkfs-db-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut opts = small_opts();
+        opts.wal = true;
+        {
+            let db = Db::open_dir(&dir, opts.clone()).unwrap();
+            for i in 0..500 {
+                db.put(format!("/d{i:04}").as_bytes(), b"disk").unwrap();
+            }
+        }
+        {
+            let db = Db::open_dir(&dir, opts).unwrap();
+            assert_eq!(db.len().unwrap(), 500);
+            assert_eq!(db.get(b"/d0123").unwrap().as_deref(), Some(&b"disk"[..]));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers() {
+        let db = Db::open_memory(DbOptions {
+            memtable_bytes: 16 * 1024,
+            l0_compaction_trigger: 3,
+            wal: false,
+            merge_operator: Some(Arc::new(Add64MergeOperator)),
+        })
+        .unwrap();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let db = &db;
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        db.put(format!("/t{t}/k{i}").as_bytes(), b"v").unwrap();
+                        db.merge(b"/counter", &1u64.to_le_bytes()).unwrap();
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let db = &db;
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        let _ = db.get(format!("/t0/k{i}").as_bytes()).unwrap();
+                    }
+                });
+            }
+        });
+        let v = db.get(b"/counter").unwrap().unwrap();
+        assert_eq!(u64::from_le_bytes(v[..].try_into().unwrap()), 4000);
+        for t in 0..4 {
+            assert_eq!(db.scan_prefix(format!("/t{t}/").as_bytes()).unwrap().len(), 1000);
+        }
+    }
+
+    #[test]
+    fn write_batch_is_atomic_to_readers() {
+        let db = Db::open_memory(small_opts()).unwrap();
+        db.put(b"/acct/a", &100u64.to_le_bytes()).unwrap();
+        db.put(b"/acct/b", &0u64.to_le_bytes()).unwrap();
+        let read_sum = |db: &Db| -> u64 {
+            db.scan_prefix(b"/acct/")
+                .unwrap()
+                .iter()
+                .map(|(_, v)| u64::from_le_bytes(v[..].try_into().unwrap()))
+                .sum()
+        };
+        // Transfers between the two keys via batches; concurrent
+        // readers must always observe the invariant sum.
+        std::thread::scope(|s| {
+            let writer = s.spawn(|| {
+                for i in 0..500u64 {
+                    let mut b = WriteBatch::new();
+                    b.put(b"/acct/a", &(100 - (i % 100)).to_le_bytes());
+                    b.put(b"/acct/b", &(i % 100).to_le_bytes());
+                    db.write(b).unwrap();
+                }
+            });
+            for _ in 0..200 {
+                assert_eq!(read_sum(&db), 100, "readers must never see a torn batch");
+            }
+            writer.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn write_batch_mixed_ops_and_recovery() {
+        let store = Arc::new(MemBlobStore::new());
+        let mut opts = small_opts();
+        opts.wal = true;
+        {
+            let db = Db::open(store.clone(), opts.clone()).unwrap();
+            db.put(b"/old", b"x").unwrap();
+            let mut b = WriteBatch::new();
+            b.put(b"/new", b"y")
+                .delete(b"/old")
+                .merge(b"/size", &42u64.to_le_bytes());
+            assert_eq!(b.len(), 3);
+            db.write(b).unwrap();
+            // No flush: recovery comes purely from the WAL batch record.
+        }
+        let db = Db::open(store, opts).unwrap();
+        assert_eq!(db.get(b"/new").unwrap().as_deref(), Some(&b"y"[..]));
+        assert!(db.get(b"/old").unwrap().is_none());
+        let v = db.get(b"/size").unwrap().unwrap();
+        assert_eq!(u64::from_le_bytes(v[..].try_into().unwrap()), 42);
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let db = Db::open_memory(DbOptions::default()).unwrap();
+        db.write(WriteBatch::new()).unwrap();
+        assert_eq!(db.stats().puts.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn scan_range_bounds() {
+        let db = Db::open_memory(small_opts()).unwrap();
+        for i in 0..50 {
+            db.put(format!("/r/{i:02}").as_bytes(), b"v").unwrap();
+        }
+        db.flush().unwrap();
+        db.delete(b"/r/25").unwrap(); // tombstone inside the range
+        let hits = db.scan_range(b"/r/20", Some(b"/r/30")).unwrap();
+        let keys: Vec<String> = hits
+            .iter()
+            .map(|(k, _)| String::from_utf8(k.clone()).unwrap())
+            .collect();
+        assert_eq!(keys.len(), 9, "20..30 minus the deleted 25: {keys:?}");
+        assert_eq!(keys.first().unwrap(), "/r/20");
+        assert_eq!(keys.last().unwrap(), "/r/29");
+        // Unbounded end.
+        assert_eq!(db.scan_range(b"/r/45", None).unwrap().len(), 5);
+        // Empty range.
+        assert!(db.scan_range(b"/zzz", None).unwrap().is_empty());
+    }
+
+    #[test]
+    fn put_if_absent_is_exclusive() {
+        let db = Db::open_memory(small_opts()).unwrap();
+        assert!(db.put_if_absent(b"/x", b"first").unwrap());
+        assert!(!db.put_if_absent(b"/x", b"second").unwrap());
+        assert_eq!(db.get(b"/x").unwrap().as_deref(), Some(&b"first"[..]));
+        // After delete, the key is insertable again (tombstone case).
+        db.delete(b"/x").unwrap();
+        assert!(db.put_if_absent(b"/x", b"third").unwrap());
+        // Key present only in a flushed table still counts as existing.
+        db.flush().unwrap();
+        assert!(!db.put_if_absent(b"/x", b"fourth").unwrap());
+    }
+
+    #[test]
+    fn put_if_absent_races_one_winner() {
+        let db = Db::open_memory(DbOptions::default()).unwrap();
+        let winners: usize = std::thread::scope(|s| {
+            (0..8)
+                .map(|i| {
+                    let db = &db;
+                    s.spawn(move || db.put_if_absent(b"/race", format!("w{i}").as_bytes()).unwrap())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap() as usize)
+                .sum()
+        });
+        assert_eq!(winners, 1, "exactly one creator may win");
+    }
+
+    #[test]
+    fn stats_summary_mentions_activity() {
+        let db = Db::open_memory(small_opts()).unwrap();
+        for i in 0..100 {
+            db.put(format!("/s{i}").as_bytes(), b"v").unwrap();
+        }
+        db.flush().unwrap();
+        let _ = db.get(b"/s5").unwrap();
+        let dump = db.stats_summary();
+        assert!(dump.contains("puts=100"), "{dump}");
+        assert!(dump.contains("gets=1"), "{dump}");
+        assert!(dump.contains("flushes="), "{dump}");
+        assert!(dump.contains("L0="), "{dump}");
+    }
+
+    #[test]
+    fn bloom_filters_skip_absent_keys() {
+        let db = Db::open_memory(small_opts()).unwrap();
+        for i in 0..200 {
+            db.put(format!("/present/{i}").as_bytes(), b"v").unwrap();
+        }
+        db.flush().unwrap();
+        for i in 0..200 {
+            assert!(db.get(format!("/absent/{i}").as_bytes()).unwrap().is_none());
+        }
+        assert!(
+            db.stats().bloom_skips.load(Ordering::Relaxed) > 150,
+            "bloom filters should have skipped most absent lookups"
+        );
+    }
+}

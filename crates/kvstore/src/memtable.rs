@@ -1,0 +1,215 @@
+//! The sorted in-memory write buffer.
+//!
+//! All writes land here first (after the WAL). The table is an ordered
+//! map so that flushing produces an already-sorted SSTable and prefix
+//! scans can merge memtable and table contents in key order.
+//!
+//! Entries record logical state, not history: a later `put` replaces an
+//! earlier one. Merge operands fold eagerly when the base value is
+//! present in the memtable itself (the common case for GekkoFS size
+//! updates — the `create` that wrote the base usually still sits in the
+//! memtable); otherwise operands stack until read or flush time, when
+//! the base is fetched from the table levels.
+
+use crate::merge::MergeOperator;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// Logical state of one key in the memtable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// Key present with this value.
+    Put(Vec<u8>),
+    /// Key deleted (tombstone shadowing older levels).
+    Delete,
+    /// Pending merge operands (oldest first) whose base lives in an
+    /// older level (or doesn't exist).
+    Merge(Vec<Vec<u8>>),
+}
+
+/// Sorted write buffer. Not internally synchronized — the [`crate::Db`]
+/// wraps it in a lock.
+#[derive(Default)]
+pub struct MemTable {
+    map: BTreeMap<Vec<u8>, Value>,
+    approx_bytes: usize,
+}
+
+impl MemTable {
+    /// Create an empty memtable.
+    pub fn new() -> MemTable {
+        MemTable::default()
+    }
+
+    /// Number of distinct keys currently buffered.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Rough memory footprint used to trigger flushes.
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+
+    fn charge(&mut self, key: &[u8], val_len: usize) {
+        // Key + value + map overhead estimate.
+        self.approx_bytes += key.len() + val_len + 64;
+    }
+
+    /// Insert or overwrite `key`.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) {
+        self.charge(key, value.len());
+        self.map.insert(key.to_vec(), Value::Put(value.to_vec()));
+    }
+
+    /// Record a tombstone for `key`.
+    pub fn delete(&mut self, key: &[u8]) {
+        self.charge(key, 0);
+        self.map.insert(key.to_vec(), Value::Delete);
+    }
+
+    /// Record a merge operand, folding eagerly when the base state is
+    /// already in this memtable.
+    pub fn merge(&mut self, key: &[u8], operand: &[u8], op: &dyn MergeOperator) {
+        self.charge(key, operand.len());
+        match self.map.get_mut(key) {
+            Some(Value::Put(base)) => {
+                let merged = op.full_merge(key, Some(base), std::slice::from_ref(&operand.to_vec()));
+                *base = merged;
+            }
+            Some(Value::Delete) => {
+                let merged = op.full_merge(key, None, std::slice::from_ref(&operand.to_vec()));
+                self.map.insert(key.to_vec(), Value::Put(merged));
+            }
+            Some(Value::Merge(ops)) => ops.push(operand.to_vec()),
+            None => {
+                self.map
+                    .insert(key.to_vec(), Value::Merge(vec![operand.to_vec()]));
+            }
+        }
+    }
+
+    /// Current state of `key`, if buffered.
+    pub fn get(&self, key: &[u8]) -> Option<&Value> {
+        self.map.get(key)
+    }
+
+    /// Iterate entries with keys in `[start, end)` in key order.
+    pub fn range<'a>(
+        &'a self,
+        start: &[u8],
+        end: Option<&[u8]>,
+    ) -> impl Iterator<Item = (&'a [u8], &'a Value)> + 'a {
+        let lower = Bound::Included(start.to_vec());
+        let upper = match end {
+            Some(e) => Bound::Excluded(e.to_vec()),
+            None => Bound::Unbounded,
+        };
+        self.map
+            .range((lower, upper))
+            .map(|(k, v)| (k.as_slice(), v))
+    }
+
+    /// Iterate everything in key order (flush path).
+    pub fn iter(&self) -> impl Iterator<Item = (&[u8], &Value)> {
+        self.map.iter().map(|(k, v)| (k.as_slice(), v))
+    }
+
+    /// Reset to empty, returning the old contents (flush path).
+    pub fn take(&mut self) -> BTreeMap<Vec<u8>, Value> {
+        self.approx_bytes = 0;
+        std::mem::take(&mut self.map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge::{Add64MergeOperator, Max64MergeOperator};
+
+    #[test]
+    fn put_get_overwrite() {
+        let mut m = MemTable::new();
+        m.put(b"a", b"1");
+        m.put(b"a", b"2");
+        assert_eq!(m.get(b"a"), Some(&Value::Put(b"2".to_vec())));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn delete_leaves_tombstone() {
+        let mut m = MemTable::new();
+        m.put(b"a", b"1");
+        m.delete(b"a");
+        assert_eq!(m.get(b"a"), Some(&Value::Delete));
+        // Tombstone for a never-seen key must also be recorded (it may
+        // shadow an SSTable entry).
+        m.delete(b"ghost");
+        assert_eq!(m.get(b"ghost"), Some(&Value::Delete));
+    }
+
+    #[test]
+    fn merge_folds_onto_put() {
+        let mut m = MemTable::new();
+        let op = Add64MergeOperator;
+        m.put(b"ctr", &5u64.to_le_bytes());
+        m.merge(b"ctr", &3u64.to_le_bytes(), &op);
+        match m.get(b"ctr") {
+            Some(Value::Put(v)) => assert_eq!(u64::from_le_bytes(v[..].try_into().unwrap()), 8),
+            other => panic!("expected folded Put, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_onto_tombstone_starts_fresh() {
+        let mut m = MemTable::new();
+        let op = Max64MergeOperator;
+        m.delete(b"sz");
+        m.merge(b"sz", &42u64.to_le_bytes(), &op);
+        match m.get(b"sz") {
+            Some(Value::Put(v)) => assert_eq!(u64::from_le_bytes(v[..].try_into().unwrap()), 42),
+            other => panic!("expected Put, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_without_base_stacks() {
+        let mut m = MemTable::new();
+        let op = Add64MergeOperator;
+        m.merge(b"k", &1u64.to_le_bytes(), &op);
+        m.merge(b"k", &2u64.to_le_bytes(), &op);
+        match m.get(b"k") {
+            Some(Value::Merge(ops)) => assert_eq!(ops.len(), 2),
+            other => panic!("expected stacked Merge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn range_scan_ordered_and_bounded() {
+        let mut m = MemTable::new();
+        for k in ["/a/1", "/a/2", "/b/1", "/a/3"] {
+            m.put(k.as_bytes(), b"v");
+        }
+        let keys: Vec<&[u8]> = m.range(b"/a/", Some(b"/a0")).map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![&b"/a/1"[..], b"/a/2", b"/a/3"]);
+        let all: Vec<&[u8]> = m.range(b"", None).map(|(k, _)| k).collect();
+        assert_eq!(all.len(), 4);
+        assert!(all.windows(2).all(|w| w[0] < w[1]), "sorted order");
+    }
+
+    #[test]
+    fn take_resets() {
+        let mut m = MemTable::new();
+        m.put(b"a", b"1");
+        assert!(m.approx_bytes() > 0);
+        let drained = m.take();
+        assert_eq!(drained.len(), 1);
+        assert!(m.is_empty());
+        assert_eq!(m.approx_bytes(), 0);
+    }
+}

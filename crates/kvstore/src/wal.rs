@@ -1,0 +1,244 @@
+//! Write-ahead log encoding and replay.
+//!
+//! Every mutation is framed as `[crc32 | len | payload]` and appended
+//! to the blob store's log before touching the memtable, so a daemon
+//! restart can rebuild the memtable exactly. Replay is tolerant of a
+//! torn tail (a crash mid-append): the first record that fails its
+//! checksum or runs past the buffer ends replay, matching RocksDB's
+//! `kTolerateCorruptedTailRecords` recovery mode.
+
+use gkfs_common::crc::crc32;
+use gkfs_common::wire::{Decoder, Encoder};
+use gkfs_common::{GkfsError, Result};
+
+/// One logged mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// Insert or overwrite a key.
+    Put {
+        /// Key bytes.
+        key: Vec<u8>,
+        /// Value bytes.
+        value: Vec<u8>,
+    },
+    /// Remove a key (tombstone).
+    Delete {
+        /// Key bytes.
+        key: Vec<u8>,
+    },
+    /// Apply a merge operand to a key.
+    Merge {
+        /// Key bytes.
+        key: Vec<u8>,
+        /// Operand bytes for the configured merge operator.
+        operand: Vec<u8>,
+    },
+    /// An atomic group: either every contained mutation replays or
+    /// (torn tail) none do — the crash-atomicity RocksDB gives
+    /// `WriteBatch` by framing the whole batch as one log record.
+    Batch(Vec<WalRecord>),
+}
+
+const TAG_PUT: u8 = 1;
+const TAG_DELETE: u8 = 2;
+const TAG_MERGE: u8 = 3;
+const TAG_BATCH: u8 = 4;
+
+impl WalRecord {
+    fn encode_body(&self, body: &mut Encoder) {
+        match self {
+            WalRecord::Put { key, value } => {
+                body.u8(TAG_PUT).bytes(key).bytes(value);
+            }
+            WalRecord::Delete { key } => {
+                body.u8(TAG_DELETE).bytes(key);
+            }
+            WalRecord::Merge { key, operand } => {
+                body.u8(TAG_MERGE).bytes(key).bytes(operand);
+            }
+            WalRecord::Batch(records) => {
+                body.u8(TAG_BATCH).u32(records.len() as u32);
+                for r in records {
+                    assert!(
+                        !matches!(r, WalRecord::Batch(_)),
+                        "batches do not nest"
+                    );
+                    r.encode_body(body);
+                }
+            }
+        }
+    }
+
+    /// Frame this record for appending to the log.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Encoder::new();
+        self.encode_body(&mut body);
+        let body = body.into_vec();
+        let mut framed = Encoder::with_capacity(body.len() + 8);
+        framed.u32(crc32(&body));
+        framed.u32(body.len() as u32);
+        framed.raw(&body);
+        framed.into_vec()
+    }
+
+    fn decode_one(d: &mut Decoder<'_>, allow_batch: bool) -> Result<WalRecord> {
+        Ok(match d.u8()? {
+            TAG_PUT => WalRecord::Put {
+                key: d.bytes()?.to_vec(),
+                value: d.bytes()?.to_vec(),
+            },
+            TAG_DELETE => WalRecord::Delete {
+                key: d.bytes()?.to_vec(),
+            },
+            TAG_MERGE => WalRecord::Merge {
+                key: d.bytes()?.to_vec(),
+                operand: d.bytes()?.to_vec(),
+            },
+            TAG_BATCH if allow_batch => {
+                let n = d.u32()? as usize;
+                let mut records = Vec::with_capacity(n);
+                for _ in 0..n {
+                    records.push(Self::decode_one(d, false)?);
+                }
+                WalRecord::Batch(records)
+            }
+            t => return Err(GkfsError::Corruption(format!("bad WAL tag {t}"))),
+        })
+    }
+
+    fn decode_body(body: &[u8]) -> Result<WalRecord> {
+        let mut d = Decoder::new(body);
+        let rec = Self::decode_one(&mut d, true)?;
+        d.finish()?;
+        Ok(rec)
+    }
+}
+
+/// Replay a log buffer into its records. Stops silently at a torn
+/// tail; returns `Corruption` only for damage *before* the tail (a
+/// record that parses but whose interior is malformed).
+pub fn replay(log: &[u8]) -> Result<Vec<WalRecord>> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos + 8 <= log.len() {
+        let crc = u32::from_le_bytes(log[pos..pos + 4].try_into().unwrap());
+        let len = u32::from_le_bytes(log[pos + 4..pos + 8].try_into().unwrap()) as usize;
+        if pos + 8 + len > log.len() {
+            break; // torn tail: length runs past the buffer
+        }
+        let body = &log[pos + 8..pos + 8 + len];
+        if crc32(body) != crc {
+            break; // torn tail: checksum mismatch
+        }
+        out.push(WalRecord::decode_body(body)?);
+        pos += 8 + len;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Put {
+                key: b"/a".to_vec(),
+                value: b"meta".to_vec(),
+            },
+            WalRecord::Merge {
+                key: b"/a".to_vec(),
+                operand: 42u64.to_le_bytes().to_vec(),
+            },
+            WalRecord::Delete { key: b"/a".to_vec() },
+        ]
+    }
+
+    #[test]
+    fn encode_replay_roundtrip() {
+        let mut log = Vec::new();
+        for r in sample() {
+            log.extend_from_slice(&r.encode());
+        }
+        assert_eq!(replay(&log).unwrap(), sample());
+    }
+
+    #[test]
+    fn empty_log_is_empty() {
+        assert!(replay(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn torn_tail_is_ignored() {
+        let mut log = Vec::new();
+        for r in sample() {
+            log.extend_from_slice(&r.encode());
+        }
+        let full = replay(&log).unwrap().len();
+        // Chop bytes off the end: we must recover a prefix, never error.
+        for cut in 1..20 {
+            let truncated = &log[..log.len() - cut];
+            let recovered = replay(truncated).unwrap();
+            assert!(recovered.len() < full || cut == 0);
+            // Recovered records must be a prefix of the originals.
+            assert_eq!(recovered[..], sample()[..recovered.len()]);
+        }
+    }
+
+    #[test]
+    fn corrupt_tail_checksum_stops_replay() {
+        let mut log = Vec::new();
+        for r in sample() {
+            log.extend_from_slice(&r.encode());
+        }
+        let n = log.len();
+        log[n - 1] ^= 0xFF; // flip a bit in the last record's body
+        let recovered = replay(&log).unwrap();
+        assert_eq!(recovered.len(), sample().len() - 1);
+    }
+
+    #[test]
+    fn batch_roundtrip_is_atomic_in_the_log() {
+        let batch = WalRecord::Batch(vec![
+            WalRecord::Put {
+                key: b"/a".to_vec(),
+                value: b"1".to_vec(),
+            },
+            WalRecord::Delete { key: b"/b".to_vec() },
+            WalRecord::Merge {
+                key: b"/c".to_vec(),
+                operand: b"op".to_vec(),
+            },
+        ]);
+        let mut log = batch.encode();
+        assert_eq!(replay(&log).unwrap(), vec![batch.clone()]);
+        // Any truncation inside the batch drops the WHOLE batch.
+        for cut in 1..log.len() - 8 {
+            let t = &log[..log.len() - cut];
+            assert!(replay(t).unwrap().is_empty(), "cut {cut} must drop batch");
+        }
+        // A record after the batch replays independently.
+        log.extend_from_slice(
+            &WalRecord::Put {
+                key: b"/z".to_vec(),
+                value: b"v".to_vec(),
+            }
+            .encode(),
+        );
+        assert_eq!(replay(&log).unwrap().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "batches do not nest")]
+    fn nested_batches_rejected() {
+        WalRecord::Batch(vec![WalRecord::Batch(vec![])]).encode();
+    }
+
+    #[test]
+    fn garbage_after_valid_records_is_tail() {
+        let mut log = sample()[0].encode();
+        log.extend_from_slice(&[0xDE, 0xAD, 0xBE]);
+        let recovered = replay(&log).unwrap();
+        assert_eq!(recovered.len(), 1);
+    }
+}

@@ -1,0 +1,122 @@
+//! Opcode dispatch — the registered-RPC table.
+//!
+//! A daemon builds a [`HandlerRegistry`] once at startup, registering
+//! one handler per [`Opcode`] (Mercury's `HG_Register`). The registry
+//! is immutable after construction and shared read-only across the
+//! handler pool, so dispatch is lock-free.
+
+use crate::message::{Opcode, Request, Response};
+use gkfs_common::GkfsError;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A server-side RPC handler. Handlers run concurrently on the pool
+/// and must be `Send + Sync`.
+pub trait Handler: Send + Sync {
+    /// Fn.
+    fn handle(&self, req: Request) -> Response;
+}
+
+/// Blanket impl so plain closures register directly.
+pub struct HandlerFn<F>(pub F);
+
+impl<F> Handler for HandlerFn<F>
+where
+    F: Fn(Request) -> Response + Send + Sync,
+{
+    fn handle(&self, req: Request) -> Response {
+        (self.0)(req)
+    }
+}
+
+/// Immutable opcode → handler table.
+#[derive(Default)]
+pub struct HandlerRegistry {
+    table: HashMap<u16, Arc<dyn Handler>>,
+}
+
+impl HandlerRegistry {
+    /// Create an empty registry.
+    pub fn new() -> HandlerRegistry {
+        HandlerRegistry::default()
+    }
+
+    /// Register `handler` for `opcode`. Panics on double registration —
+    /// that is a daemon construction bug.
+    pub fn register(&mut self, opcode: Opcode, handler: Arc<dyn Handler>) {
+        let prev = self.table.insert(opcode as u16, handler);
+        assert!(prev.is_none(), "duplicate handler for {opcode:?}");
+    }
+
+    /// Convenience: register a closure.
+    pub fn register_fn<F>(&mut self, opcode: Opcode, f: F)
+    where
+        F: Fn(Request) -> Response + Send + Sync + 'static,
+    {
+        self.register(opcode, Arc::new(HandlerFn(f)));
+    }
+
+    /// Dispatch a request. Unknown opcodes produce an error response
+    /// (never a panic — the input crossed a trust boundary).
+    pub fn dispatch(&self, req: Request) -> Response {
+        let id = req.id;
+        let mut resp = match self.table.get(&(req.opcode as u16)) {
+            Some(h) => h.handle(req),
+            None => Response::err(GkfsError::Rpc(format!(
+                "no handler registered for {:?}",
+                req.opcode
+            ))),
+        };
+        resp.id = id;
+        resp
+    }
+
+    /// Number of registered handlers.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Status;
+    use bytes::Bytes;
+
+    #[test]
+    fn dispatch_routes_by_opcode() {
+        let mut reg = HandlerRegistry::new();
+        reg.register_fn(Opcode::Ping, |_req| Response::ok(&b"pong"[..]));
+        reg.register_fn(Opcode::Stat, |req| {
+            Response::ok(Bytes::from(format!("stat:{}", req.body.len())))
+        });
+        let mut req = Request::new(Opcode::Ping, &b""[..]);
+        req.id = 42;
+        let resp = reg.dispatch(req);
+        assert_eq!(resp.id, 42, "correlation id preserved");
+        assert_eq!(&resp.body[..], b"pong");
+
+        let resp = reg.dispatch(Request::new(Opcode::Stat, &b"abc"[..]));
+        assert_eq!(&resp.body[..], b"stat:3");
+    }
+
+    #[test]
+    fn unknown_opcode_is_error_response() {
+        let reg = HandlerRegistry::new();
+        let resp = reg.dispatch(Request::new(Opcode::Create, &b""[..]));
+        assert!(matches!(resp.status, Status::Err(GkfsError::Rpc(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate handler")]
+    fn double_registration_panics() {
+        let mut reg = HandlerRegistry::new();
+        reg.register_fn(Opcode::Ping, |_| Response::ok(&b""[..]));
+        reg.register_fn(Opcode::Ping, |_| Response::ok(&b""[..]));
+    }
+}

@@ -1,0 +1,44 @@
+//! # gkfs-rpc — the RPC layer (Mercury / Margo / Argobots substitute)
+//!
+//! GekkoFS interfaces Mercury *"indirectly through the Margo library
+//! which provides Argobots-aware wrappers to Mercury's API with the
+//! goal to provide a simple multi-threaded execution model"*
+//! (paper §III-B-b). This crate reproduces that execution model:
+//!
+//! * [`message`] — request/response frames: a small fixed header, a
+//!   compact body, and an out-of-band **bulk** payload. Bulk data
+//!   models Mercury's RDMA path: on the in-process transport it moves
+//!   as a reference-counted [`bytes::Bytes`] with zero copies ("the
+//!   client exposes the relevant chunk memory region to the daemon"),
+//!   on TCP it is streamed after the header.
+//! * [`handler`] — opcode → handler dispatch table (Mercury's
+//!   registered RPC ids).
+//! * [`pool`] — the handler thread pool (Margo handler xstreams backed
+//!   by Argobots): a progress side enqueues requests, a fixed set of
+//!   worker threads executes them concurrently.
+//! * [`transport`] — two interchangeable transports behind the
+//!   [`Endpoint`] trait: in-process channels (used by tests, the
+//!   in-process cluster, and benchmarks) and real TCP sockets with
+//!   request-id correlation and connection reuse.
+//!
+//! The daemon registers handlers and serves; the client holds one
+//! [`Endpoint`] per daemon and issues blocking calls, fanning out with
+//! scoped threads where the file-system layer needs parallelism.
+
+#![warn(missing_docs)]
+
+pub mod handler;
+pub mod message;
+pub mod pool;
+pub mod proto;
+pub mod stats;
+pub mod testing;
+pub mod transport;
+
+pub use handler::{Handler, HandlerFn, HandlerRegistry};
+pub use message::{Opcode, Request, Response, Status};
+pub use pool::HandlerPool;
+pub use stats::RpcStats;
+pub use transport::inproc::{InprocEndpoint, RpcServer};
+pub use transport::tcp::{TcpEndpoint, TcpServer};
+pub use transport::Endpoint;

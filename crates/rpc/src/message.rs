@@ -1,0 +1,287 @@
+//! RPC message frames.
+//!
+//! A request carries an opcode, a correlation id, a compact body
+//! (encoded with the [`gkfs_common::wire`] codec by the caller), and an
+//! optional **bulk** payload. The bulk payload is the analogue of
+//! Mercury's bulk handles: large data (write payloads, read results)
+//! travels out-of-band from the header so the in-process transport can
+//! hand it over by reference (the RDMA stand-in) and the TCP transport
+//! can stream it without re-buffering the header.
+
+use bytes::Bytes;
+use gkfs_common::wire::{Decoder, Encoder};
+use gkfs_common::{GkfsError, Result};
+
+/// Registered RPC operation codes — the equivalent of Mercury's
+/// registered RPC names. One flat space shared by all daemons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum Opcode {
+    /// Liveness / deployment handshake.
+    Ping = 0,
+    /// Create a metadata entry (file or directory).
+    Create = 1,
+    /// Fetch a metadata entry.
+    Stat = 2,
+    /// Remove a metadata entry.
+    RemoveMeta = 3,
+    /// Update (merge) the size field of a metadata entry.
+    UpdateSize = 4,
+    /// Truncate/overwrite metadata size (decrease).
+    TruncateMeta = 5,
+    /// Enumerate direct children of a directory (prefix scan).
+    ReadDir = 6,
+    /// Write one batch of chunks owned by the target daemon.
+    WriteChunks = 7,
+    /// Read one batch of chunks owned by the target daemon.
+    ReadChunks = 8,
+    /// Remove all chunks of a file held by the target daemon.
+    RemoveChunks = 9,
+    /// Truncate chunks beyond a given size on the target daemon.
+    TruncateChunks = 10,
+    /// Daemon statistics snapshot (tests/benchmarks).
+    DaemonStats = 11,
+    /// Orderly shutdown.
+    Shutdown = 12,
+    /// Inventory of paths this daemon holds chunks for (fsck).
+    ChunkInventory = 13,
+}
+
+impl Opcode {
+    /// From u16.
+    pub fn from_u16(v: u16) -> Result<Opcode> {
+        Ok(match v {
+            0 => Opcode::Ping,
+            1 => Opcode::Create,
+            2 => Opcode::Stat,
+            3 => Opcode::RemoveMeta,
+            4 => Opcode::UpdateSize,
+            5 => Opcode::TruncateMeta,
+            6 => Opcode::ReadDir,
+            7 => Opcode::WriteChunks,
+            8 => Opcode::ReadChunks,
+            9 => Opcode::RemoveChunks,
+            10 => Opcode::TruncateChunks,
+            11 => Opcode::DaemonStats,
+            12 => Opcode::Shutdown,
+            13 => Opcode::ChunkInventory,
+            other => {
+                return Err(GkfsError::Rpc(format!("unknown opcode {other}")));
+            }
+        })
+    }
+}
+
+/// One RPC request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Opcode.
+    pub opcode: Opcode,
+    /// Correlation id, unique per connection.
+    pub id: u64,
+    /// Compact encoded arguments.
+    pub body: Bytes,
+    /// Out-of-band bulk payload (write data). Empty when unused.
+    pub bulk: Bytes,
+}
+
+impl Request {
+    /// Build a request with opcode and body (id assigned at send time).
+    pub fn new(opcode: Opcode, body: impl Into<Bytes>) -> Request {
+        Request {
+            opcode,
+            id: 0,
+            body: body.into(),
+            bulk: Bytes::new(),
+        }
+    }
+
+    /// With bulk.
+    pub fn with_bulk(mut self, bulk: impl Into<Bytes>) -> Request {
+        self.bulk = bulk.into();
+        self
+    }
+
+    /// Serialize for a byte-stream transport.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::with_capacity(self.body.len() + self.bulk.len() + 32);
+        e.u16(self.opcode as u16);
+        e.u64(self.id);
+        e.bytes(&self.body);
+        e.bytes(&self.bulk);
+        e.into_vec()
+    }
+
+    /// Deserialize from [`Request::encode`] output.
+    pub fn decode(buf: &[u8]) -> Result<Request> {
+        let mut d = Decoder::new(buf);
+        let opcode = Opcode::from_u16(d.u16()?)?;
+        let id = d.u64()?;
+        let body = Bytes::copy_from_slice(d.bytes()?);
+        let bulk = Bytes::copy_from_slice(d.bytes()?);
+        d.finish()?;
+        Ok(Request {
+            opcode,
+            id,
+            body,
+            bulk,
+        })
+    }
+}
+
+/// Response status: OK or a [`GkfsError`] wire code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Status {
+    /// Ok.
+    Ok,
+    /// Err.
+    Err(GkfsError),
+}
+
+/// One RPC response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Id.
+    pub id: u64,
+    /// Status.
+    pub status: Status,
+    /// Compact encoded results.
+    pub body: Bytes,
+    /// Out-of-band bulk payload (read data). Empty when unused.
+    pub bulk: Bytes,
+}
+
+impl Response {
+    /// Ok.
+    pub fn ok(body: impl Into<Bytes>) -> Response {
+        Response {
+            id: 0,
+            status: Status::Ok,
+            body: body.into(),
+            bulk: Bytes::new(),
+        }
+    }
+
+    /// Err.
+    pub fn err(e: GkfsError) -> Response {
+        Response {
+            id: 0,
+            status: Status::Err(e),
+            body: Bytes::new(),
+            bulk: Bytes::new(),
+        }
+    }
+
+    /// With bulk.
+    pub fn with_bulk(mut self, bulk: impl Into<Bytes>) -> Response {
+        self.bulk = bulk.into();
+        self
+    }
+
+    /// Convert into a `Result`, surfacing the remote error.
+    pub fn into_result(self) -> Result<Response> {
+        match &self.status {
+            Status::Ok => Ok(self),
+            Status::Err(e) => Err(e.clone()),
+        }
+    }
+
+    /// Serialize for a byte-stream transport.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::with_capacity(self.body.len() + self.bulk.len() + 32);
+        e.u64(self.id);
+        match &self.status {
+            Status::Ok => {
+                e.u32(0);
+                e.str("");
+            }
+            Status::Err(err) => {
+                e.u32(err.code());
+                e.str(err.detail());
+            }
+        }
+        e.bytes(&self.body);
+        e.bytes(&self.bulk);
+        e.into_vec()
+    }
+
+    /// Deserialize from [`Response::encode`] output.
+    pub fn decode(buf: &[u8]) -> Result<Response> {
+        let mut d = Decoder::new(buf);
+        let id = d.u64()?;
+        let code = d.u32()?;
+        let detail = d.str()?.to_string();
+        let status = if code == 0 {
+            Status::Ok
+        } else {
+            Status::Err(GkfsError::from_code(code, &detail))
+        };
+        let body = Bytes::copy_from_slice(d.bytes()?);
+        let bulk = Bytes::copy_from_slice(d.bytes()?);
+        d.finish()?;
+        Ok(Response {
+            id,
+            status,
+            body,
+            bulk,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let mut req = Request::new(Opcode::WriteChunks, &b"body-bytes"[..])
+            .with_bulk(Bytes::from(vec![9u8; 1024]));
+        req.id = 77;
+        let back = Request::decode(&req.encode()).unwrap();
+        assert_eq!(back.opcode, Opcode::WriteChunks);
+        assert_eq!(back.id, 77);
+        assert_eq!(&back.body[..], b"body-bytes");
+        assert_eq!(back.bulk.len(), 1024);
+    }
+
+    #[test]
+    fn response_roundtrip_ok_and_err() {
+        let mut r = Response::ok(&b"result"[..]).with_bulk(Bytes::from_static(b"data"));
+        r.id = 5;
+        let back = Response::decode(&r.encode()).unwrap();
+        assert_eq!(back.id, 5);
+        assert_eq!(back.status, Status::Ok);
+        assert_eq!(&back.bulk[..], b"data");
+
+        let mut r = Response::err(GkfsError::InvalidArgument("bad offset".into()));
+        r.id = 6;
+        let back = Response::decode(&r.encode()).unwrap();
+        match &back.status {
+            Status::Err(GkfsError::InvalidArgument(s)) => assert_eq!(s, "bad offset"),
+            other => panic!("unexpected status {other:?}"),
+        }
+        assert!(back.into_result().is_err());
+    }
+
+    #[test]
+    fn all_opcodes_roundtrip() {
+        for v in 0..14u16 {
+            let op = Opcode::from_u16(v).unwrap();
+            assert_eq!(op as u16, v);
+        }
+        assert!(Opcode::from_u16(999).is_err());
+    }
+
+    #[test]
+    fn malformed_frames_error() {
+        assert!(Request::decode(&[1, 2, 3]).is_err());
+        assert!(Response::decode(&[]).is_err());
+        // Unknown opcode in an otherwise well-formed frame.
+        let mut req = Request::new(Opcode::Ping, &b""[..]);
+        req.id = 1;
+        let mut buf = req.encode();
+        buf[0] = 0xFF;
+        buf[1] = 0xFF;
+        assert!(Request::decode(&buf).is_err());
+    }
+}

@@ -1,0 +1,171 @@
+//! The handler thread pool — Margo's execution model.
+//!
+//! Margo separates *progress* (pulling requests off the network) from
+//! *handling* (running the registered callback), with handlers executed
+//! by a pool of Argobots execution streams. We reproduce the same
+//! split: transports enqueue jobs; a fixed set of worker threads drains
+//! the queue. The pool is deliberately simple — an unbounded MPMC
+//! channel and `N` workers — because GekkoFS daemons pin the pool to
+//! one socket and size it statically (paper §IV: daemon and application
+//! pinned to separate sockets).
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolShared {
+    queued: AtomicU64,
+    executed: AtomicU64,
+}
+
+/// Fixed-size worker pool executing submitted jobs.
+pub struct HandlerPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    shared: Arc<PoolShared>,
+}
+
+impl HandlerPool {
+    /// Spawn a pool with `threads` workers (min 1).
+    pub fn new(threads: usize) -> HandlerPool {
+        let threads = threads.max(1);
+        let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
+        let shared = Arc::new(PoolShared {
+            queued: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let rx = rx.clone();
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("gkfs-handler-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                            shared.executed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    })
+                    .expect("spawn handler thread")
+            })
+            .collect();
+        HandlerPool {
+            tx: Some(tx),
+            workers,
+            shared,
+        }
+    }
+
+    /// Enqueue a job. Panics if the pool is already shut down (a
+    /// lifecycle bug, not a runtime condition).
+    pub fn submit<F: FnOnce() + Send + 'static>(&self, job: F) {
+        self.shared.queued.fetch_add(1, Ordering::Relaxed);
+        self.tx
+            .as_ref()
+            .expect("pool is shut down")
+            .send(Box::new(job))
+            .expect("pool workers gone");
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// `(queued, executed)` counters since startup.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.shared.queued.load(Ordering::Relaxed),
+            self.shared.executed.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Drain the queue and join all workers.
+    pub fn shutdown(&mut self) {
+        if let Some(tx) = self.tx.take() {
+            drop(tx); // closes the channel; workers exit after draining
+            for w in self.workers.drain(..) {
+                let _ = w.join();
+            }
+        }
+    }
+}
+
+impl Drop for HandlerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = HandlerPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (done_tx, done_rx) = unbounded();
+        for _ in 0..1000 {
+            let c = counter.clone();
+            let tx = done_tx.clone();
+            pool.submit(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+                let _ = tx.send(());
+            });
+        }
+        for _ in 0..1000 {
+            done_rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+        let (q, _e) = pool.counters();
+        assert_eq!(q, 1000);
+    }
+
+    #[test]
+    fn shutdown_drains_queue() {
+        let mut pool = HandlerPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..200 {
+            let c = counter.clone();
+            pool.submit(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 200);
+        let (q, e) = pool.counters();
+        assert_eq!(q, e);
+    }
+
+    #[test]
+    fn jobs_run_concurrently() {
+        let pool = HandlerPool::new(4);
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        let (done_tx, done_rx) = unbounded();
+        // Four jobs that can only complete if all four run at once.
+        for _ in 0..4 {
+            let b = barrier.clone();
+            let tx = done_tx.clone();
+            pool.submit(move || {
+                b.wait();
+                let _ = tx.send(());
+            });
+        }
+        for _ in 0..4 {
+            done_rx
+                .recv_timeout(std::time::Duration::from_secs(5))
+                .expect("jobs deadlocked: pool is not concurrent");
+        }
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = HandlerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+    }
+}

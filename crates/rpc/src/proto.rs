@@ -1,0 +1,547 @@
+//! File-system RPC body encodings — the contract between the GekkoFS
+//! client library and the daemon.
+//!
+//! Each request/response struct encodes into the body of a
+//! [`crate::Request`]/[`crate::Response`] frame with the
+//! [`gkfs_common::wire`] codec. Bulk data (chunk contents) never
+//! appears here — it rides the frame's out-of-band bulk payload.
+
+use gkfs_common::wire::{Decoder, Encoder};
+use gkfs_common::{GkfsError, Result};
+
+/// `Create`: make a metadata entry on its owning daemon.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CreateReq {
+    /// Path.
+    pub path: String,
+    /// 0 = file, 1 = directory (mirrors `FileKind`'s wire form).
+    pub kind: u8,
+    /// Mode.
+    pub mode: u32,
+    /// `O_EXCL` semantics: fail with `Exists` if the entry is present.
+    /// Without it, creating an existing entry is a no-op success.
+    pub exclusive: bool,
+    /// Creation timestamp chosen by the client.
+    pub now_ns: u64,
+}
+
+impl CreateReq {
+    /// Encode.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.str(&self.path)
+            .u8(self.kind)
+            .u32(self.mode)
+            .u8(self.exclusive as u8)
+            .u64(self.now_ns);
+        e.into_vec()
+    }
+
+    /// Decode.
+    pub fn decode(buf: &[u8]) -> Result<CreateReq> {
+        let mut d = Decoder::new(buf);
+        let r = CreateReq {
+            path: d.str()?.to_string(),
+            kind: d.u8()?,
+            mode: d.u32()?,
+            exclusive: d.u8()? != 0,
+            now_ns: d.u64()?,
+        };
+        d.finish()?;
+        Ok(r)
+    }
+}
+
+/// Requests that carry only a path (`Stat`, `RemoveMeta`, `ReadDir`,
+/// `RemoveChunks`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathReq {
+    /// Path.
+    pub path: String,
+}
+
+impl PathReq {
+    /// Build a request for `path`.
+    pub fn new(path: impl Into<String>) -> PathReq {
+        PathReq { path: path.into() }
+    }
+
+    /// Encode.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.str(&self.path);
+        e.into_vec()
+    }
+
+    /// Decode.
+    pub fn decode(buf: &[u8]) -> Result<PathReq> {
+        let mut d = Decoder::new(buf);
+        let r = PathReq {
+            path: d.str()?.to_string(),
+        };
+        d.finish()?;
+        Ok(r)
+    }
+}
+
+/// `UpdateSize`: merge a size candidate into a file's metadata
+/// (size = max(size, candidate)); the read-free write path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateSizeReq {
+    /// Path.
+    pub path: String,
+    /// Candidate size (write offset + length).
+    pub size: u64,
+    /// Mtime ns.
+    pub mtime_ns: u64,
+}
+
+impl UpdateSizeReq {
+    /// Encode.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.str(&self.path).u64(self.size).u64(self.mtime_ns);
+        e.into_vec()
+    }
+
+    /// Decode.
+    pub fn decode(buf: &[u8]) -> Result<UpdateSizeReq> {
+        let mut d = Decoder::new(buf);
+        let r = UpdateSizeReq {
+            path: d.str()?.to_string(),
+            size: d.u64()?,
+            mtime_ns: d.u64()?,
+        };
+        d.finish()?;
+        Ok(r)
+    }
+}
+
+/// `TruncateMeta`: set an exact (possibly smaller) size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TruncateMetaReq {
+    /// Path.
+    pub path: String,
+    /// New size.
+    pub new_size: u64,
+    /// Mtime ns.
+    pub mtime_ns: u64,
+}
+
+impl TruncateMetaReq {
+    /// Encode.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.str(&self.path).u64(self.new_size).u64(self.mtime_ns);
+        e.into_vec()
+    }
+
+    /// Decode.
+    pub fn decode(buf: &[u8]) -> Result<TruncateMetaReq> {
+        let mut d = Decoder::new(buf);
+        let r = TruncateMetaReq {
+            path: d.str()?.to_string(),
+            new_size: d.u64()?,
+            mtime_ns: d.u64()?,
+        };
+        d.finish()?;
+        Ok(r)
+    }
+}
+
+/// One directory entry in a `ReadDir` response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirentWire {
+    /// Name.
+    pub name: String,
+    /// 0 = file, 1 = directory.
+    pub kind: u8,
+    /// Size in bytes (0 for directories).
+    pub size: u64,
+}
+
+/// `ReadDir` response: the direct children this daemon knows about.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReadDirResp {
+    /// Entries.
+    pub entries: Vec<DirentWire>,
+}
+
+impl ReadDirResp {
+    /// Encode.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.u32(self.entries.len() as u32);
+        for ent in &self.entries {
+            e.str(&ent.name).u8(ent.kind).u64(ent.size);
+        }
+        e.into_vec()
+    }
+
+    /// Decode.
+    pub fn decode(buf: &[u8]) -> Result<ReadDirResp> {
+        let mut d = Decoder::new(buf);
+        let n = d.u32()? as usize;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            entries.push(DirentWire {
+                name: d.str()?.to_string(),
+                kind: d.u8()?,
+                size: d.u64()?,
+            });
+        }
+        d.finish()?;
+        Ok(ReadDirResp { entries })
+    }
+}
+
+/// One chunk-local operation inside a read or write batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkOp {
+    /// Chunk id.
+    pub chunk_id: u64,
+    /// Offset within the chunk.
+    pub offset: u64,
+    /// Bytes to read/write in this chunk.
+    pub len: u64,
+}
+
+/// `WriteChunks` / `ReadChunks`: a batch of chunk operations for one
+/// file on one daemon. For writes, the frame's bulk payload carries
+/// the concatenated data in `ops` order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkBatchReq {
+    /// Path.
+    pub path: String,
+    /// Ops.
+    pub ops: Vec<ChunkOp>,
+}
+
+impl ChunkBatchReq {
+    /// Encode.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.str(&self.path);
+        e.u32(self.ops.len() as u32);
+        for op in &self.ops {
+            e.u64(op.chunk_id).u64(op.offset).u64(op.len);
+        }
+        e.into_vec()
+    }
+
+    /// Decode.
+    pub fn decode(buf: &[u8]) -> Result<ChunkBatchReq> {
+        let mut d = Decoder::new(buf);
+        let path = d.str()?.to_string();
+        let n = d.u32()? as usize;
+        let mut ops = Vec::with_capacity(n);
+        for _ in 0..n {
+            ops.push(ChunkOp {
+                chunk_id: d.u64()?,
+                offset: d.u64()?,
+                len: d.u64()?,
+            });
+        }
+        d.finish()?;
+        Ok(ChunkBatchReq { path, ops })
+    }
+
+    /// Total bytes named by the batch.
+    pub fn total_len(&self) -> u64 {
+        self.ops.iter().map(|o| o.len).sum()
+    }
+}
+
+/// `ReadChunks` response body: per-op byte counts actually read; the
+/// data itself is in the frame's bulk payload, concatenated in op
+/// order (short reads shrink their segment).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadChunksResp {
+    /// Lens.
+    pub lens: Vec<u64>,
+}
+
+impl ReadChunksResp {
+    /// Encode.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.u32(self.lens.len() as u32);
+        for l in &self.lens {
+            e.u64(*l);
+        }
+        e.into_vec()
+    }
+
+    /// Decode.
+    pub fn decode(buf: &[u8]) -> Result<ReadChunksResp> {
+        let mut d = Decoder::new(buf);
+        let n = d.u32()? as usize;
+        let mut lens = Vec::with_capacity(n);
+        for _ in 0..n {
+            lens.push(d.u64()?);
+        }
+        d.finish()?;
+        Ok(ReadChunksResp { lens })
+    }
+}
+
+/// `TruncateChunks`: drop chunk data beyond a boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TruncateChunksReq {
+    /// Path.
+    pub path: String,
+    /// Keep chunk.
+    pub keep_chunk: u64,
+    /// Keep bytes.
+    pub keep_bytes: u64,
+}
+
+impl TruncateChunksReq {
+    /// Encode.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.str(&self.path).u64(self.keep_chunk).u64(self.keep_bytes);
+        e.into_vec()
+    }
+
+    /// Decode.
+    pub fn decode(buf: &[u8]) -> Result<TruncateChunksReq> {
+        let mut d = Decoder::new(buf);
+        let r = TruncateChunksReq {
+            path: d.str()?.to_string(),
+            keep_chunk: d.u64()?,
+            keep_bytes: d.u64()?,
+        };
+        d.finish()?;
+        Ok(r)
+    }
+}
+
+/// `RemoveMeta` response: the kind of the removed entry (so the client
+/// knows whether to fan out chunk removal).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoveMetaResp {
+    /// 0 = file, 1 = directory.
+    pub kind: u8,
+}
+
+impl RemoveMetaResp {
+    /// Encode.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.u8(self.kind);
+        e.into_vec()
+    }
+
+    /// Decode.
+    pub fn decode(buf: &[u8]) -> Result<RemoveMetaResp> {
+        let mut d = Decoder::new(buf);
+        let r = RemoveMetaResp { kind: d.u8()? };
+        d.finish()?;
+        Ok(r)
+    }
+}
+
+/// `DaemonStats` response: a flat counter snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DaemonStatsResp {
+    /// Meta entries.
+    pub meta_entries: u64,
+    /// Kv puts.
+    pub kv_puts: u64,
+    /// Kv gets.
+    pub kv_gets: u64,
+    /// Kv merges.
+    pub kv_merges: u64,
+    /// Storage write bytes.
+    pub storage_write_bytes: u64,
+    /// Storage read bytes.
+    pub storage_read_bytes: u64,
+}
+
+impl DaemonStatsResp {
+    /// Encode.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.u64(self.meta_entries)
+            .u64(self.kv_puts)
+            .u64(self.kv_gets)
+            .u64(self.kv_merges)
+            .u64(self.storage_write_bytes)
+            .u64(self.storage_read_bytes);
+        e.into_vec()
+    }
+
+    /// Decode.
+    pub fn decode(buf: &[u8]) -> Result<DaemonStatsResp> {
+        let mut d = Decoder::new(buf);
+        let r = DaemonStatsResp {
+            meta_entries: d.u64()?,
+            kv_puts: d.u64()?,
+            kv_gets: d.u64()?,
+            kv_merges: d.u64()?,
+            storage_write_bytes: d.u64()?,
+            storage_read_bytes: d.u64()?,
+        };
+        d.finish()?;
+        Ok(r)
+    }
+}
+
+/// `ChunkInventory` response: every path this daemon holds chunks
+/// for, with its chunk count (the fsck inventory).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ChunkInventoryResp {
+    /// Entries.
+    pub entries: Vec<(String, u64)>,
+}
+
+impl ChunkInventoryResp {
+    /// Encode.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.u32(self.entries.len() as u32);
+        for (path, count) in &self.entries {
+            e.str(path).u64(*count);
+        }
+        e.into_vec()
+    }
+
+    /// Decode.
+    pub fn decode(buf: &[u8]) -> Result<ChunkInventoryResp> {
+        let mut d = Decoder::new(buf);
+        let n = d.u32()? as usize;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            entries.push((d.str()?.to_string(), d.u64()?));
+        }
+        d.finish()?;
+        Ok(ChunkInventoryResp { entries })
+    }
+}
+
+/// Validate that a bulk payload length matches what a write batch
+/// declares (defensive check at the daemon boundary).
+pub fn check_bulk_len(req: &ChunkBatchReq, bulk_len: usize) -> Result<()> {
+    let expect = req.total_len();
+    if bulk_len as u64 != expect {
+        return Err(GkfsError::InvalidArgument(format!(
+            "bulk length {bulk_len} does not match batch total {expect}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_roundtrip() {
+        let r = CreateReq {
+            path: "/a/b".into(),
+            kind: 0,
+            mode: 0o644,
+            exclusive: true,
+            now_ns: 12345,
+        };
+        assert_eq!(CreateReq::decode(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn path_req_roundtrip() {
+        let r = PathReq::new("/x/y/z");
+        assert_eq!(PathReq::decode(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn size_and_truncate_roundtrip() {
+        let r = UpdateSizeReq {
+            path: "/f".into(),
+            size: 1 << 40,
+            mtime_ns: 7,
+        };
+        assert_eq!(UpdateSizeReq::decode(&r.encode()).unwrap(), r);
+        let t = TruncateMetaReq {
+            path: "/f".into(),
+            new_size: 100,
+            mtime_ns: 8,
+        };
+        assert_eq!(TruncateMetaReq::decode(&t.encode()).unwrap(), t);
+    }
+
+    #[test]
+    fn readdir_roundtrip() {
+        let r = ReadDirResp {
+            entries: vec![
+                DirentWire {
+                    name: "a".into(),
+                    kind: 0,
+                    size: 123,
+                },
+                DirentWire {
+                    name: "subdir".into(),
+                    kind: 1,
+                    size: 0,
+                },
+            ],
+        };
+        assert_eq!(ReadDirResp::decode(&r.encode()).unwrap(), r);
+        let empty = ReadDirResp::default();
+        assert_eq!(ReadDirResp::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn chunk_batch_roundtrip_and_total() {
+        let r = ChunkBatchReq {
+            path: "/data".into(),
+            ops: vec![
+                ChunkOp {
+                    chunk_id: 0,
+                    offset: 100,
+                    len: 400,
+                },
+                ChunkOp {
+                    chunk_id: 3,
+                    offset: 0,
+                    len: 512,
+                },
+            ],
+        };
+        assert_eq!(ChunkBatchReq::decode(&r.encode()).unwrap(), r);
+        assert_eq!(r.total_len(), 912);
+        assert!(check_bulk_len(&r, 912).is_ok());
+        assert!(check_bulk_len(&r, 911).is_err());
+    }
+
+    #[test]
+    fn read_chunks_resp_roundtrip() {
+        let r = ReadChunksResp {
+            lens: vec![512, 0, 77],
+        };
+        assert_eq!(ReadChunksResp::decode(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn chunk_inventory_roundtrip() {
+        let r = ChunkInventoryResp {
+            entries: vec![("/a".into(), 3), ("/b:x".into(), 1)],
+        };
+        assert_eq!(ChunkInventoryResp::decode(&r.encode()).unwrap(), r);
+        let empty = ChunkInventoryResp::default();
+        assert_eq!(ChunkInventoryResp::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn stats_roundtrip() {
+        let r = DaemonStatsResp {
+            meta_entries: 1,
+            kv_puts: 2,
+            kv_gets: 3,
+            kv_merges: 4,
+            storage_write_bytes: 5,
+            storage_read_bytes: 6,
+        };
+        assert_eq!(DaemonStatsResp::decode(&r.encode()).unwrap(), r);
+    }
+}

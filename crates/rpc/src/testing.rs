@@ -1,0 +1,144 @@
+//! Test doubles for fault injection.
+//!
+//! GekkoFS is explicitly *not* fault tolerant (§III-A discussion — a
+//! temporary FS trades resilience for speed), so the property worth
+//! testing is not recovery but **clean surfacing**: when a daemon
+//! misbehaves, clients must get errors, not hangs, corruption, or
+//! panics. These wrappers inject failures at the endpoint boundary.
+
+use crate::message::{Request, Response};
+use crate::transport::Endpoint;
+use gkfs_common::{GkfsError, Result};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Fails every `fail_every`-th call with an RPC error (1 = every call).
+pub struct FlakyEndpoint {
+    inner: Arc<dyn Endpoint>,
+    fail_every: u64,
+    calls: AtomicU64,
+}
+
+impl FlakyEndpoint {
+    /// Wrap `inner` with the injection policy.
+    pub fn new(inner: Arc<dyn Endpoint>, fail_every: u64) -> Arc<FlakyEndpoint> {
+        assert!(fail_every >= 1);
+        Arc::new(FlakyEndpoint {
+            inner,
+            fail_every,
+            calls: AtomicU64::new(0),
+        })
+    }
+
+    /// Calls attempted so far (including failed ones).
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+}
+
+impl Endpoint for FlakyEndpoint {
+    fn call(&self, req: Request) -> Result<Response> {
+        let n = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
+        if n % self.fail_every == 0 {
+            return Err(GkfsError::Rpc("injected fault".into()));
+        }
+        self.inner.call(req)
+    }
+}
+
+/// Delays every call by a fixed amount before forwarding — a slow or
+/// congested daemon.
+pub struct SlowEndpoint {
+    inner: Arc<dyn Endpoint>,
+    delay: Duration,
+}
+
+impl SlowEndpoint {
+    /// Wrap `inner` with the injection policy.
+    pub fn new(inner: Arc<dyn Endpoint>, delay: Duration) -> Arc<SlowEndpoint> {
+        Arc::new(SlowEndpoint { inner, delay })
+    }
+}
+
+impl Endpoint for SlowEndpoint {
+    fn call(&self, req: Request) -> Result<Response> {
+        std::thread::sleep(self.delay);
+        self.inner.call(req)
+    }
+}
+
+/// Refuses everything — a dead daemon.
+pub struct DeadEndpoint;
+
+impl Endpoint for DeadEndpoint {
+    fn call(&self, _req: Request) -> Result<Response> {
+        Err(GkfsError::Rpc("daemon unreachable".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handler::HandlerRegistry;
+    use crate::message::Opcode;
+    use crate::transport::inproc::RpcServer;
+
+    fn echo() -> Arc<RpcServer> {
+        let mut reg = HandlerRegistry::new();
+        reg.register_fn(Opcode::Ping, |req| Response::ok(req.body));
+        RpcServer::new(reg, 1)
+    }
+
+    #[test]
+    fn flaky_fails_on_schedule() {
+        let server = echo();
+        let flaky = FlakyEndpoint::new(server.endpoint(), 3);
+        let mut outcomes = Vec::new();
+        for _ in 0..9 {
+            outcomes.push(flaky.call(Request::new(Opcode::Ping, &b""[..])).is_ok());
+        }
+        assert_eq!(
+            outcomes,
+            vec![true, true, false, true, true, false, true, true, false]
+        );
+        assert_eq!(flaky.calls(), 9);
+    }
+
+    #[test]
+    fn dead_endpoint_always_errors() {
+        let dead = DeadEndpoint;
+        for _ in 0..3 {
+            assert!(matches!(
+                dead.call(Request::new(Opcode::Ping, &b""[..])),
+                Err(GkfsError::Rpc(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn slow_endpoint_delays_but_succeeds() {
+        let server = echo();
+        let slow = SlowEndpoint::new(server.endpoint(), Duration::from_millis(20));
+        let t0 = std::time::Instant::now();
+        slow.call(Request::new(Opcode::Ping, &b"x"[..])).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn inproc_timeout_fires_on_stuck_handler() {
+        // A handler that never returns promptly: the endpoint's
+        // timeout must fire rather than hang the client.
+        let mut reg = HandlerRegistry::new();
+        reg.register_fn(Opcode::Ping, |req| {
+            std::thread::sleep(Duration::from_millis(300));
+            Response::ok(req.body)
+        });
+        let server = RpcServer::new(reg, 1);
+        let ep = server.endpoint_with_timeout(Duration::from_millis(30));
+        let t0 = std::time::Instant::now();
+        let r = ep.call(Request::new(Opcode::Ping, &b""[..]));
+        assert!(matches!(r, Err(GkfsError::Timeout)));
+        assert!(t0.elapsed() < Duration::from_millis(200), "timed out promptly");
+    }
+}

@@ -1,0 +1,23 @@
+//! Transports: how a request reaches a daemon.
+//!
+//! Both transports implement [`Endpoint`], the client's view of one
+//! daemon. The file-system layers above never know which transport is
+//! in use — exactly Mercury's portability property that the paper
+//! leans on ("GekkoFS should be hardware independent", §III).
+
+use crate::message::{Request, Response};
+use gkfs_common::Result;
+
+pub mod inproc;
+pub mod tcp;
+
+/// A client's handle to one daemon: a blocking request/response call.
+///
+/// Implementations must be usable concurrently from many threads; the
+/// client library fans out chunk operations over endpoints with scoped
+/// threads.
+pub trait Endpoint: Send + Sync {
+    /// Issue `req` and wait for the response (transport errors surface
+    /// as `Err`; application errors ride inside the `Response` status).
+    fn call(&self, req: Request) -> Result<Response>;
+}

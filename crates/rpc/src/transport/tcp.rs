@@ -1,0 +1,381 @@
+//! TCP transport.
+//!
+//! Real sockets, for running daemons as separate processes or on
+//! separate machines. Frames are length-prefixed; each connection has
+//! one reader thread, and responses are correlated to waiting callers
+//! by request id, so one connection multiplexes any number of
+//! concurrent calls (as Mercury does over its network plugins).
+
+use crate::handler::HandlerRegistry;
+use crate::message::{Request, Response};
+use crate::pool::HandlerPool;
+use crate::stats::RpcStats;
+use crate::transport::Endpoint;
+use crate::Status;
+use crossbeam::channel::{bounded, Sender};
+use gkfs_common::{GkfsError, Result};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Maximum accepted frame: 256 MiB guards against garbage length
+/// prefixes from a confused peer.
+const MAX_FRAME: u32 = 256 * 1024 * 1024;
+
+fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> Result<()> {
+    let len = payload.len() as u32;
+    if len > MAX_FRAME {
+        return Err(GkfsError::Rpc(format!("frame too large: {len}")));
+    }
+    stream.write_all(&len.to_le_bytes())?;
+    stream.write_all(payload)?;
+    Ok(())
+}
+
+fn read_frame(stream: &mut TcpStream) -> Result<Vec<u8>> {
+    let mut len_buf = [0u8; 4];
+    stream.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(GkfsError::Rpc(format!("frame too large: {len}")));
+    }
+    let mut buf = vec![0u8; len as usize];
+    stream.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// A TCP daemon listener: accepts connections and serves requests on a
+/// handler pool.
+pub struct TcpServer {
+    addr: SocketAddr,
+    shutting_down: Arc<AtomicBool>,
+    stats: Arc<RpcStats>,
+    accept_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Live connection sockets, closed forcibly on shutdown so that
+    /// clients of a stopped daemon see errors instead of a silently
+    /// still-working ghost server.
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+}
+
+impl TcpServer {
+    /// Bind `addr` (use port 0 for an OS-assigned port; the actual
+    /// address is available via [`TcpServer::local_addr`]) and start
+    /// serving.
+    pub fn bind(
+        addr: &str,
+        registry: HandlerRegistry,
+        handler_threads: usize,
+    ) -> Result<Arc<TcpServer>> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| GkfsError::Rpc(format!("bind {addr}: {e}")))?;
+        let local = listener.local_addr().map_err(|e| GkfsError::Rpc(e.to_string()))?;
+        let shutting_down = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(RpcStats::default());
+        let registry = Arc::new(registry);
+        let pool = Arc::new(HandlerPool::new(handler_threads));
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept = {
+            let shutting_down = shutting_down.clone();
+            let stats = stats.clone();
+            let conns = conns.clone();
+            std::thread::Builder::new()
+                .name("gkfs-tcp-accept".into())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if shutting_down.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = conn else { continue };
+                        // Responses are small framed messages: Nagle
+                        // plus delayed ACKs would add milliseconds per
+                        // round trip.
+                        stream.set_nodelay(true).ok();
+                        if let Ok(clone) = stream.try_clone() {
+                            conns.lock().push(clone);
+                        }
+                        let registry = registry.clone();
+                        let pool = pool.clone();
+                        let stats = stats.clone();
+                        let shutting_down = shutting_down.clone();
+                        std::thread::Builder::new()
+                            .name("gkfs-tcp-conn".into())
+                            .spawn(move || {
+                                serve_connection(stream, registry, pool, stats, shutting_down)
+                            })
+                            .expect("spawn connection thread");
+                    }
+                })
+                .expect("spawn accept thread")
+        };
+
+        Ok(Arc::new(TcpServer {
+            addr: local,
+            shutting_down,
+            stats,
+            accept_thread: Mutex::new(Some(accept)),
+            conns,
+        }))
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stats.
+    pub fn stats(&self) -> &RpcStats {
+        &self.stats
+    }
+
+    /// Stop accepting and wind down. In-flight requests on open
+    /// connections complete; new connections are rejected.
+    pub fn shutdown(&self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.lock().take() {
+            let _ = t.join();
+        }
+        // Sever every established connection: a stopped daemon must
+        // look stopped to its clients.
+        for c in self.conns.lock().drain(..) {
+            let _ = c.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    registry: Arc<HandlerRegistry>,
+    pool: Arc<HandlerPool>,
+    stats: Arc<RpcStats>,
+    shutting_down: Arc<AtomicBool>,
+) {
+    let writer = Arc::new(Mutex::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    }));
+    let mut reader = stream;
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(f) => f,
+            Err(_) => break, // peer closed or stream damaged: drop conn
+        };
+        let req = match Request::decode(&frame) {
+            Ok(r) => r,
+            Err(_) => break, // unparseable frame: protocol broken, drop
+        };
+        if shutting_down.load(Ordering::SeqCst) {
+            let mut resp = Response::err(GkfsError::ShuttingDown);
+            resp.id = req.id;
+            let _ = write_frame(&mut writer.lock(), &resp.encode());
+            continue;
+        }
+        stats.record_request(req.body.len(), req.bulk.len());
+        let registry = registry.clone();
+        let writer = writer.clone();
+        let stats = stats.clone();
+        pool.submit(move || {
+            let resp = registry.dispatch(req);
+            stats.record_response(
+                matches!(resp.status, Status::Ok),
+                resp.body.len(),
+                resp.bulk.len(),
+            );
+            let _ = write_frame(&mut writer.lock(), &resp.encode());
+        });
+    }
+}
+
+/// Client handle to one TCP daemon. One socket, multiplexed.
+pub struct TcpEndpoint {
+    writer: Mutex<TcpStream>,
+    pending: Arc<Mutex<HashMap<u64, Sender<Response>>>>,
+    next_id: AtomicU64,
+    timeout: Duration,
+    closed: Arc<AtomicBool>,
+}
+
+impl TcpEndpoint {
+    /// Connect to a daemon at `addr`.
+    pub fn connect(addr: &str) -> Result<Arc<TcpEndpoint>> {
+        Self::connect_with_timeout(addr, Duration::from_secs(30))
+    }
+
+    /// Connect with a custom per-call timeout.
+    pub fn connect_with_timeout(addr: &str, timeout: Duration) -> Result<Arc<TcpEndpoint>> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| GkfsError::Rpc(format!("connect {addr}: {e}")))?;
+        stream.set_nodelay(true).ok();
+        let reader = stream
+            .try_clone()
+            .map_err(|e| GkfsError::Rpc(e.to_string()))?;
+        let pending: Arc<Mutex<HashMap<u64, Sender<Response>>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let closed = Arc::new(AtomicBool::new(false));
+
+        {
+            let pending = pending.clone();
+            let closed = closed.clone();
+            std::thread::Builder::new()
+                .name("gkfs-tcp-reader".into())
+                .spawn(move || {
+                    let mut reader = reader;
+                    loop {
+                        let frame = match read_frame(&mut reader) {
+                            Ok(f) => f,
+                            Err(_) => break,
+                        };
+                        let Ok(resp) = Response::decode(&frame) else {
+                            break;
+                        };
+                        if let Some(tx) = pending.lock().remove(&resp.id) {
+                            let _ = tx.send(resp);
+                        }
+                    }
+                    closed.store(true, Ordering::SeqCst);
+                    // Wake all waiters; their channels drop empty.
+                    pending.lock().clear();
+                })
+                .expect("spawn reader thread");
+        }
+
+        Ok(Arc::new(TcpEndpoint {
+            writer: Mutex::new(stream),
+            pending,
+            next_id: AtomicU64::new(1),
+            timeout,
+            closed,
+        }))
+    }
+}
+
+impl Endpoint for TcpEndpoint {
+    fn call(&self, mut req: Request) -> Result<Response> {
+        if self.closed.load(Ordering::SeqCst) {
+            return Err(GkfsError::Rpc("connection closed".into()));
+        }
+        req.id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = bounded::<Response>(1);
+        self.pending.lock().insert(req.id, tx);
+        let frame = req.encode();
+        {
+            let mut w = self.writer.lock();
+            if let Err(e) = write_frame(&mut w, &frame) {
+                self.pending.lock().remove(&req.id);
+                return Err(e);
+            }
+        }
+        match rx.recv_timeout(self.timeout) {
+            Ok(resp) => Ok(resp),
+            Err(_) => {
+                self.pending.lock().remove(&req.id);
+                if self.closed.load(Ordering::SeqCst) {
+                    Err(GkfsError::Rpc("connection closed".into()))
+                } else {
+                    Err(GkfsError::Timeout)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Opcode;
+    use bytes::Bytes;
+
+    fn echo_registry() -> HandlerRegistry {
+        let mut reg = HandlerRegistry::new();
+        reg.register_fn(Opcode::Ping, |req| {
+            Response::ok(req.body).with_bulk(req.bulk)
+        });
+        reg.register_fn(Opcode::Stat, |_| Response::err(GkfsError::NotFound));
+        reg
+    }
+
+    #[test]
+    fn roundtrip_over_sockets() {
+        let server = TcpServer::bind("127.0.0.1:0", echo_registry(), 2).unwrap();
+        let ep = TcpEndpoint::connect(&server.local_addr().to_string()).unwrap();
+        let resp = ep
+            .call(Request::new(Opcode::Ping, &b"over tcp"[..]).with_bulk(Bytes::from(vec![3u8; 4096])))
+            .unwrap();
+        assert_eq!(&resp.body[..], b"over tcp");
+        assert_eq!(resp.bulk.len(), 4096);
+        server.shutdown();
+    }
+
+    #[test]
+    fn error_status_travels() {
+        let server = TcpServer::bind("127.0.0.1:0", echo_registry(), 1).unwrap();
+        let ep = TcpEndpoint::connect(&server.local_addr().to_string()).unwrap();
+        let resp = ep.call(Request::new(Opcode::Stat, &b""[..])).unwrap();
+        assert!(matches!(resp.status, Status::Err(GkfsError::NotFound)));
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_calls_multiplex_one_socket() {
+        let server = TcpServer::bind("127.0.0.1:0", echo_registry(), 4).unwrap();
+        let ep = TcpEndpoint::connect(&server.local_addr().to_string()).unwrap();
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let ep = &ep;
+                s.spawn(move || {
+                    for i in 0..100 {
+                        let msg = format!("t{t}-i{i}");
+                        let resp = ep
+                            .call(Request::new(Opcode::Ping, Bytes::from(msg.clone())))
+                            .unwrap();
+                        assert_eq!(&resp.body[..], msg.as_bytes(), "responses must not cross");
+                    }
+                });
+            }
+        });
+        server.shutdown();
+    }
+
+    #[test]
+    fn connect_to_dead_server_fails() {
+        // Bind then immediately shut down to get a dead address.
+        let server = TcpServer::bind("127.0.0.1:0", HandlerRegistry::new(), 1).unwrap();
+        let addr = server.local_addr().to_string();
+        server.shutdown();
+        drop(server);
+        // Either connect fails outright or the first call does.
+        match TcpEndpoint::connect(&addr) {
+            Err(_) => {}
+            Ok(ep) => {
+                let r = ep.call(Request::new(Opcode::Ping, &b""[..]));
+                assert!(r.is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn large_bulk_payload() {
+        let server = TcpServer::bind("127.0.0.1:0", echo_registry(), 2).unwrap();
+        let ep = TcpEndpoint::connect(&server.local_addr().to_string()).unwrap();
+        let bulk = Bytes::from((0..(4 << 20)).map(|i| (i % 251) as u8).collect::<Vec<u8>>());
+        let resp = ep
+            .call(Request::new(Opcode::Ping, &b""[..]).with_bulk(bulk.clone()))
+            .unwrap();
+        assert_eq!(resp.bulk, bulk);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,137 @@
+//! TCP transport robustness: connection churn, many concurrent
+//! connections, server restarts, and hostile peers.
+
+use bytes::Bytes;
+use gkfs_common::GkfsError;
+use gkfs_rpc::transport::Endpoint;
+use gkfs_rpc::{HandlerRegistry, Opcode, Request, Response, TcpEndpoint, TcpServer};
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn echo_registry() -> HandlerRegistry {
+    let mut reg = HandlerRegistry::new();
+    reg.register_fn(Opcode::Ping, |req| Response::ok(req.body).with_bulk(req.bulk));
+    reg
+}
+
+#[test]
+fn connection_churn() {
+    let server = TcpServer::bind("127.0.0.1:0", echo_registry(), 2).unwrap();
+    let addr = server.local_addr().to_string();
+    // 50 sequential connect/call/drop cycles must all work (no fd
+    // leaks, no lingering state).
+    for i in 0..50 {
+        let ep = TcpEndpoint::connect(&addr).unwrap();
+        let resp = ep
+            .call(Request::new(Opcode::Ping, Bytes::from(format!("c{i}"))))
+            .unwrap();
+        assert_eq!(&resp.body[..], format!("c{i}").as_bytes());
+    }
+    server.shutdown();
+}
+
+#[test]
+fn many_parallel_connections() {
+    let server = TcpServer::bind("127.0.0.1:0", echo_registry(), 4).unwrap();
+    let addr = server.local_addr().to_string();
+    std::thread::scope(|s| {
+        for t in 0..16 {
+            let addr = &addr;
+            s.spawn(move || {
+                let ep = TcpEndpoint::connect(addr).unwrap();
+                for i in 0..50 {
+                    let msg = format!("t{t}i{i}");
+                    let resp = ep
+                        .call(Request::new(Opcode::Ping, Bytes::from(msg.clone())))
+                        .unwrap();
+                    assert_eq!(&resp.body[..], msg.as_bytes());
+                }
+            });
+        }
+    });
+    let (req, resp, err, _, _) = server.stats().snapshot();
+    assert_eq!(req, 16 * 50);
+    assert_eq!(resp, 16 * 50);
+    assert_eq!(err, 0);
+    server.shutdown();
+}
+
+#[test]
+fn stale_endpoint_fails_cleanly_after_server_restart() {
+    let server = TcpServer::bind("127.0.0.1:0", echo_registry(), 1).unwrap();
+    let addr = server.local_addr().to_string();
+    let ep = TcpEndpoint::connect(&addr).unwrap();
+    ep.call(Request::new(Opcode::Ping, &b"x"[..])).unwrap();
+    server.shutdown();
+    drop(server);
+
+    // Stale endpoint: errors, never hangs.
+    let t0 = std::time::Instant::now();
+    let r = ep.call(Request::new(Opcode::Ping, &b"y"[..]));
+    assert!(r.is_err(), "stale connection must fail");
+    assert!(t0.elapsed() < Duration::from_secs(5));
+
+    // A fresh server on the SAME port (simulating a daemon restart):
+    // new connections work even though the old endpoint is dead.
+    let server2 = match TcpServer::bind(&addr, echo_registry(), 1) {
+        Ok(s) => s,
+        Err(_) => return, // port grabbed by someone else: skip rest
+    };
+    let ep2 = TcpEndpoint::connect(&addr).unwrap();
+    let resp = ep2.call(Request::new(Opcode::Ping, &b"fresh"[..])).unwrap();
+    assert_eq!(&resp.body[..], b"fresh");
+    // The old endpoint stays dead (no implicit reconnect — clients
+    // re-resolve the hosts file, as GekkoFS deployments do).
+    assert!(ep.call(Request::new(Opcode::Ping, &b"z"[..])).is_err());
+    server2.shutdown();
+}
+
+#[test]
+fn garbage_bytes_do_not_crash_server() {
+    let server = TcpServer::bind("127.0.0.1:0", echo_registry(), 1).unwrap();
+    let addr = server.local_addr().to_string();
+
+    // A peer that sends raw garbage: the server drops the connection
+    // and keeps serving others.
+    {
+        let mut raw = TcpStream::connect(&addr).unwrap();
+        raw.write_all(&[0xDE, 0xAD, 0xBE, 0xEF, 0xFF, 0xFF, 0xFF, 0xFF])
+            .unwrap();
+        raw.write_all(&[0u8; 64]).unwrap();
+        // (drop closes)
+    }
+    // A peer that claims an absurd frame length.
+    {
+        let mut raw = TcpStream::connect(&addr).unwrap();
+        raw.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    }
+    // Healthy client still works.
+    let ep = TcpEndpoint::connect(&addr).unwrap();
+    let resp = ep.call(Request::new(Opcode::Ping, &b"alive"[..])).unwrap();
+    assert_eq!(&resp.body[..], b"alive");
+    server.shutdown();
+}
+
+#[test]
+fn zero_timeout_request_times_out_not_hangs() {
+    let mut reg = HandlerRegistry::new();
+    reg.register_fn(Opcode::Ping, |req| {
+        std::thread::sleep(Duration::from_millis(200));
+        Response::ok(req.body)
+    });
+    let server = TcpServer::bind("127.0.0.1:0", reg, 1).unwrap();
+    let ep = TcpEndpoint::connect_with_timeout(
+        &server.local_addr().to_string(),
+        Duration::from_millis(20),
+    )
+    .unwrap();
+    let r = ep.call(Request::new(Opcode::Ping, &b""[..]));
+    assert!(matches!(r, Err(GkfsError::Timeout)));
+    // The connection remains usable for later calls (the late response
+    // is discarded by correlation id).
+    std::thread::sleep(Duration::from_millis(250));
+    let ep2 = TcpEndpoint::connect(&server.local_addr().to_string()).unwrap();
+    assert!(ep2.call(Request::new(Opcode::Ping, &b"ok"[..])).is_ok());
+    server.shutdown();
+}

@@ -1,0 +1,65 @@
+//! Deployment-time model: "deployed in under 20 seconds on a 512 node
+//! cluster" (paper §I, §IV: "GekkoFS daemons are restarted (requiring
+//! less than 20 seconds for 512 nodes)").
+//!
+//! Startup is a parallel remote launch: the job launcher fans out over
+//! the nodes in a spawning tree (`pdsh`/`srun`-style), each daemon
+//! initializes its local backends, and the launcher waits for every
+//! daemon's ready handshake.
+
+use crate::params::SimParams;
+use std::time::Duration;
+
+/// Per-node daemon initialization: process start + RocksDB open +
+/// chunk-dir creation on the SSD. Measured single-node GekkoFS starts
+/// are 1–2 s; we use a conservative value.
+const DAEMON_INIT_NS: u64 = 1_800_000_000;
+
+/// Remote-spawn cost per tree hop (ssh/launcher handshake).
+const SPAWN_HOP_NS: u64 = 350_000_000;
+
+/// Fan-out of the spawning tree.
+const SPAWN_FANOUT: usize = 8;
+
+/// Simulated wall-clock time to deploy `nodes` daemons.
+pub fn sim_deploy_time(nodes: usize, params: &SimParams) -> Duration {
+    assert!(nodes > 0);
+    // Depth of the spawn tree: ceil(log_fanout(nodes)).
+    let mut depth = 0u32;
+    let mut reach = 1usize;
+    while reach < nodes {
+        reach *= SPAWN_FANOUT;
+        depth += 1;
+    }
+    // All leaves start after `depth` hops; daemons initialize in
+    // parallel; one final handshake round-trip.
+    let total =
+        depth as u64 * SPAWN_HOP_NS + DAEMON_INIT_NS + 2 * params.net_latency_ns;
+    Duration::from_nanos(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_node_is_just_daemon_init() {
+        let t = sim_deploy_time(1, &SimParams::default());
+        assert!(t < Duration::from_secs(3), "{t:?}");
+    }
+
+    #[test]
+    fn deploys_512_nodes_under_20_seconds() {
+        let t = sim_deploy_time(512, &SimParams::default());
+        assert!(t < Duration::from_secs(20), "paper bound violated: {t:?}");
+        assert!(t > Duration::from_secs(1), "implausibly fast: {t:?}");
+    }
+
+    #[test]
+    fn growth_is_logarithmic() {
+        let t64 = sim_deploy_time(64, &SimParams::default());
+        let t512 = sim_deploy_time(512, &SimParams::default());
+        // 8× more nodes must cost far less than 8× the time.
+        assert!(t512 < t64 * 2, "{t64:?} -> {t512:?}");
+    }
+}

@@ -1,0 +1,493 @@
+//! IOR at MOGON II scale: the model behind Figure 3 and the §IV-B
+//! random-access and shared-file experiments.
+//!
+//! Each closed-loop rank moves `data_per_proc` bytes in `transfer_size`
+//! units. Every transfer is split into 512 KiB chunk pieces with the
+//! *real* chunking code ([`gkfs_common::chunk::chunk_range`]) and each
+//! piece visits, in order: the client node's NIC (bandwidth), the
+//! owning daemon's NIC, its handler pool, and its SSD (fixed per-op
+//! cost + effective-bandwidth transfer + a seek penalty for random
+//! sub-chunk offsets). Writes then send one size-update RPC to the
+//! file's single metadata owner — the §IV-B hotspot — unless the
+//! client cache coalesces `window` updates into one.
+
+use crate::engine::{run_closed_loop, LoopResult, MultiServer};
+use crate::params::SimParams;
+use gkfs_common::chunk::{chunk_range, ChunkLayout};
+use gkfs_common::hash::xxh64;
+
+/// Write or read phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IorPhase {
+    /// The write phase.
+    Write,
+    /// The read phase.
+    Read,
+}
+
+/// File layout / shared-file cache mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SharedFileMode {
+    /// Each rank has its own file (metadata owners spread out).
+    FilePerProcess,
+    /// One shared file, synchronous size updates (paper's default —
+    /// the ≈150 K ops/s ceiling).
+    SharedNoCache,
+    /// One shared file with the §IV-B client cache coalescing this
+    /// many write size-updates into one RPC.
+    /// One shared file with the §IV-B client cache coalescing
+    /// `window` write size-updates into one RPC.
+    SharedCached {
+        /// Updates coalesced per flush.
+        window: u64,
+    },
+}
+
+/// Simulation inputs for one Figure-3 data point.
+#[derive(Debug, Clone)]
+pub struct IorSimConfig {
+    /// Number of file-system nodes.
+    pub nodes: usize,
+    /// Write or read phase.
+    pub phase: IorPhase,
+    /// Bytes per I/O call (8 KiB … 64 MiB in the paper).
+    pub transfer_size: u64,
+    /// Bytes each rank moves (paper: 4 GiB; scaled down by default —
+    /// throughput is steady-state).
+    pub data_per_proc: u64,
+    /// Shuffled offsets (the §IV-B random-access experiment).
+    pub random: bool,
+    /// Mode.
+    pub mode: SharedFileMode,
+    /// BurstFS-style write-local placement ablation (§II/§V): chunks
+    /// stay on the writing client's node, skipping the network.
+    pub locality: bool,
+    /// N-to-1 read pattern: every rank reads rank 0's output (a
+    /// broadcast/restart pattern). Only meaningful for the read phase;
+    /// under `locality` all of that file's chunks live on rank 0's
+    /// node, so the pattern exposes the write-local trade-off.
+    pub n_to_one_read: bool,
+    /// Testbed calibration.
+    pub params: SimParams,
+}
+
+impl IorSimConfig {
+    /// Config with scaled-down default volumes.
+    pub fn new(nodes: usize, phase: IorPhase, transfer_size: u64) -> IorSimConfig {
+        IorSimConfig {
+            nodes,
+            phase,
+            transfer_size,
+            data_per_proc: (16 * 1024 * 1024).max(transfer_size),
+            random: false,
+            mode: SharedFileMode::FilePerProcess,
+            locality: false,
+            n_to_one_read: false,
+            params: SimParams::default(),
+        }
+    }
+}
+
+/// Result of one simulated IOR phase.
+#[derive(Debug, Clone, Copy)]
+pub struct IorSimResult {
+    /// Closed-loop timing result.
+    pub inner: LoopResult,
+    /// Bytes moved across all ranks.
+    pub total_bytes: u64,
+    /// Bytes that crossed the fabric (zero for purely local
+    /// placement) — the observable the locality ablation trades on.
+    pub net_bytes: u64,
+}
+
+impl IorSimResult {
+    /// Aggregate throughput in MiB/s.
+    pub fn mib_per_sec(&self) -> f64 {
+        self.total_bytes as f64 / (1024.0 * 1024.0) / (self.inner.makespan_ns as f64 / 1e9)
+    }
+
+    /// Aggregate I/O operations (transfers) per second.
+    pub fn iops(&self) -> f64 {
+        self.inner.ops_per_sec()
+    }
+
+    /// Mean per-transfer latency in microseconds.
+    pub fn mean_latency_us(&self) -> f64 {
+        self.inner.mean_latency_ns as f64 / 1e3
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+struct NodeRes {
+    client_nic: MultiServer,
+    daemon_nic: MultiServer,
+    handlers: MultiServer,
+    ssd: MultiServer,
+}
+
+/// Simulate one IOR phase.
+pub fn sim_ior(cfg: &IorSimConfig) -> IorSimResult {
+    let p = &cfg.params;
+    let procs = cfg.nodes * p.procs_per_node;
+    let ops_per_proc = (cfg.data_per_proc / cfg.transfer_size).max(1);
+    let layout = ChunkLayout::new(p.chunk_size);
+    let nodes = cfg.nodes as u64;
+
+    let mut res: Vec<NodeRes> = (0..cfg.nodes)
+        .map(|_| NodeRes {
+            client_nic: MultiServer::new(1),
+            daemon_nic: MultiServer::new(1),
+            handlers: MultiServer::new(p.handler_threads),
+            ssd: MultiServer::new(1),
+        })
+        .collect();
+
+    let (ssd_bw, ssd_op, seek) = match cfg.phase {
+        IorPhase::Write => (
+            p.ssd_write_bw * p.fs_write_eff,
+            p.ssd_write_op_ns,
+            p.ssd_write_seek_ns,
+        ),
+        IorPhase::Read => (
+            p.ssd_read_bw * p.fs_read_eff,
+            p.ssd_read_op_ns,
+            p.ssd_read_seek_ns,
+        ),
+    };
+    let sub_chunk_random = cfg.random && cfg.transfer_size < p.chunk_size;
+
+    let procs_per_node = p.procs_per_node;
+    let mut net_bytes: u64 = 0;
+    let result = run_closed_loop(procs, ops_per_proc, |proc, i, now| {
+        let client_node = proc / procs_per_node;
+        // N-to-1 reads target rank 0's file regardless of the reader.
+        let n_to_one = cfg.n_to_one_read && cfg.phase == IorPhase::Read;
+        // File identity decides metadata ownership and chunk hashing.
+        let file_id: u64 = if n_to_one {
+            1
+        } else {
+            match cfg.mode {
+                SharedFileMode::FilePerProcess => proc as u64 + 1,
+                _ => 0,
+            }
+        };
+        // Offset of this transfer within the global file space.
+        let base = if n_to_one {
+            0u64
+        } else {
+            match cfg.mode {
+                SharedFileMode::FilePerProcess => 0u64,
+                _ => proc as u64 * cfg.data_per_proc,
+            }
+        };
+        let logical_i = if cfg.random {
+            // Deterministic *permutation* of the transfer order (IOR
+            // shuffles; a plain hash-mod would repeat offsets and skew
+            // placement). For power-of-two op counts an odd-multiplier
+            // affine map is a bijection; otherwise fall back to a
+            // coprime stride.
+            let salt = xxh64(&proc.to_le_bytes(), 11) | 1;
+            if ops_per_proc.is_power_of_two() {
+                (i.wrapping_mul(0x9E3779B97F4A7C15 | 1).wrapping_add(salt))
+                    & (ops_per_proc - 1)
+            } else {
+                // Stride 1 less than a power of two is odd; make it
+                // coprime by trial.
+                let mut stride = (salt % ops_per_proc).max(1);
+                while gcd(stride, ops_per_proc) != 1 {
+                    stride += 1;
+                }
+                (i * stride + salt) % ops_per_proc
+            }
+        } else {
+            i
+        };
+        let offset = base + logical_i * cfg.transfer_size;
+
+        let t0 = now + p.client_overhead_ns;
+        let mut data_done = t0;
+        for piece in chunk_range(layout, offset, cfg.transfer_size) {
+            let owner = if cfg.locality {
+                if n_to_one {
+                    0 // the writer (rank 0, node 0) holds every chunk
+                } else {
+                    client_node // BurstFS-style: chunks stay on my node
+                }
+            } else {
+                (xxh64(
+                    &[file_id.to_le_bytes(), piece.chunk_id.to_le_bytes()].concat(),
+                    1,
+                ) % nodes) as usize
+            };
+            let data_is_local = cfg.locality && owner == client_node;
+            let handled_at = if data_is_local {
+                // Local IPC: no fabric crossing, no NIC serialization.
+                t0
+            } else {
+                if owner != client_node {
+                    net_bytes += piece.len;
+                }
+                // Client NIC serializes this node's outbound pieces.
+                let nic_svc = (piece.len as f64 / p.nic_bw * 1e9) as u64;
+                let sent = res[client_node].client_nic.submit(t0, nic_svc);
+                res[owner]
+                    .daemon_nic
+                    .submit(sent + p.net_latency_ns, nic_svc)
+            };
+            let handled = res[owner]
+                .handlers
+                .submit(handled_at, p.chunk_handler_svc_ns);
+            let mut ssd_svc = ssd_op + (piece.len as f64 / ssd_bw * 1e9) as u64;
+            if sub_chunk_random {
+                ssd_svc += seek;
+            }
+            let stored = res[owner].ssd.submit(handled, ssd_svc);
+            let reply_latency = if data_is_local { 0 } else { p.net_latency_ns };
+            data_done = data_done.max(stored + reply_latency);
+        }
+
+        // Writes update the file size at its metadata owner. The
+        // candidate (offset + len) is known up front, so the client
+        // issues the update concurrently with the chunk transfers; the
+        // operation completes when both legs have.
+        if cfg.phase == IorPhase::Write {
+            let send_update = match cfg.mode {
+                SharedFileMode::FilePerProcess | SharedFileMode::SharedNoCache => true,
+                SharedFileMode::SharedCached { window } => (i + 1) % window.max(1) == 0,
+            };
+            if send_update {
+                let meta_owner = (xxh64(&file_id.to_le_bytes(), 2) % nodes) as usize;
+                let arrive = t0 + p.net_latency_ns;
+                let updated = res[meta_owner]
+                    .handlers
+                    .submit(arrive, p.update_size_svc_ns);
+                data_done = data_done.max(updated + p.net_latency_ns);
+            }
+        }
+        data_done
+    });
+
+    IorSimResult {
+        inner: result,
+        total_bytes: procs as u64 * ops_per_proc * cfg.transfer_size,
+        net_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KIB: u64 = 1024;
+    const MIB: u64 = 1024 * 1024;
+
+    fn run(
+        nodes: usize,
+        phase: IorPhase,
+        xfer: u64,
+        random: bool,
+        mode: SharedFileMode,
+    ) -> IorSimResult {
+        let mut cfg = IorSimConfig::new(nodes, phase, xfer);
+        cfg.random = random;
+        cfg.mode = mode;
+        cfg.data_per_proc = (4 * MIB).max(xfer * 4);
+        sim_ior(&cfg)
+    }
+
+    #[test]
+    fn large_transfers_hit_fs_efficiency_of_ssd_peak() {
+        let p = SimParams::default();
+        let r = run(8, IorPhase::Write, 64 * MIB, false, SharedFileMode::FilePerProcess);
+        let eff = r.mib_per_sec() / p.ssd_peak_write_mib_s(8);
+        // Paper: ~80% of aggregated SSD peak for 64 MiB writes (the
+        // small 8-node run sees slightly less straggler loss than the
+        // 512-node endpoint, hence the band's upper edge).
+        assert!((0.72..0.92).contains(&eff), "write efficiency {eff:.2}");
+        let r = run(8, IorPhase::Read, 64 * MIB, false, SharedFileMode::FilePerProcess);
+        let eff = r.mib_per_sec() / p.ssd_peak_read_mib_s(8);
+        // Paper: ~70% for reads.
+        assert!((0.62..0.84).contains(&eff), "read efficiency {eff:.2}");
+    }
+
+    #[test]
+    fn throughput_scales_with_nodes() {
+        let t2 = run(2, IorPhase::Write, 1 * MIB, false, SharedFileMode::FilePerProcess)
+            .mib_per_sec();
+        let t16 = run(16, IorPhase::Write, 1 * MIB, false, SharedFileMode::FilePerProcess)
+            .mib_per_sec();
+        let speedup = t16 / t2;
+        assert!(speedup > 6.0, "8× nodes gave only {speedup:.1}× throughput");
+    }
+
+    #[test]
+    fn small_transfers_lose_to_per_op_costs() {
+        let small = run(4, IorPhase::Write, 8 * KIB, false, SharedFileMode::FilePerProcess)
+            .mib_per_sec();
+        let large = run(4, IorPhase::Write, 64 * MIB, false, SharedFileMode::FilePerProcess)
+            .mib_per_sec();
+        assert!(small < large, "8 KiB {small:.0} must trail 64 MiB {large:.0}");
+        // But not catastrophically: paper has 8 KiB at ≈70% of peak×0.8.
+        assert!(small > large * 0.5, "8 KiB too slow: {small:.0} vs {large:.0}");
+    }
+
+    #[test]
+    fn random_sub_chunk_writes_degrade_a_third() {
+        let seq = run(8, IorPhase::Write, 8 * KIB, false, SharedFileMode::FilePerProcess)
+            .mib_per_sec();
+        let rnd = run(8, IorPhase::Write, 8 * KIB, true, SharedFileMode::FilePerProcess)
+            .mib_per_sec();
+        let loss = 1.0 - rnd / seq;
+        // Paper: ≈33% degradation for random 8 KiB writes.
+        assert!((0.20..0.45).contains(&loss), "write loss {loss:.2}");
+    }
+
+    #[test]
+    fn random_sub_chunk_reads_degrade_more() {
+        let seq = run(8, IorPhase::Read, 8 * KIB, false, SharedFileMode::FilePerProcess)
+            .mib_per_sec();
+        let rnd = run(8, IorPhase::Read, 8 * KIB, true, SharedFileMode::FilePerProcess)
+            .mib_per_sec();
+        let loss = 1.0 - rnd / seq;
+        // Paper: ≈60% degradation for random 8 KiB reads.
+        assert!((0.45..0.70).contains(&loss), "read loss {loss:.2}");
+    }
+
+    #[test]
+    fn random_at_chunk_size_is_free() {
+        // "random accesses for large transfer sizes are conceptually
+        // the same as sequential accesses" (§IV-B).
+        let seq = run(4, IorPhase::Write, 1 * MIB, false, SharedFileMode::FilePerProcess)
+            .mib_per_sec();
+        let rnd = run(4, IorPhase::Write, 1 * MIB, true, SharedFileMode::FilePerProcess)
+            .mib_per_sec();
+        assert!(
+            (rnd / seq) > 0.95,
+            "≥chunk-size random should match sequential: {seq:.0} vs {rnd:.0}"
+        );
+    }
+
+    #[test]
+    fn shared_file_without_cache_caps_near_150k_ops() {
+        let r = run(16, IorPhase::Write, 8 * KIB, false, SharedFileMode::SharedNoCache);
+        // Paper: "No more than approximately 150K write operations per
+        // second" regardless of node count.
+        assert!(
+            (100e3..180e3).contains(&r.iops()),
+            "shared-file ceiling: {:.0}",
+            r.iops()
+        );
+        // More nodes do NOT help.
+        let r2 = run(32, IorPhase::Write, 8 * KIB, false, SharedFileMode::SharedNoCache);
+        assert!(
+            (r2.iops() - r.iops()).abs() / r.iops() < 0.25,
+            "ceiling should be flat: {:.0} vs {:.0}",
+            r.iops(),
+            r2.iops()
+        );
+    }
+
+    #[test]
+    fn size_cache_restores_shared_file_throughput() {
+        let fpp = run(16, IorPhase::Write, 8 * KIB, false, SharedFileMode::FilePerProcess);
+        let nocache = run(16, IorPhase::Write, 8 * KIB, false, SharedFileMode::SharedNoCache);
+        let cached = run(
+            16,
+            IorPhase::Write,
+            8 * KIB,
+            false,
+            SharedFileMode::SharedCached { window: 64 },
+        );
+        assert!(
+            cached.iops() > nocache.iops() * 2.0,
+            "cache must lift the ceiling: {:.0} vs {:.0}",
+            cached.iops(),
+            nocache.iops()
+        );
+        // "shared file I/O throughput ... similar to file-per-process".
+        assert!(
+            cached.iops() > fpp.iops() * 0.8,
+            "cached {:.0} should approach fpp {:.0}",
+            cached.iops(),
+            fpp.iops()
+        );
+    }
+
+    #[test]
+    fn locality_ablation_trades_network_for_rigidity() {
+        // BurstFS-style write-local placement (§II/§V ablation): for a
+        // balanced file-per-process write load the throughput matches
+        // wide striping (both are SSD-bound) — but the fabric carries
+        // (N-1)/N of the bytes under wide striping and ~0 under
+        // locality. Wide striping's cost is the network, its payoff is
+        // shared files and location-free reads.
+        let mut wide = IorSimConfig::new(16, IorPhase::Write, 1 * MIB);
+        wide.data_per_proc = 8 * MIB;
+        let wide_r = sim_ior(&wide);
+
+        let mut local = wide.clone();
+        local.locality = true;
+        let local_r = sim_ior(&local);
+
+        // Throughput parity within 15% (both SSD-bound).
+        let ratio = local_r.mib_per_sec() / wide_r.mib_per_sec();
+        assert!((0.85..1.25).contains(&ratio), "throughput ratio {ratio:.2}");
+
+        // Network traffic: ~15/16 of bytes vs zero.
+        assert_eq!(local_r.net_bytes, 0, "local placement crosses no fabric");
+        let frac = wide_r.net_bytes as f64 / wide_r.total_bytes as f64;
+        assert!(
+            (0.90..0.97).contains(&frac),
+            "wide striping should ship ~(N-1)/N of bytes, got {frac:.2}"
+        );
+    }
+
+    #[test]
+    fn n_to_one_read_exposes_the_write_local_tradeoff() {
+        // Restart/broadcast pattern: every rank reads rank 0's output.
+        // Wide striping spread those chunks over all SSDs at write
+        // time, so the read scales; write-local placement left them on
+        // ONE node, which becomes the bottleneck — precisely why §II
+        // calls out that BurstFS "is limited to write data locally".
+        let mk = |locality: bool| {
+            let mut cfg = IorSimConfig::new(16, IorPhase::Read, 1 * MIB);
+            cfg.locality = locality;
+            cfg.n_to_one_read = true;
+            cfg.data_per_proc = 8 * MIB;
+            sim_ior(&cfg).mib_per_sec()
+        };
+        let wide = mk(false);
+        let local = mk(true);
+        assert!(
+            wide > local * 4.0,
+            "wide striping must win N-to-1 reads: {wide:.0} vs {local:.0} MiB/s"
+        );
+        // The write-local number is bounded by roughly one node's
+        // effective read bandwidth.
+        let p = SimParams::default();
+        let one_ssd = p.ssd_read_bw * p.fs_read_eff / (1024.0 * 1024.0);
+        assert!(
+            local < one_ssd * 1.3,
+            "local N-to-1 reads bottleneck on one SSD: {local:.0} vs {one_ssd:.0}"
+        );
+    }
+
+    #[test]
+    fn small_transfer_latency_bounded() {
+        // Paper: "the average latency can be bounded by at most 700 µs
+        // for file system operations with a transfer size of 8 KiB".
+        let r = run(8, IorPhase::Write, 8 * KIB, false, SharedFileMode::FilePerProcess);
+        assert!(
+            r.mean_latency_us() < 700.0,
+            "mean 8 KiB latency {:.0} µs",
+            r.mean_latency_us()
+        );
+    }
+}

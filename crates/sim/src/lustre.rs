@@ -1,0 +1,147 @@
+//! The Lustre baseline model for the paper's Figure 2 comparison.
+//!
+//! Lustre's metadata path is a *single metadata server* (the paper's
+//! partition ran one MDS): every create/stat/remove from every client
+//! crosses the network to the MDS and is served by its thread pool.
+//! For workloads inside one shared directory, inserts and unlinks also
+//! serialize on the directory's lock — which is exactly why the paper
+//! calls "a huge number of files ... created in a single directory
+//! from multiple processes" among the most difficult PFS workloads and
+//! why mdtest is run in both `single dir` and `unique dir` modes.
+//!
+//! The model: a [`MultiServer`] thread pool, preceded (for single-dir
+//! create/remove) by a 1-server dirlock stage. Unique-dir mode swaps
+//! the shared lock for a small per-directory critical section folded
+//! into the service time.
+
+use crate::engine::{Clock, MultiServer};
+use crate::mdtest::MdtestPhase;
+use crate::params::SimParams;
+
+/// How mdtest lays out directories on the Lustre baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LustreDirMode {
+    /// All ranks operate in one shared directory.
+    SingleDir,
+    /// Each rank has its own private directory.
+    UniqueDir,
+}
+
+/// The simulated metadata server.
+pub struct LustreMds {
+    threads: MultiServer,
+    dirlock: MultiServer,
+    mode: LustreDirMode,
+    params: SimParams,
+}
+
+impl LustreMds {
+    /// New.
+    pub fn new(params: &SimParams, mode: LustreDirMode) -> LustreMds {
+        LustreMds {
+            threads: MultiServer::new(params.mds_threads),
+            dirlock: MultiServer::new(1),
+            mode,
+            params: params.clone(),
+        }
+    }
+
+    /// Execute one metadata op arriving at the MDS at `arrival`;
+    /// returns its completion time (MDS-side only; network is added by
+    /// the caller).
+    pub fn serve(&mut self, phase: MdtestPhase, arrival: Clock) -> Clock {
+        let p = &self.params;
+        let (svc, lock_ns) = match (phase, self.mode) {
+            (MdtestPhase::Create, LustreDirMode::SingleDir) => {
+                (p.mds_create_svc_ns, Some(p.mds_dirlock_ns))
+            }
+            (MdtestPhase::Create, LustreDirMode::UniqueDir) => {
+                (p.mds_create_svc_ns + p.mds_unique_dirlock_ns, None)
+            }
+            (MdtestPhase::Stat, _) => (p.mds_stat_svc_ns, None),
+            (MdtestPhase::Remove, LustreDirMode::SingleDir) => {
+                (p.mds_remove_svc_ns, Some(p.mds_remove_dirlock_ns))
+            }
+            (MdtestPhase::Remove, LustreDirMode::UniqueDir) => {
+                (p.mds_remove_svc_ns + p.mds_unique_dirlock_ns, None)
+            }
+        };
+        // Thread does its work, taking the directory lock partway
+        // through; modeled as pool stage then lock stage.
+        let after_pool = self.threads.submit(arrival, svc);
+        match lock_ns {
+            Some(l) => self.dirlock.submit(after_pool, l),
+            None => after_pool,
+        }
+    }
+
+    /// Jobs served so far.
+    pub fn served(&self) -> u64 {
+        self.threads.jobs
+    }
+
+    /// Total busy nanoseconds across the thread pool.
+    pub fn busy_ns(&self) -> u64 {
+        self.threads.busy_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_closed_loop;
+
+    fn throughput(mode: LustreDirMode, phase: MdtestPhase, clients: usize) -> f64 {
+        let params = SimParams::default();
+        let mut mds = LustreMds::new(&params, mode);
+        let r = run_closed_loop(clients, 500, |_p, _i, now| {
+            let arrive = now + params.client_overhead_ns + params.net_latency_ns;
+            mds.serve(phase, arrive) + params.net_latency_ns
+        });
+        r.ops_per_sec()
+    }
+
+    #[test]
+    fn single_dir_creates_plateau_at_dirlock() {
+        let t = throughput(LustreDirMode::SingleDir, MdtestPhase::Create, 256);
+        // 1 / 30 µs ≈ 33 K/s — the paper's Lustre create plateau.
+        assert!((28e3..38e3).contains(&t), "got {t}");
+    }
+
+    #[test]
+    fn unique_dir_creates_beat_single_dir() {
+        let single = throughput(LustreDirMode::SingleDir, MdtestPhase::Create, 256);
+        let unique = throughput(LustreDirMode::UniqueDir, MdtestPhase::Create, 256);
+        assert!(unique > single * 1.5, "unique {unique} vs single {single}");
+        // Unique-dir bound: threads / (svc + lock) ≈ 65 K/s.
+        assert!((50e3..80e3).contains(&unique), "got {unique}");
+    }
+
+    #[test]
+    fn stats_are_not_dirlock_bound() {
+        let s = throughput(LustreDirMode::SingleDir, MdtestPhase::Stat, 256);
+        let u = throughput(LustreDirMode::UniqueDir, MdtestPhase::Stat, 256);
+        // Both modes ≈ threads / stat_svc ≈ 122 K/s.
+        assert!((100e3..140e3).contains(&s), "single {s}");
+        assert!((s * 0.9..s * 1.1).contains(&u), "modes should match: {s} vs {u}");
+    }
+
+    #[test]
+    fn removes_plateau_near_paper_value() {
+        let t = throughput(LustreDirMode::SingleDir, MdtestPhase::Remove, 256);
+        // Paper end-point ≈ 48.5 K removes/s.
+        assert!((42e3..56e3).contains(&t), "got {t}");
+    }
+
+    #[test]
+    fn throughput_is_flat_in_client_count() {
+        // The defining Lustre behaviour in Fig. 2: more clients do NOT
+        // increase single-dir metadata throughput once saturated.
+        let t64 = throughput(LustreDirMode::SingleDir, MdtestPhase::Create, 64);
+        let t512 = throughput(LustreDirMode::SingleDir, MdtestPhase::Create, 512);
+        assert!(
+            (t512 - t64).abs() / t64 < 0.1,
+            "flat scaling expected: {t64} vs {t512}"
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the simulator: conservation laws and
+//! monotonicity that must hold for *any* configuration, not just the
+//! calibrated one.
+
+use gkfs_sim::engine::{run_closed_loop, MultiServer};
+use gkfs_sim::{
+    sim_ior, sim_mdtest, IorPhase, IorSimConfig, MdtestPhase, MdtestSimConfig, SharedFileMode,
+    SystemKind,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn multiserver_conserves_work(
+        servers in 1usize..8,
+        jobs in prop::collection::vec((0u64..1000, 1u64..500), 1..100),
+    ) {
+        let mut s = MultiServer::new(servers);
+        let mut arrivals: Vec<(u64, u64)> = jobs.clone();
+        arrivals.sort();
+        let mut max_done = 0u64;
+        let total_service: u64 = arrivals.iter().map(|(_, svc)| svc).sum();
+        for (arr, svc) in &arrivals {
+            let done = s.submit(*arr, *svc);
+            // A job can never finish before its arrival plus service.
+            prop_assert!(done >= arr + svc);
+            max_done = max_done.max(done);
+        }
+        // Work conservation: busy time equals summed service.
+        prop_assert_eq!(s.busy_ns, total_service);
+        prop_assert_eq!(s.jobs, arrivals.len() as u64);
+        // Makespan is at least total work / servers.
+        prop_assert!(max_done as u128 * servers as u128 >= total_service as u128);
+    }
+
+    #[test]
+    fn closed_loop_completes_all_ops(
+        procs in 1usize..20,
+        ops in 1u64..50,
+        svc in 1u64..10_000,
+    ) {
+        let mut server = MultiServer::new(2);
+        let r = run_closed_loop(procs, ops, |_p, _i, now| server.submit(now, svc));
+        prop_assert_eq!(r.total_ops, procs as u64 * ops);
+        prop_assert_eq!(server.jobs, r.total_ops);
+        // Latency stats are sane.
+        prop_assert!(r.mean_latency_ns >= svc);
+        prop_assert!(r.max_latency_ns >= r.mean_latency_ns);
+        // Makespan bounded below by per-proc serial time and above by
+        // fully-serialized time.
+        prop_assert!(r.makespan_ns >= ops * svc);
+        prop_assert!(r.makespan_ns <= procs as u64 * ops * svc);
+    }
+
+    #[test]
+    fn mdtest_sim_throughput_monotone_in_nodes(seed_nodes in 1usize..32) {
+        let run = |nodes: usize| {
+            let mut cfg = MdtestSimConfig::new(nodes, MdtestPhase::Create, SystemKind::GekkoFS);
+            cfg.files_per_process = 100;
+            sim_mdtest(&cfg).ops_per_sec()
+        };
+        let small = run(seed_nodes);
+        let big = run(seed_nodes * 2);
+        // Doubling nodes must never reduce aggregate throughput (allow
+        // 2% simulation noise).
+        prop_assert!(big >= small * 0.98, "nodes {seed_nodes}: {small} -> {big}");
+    }
+
+    #[test]
+    fn ior_sim_bytes_accounting(
+        nodes in 1usize..16,
+        xfer_pow in 13u32..21, // 8 KiB .. 1 MiB
+    ) {
+        let xfer = 1u64 << xfer_pow;
+        let mut cfg = IorSimConfig::new(nodes, IorPhase::Write, xfer);
+        cfg.data_per_proc = xfer * 4;
+        cfg.mode = SharedFileMode::FilePerProcess;
+        let r = sim_ior(&cfg);
+        // Total bytes = procs * ops * xfer exactly.
+        let procs = nodes * cfg.params.procs_per_node;
+        prop_assert_eq!(r.total_bytes, procs as u64 * 4 * xfer);
+        // Fabric traffic never exceeds total traffic.
+        prop_assert!(r.net_bytes <= r.total_bytes);
+        prop_assert!(r.mib_per_sec() > 0.0);
+    }
+}

@@ -1,0 +1,238 @@
+//! File-backed chunk storage — the paper's "one file per chunk".
+//!
+//! Layout under the root directory:
+//!
+//! ```text
+//! <root>/chunks/<escaped-path>/<chunk_id>
+//! ```
+//!
+//! GekkoFS escapes the file's GekkoFS path into a single directory name
+//! (the C++ implementation substitutes `/` with `:`); we do the same
+//! with a small escape for literal `:` so distinct paths can never
+//! collide. Chunk files are written with positional I/O; sparse writes
+//! rely on the underlying POSIX file zero-filling the gap.
+
+use crate::stats::StorageStats;
+use crate::ChunkStorage;
+use gkfs_common::Result;
+use std::fs;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+
+/// Chunk store rooted at a directory on the node-local file system.
+pub struct FileChunkStorage {
+    chunk_root: PathBuf,
+    stats: StorageStats,
+}
+
+/// Escape a GekkoFS path into one directory-name-safe component.
+/// `/a/b:c` → `:a:b;cc` — `/`→`:` (as in GekkoFS) and `:`→`;c` so the
+/// mapping stays injective.
+fn escape_path(path: &str) -> String {
+    let mut out = String::with_capacity(path.len() + 4);
+    for ch in path.chars() {
+        match ch {
+            '/' => out.push(':'),
+            ':' => out.push_str(";c"),
+            ';' => out.push_str(";s"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape_path`] (used by the `fsck` inventory scan).
+fn unescape_path(escaped: &str) -> String {
+    let mut out = String::with_capacity(escaped.len());
+    let mut chars = escaped.chars();
+    while let Some(ch) = chars.next() {
+        match ch {
+            ':' => out.push('/'),
+            ';' => match chars.next() {
+                Some('c') => out.push(':'),
+                Some('s') => out.push(';'),
+                other => {
+                    out.push(';');
+                    if let Some(o) = other {
+                        out.push(o);
+                    }
+                }
+            },
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl FileChunkStorage {
+    /// Open (creating if needed) a chunk store under `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<FileChunkStorage> {
+        let chunk_root = root.into().join("chunks");
+        fs::create_dir_all(&chunk_root)?;
+        Ok(FileChunkStorage {
+            chunk_root,
+            stats: StorageStats::default(),
+        })
+    }
+
+    fn file_dir(&self, path: &str) -> PathBuf {
+        self.chunk_root.join(escape_path(path))
+    }
+
+    fn chunk_path(&self, path: &str, chunk_id: u64) -> PathBuf {
+        self.file_dir(path).join(format!("{chunk_id}"))
+    }
+}
+
+impl ChunkStorage for FileChunkStorage {
+    fn write_chunk(&self, path: &str, chunk_id: u64, offset: u64, data: &[u8]) -> Result<()> {
+        self.stats.record_write(data.len());
+        let dir = self.file_dir(path);
+        // Racing creators are fine: create_dir_all is idempotent.
+        fs::create_dir_all(&dir)?;
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(false)
+            .open(self.chunk_path(path, chunk_id))?;
+        f.seek(SeekFrom::Start(offset))?;
+        f.write_all(data)?;
+        Ok(())
+    }
+
+    fn read_chunk(&self, path: &str, chunk_id: u64, offset: u64, len: u64) -> Result<Vec<u8>> {
+        let mut out = Vec::new();
+        match fs::File::open(self.chunk_path(path, chunk_id)) {
+            Ok(mut f) => {
+                let size = f.metadata()?.len();
+                if offset < size {
+                    let take = len.min(size - offset);
+                    f.seek(SeekFrom::Start(offset))?;
+                    out.resize(take as usize, 0);
+                    f.read_exact(&mut out)?;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+        self.stats.record_read(out.len());
+        Ok(out)
+    }
+
+    fn remove_chunks(&self, path: &str) -> Result<()> {
+        match fs::remove_dir_all(self.file_dir(path)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn truncate_chunks(&self, path: &str, keep_chunk: u64, keep_bytes: u64) -> Result<()> {
+        let dir = self.file_dir(path);
+        let entries = match fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(e.into()),
+        };
+        for entry in entries {
+            let entry = entry?;
+            let Ok(id) = entry.file_name().to_string_lossy().parse::<u64>() else {
+                continue;
+            };
+            if id > keep_chunk {
+                fs::remove_file(entry.path())?;
+            } else if id == keep_chunk {
+                let f = fs::OpenOptions::new().write(true).open(entry.path())?;
+                if f.metadata()?.len() > keep_bytes {
+                    f.set_len(keep_bytes)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn chunk_count(&self, path: &str) -> Result<usize> {
+        match fs::read_dir(self.file_dir(path)) {
+            Ok(entries) => Ok(entries.count()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(0),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn list_paths(&self) -> Result<Vec<(String, usize)>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.chunk_root)? {
+            let entry = entry?;
+            if !entry.path().is_dir() {
+                continue;
+            }
+            let count = fs::read_dir(entry.path())?.count();
+            if count > 0 {
+                out.push((
+                    unescape_path(&entry.file_name().to_string_lossy()),
+                    count,
+                ));
+            }
+        }
+        Ok(out)
+    }
+
+    fn stats(&self) -> &StorageStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_is_injective_for_tricky_paths() {
+        let paths = ["/a/b", "/a:b", "/a;b", "/a/b:c", "/a:/bc", "/ab/c", "/a/b/c"];
+        let mut seen = std::collections::HashSet::new();
+        for p in paths {
+            assert!(seen.insert(escape_path(p)), "collision for {p}");
+        }
+    }
+
+    #[test]
+    fn unescape_inverts_escape() {
+        for p in ["/a/b", "/a:b", "/a;b", "/x/y:z;w/q", "/", "/;c;s::"] {
+            assert_eq!(unescape_path(&escape_path(p)), p, "roundtrip {p}");
+        }
+    }
+
+    #[test]
+    fn persists_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("gkfs-fcs-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let s = FileChunkStorage::open(&dir).unwrap();
+            s.write_chunk("/persist/me", 7, 0, b"durable").unwrap();
+        }
+        {
+            let s = FileChunkStorage::open(&dir).unwrap();
+            assert_eq!(s.read_chunk("/persist/me", 7, 0, 7).unwrap(), b"durable");
+            assert_eq!(s.chunk_count("/persist/me").unwrap(), 1);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn one_file_per_chunk_on_disk() {
+        let dir = std::env::temp_dir().join(format!("gkfs-fcs-layout-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let s = FileChunkStorage::open(&dir).unwrap();
+        s.write_chunk("/data/file", 0, 0, b"a").unwrap();
+        s.write_chunk("/data/file", 1, 0, b"b").unwrap();
+        let file_dir = dir.join("chunks").join(":data:file");
+        let names: Vec<String> = fs::read_dir(&file_dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names.len(), 2);
+        assert!(names.contains(&"0".to_string()));
+        assert!(names.contains(&"1".to_string()));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,254 @@
+//! # gkfs-storage — the daemon's I/O persistence layer
+//!
+//! Paper §III-B-b: each daemon has *"an I/O persistence layer that
+//! reads/writes data from/to the underlying local storage system (one
+//! file per chunk)"*. This crate implements that layer twice behind
+//! one trait:
+//!
+//! * [`FileChunkStorage`] — one file per chunk in a directory tree on
+//!   the node-local file system, exactly the paper's layout (the
+//!   XFS-formatted scratch SSD on MOGON II).
+//! * [`MemChunkStorage`] — the same contract in memory, used by tests
+//!   and the in-process cluster.
+//!
+//! Chunks are dense byte containers of at most `chunk_size` bytes;
+//! sparse writes inside a chunk zero-fill the gap, mirroring what a
+//! POSIX file gives the C++ implementation for free.
+
+#![warn(missing_docs)]
+
+pub mod file;
+pub mod mem;
+pub mod stats;
+
+pub use file::FileChunkStorage;
+pub use mem::MemChunkStorage;
+pub use stats::StorageStats;
+
+use gkfs_common::Result;
+
+/// Contract for a daemon's chunk store.
+///
+/// `path` is the file's canonical GekkoFS path (`/a/b`); implementations
+/// derive their own internal naming. All methods are thread-safe: the
+/// RPC handler pool calls them concurrently.
+pub trait ChunkStorage: Send + Sync {
+    /// Write `data` into chunk `chunk_id` of `path` at byte `offset`
+    /// within the chunk. Creates the chunk if missing; zero-fills any
+    /// gap between the current chunk end and `offset`.
+    fn write_chunk(&self, path: &str, chunk_id: u64, offset: u64, data: &[u8]) -> Result<()>;
+
+    /// Read up to `len` bytes from chunk `chunk_id` at `offset`.
+    /// Returns the bytes actually present — a short (possibly empty)
+    /// vector if the chunk is missing or shorter than requested. The
+    /// client layer turns short reads into zero-fill or EOF based on
+    /// the file size from the metadata owner.
+    fn read_chunk(&self, path: &str, chunk_id: u64, offset: u64, len: u64) -> Result<Vec<u8>>;
+
+    /// Remove every chunk of `path` held by this daemon. Idempotent.
+    fn remove_chunks(&self, path: &str) -> Result<()>;
+
+    /// Drop all chunks of `path` with `chunk_id > keep_chunk`, and trim
+    /// chunk `keep_chunk` itself to `keep_bytes` bytes (used by
+    /// truncate; `keep_bytes == 0` with `keep_chunk == 0` empties the
+    /// file but keeps it existing).
+    fn truncate_chunks(&self, path: &str, keep_chunk: u64, keep_bytes: u64) -> Result<()>;
+
+    /// Number of chunks currently stored for `path` (diagnostics).
+    fn chunk_count(&self, path: &str) -> Result<usize>;
+
+    /// Every path this store holds chunks for, with its chunk count —
+    /// the daemon-side inventory behind `fsck`.
+    fn list_paths(&self) -> Result<Vec<(String, usize)>>;
+
+    /// Operational counters.
+    fn stats(&self) -> &StorageStats;
+}
+
+#[cfg(test)]
+mod contract_tests {
+    //! One test suite run against both implementations, so they can
+    //! never drift apart.
+    use super::*;
+    use std::sync::Arc;
+
+    fn storages() -> Vec<(&'static str, Arc<dyn ChunkStorage>)> {
+        let dir = std::env::temp_dir().join(format!(
+            "gkfs-storage-contract-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        vec![
+            ("mem", Arc::new(MemChunkStorage::new())),
+            ("file", Arc::new(FileChunkStorage::open(dir).unwrap())),
+        ]
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        for (name, s) in storages() {
+            s.write_chunk("/f", 0, 0, b"hello world").unwrap();
+            assert_eq!(s.read_chunk("/f", 0, 0, 11).unwrap(), b"hello world", "{name}");
+            assert_eq!(s.read_chunk("/f", 0, 6, 5).unwrap(), b"world", "{name}");
+        }
+    }
+
+    #[test]
+    fn short_and_empty_reads() {
+        for (name, s) in storages() {
+            s.write_chunk("/f", 0, 0, b"abc").unwrap();
+            // Read past the data: short.
+            assert_eq!(s.read_chunk("/f", 0, 1, 100).unwrap(), b"bc", "{name}");
+            // Read at the end: empty.
+            assert!(s.read_chunk("/f", 0, 3, 10).unwrap().is_empty(), "{name}");
+            // Missing chunk: empty.
+            assert!(s.read_chunk("/f", 99, 0, 10).unwrap().is_empty(), "{name}");
+            // Missing file: empty.
+            assert!(s.read_chunk("/ghost", 0, 0, 10).unwrap().is_empty(), "{name}");
+        }
+    }
+
+    #[test]
+    fn sparse_write_zero_fills() {
+        for (name, s) in storages() {
+            s.write_chunk("/sparse", 0, 100, b"tail").unwrap();
+            let data = s.read_chunk("/sparse", 0, 0, 104).unwrap();
+            assert_eq!(data.len(), 104, "{name}");
+            assert!(data[..100].iter().all(|&b| b == 0), "{name}: gap must be zeros");
+            assert_eq!(&data[100..], b"tail", "{name}");
+        }
+    }
+
+    #[test]
+    fn overwrite_within_chunk() {
+        for (name, s) in storages() {
+            s.write_chunk("/ow", 2, 0, b"AAAAAAAAAA").unwrap();
+            s.write_chunk("/ow", 2, 3, b"bbb").unwrap();
+            assert_eq!(s.read_chunk("/ow", 2, 0, 10).unwrap(), b"AAAbbbAAAA", "{name}");
+        }
+    }
+
+    #[test]
+    fn chunks_are_independent() {
+        for (name, s) in storages() {
+            s.write_chunk("/multi", 0, 0, b"zero").unwrap();
+            s.write_chunk("/multi", 5, 0, b"five").unwrap();
+            assert_eq!(s.read_chunk("/multi", 0, 0, 4).unwrap(), b"zero", "{name}");
+            assert_eq!(s.read_chunk("/multi", 5, 0, 4).unwrap(), b"five", "{name}");
+            assert!(s.read_chunk("/multi", 1, 0, 4).unwrap().is_empty(), "{name}");
+            assert_eq!(s.chunk_count("/multi").unwrap(), 2, "{name}");
+        }
+    }
+
+    #[test]
+    fn remove_chunks_is_idempotent() {
+        for (name, s) in storages() {
+            s.write_chunk("/rm", 0, 0, b"x").unwrap();
+            s.write_chunk("/rm", 1, 0, b"y").unwrap();
+            s.remove_chunks("/rm").unwrap();
+            assert_eq!(s.chunk_count("/rm").unwrap(), 0, "{name}");
+            assert!(s.read_chunk("/rm", 0, 0, 1).unwrap().is_empty(), "{name}");
+            s.remove_chunks("/rm").unwrap(); // second time: no error
+            s.remove_chunks("/never-existed").unwrap();
+        }
+    }
+
+    #[test]
+    fn truncate_drops_tail_chunks_and_trims_boundary() {
+        for (name, s) in storages() {
+            for c in 0..5 {
+                s.write_chunk("/tr", c, 0, &[c as u8; 64]).unwrap();
+            }
+            // Keep chunks 0..=1; trim chunk 1 to 10 bytes.
+            s.truncate_chunks("/tr", 1, 10).unwrap();
+            assert_eq!(s.chunk_count("/tr").unwrap(), 2, "{name}");
+            assert_eq!(s.read_chunk("/tr", 0, 0, 64).unwrap().len(), 64, "{name}");
+            assert_eq!(s.read_chunk("/tr", 1, 0, 64).unwrap().len(), 10, "{name}");
+            assert!(s.read_chunk("/tr", 2, 0, 64).unwrap().is_empty(), "{name}");
+        }
+    }
+
+    #[test]
+    fn truncate_boundary_chunk_shorter_than_keep_is_untouched() {
+        for (name, s) in storages() {
+            s.write_chunk("/tb", 0, 0, b"abc").unwrap();
+            s.truncate_chunks("/tb", 0, 100).unwrap();
+            assert_eq!(s.read_chunk("/tb", 0, 0, 100).unwrap(), b"abc", "{name}");
+        }
+    }
+
+    #[test]
+    fn paths_with_nested_directories() {
+        for (name, s) in storages() {
+            s.write_chunk("/deep/ly/nested/file.dat", 3, 7, b"payload").unwrap();
+            assert_eq!(
+                s.read_chunk("/deep/ly/nested/file.dat", 3, 7, 7).unwrap(),
+                b"payload",
+                "{name}"
+            );
+            // Similar names must not collide.
+            s.write_chunk("/deep/ly", 0, 0, b"other").unwrap();
+            assert_eq!(s.chunk_count("/deep/ly/nested/file.dat").unwrap(), 1, "{name}");
+            assert_eq!(s.chunk_count("/deep/ly").unwrap(), 1, "{name}");
+        }
+    }
+
+    #[test]
+    fn concurrent_writers_different_chunks() {
+        for (name, s) in storages() {
+            std::thread::scope(|scope| {
+                for t in 0..8u64 {
+                    let s = &s;
+                    scope.spawn(move || {
+                        for i in 0..50u64 {
+                            let c = t * 100 + i;
+                            s.write_chunk("/conc", c, 0, &c.to_le_bytes()).unwrap();
+                        }
+                    });
+                }
+            });
+            assert_eq!(s.chunk_count("/conc").unwrap(), 400, "{name}");
+            assert_eq!(
+                s.read_chunk("/conc", 307, 0, 8).unwrap(),
+                307u64.to_le_bytes(),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn list_paths_inventories_everything() {
+        for (name, s) in storages() {
+            assert!(s.list_paths().unwrap().is_empty(), "{name}: starts empty");
+            s.write_chunk("/inv/a", 0, 0, b"x").unwrap();
+            s.write_chunk("/inv/a", 1, 0, b"y").unwrap();
+            s.write_chunk("/inv/b:tricky", 0, 0, b"z").unwrap();
+            let mut inv = s.list_paths().unwrap();
+            inv.sort();
+            assert_eq!(
+                inv,
+                vec![
+                    ("/inv/a".to_string(), 2),
+                    ("/inv/b:tricky".to_string(), 1)
+                ],
+                "{name}"
+            );
+            s.remove_chunks("/inv/a").unwrap();
+            assert_eq!(s.list_paths().unwrap().len(), 1, "{name}");
+        }
+    }
+
+    #[test]
+    fn stats_track_io() {
+        for (name, s) in storages() {
+            s.write_chunk("/st", 0, 0, &[1u8; 100]).unwrap();
+            let _ = s.read_chunk("/st", 0, 0, 100).unwrap();
+            let (w_ops, w_bytes, r_ops, r_bytes) = s.stats().snapshot();
+            assert_eq!(w_ops, 1, "{name}");
+            assert_eq!(w_bytes, 100, "{name}");
+            assert_eq!(r_ops, 1, "{name}");
+            assert_eq!(r_bytes, 100, "{name}");
+        }
+    }
+}

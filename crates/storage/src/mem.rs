@@ -1,0 +1,159 @@
+//! In-memory chunk storage.
+//!
+//! Same contract as [`crate::FileChunkStorage`], held in a sharded map.
+//! Used by tests and by in-process clusters where exercising a real
+//! disk would only add noise. Sharding by path hash keeps concurrent
+//! writers of different files off each other's locks, which matters
+//! for the data-path benchmarks.
+
+use crate::stats::StorageStats;
+use crate::ChunkStorage;
+use gkfs_common::hash::fnv1a64;
+use gkfs_common::Result;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+const SHARDS: usize = 16;
+
+type ChunkMap = HashMap<String, HashMap<u64, Vec<u8>>>;
+
+/// Heap-backed chunk store.
+pub struct MemChunkStorage {
+    shards: Vec<RwLock<ChunkMap>>,
+    stats: StorageStats,
+}
+
+impl Default for MemChunkStorage {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemChunkStorage {
+    /// New.
+    pub fn new() -> MemChunkStorage {
+        MemChunkStorage {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            stats: StorageStats::default(),
+        }
+    }
+
+    fn shard(&self, path: &str) -> &RwLock<ChunkMap> {
+        &self.shards[(fnv1a64(path.as_bytes()) % SHARDS as u64) as usize]
+    }
+
+    /// Total bytes held across all chunks (diagnostics).
+    pub fn total_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .values()
+                    .flat_map(|chunks| chunks.values().map(|c| c.len()))
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+impl ChunkStorage for MemChunkStorage {
+    fn write_chunk(&self, path: &str, chunk_id: u64, offset: u64, data: &[u8]) -> Result<()> {
+        self.stats.record_write(data.len());
+        let mut shard = self.shard(path).write();
+        let chunk = shard
+            .entry(path.to_string())
+            .or_default()
+            .entry(chunk_id)
+            .or_default();
+        let end = (offset as usize) + data.len();
+        if chunk.len() < end {
+            chunk.resize(end, 0);
+        }
+        chunk[offset as usize..end].copy_from_slice(data);
+        Ok(())
+    }
+
+    fn read_chunk(&self, path: &str, chunk_id: u64, offset: u64, len: u64) -> Result<Vec<u8>> {
+        let shard = self.shard(path).read();
+        let data = shard
+            .get(path)
+            .and_then(|chunks| chunks.get(&chunk_id))
+            .map(|chunk| {
+                let start = (offset as usize).min(chunk.len());
+                let end = ((offset + len) as usize).min(chunk.len());
+                chunk[start..end].to_vec()
+            })
+            .unwrap_or_default();
+        self.stats.record_read(data.len());
+        Ok(data)
+    }
+
+    fn remove_chunks(&self, path: &str) -> Result<()> {
+        self.shard(path).write().remove(path);
+        Ok(())
+    }
+
+    fn truncate_chunks(&self, path: &str, keep_chunk: u64, keep_bytes: u64) -> Result<()> {
+        let mut shard = self.shard(path).write();
+        if let Some(chunks) = shard.get_mut(path) {
+            chunks.retain(|&id, _| id <= keep_chunk);
+            if let Some(boundary) = chunks.get_mut(&keep_chunk) {
+                if boundary.len() as u64 > keep_bytes {
+                    boundary.truncate(keep_bytes as usize);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn chunk_count(&self, path: &str) -> Result<usize> {
+        Ok(self
+            .shard(path)
+            .read()
+            .get(path)
+            .map(|c| c.len())
+            .unwrap_or(0))
+    }
+
+    fn list_paths(&self) -> Result<Vec<(String, usize)>> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            for (path, chunks) in shard.read().iter() {
+                if !chunks.is_empty() {
+                    out.push((path.clone(), chunks.len()));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn stats(&self) -> &StorageStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_bytes_tracks_contents() {
+        let s = MemChunkStorage::new();
+        assert_eq!(s.total_bytes(), 0);
+        s.write_chunk("/a", 0, 0, &[0u8; 100]).unwrap();
+        s.write_chunk("/b", 1, 0, &[0u8; 50]).unwrap();
+        assert_eq!(s.total_bytes(), 150);
+        s.remove_chunks("/a").unwrap();
+        assert_eq!(s.total_bytes(), 50);
+    }
+
+    #[test]
+    fn shards_distribute_paths() {
+        let s = MemChunkStorage::new();
+        for i in 0..200 {
+            s.write_chunk(&format!("/f{i}"), 0, 0, b"x").unwrap();
+        }
+        let populated = s.shards.iter().filter(|sh| !sh.read().is_empty()).count();
+        assert!(populated > SHARDS / 2, "paths should spread over shards");
+    }
+}

@@ -1,0 +1,54 @@
+//! Storage-layer counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// I/O counters for one chunk store.
+#[derive(Debug, Default)]
+pub struct StorageStats {
+    /// Chunk writes served.
+    pub write_ops: AtomicU64,
+    /// Bytes written to chunks.
+    pub write_bytes: AtomicU64,
+    /// Chunk reads served.
+    pub read_ops: AtomicU64,
+    /// Bytes read from chunks.
+    pub read_bytes: AtomicU64,
+}
+
+impl StorageStats {
+    /// Record write.
+    pub fn record_write(&self, bytes: usize) {
+        self.write_ops.fetch_add(1, Ordering::Relaxed);
+        self.write_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Record read.
+    pub fn record_read(&self, bytes: usize) {
+        self.read_ops.fetch_add(1, Ordering::Relaxed);
+        self.read_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// `(write_ops, write_bytes, read_ops, read_bytes)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.write_ops.load(Ordering::Relaxed),
+            self.write_bytes.load(Ordering::Relaxed),
+            self.read_ops.load(Ordering::Relaxed),
+            self.read_bytes.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_records() {
+        let s = StorageStats::default();
+        s.record_write(10);
+        s.record_write(20);
+        s.record_read(5);
+        assert_eq!(s.snapshot(), (2, 30, 1, 5));
+    }
+}

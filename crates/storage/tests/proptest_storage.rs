@@ -1,0 +1,143 @@
+//! Property tests: both chunk-storage backends against a byte-array
+//! model, including truncate interactions — and against *each other*
+//! (the contract says they must be indistinguishable).
+
+use gkfs_storage::{ChunkStorage, FileChunkStorage, MemChunkStorage};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { chunk: u8, offset: u16, len: u8, fill: u8 },
+    Read { chunk: u8, offset: u16, len: u16 },
+    Truncate { keep_chunk: u8, keep_bytes: u16 },
+    RemoveAll,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (any::<u8>(), any::<u16>(), any::<u8>(), any::<u8>())
+            .prop_map(|(chunk, offset, len, fill)| Op::Write {
+                chunk: chunk % 6,
+                offset: offset % 2000,
+                len,
+                fill,
+            }),
+        4 => (any::<u8>(), any::<u16>(), any::<u16>())
+            .prop_map(|(chunk, offset, len)| Op::Read {
+                chunk: chunk % 6,
+                offset: offset % 2500,
+                len: len % 2500,
+            }),
+        1 => (any::<u8>(), any::<u16>()).prop_map(|(keep_chunk, keep_bytes)| Op::Truncate {
+            keep_chunk: keep_chunk % 6,
+            keep_bytes: keep_bytes % 2500,
+        }),
+        1 => Just(Op::RemoveAll),
+    ]
+}
+
+/// Reference model: chunk id → dense bytes.
+#[derive(Default)]
+struct Model {
+    chunks: HashMap<u64, Vec<u8>>,
+}
+
+impl Model {
+    fn write(&mut self, chunk: u64, offset: usize, data: &[u8]) {
+        let c = self.chunks.entry(chunk).or_default();
+        let end = offset + data.len();
+        if c.len() < end {
+            c.resize(end, 0);
+        }
+        c[offset..end].copy_from_slice(data);
+    }
+    fn read(&self, chunk: u64, offset: usize, len: usize) -> Vec<u8> {
+        self.chunks
+            .get(&chunk)
+            .map(|c| {
+                let start = offset.min(c.len());
+                let end = (offset + len).min(c.len());
+                c[start..end].to_vec()
+            })
+            .unwrap_or_default()
+    }
+    fn truncate(&mut self, keep_chunk: u64, keep_bytes: usize) {
+        self.chunks.retain(|&id, _| id <= keep_chunk);
+        if let Some(c) = self.chunks.get_mut(&keep_chunk) {
+            if c.len() > keep_bytes {
+                c.truncate(keep_bytes);
+            }
+        }
+    }
+}
+
+fn exercise(storage: &dyn ChunkStorage, ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut model = Model::default();
+    const PATH: &str = "/prop/file";
+    for op in ops {
+        match op {
+            Op::Write { chunk, offset, len, fill } => {
+                let data = vec![*fill; *len as usize];
+                if !data.is_empty() {
+                    storage
+                        .write_chunk(PATH, *chunk as u64, *offset as u64, &data)
+                        .unwrap();
+                    model.write(*chunk as u64, *offset as usize, &data);
+                }
+            }
+            Op::Read { chunk, offset, len } => {
+                let got = storage
+                    .read_chunk(PATH, *chunk as u64, *offset as u64, *len as u64)
+                    .unwrap();
+                let expect = model.read(*chunk as u64, *offset as usize, *len as usize);
+                prop_assert_eq!(expect, got, "read c{} @{}+{}", chunk, offset, len);
+            }
+            Op::Truncate { keep_chunk, keep_bytes } => {
+                storage
+                    .truncate_chunks(PATH, *keep_chunk as u64, *keep_bytes as u64)
+                    .unwrap();
+                model.truncate(*keep_chunk as u64, *keep_bytes as usize);
+            }
+            Op::RemoveAll => {
+                storage.remove_chunks(PATH).unwrap();
+                model.chunks.clear();
+            }
+        }
+        prop_assert_eq!(
+            storage.chunk_count(PATH).unwrap(),
+            model.chunks.len(),
+            "chunk count"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn mem_backend_matches_model(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        exercise(&MemChunkStorage::new(), &ops)?;
+    }
+
+    #[test]
+    fn file_backend_matches_model(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        let dir = std::env::temp_dir().join(format!(
+            "gkfs-prop-storage-{}-{:x}",
+            std::process::id(),
+            rand_suffix()
+        ));
+        let result = exercise(&FileChunkStorage::open(&dir).unwrap(), &ops);
+        let _ = std::fs::remove_dir_all(&dir);
+        result?;
+    }
+}
+
+fn rand_suffix() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ (d.as_secs() << 20))
+        .unwrap_or(0)
+}

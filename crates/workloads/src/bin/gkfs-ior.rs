@@ -1,0 +1,116 @@
+//! `gkfs-ior` — the §IV-B data benchmark as a standalone tool, for
+//! live GekkoFS deployments.
+//!
+//! ```sh
+//! gkfs-ior --hosts hosts.txt --procs 16 --xfer 65536 --block 268435456 \
+//!          [--shared] [--random] [--size-cache N]
+//! ```
+
+use gekkofs::{ClusterConfig, GekkoClient};
+use gkfs_rpc::{Endpoint, TcpEndpoint};
+use gkfs_workloads::{run_ior_with, IorConfig};
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gkfs-ior --hosts LIST|FILE [--procs N] [--xfer BYTES] \
+         [--block BYTES] [--shared] [--random] [--size-cache N] \
+         [--work-dir PATH] [--chunk-size BYTES]"
+    );
+    std::process::exit(2);
+}
+
+fn read_hosts(hosts: &str) -> Vec<String> {
+    if std::path::Path::new(hosts).exists() {
+        std::fs::read_to_string(hosts)
+            .unwrap_or_default()
+            .lines()
+            .map(|l| l.trim().trim_start_matches("LISTENING").trim().to_string())
+            .filter(|l| !l.is_empty())
+            .collect()
+    } else {
+        hosts.split(',').map(|s| s.trim().to_string()).collect()
+    }
+}
+
+fn main() {
+    let mut hosts = None;
+    let mut cfg = IorConfig {
+        processes: 8,
+        transfer_size: 64 * 1024,
+        block_size: 16 * 1024 * 1024,
+        file_per_process: true,
+        random: false,
+        work_dir: "/ior".into(),
+    };
+    let mut chunk_size = gekkofs::DEFAULT_CHUNK_SIZE;
+    let mut size_cache = 0usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--hosts" => hosts = args.next(),
+            "--procs" => cfg.processes = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--xfer" => {
+                cfg.transfer_size =
+                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--block" => {
+                cfg.block_size = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--shared" => cfg.file_per_process = false,
+            "--random" => cfg.random = true,
+            "--size-cache" => {
+                size_cache = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--work-dir" => cfg.work_dir = args.next().unwrap_or_else(|| usage()),
+            "--chunk-size" => {
+                chunk_size = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            _ => usage(),
+        }
+    }
+    let Some(hosts) = hosts else { usage() };
+    let addrs = read_hosts(&hosts);
+    if addrs.is_empty() {
+        eprintln!("gkfs-ior: no daemon addresses");
+        std::process::exit(1);
+    }
+    let config = ClusterConfig::new(addrs.len())
+        .with_chunk_size(chunk_size)
+        .with_size_cache(size_cache);
+
+    println!(
+        "gkfs-ior: {} daemons, {} procs, {} B transfers, {} B/proc, {}{}",
+        addrs.len(),
+        cfg.processes,
+        cfg.transfer_size,
+        cfg.block_size,
+        if cfg.file_per_process { "file-per-process" } else { "shared file" },
+        if cfg.random { ", random" } else { ", sequential" },
+    );
+    let make_client = || -> gekkofs::Result<GekkoClient> {
+        let endpoints: gekkofs::Result<Vec<Arc<dyn Endpoint>>> = addrs
+            .iter()
+            .map(|a| TcpEndpoint::connect(a).map(|e| e as Arc<dyn Endpoint>))
+            .collect();
+        GekkoClient::mount(endpoints?, &config)
+    };
+    match run_ior_with(make_client, &cfg) {
+        Ok(r) => {
+            println!(
+                "  write: {:>10.1} MiB/s  ({:.0} ops/s)",
+                r.write_mib_per_sec(),
+                r.write_iops()
+            );
+            println!(
+                "  read : {:>10.1} MiB/s  ({:.0} ops/s)",
+                r.read_mib_per_sec(),
+                r.read_iops()
+            );
+        }
+        Err(e) => {
+            eprintln!("gkfs-ior: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! `gkfs-mdtest` — the §IV-A metadata benchmark as a standalone tool,
+//! runnable against any live GekkoFS deployment (like the original
+//! mdtest against a mounted file system).
+//!
+//! ```sh
+//! gkfs-mdtest --hosts hosts.txt --procs 16 --files 10000 [--unique-dir]
+//! ```
+
+use gekkofs::{ClusterConfig, GekkoClient};
+use gkfs_rpc::{Endpoint, TcpEndpoint};
+use gkfs_workloads::{run_mdtest_with, MdtestConfig};
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gkfs-mdtest --hosts LIST|FILE [--procs N] [--files N] \
+         [--work-dir PATH] [--unique-dir] [--chunk-size BYTES]"
+    );
+    std::process::exit(2);
+}
+
+fn read_hosts(hosts: &str) -> Vec<String> {
+    if std::path::Path::new(hosts).exists() {
+        std::fs::read_to_string(hosts)
+            .unwrap_or_default()
+            .lines()
+            .map(|l| l.trim().trim_start_matches("LISTENING").trim().to_string())
+            .filter(|l| !l.is_empty())
+            .collect()
+    } else {
+        hosts.split(',').map(|s| s.trim().to_string()).collect()
+    }
+}
+
+fn main() {
+    let mut hosts = None;
+    let mut cfg = MdtestConfig {
+        processes: 8,
+        files_per_process: 5_000,
+        work_dir: "/mdtest".into(),
+        unique_dir: false,
+    };
+    let mut chunk_size = gekkofs::DEFAULT_CHUNK_SIZE;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--hosts" => hosts = args.next(),
+            "--procs" => cfg.processes = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--files" => {
+                cfg.files_per_process =
+                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--work-dir" => cfg.work_dir = args.next().unwrap_or_else(|| usage()),
+            "--unique-dir" => cfg.unique_dir = true,
+            "--chunk-size" => {
+                chunk_size = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            _ => usage(),
+        }
+    }
+    let Some(hosts) = hosts else { usage() };
+    let addrs = read_hosts(&hosts);
+    if addrs.is_empty() {
+        eprintln!("gkfs-mdtest: no daemon addresses");
+        std::process::exit(1);
+    }
+    let config = ClusterConfig::new(addrs.len()).with_chunk_size(chunk_size);
+
+    println!(
+        "gkfs-mdtest: {} daemons, {} procs x {} files, {} dir",
+        addrs.len(),
+        cfg.processes,
+        cfg.files_per_process,
+        if cfg.unique_dir { "unique" } else { "single" }
+    );
+    let make_client = || -> gekkofs::Result<GekkoClient> {
+        let endpoints: gekkofs::Result<Vec<Arc<dyn Endpoint>>> = addrs
+            .iter()
+            .map(|a| TcpEndpoint::connect(a).map(|e| e as Arc<dyn Endpoint>))
+            .collect();
+        GekkoClient::mount(endpoints?, &config)
+    };
+    match run_mdtest_with(make_client, &cfg) {
+        Ok(r) => {
+            println!("  files : {}", r.total_files);
+            println!("  create: {:>12.0} ops/s", r.creates_per_sec());
+            println!("  stat  : {:>12.0} ops/s", r.stats_per_sec());
+            println!("  remove: {:>12.0} ops/s", r.removes_per_sec());
+        }
+        Err(e) => {
+            eprintln!("gkfs-mdtest: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! `gkfs-replay` — replay an application I/O trace against a live
+//! GekkoFS deployment.
+//!
+//! ```sh
+//! gkfs-replay --hosts hosts.txt --ranks 8 trace.txt
+//! gkfs-replay --hosts hosts.txt --ranks 8 --gen-checkpoint 5 1048576
+//! ```
+//!
+//! The trace format is documented in `gkfs_workloads::trace`; with
+//! `--gen-checkpoint STEPS BYTES` a synthetic N-N checkpoint/restart
+//! trace is generated instead of reading a file (pass `--dump` to
+//! print it rather than run it).
+
+use gekkofs::{ClusterConfig, GekkoClient};
+use gkfs_rpc::{Endpoint, TcpEndpoint};
+use gkfs_workloads::trace::{checkpoint_trace, format_trace, parse_trace, replay_trace};
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gkfs-replay --hosts LIST|FILE [--ranks N] [--chunk-size BYTES] \
+         (TRACE-FILE | --gen-checkpoint STEPS BYTES) [--dump]"
+    );
+    std::process::exit(2);
+}
+
+fn read_hosts(hosts: &str) -> Vec<String> {
+    if std::path::Path::new(hosts).exists() {
+        std::fs::read_to_string(hosts)
+            .unwrap_or_default()
+            .lines()
+            .map(|l| l.trim().trim_start_matches("LISTENING").trim().to_string())
+            .filter(|l| !l.is_empty())
+            .collect()
+    } else {
+        hosts.split(',').map(|s| s.trim().to_string()).collect()
+    }
+}
+
+fn main() {
+    let mut hosts = None;
+    let mut ranks = 4usize;
+    let mut chunk_size = gekkofs::DEFAULT_CHUNK_SIZE;
+    let mut trace_file = None;
+    let mut gen_checkpoint: Option<(usize, u64)> = None;
+    let mut dump = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--hosts" => hosts = args.next(),
+            "--ranks" => ranks = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--chunk-size" => {
+                chunk_size = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--gen-checkpoint" => {
+                let steps = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                let bytes = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                gen_checkpoint = Some((steps, bytes));
+            }
+            "--dump" => dump = true,
+            "--help" | "-h" => usage(),
+            other if !other.starts_with("--") => trace_file = Some(other.to_string()),
+            _ => usage(),
+        }
+    }
+
+    let trace = match (trace_file, gen_checkpoint) {
+        (Some(f), None) => {
+            let text = std::fs::read_to_string(&f).unwrap_or_else(|e| {
+                eprintln!("gkfs-replay: cannot read {f}: {e}");
+                std::process::exit(1);
+            });
+            parse_trace(&text).unwrap_or_else(|e| {
+                eprintln!("gkfs-replay: {e}");
+                std::process::exit(1);
+            })
+        }
+        (None, Some((steps, bytes))) => checkpoint_trace(ranks, steps, bytes),
+        _ => usage(),
+    };
+
+    if dump {
+        print!("{}", format_trace(&trace));
+        return;
+    }
+
+    let Some(hosts) = hosts else { usage() };
+    let addrs = read_hosts(&hosts);
+    if addrs.is_empty() {
+        eprintln!("gkfs-replay: no daemon addresses");
+        std::process::exit(1);
+    }
+    let config = ClusterConfig::new(addrs.len()).with_chunk_size(chunk_size);
+    let make_client = || -> gekkofs::Result<GekkoClient> {
+        let endpoints: gekkofs::Result<Vec<Arc<dyn Endpoint>>> = addrs
+            .iter()
+            .map(|a| TcpEndpoint::connect(a).map(|e| e as Arc<dyn Endpoint>))
+            .collect();
+        GekkoClient::mount(endpoints?, &config)
+    };
+
+    println!(
+        "gkfs-replay: {} entries, {ranks} ranks, {} daemons",
+        trace.len(),
+        addrs.len()
+    );
+    match replay_trace(make_client, ranks, &trace) {
+        Ok(r) => {
+            println!(
+                "  {} ops in {:?} ({:.0} ops/s), {} B written, {} B read",
+                r.ops_executed,
+                r.elapsed,
+                r.ops_per_sec(),
+                r.bytes_written,
+                r.bytes_read
+            );
+        }
+        Err(e) => {
+            eprintln!("gkfs-replay: {e}");
+            std::process::exit(1);
+        }
+    }
+}

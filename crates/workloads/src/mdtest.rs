@@ -1,0 +1,222 @@
+//! mdtest: parallel create / stat / remove in one directory.
+//!
+//! Mirrors the paper's §IV-A methodology: each process performs its
+//! operations on its own disjoint set of zero-byte files, all inside a
+//! single directory (`single dir`) or inside a per-process directory
+//! (`unique dir`). Phases are separated by barriers and timed by wall
+//! clock across all processes, which is how mdtest reports
+//! "operations per second".
+
+use gekkofs::{Cluster, GekkoClient, OpenFlags, Result};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+/// mdtest parameters.
+#[derive(Debug, Clone)]
+pub struct MdtestConfig {
+    /// Number of concurrent "ranks" (threads, each with its own
+    /// mounted client). The paper ran 16 per node.
+    pub processes: usize,
+    /// Files each rank creates/stats/removes (paper: 100,000).
+    pub files_per_process: usize,
+    /// Parent directory for the workload.
+    pub work_dir: String,
+    /// `false` = all ranks share one directory (the hard case);
+    /// `true` = one directory per rank.
+    pub unique_dir: bool,
+}
+
+impl Default for MdtestConfig {
+    fn default() -> Self {
+        MdtestConfig {
+            processes: 4,
+            files_per_process: 1000,
+            work_dir: "/mdtest".into(),
+            unique_dir: false,
+        }
+    }
+}
+
+/// mdtest phase timings and derived rates.
+#[derive(Debug, Clone)]
+pub struct MdtestResult {
+    /// Files processed per phase across all ranks.
+    pub total_files: usize,
+    /// Wall-clock of the create phase.
+    pub create_time: Duration,
+    /// Wall-clock of the stat phase.
+    pub stat_time: Duration,
+    /// Wall-clock of the remove phase.
+    pub remove_time: Duration,
+}
+
+impl MdtestResult {
+    /// Aggregate create throughput.
+    pub fn creates_per_sec(&self) -> f64 {
+        self.total_files as f64 / self.create_time.as_secs_f64()
+    }
+    /// Aggregate stat throughput.
+    pub fn stats_per_sec(&self) -> f64 {
+        self.total_files as f64 / self.stat_time.as_secs_f64()
+    }
+    /// Aggregate remove throughput.
+    pub fn removes_per_sec(&self) -> f64 {
+        self.total_files as f64 / self.remove_time.as_secs_f64()
+    }
+}
+
+fn file_path(cfg: &MdtestConfig, rank: usize, i: usize) -> String {
+    if cfg.unique_dir {
+        format!("{}/rank{}/file.{}.{}", cfg.work_dir, rank, rank, i)
+    } else {
+        format!("{}/file.{}.{}", cfg.work_dir, rank, i)
+    }
+}
+
+/// Run the three mdtest phases against a cluster. Each rank mounts its
+/// own client (as each MPI process links its own preload library).
+pub fn run_mdtest(cluster: &Cluster, cfg: &MdtestConfig) -> Result<MdtestResult> {
+    run_mdtest_with(|| cluster.mount(), cfg)
+}
+
+/// Like [`run_mdtest`], but the caller supplies how ranks mount —
+/// e.g. fresh TCP connections to a remote deployment (the
+/// `gkfs-mdtest` binary) instead of an in-process cluster.
+pub fn run_mdtest_with(
+    make_client: impl Fn() -> Result<GekkoClient>,
+    cfg: &MdtestConfig,
+) -> Result<MdtestResult> {
+    let clients: Vec<GekkoClient> = (0..cfg.processes)
+        .map(|_| make_client())
+        .collect::<Result<_>>()?;
+
+    // Setup (untimed, like mdtest's tree creation).
+    clients[0].mkdir(&cfg.work_dir, 0o755).ok();
+    if cfg.unique_dir {
+        for rank in 0..cfg.processes {
+            clients[rank]
+                .mkdir(&format!("{}/rank{}", cfg.work_dir, rank), 0o755)
+                .ok();
+        }
+    }
+
+    let barrier = Barrier::new(cfg.processes);
+    let mut phase_times = [Duration::ZERO; 3];
+
+    for (phase_idx, phase) in ["create", "stat", "remove"].iter().enumerate() {
+        let start_gate = Barrier::new(cfg.processes + 1);
+        let t = std::thread::scope(|s| -> Result<Duration> {
+            let handles: Vec<_> = clients
+                .iter()
+                .enumerate()
+                .map(|(rank, client)| {
+                    let barrier = &barrier;
+                    let start_gate = &start_gate;
+                    let cfg = &cfg;
+                    s.spawn(move || -> Result<()> {
+                        start_gate.wait();
+                        for i in 0..cfg.files_per_process {
+                            let path = file_path(cfg, rank, i);
+                            match *phase {
+                                "create" => {
+                                    // mdtest: open(O_CREAT|O_EXCL) + close.
+                                    let fd = client.open(
+                                        &path,
+                                        OpenFlags::WRONLY.with_create().with_exclusive(),
+                                    )?;
+                                    client.close(fd)?;
+                                }
+                                "stat" => {
+                                    client.stat(&path)?;
+                                }
+                                _ => {
+                                    client.unlink(&path)?;
+                                }
+                            }
+                        }
+                        barrier.wait();
+                        Ok(())
+                    })
+                })
+                .collect();
+            start_gate.wait();
+            let t0 = Instant::now();
+            for h in handles {
+                h.join().unwrap()?;
+            }
+            Ok(t0.elapsed())
+        })?;
+        phase_times[phase_idx] = t;
+    }
+
+    Ok(MdtestResult {
+        total_files: cfg.processes * cfg.files_per_process,
+        create_time: phase_times[0],
+        stat_time: phase_times[1],
+        remove_time: phase_times[2],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gekkofs::ClusterConfig;
+
+    #[test]
+    fn mdtest_single_dir_runs_clean() {
+        let cluster = Cluster::deploy(ClusterConfig::new(4)).unwrap();
+        let cfg = MdtestConfig {
+            processes: 4,
+            files_per_process: 200,
+            work_dir: "/md".into(),
+            unique_dir: false,
+        };
+        let result = run_mdtest(&cluster, &cfg).unwrap();
+        assert_eq!(result.total_files, 800);
+        assert!(result.creates_per_sec() > 0.0);
+        assert!(result.stats_per_sec() > 0.0);
+        assert!(result.removes_per_sec() > 0.0);
+        // After remove, the directory is empty again.
+        let fs = cluster.mount().unwrap();
+        assert!(fs.readdir("/md").unwrap().is_empty());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn mdtest_unique_dir_runs_clean() {
+        let cluster = Cluster::deploy(ClusterConfig::new(2)).unwrap();
+        let cfg = MdtestConfig {
+            processes: 3,
+            files_per_process: 100,
+            work_dir: "/mdu".into(),
+            unique_dir: true,
+        };
+        let result = run_mdtest(&cluster, &cfg).unwrap();
+        assert_eq!(result.total_files, 300);
+        let fs = cluster.mount().unwrap();
+        // Rank directories remain, but are empty.
+        let entries = fs.readdir("/mdu").unwrap();
+        assert_eq!(entries.len(), 3);
+        for e in entries {
+            assert!(fs.readdir(&format!("/mdu/{}", e.name)).unwrap().is_empty());
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn mdtest_create_is_exclusive_across_runs() {
+        // Running the create phase twice without remove must fail.
+        let cluster = Cluster::deploy(ClusterConfig::new(2)).unwrap();
+        let fs = cluster.mount().unwrap();
+        fs.mkdir("/dup", 0o755).unwrap();
+        let path = "/dup/file.0.0";
+        let fd = fs
+            .open(path, OpenFlags::WRONLY.with_create().with_exclusive())
+            .unwrap();
+        fs.close(fd).unwrap();
+        assert!(fs
+            .open(path, OpenFlags::WRONLY.with_create().with_exclusive())
+            .is_err());
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,63 @@
+//! The "campaign" use case from §I: GekkoFS is usually job-temporal,
+//! but *"it can be used ... in longer-term use cases, e.g., campaigns"*
+//! — a sequence of jobs sharing one scratch namespace whose daemons
+//! restart between jobs but keep their node-local state.
+//!
+//! ```sh
+//! cargo run -p gkfs-examples --bin campaign
+//! ```
+
+use gekkofs::{Cluster, ClusterConfig, DaemonConfig};
+use std::path::PathBuf;
+
+fn deploy(root: &PathBuf) -> gekkofs::Result<Cluster> {
+    Cluster::deploy_with(ClusterConfig::new(3), |n| DaemonConfig {
+        root_dir: Some(root.join(format!("node-{n}"))),
+        kv_wal: true,
+        ..DaemonConfig::default()
+    })
+}
+
+fn main() -> gekkofs::Result<()> {
+    let root = std::env::temp_dir().join(format!("gkfs-campaign-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    // ---- Job 1: simulation produces checkpoints -------------------
+    {
+        let cluster = deploy(&root)?;
+        let fs = cluster.mount()?;
+        fs.mkdir("/campaign", 0o755)?;
+        for step in 0..3 {
+            let path = format!("/campaign/ckpt-{step:03}");
+            fs.create(&path, 0o644)?;
+            let data: Vec<u8> = (0..200_000u32).map(|i| (i + step) as u8).collect();
+            fs.write_at_path(&path, 0, &data)?;
+        }
+        println!("job 1 wrote {} checkpoints", fs.readdir("/campaign")?.len());
+        cluster.shutdown(); // job ends, daemons stop
+    }
+
+    // ---- Job 2 (later, same campaign): analysis reads them --------
+    {
+        let cluster = deploy(&root)?; // daemons restart over the same roots
+        let fs = cluster.mount()?;
+        let entries = fs.readdir("/campaign")?;
+        println!("job 2 found {} checkpoints after daemon restart:", entries.len());
+        for e in &entries {
+            let data = fs.read_at_path(&format!("/campaign/{}", e.name), 0, e.size)?;
+            println!("  {} -> {} bytes (first byte {})", e.name, data.len(), data[0]);
+        }
+        assert_eq!(entries.len(), 3, "campaign state must survive restarts");
+        // The analysis job cleans up what it consumed.
+        for e in entries {
+            fs.unlink(&format!("/campaign/{}", e.name))?;
+        }
+        fs.rmdir("/campaign")?;
+        cluster.shutdown();
+    }
+
+    // ---- Campaign over: reclaim the node-local space --------------
+    std::fs::remove_dir_all(&root).ok();
+    println!("campaign finished; node-local scratch reclaimed");
+    Ok(())
+}

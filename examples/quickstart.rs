@@ -1,0 +1,61 @@
+//! Quickstart: deploy a 4-node GekkoFS namespace in-process and use it
+//! like a (relaxed-POSIX) file system.
+//!
+//! ```sh
+//! cargo run -p gkfs-examples --bin quickstart
+//! ```
+
+use gekkofs::{Cluster, ClusterConfig, OpenFlags, Whence};
+
+fn main() -> gekkofs::Result<()> {
+    // 1. Pool 4 nodes into one temporary namespace. On a real cluster
+    //    each node runs `gkfs-daemon` against its local SSD; here the
+    //    daemons share this process (same code, in-memory backends).
+    let cluster = Cluster::deploy(ClusterConfig::new(4))?;
+    println!(
+        "deployed {} daemons in {:?}",
+        cluster.nodes(),
+        cluster.deploy_time()
+    );
+
+    // 2. Mount. Each application process gets its own client; all
+    //    clients see one global namespace.
+    let fs = cluster.mount()?;
+
+    // 3. Files and directories.
+    fs.mkdir("/results", 0o755)?;
+    let fd = fs.open("/results/run-001.dat", OpenFlags::RDWR.with_create())?;
+    fs.write(fd, b"step,energy\n")?;
+    fs.write(fd, b"1,-42.17\n")?;
+    fs.write(fd, b"2,-43.02\n")?;
+
+    // Seek back and read everything.
+    fs.lseek(fd, 0, Whence::Set)?;
+    let contents = fs.read(fd, 1024)?;
+    print!("{}", String::from_utf8_lossy(&contents));
+    fs.close(fd)?;
+
+    // 4. Metadata: strongly consistent per file.
+    let meta = fs.stat("/results/run-001.dat")?;
+    println!("size = {} bytes, mode = {:o}", meta.size, meta.mode);
+
+    // 5. readdir is a broadcast prefix-scan over all daemons
+    //    (eventually consistent, like `ls -l` in the paper).
+    for entry in fs.readdir("/results")? {
+        println!("  /results/{} ({:?})", entry.name, entry.kind);
+    }
+
+    // 6. Relaxed POSIX: rename is deliberately unsupported.
+    match fs.rename("/results/run-001.dat", "/results/renamed.dat") {
+        Err(e) => println!("rename refused as designed: {e}"),
+        Ok(()) => unreachable!(),
+    }
+
+    // 7. Tear down — GekkoFS is a *temporary* file system; its life
+    //    ends with the job.
+    fs.unlink("/results/run-001.dat")?;
+    fs.rmdir("/results")?;
+    cluster.shutdown();
+    println!("namespace gone; scratch space released");
+    Ok(())
+}

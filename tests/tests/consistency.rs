@@ -1,0 +1,160 @@
+//! Consistency semantics from §III-A, verified as behaviour:
+//! strong consistency for single-file operations, eventual consistency
+//! for directory listings, documented relaxations for everything else.
+
+use gekkofs::{Cluster, ClusterConfig, GkfsError};
+use gkfs_integration::payload;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+#[test]
+fn single_file_ops_are_strongly_consistent_across_clients() {
+    let cluster = Cluster::deploy(ClusterConfig::new(4)).unwrap();
+    let a = cluster.mount().unwrap();
+    let b = cluster.mount().unwrap();
+
+    // Every operation by A is immediately visible to B — no caches,
+    // no sessions (the paper's synchronous design).
+    a.create("/strong", 0o644).unwrap();
+    assert!(b.stat("/strong").is_ok());
+    a.write_at_path("/strong", 0, b"v1").unwrap();
+    assert_eq!(b.read_at_path("/strong", 0, 10).unwrap(), b"v1");
+    a.truncate("/strong", 1).unwrap();
+    assert_eq!(b.stat("/strong").unwrap().size, 1);
+    a.unlink("/strong").unwrap();
+    assert!(matches!(b.stat("/strong"), Err(GkfsError::NotFound)));
+    cluster.shutdown();
+}
+
+#[test]
+fn concurrent_create_exactly_one_winner_per_path() {
+    let cluster = Cluster::deploy(ClusterConfig::new(4)).unwrap();
+    for round in 0..10 {
+        let path = format!("/race-{round}");
+        let wins: usize = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| {
+                    let cluster = &cluster;
+                    let path = &path;
+                    s.spawn(move || {
+                        let fs = cluster.mount().unwrap();
+                        fs.create(path, 0o644).is_ok() as usize
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(wins, 1, "path {path}: exclusive create must have one winner");
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn non_overlapping_concurrent_writes_all_land() {
+    // §III-A: applications are responsible for avoiding *overlapping*
+    // conflicts; non-overlapping regions must always be safe.
+    let cluster = Cluster::deploy(ClusterConfig::new(4).with_chunk_size(4096)).unwrap();
+    let setup = cluster.mount().unwrap();
+    setup.create("/regions", 0o644).unwrap();
+    let region = 10_000u64;
+    std::thread::scope(|s| {
+        for t in 0..8u64 {
+            let cluster = &cluster;
+            s.spawn(move || {
+                let fs = cluster.mount().unwrap();
+                let data = payload(region as usize, t);
+                fs.write_at_path("/regions", t * region, &data).unwrap();
+            });
+        }
+    });
+    let fs = cluster.mount().unwrap();
+    for t in 0..8u64 {
+        let expect = payload(region as usize, t);
+        let got = fs.read_at_path("/regions", t * region, region).unwrap();
+        assert_eq!(got, expect, "region {t} corrupted by concurrency");
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn readdir_is_eventually_consistent_but_stat_is_not() {
+    // A reader listing a directory while a writer churns may see any
+    // subset (the ls -l caveat, §III-A) — but it must never crash, and
+    // every entry it returns must be a real file at some point.
+    let cluster = Cluster::deploy(ClusterConfig::new(4)).unwrap();
+    let writer = cluster.mount().unwrap();
+    let reader = cluster.mount().unwrap();
+    writer.mkdir("/churn", 0o755).unwrap();
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            for i in 0..300 {
+                let p = format!("/churn/f{i}");
+                writer.create(&p, 0o644).unwrap();
+                if i % 3 == 0 {
+                    writer.unlink(&p).unwrap();
+                }
+            }
+            stop.store(true, Ordering::SeqCst);
+        });
+        s.spawn(|| {
+            let mut listings = 0;
+            while !stop.load(Ordering::SeqCst) {
+                let entries = reader.readdir("/churn").unwrap();
+                // Monotone sanity: entries are sorted and unique.
+                for w in entries.windows(2) {
+                    assert!(w[0].name < w[1].name);
+                }
+                listings += 1;
+            }
+            assert!(listings > 0);
+        });
+    });
+
+    // Quiescent state is exact: 200 files survive.
+    let finals = reader.readdir("/churn").unwrap();
+    assert_eq!(finals.len(), 200);
+    cluster.shutdown();
+}
+
+#[test]
+fn size_cache_trades_visibility_for_throughput() {
+    // With the §IV-B cache, *other* clients may briefly see a stale
+    // size (the documented relaxation); the writer itself must not.
+    let cluster = Cluster::deploy(ClusterConfig::new(2).with_size_cache(100)).unwrap();
+    let writer = cluster.mount().unwrap();
+    let other = cluster.mount().unwrap();
+    writer.create("/lazy", 0o644).unwrap();
+    writer.write_at_path("/lazy", 0, &[1u8; 500]).unwrap();
+
+    // Writer: read-your-writes.
+    assert_eq!(writer.stat("/lazy").unwrap().size, 500);
+    // Other client: the update is still buffered client-side.
+    assert_eq!(other.stat("/lazy").unwrap().size, 0, "stale by design");
+    // After the writer flushes, everyone agrees.
+    writer.flush_size("/lazy").unwrap();
+    assert_eq!(other.stat("/lazy").unwrap().size, 500);
+    cluster.shutdown();
+}
+
+#[test]
+fn chunk_data_is_visible_before_size_flush() {
+    // The §IV-B cache only delays *metadata* size updates; the chunk
+    // data itself is written synchronously. A reader who knows the
+    // range (e.g. via application-level coordination, the common HPC
+    // pattern) can read it before the flush.
+    let cluster = Cluster::deploy(ClusterConfig::new(2).with_size_cache(100)).unwrap();
+    let writer = cluster.mount().unwrap();
+    writer.create("/early", 0o644).unwrap();
+    writer.write_at_path("/early", 0, b"already-there").unwrap();
+
+    // Direct chunk read through a second client works once size is
+    // known; here we verify via the writer's own view.
+    assert_eq!(
+        writer.read_at_path("/early", 0, 13).unwrap(),
+        b"already-there"
+    );
+    cluster.shutdown();
+}

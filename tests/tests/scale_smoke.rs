@@ -1,0 +1,158 @@
+//! Moderate-scale smoke tests: more files, more bytes, more
+//! concurrency than the unit tests — the shapes the paper's §IV
+//! workloads have, at a size a debug test run can afford.
+
+use gekkofs::{Cluster, ClusterConfig, OpenFlags};
+use gkfs_integration::payload;
+
+#[test]
+fn twenty_thousand_files_lifecycle() {
+    let cluster = Cluster::deploy(ClusterConfig::new(8)).unwrap();
+    let ranks = 8;
+    let per_rank = 2_500;
+
+    // Create.
+    std::thread::scope(|s| {
+        for r in 0..ranks {
+            let cluster = &cluster;
+            s.spawn(move || {
+                let fs = cluster.mount().unwrap();
+                for i in 0..per_rank {
+                    let fd = fs
+                        .open(
+                            &format!("/bulk/f.{r}.{i}"),
+                            OpenFlags::WRONLY.with_create().with_exclusive(),
+                        )
+                        .unwrap();
+                    fs.close(fd).unwrap();
+                }
+            });
+        }
+    });
+
+    // All entries exist, spread across every daemon.
+    let fs = cluster.mount().unwrap();
+    let stats = fs.cluster_stats().unwrap();
+    let total: u64 = stats.iter().map(|s| s.meta_entries).sum();
+    assert_eq!(total, (ranks * per_rank) as u64 + 1, "files + root");
+    assert!(
+        stats.iter().all(|s| s.meta_entries > 1_000),
+        "placement must spread: {:?}",
+        stats.iter().map(|s| s.meta_entries).collect::<Vec<_>>()
+    );
+
+    // Stat everything (scattered over ranks again).
+    std::thread::scope(|s| {
+        for r in 0..ranks {
+            let cluster = &cluster;
+            s.spawn(move || {
+                let fs = cluster.mount().unwrap();
+                for i in 0..per_rank {
+                    let m = fs.stat(&format!("/bulk/f.{r}.{i}")).unwrap();
+                    assert_eq!(m.size, 0);
+                }
+            });
+        }
+    });
+
+    // Remove everything; namespace ends empty.
+    std::thread::scope(|s| {
+        for r in 0..ranks {
+            let cluster = &cluster;
+            s.spawn(move || {
+                let fs = cluster.mount().unwrap();
+                for i in 0..per_rank {
+                    fs.unlink(&format!("/bulk/f.{r}.{i}")).unwrap();
+                }
+            });
+        }
+    });
+    let stats = fs.cluster_stats().unwrap();
+    let total: u64 = stats.iter().map(|s| s.meta_entries).sum();
+    assert_eq!(total, 1, "only the root remains");
+    cluster.shutdown();
+}
+
+#[test]
+fn sixty_four_megabytes_round_trip() {
+    let cluster = Cluster::deploy(ClusterConfig::new(8)).unwrap(); // 512 KiB chunks
+    let fs = cluster.mount().unwrap();
+    let block = payload(4 * 1024 * 1024, 99); // 4 MiB pattern
+    fs.create("/huge", 0o644).unwrap();
+
+    // 16 x 4 MiB concurrent writers = 64 MiB.
+    std::thread::scope(|s| {
+        for w in 0..16u64 {
+            let cluster = &cluster;
+            let block = &block;
+            s.spawn(move || {
+                let fs = cluster.mount().unwrap();
+                fs.write_at_path("/huge", w * block.len() as u64, block).unwrap();
+            });
+        }
+    });
+    assert_eq!(fs.stat("/huge").unwrap().size, 64 * 1024 * 1024);
+
+    // Verify random windows rather than the whole 64 MiB.
+    for (i, off) in [0u64, 3_333_333, 17_000_000, 44_444_444, 63 * 1024 * 1024]
+        .iter()
+        .enumerate()
+    {
+        let len = 100_000u64;
+        let got = fs.read_at_path("/huge", *off, len).unwrap();
+        for (j, b) in got.iter().enumerate() {
+            let pos = (*off as usize + j) % block.len();
+            assert_eq!(*b, block[pos], "window {i} offset {off}+{j}");
+        }
+    }
+
+    // Every daemon holds a share of the 128 chunks.
+    let holders = fs
+        .cluster_stats()
+        .unwrap()
+        .iter()
+        .filter(|s| s.storage_write_bytes > 0)
+        .count();
+    assert_eq!(holders, 8);
+
+    // Truncate down and ensure the space is actually dropped.
+    fs.truncate("/huge", 1024).unwrap();
+    assert_eq!(fs.stat("/huge").unwrap().size, 1024);
+    fs.unlink("/huge").unwrap();
+    cluster.shutdown();
+}
+
+#[test]
+fn deep_directory_trees() {
+    let cluster = Cluster::deploy(ClusterConfig::new(4)).unwrap();
+    let fs = cluster.mount().unwrap();
+    // 6 levels deep, 3-way branching: 364 directories + leaf files.
+    fn build(fs: &gekkofs::GekkoClient, base: &str, depth: usize) {
+        if depth == 0 {
+            fs.create(&format!("{base}/leaf"), 0o644).unwrap();
+            return;
+        }
+        for b in 0..3 {
+            let dir = format!("{base}/d{b}");
+            fs.mkdir(&dir, 0o755).unwrap();
+            build(fs, &dir, depth - 1);
+        }
+    }
+    fs.mkdir("/tree", 0o755).unwrap();
+    build(&fs, "/tree", 5);
+
+    // Walk back down, counting leaves.
+    fn walk(fs: &gekkofs::GekkoClient, base: &str) -> usize {
+        let mut leaves = 0;
+        for e in fs.readdir(base).unwrap() {
+            let p = format!("{base}/{}", e.name);
+            match e.kind {
+                gekkofs::FileKind::Directory => leaves += walk(fs, &p),
+                gekkofs::FileKind::File => leaves += 1,
+            }
+        }
+        leaves
+    }
+    assert_eq!(walk(&fs, "/tree"), 3usize.pow(5));
+    cluster.shutdown();
+}
