@@ -1,11 +1,16 @@
-//! RPC-layer microbenchmarks: per-call overhead on both transports and
-//! the handler-pool-width ablation (Margo tuning, DESIGN.md).
+//! RPC-layer microbenchmarks: per-call overhead on both transports,
+//! the handler-pool-width ablation (Margo tuning, DESIGN.md), and the
+//! pipelined submit/wait fan-out against the blocking baseline.
 
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, Criterion};
-use gkfs_rpc::{HandlerRegistry, Opcode, Request, Response, RpcServer, TcpEndpoint, TcpServer};
+use gkfs_rpc::{
+    HandlerRegistry, Opcode, ReplyHandle, Request, Response, RpcServer, TcpEndpoint, TcpServer,
+};
 use gkfs_rpc::transport::Endpoint;
 use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
 
 fn echo_registry() -> HandlerRegistry {
     let mut reg = HandlerRegistry::new();
@@ -89,9 +94,91 @@ fn bench_pool_width(c: &mut Criterion) {
     group.finish();
 }
 
+/// The tentpole comparison: a client striping one request across 8
+/// daemons, blocking scoped-thread fan-out (the old client) vs
+/// pipelined submit-all-then-wait-all (the new one). The handler does
+/// ~5 µs of simulated work so overlap has something to win.
+fn bench_fanout(c: &mut Criterion) {
+    fn busy_registry() -> HandlerRegistry {
+        let mut reg = HandlerRegistry::new();
+        reg.register_fn(Opcode::Ping, |req| {
+            let mut acc = 0u64;
+            for i in 0..2_000u64 {
+                acc = acc.wrapping_add(i.wrapping_mul(31));
+            }
+            std::hint::black_box(acc);
+            Response::ok(req.body)
+        });
+        reg
+    }
+    let servers: Vec<Arc<RpcServer>> =
+        (0..8).map(|_| RpcServer::new(busy_registry(), 2)).collect();
+    let eps: Vec<Arc<dyn Endpoint>> = servers
+        .iter()
+        .map(|s| s.endpoint() as Arc<dyn Endpoint>)
+        .collect();
+
+    let mut group = c.benchmark_group("rpc/fanout_8daemons");
+    group.bench_function("blocking_scoped_threads", |b| {
+        b.iter(|| {
+            std::thread::scope(|s| {
+                for ep in &eps {
+                    s.spawn(move || {
+                        black_box(ep.call(Request::new(Opcode::Ping, &b"x"[..])).unwrap());
+                    });
+                }
+            });
+        })
+    });
+    group.bench_function("pipelined_submit_wait", |b| {
+        b.iter(|| {
+            let handles: Vec<ReplyHandle> = eps
+                .iter()
+                .map(|ep| ep.submit(Request::new(Opcode::Ping, &b"x"[..])).unwrap())
+                .collect();
+            for h in handles {
+                black_box(h.wait(Duration::from_secs(30)).unwrap());
+            }
+        })
+    });
+    group.finish();
+}
+
+/// Outstanding-depth sweep on one TCP connection: at depth 1 the
+/// pipelined path degenerates to blocking call; at 8+ it should win by
+/// overlapping daemon-side work and wire latency.
+fn bench_tcp_outstanding(c: &mut Criterion) {
+    let mut reg = HandlerRegistry::new();
+    reg.register_fn(Opcode::Ping, |req| {
+        let mut acc = 0u64;
+        for i in 0..2_000u64 {
+            acc = acc.wrapping_add(i.wrapping_mul(31));
+        }
+        std::hint::black_box(acc);
+        Response::ok(req.body)
+    });
+    let server = TcpServer::bind("127.0.0.1:0", reg, 8).unwrap();
+    let ep = TcpEndpoint::connect(&server.local_addr().to_string()).unwrap();
+    let mut group = c.benchmark_group("rpc/tcp_outstanding");
+    for depth in [1usize, 8, 32] {
+        group.bench_function(format!("depth{depth}"), |b| {
+            b.iter(|| {
+                let handles: Vec<ReplyHandle> = (0..depth)
+                    .map(|_| ep.submit(Request::new(Opcode::Ping, &b"x"[..])).unwrap())
+                    .collect();
+                for h in handles {
+                    black_box(h.wait(Duration::from_secs(30)).unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+    server.shutdown();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_inproc, bench_tcp, bench_pool_width
+    targets = bench_inproc, bench_tcp, bench_pool_width, bench_fanout, bench_tcp_outstanding
 }
 criterion_main!(benches);

@@ -246,21 +246,14 @@ impl GekkoClient {
                 .collect();
             targets.sort_unstable();
             targets.dedup();
-            let results: Vec<Result<()>> = std::thread::scope(|s| {
-                targets
-                    .into_iter()
-                    .map(|n| {
-                        let ring = &self.ring;
-                        let path = &path;
-                        s.spawn(move || ring.remove_chunks(n, path))
-                    })
-                    .collect::<Vec<_>>()
-                    .into_iter()
-                    .map(|h| h.join().unwrap())
-                    .collect()
-            });
-            for r in results {
-                r?;
+            // Submit the remove to every holder, then wait — the
+            // whole fan-out overlaps on the wire.
+            let inflight = targets
+                .into_iter()
+                .map(|n| self.ring.remove_chunks_nb(n, &path))
+                .collect::<Vec<_>>();
+            for fut in inflight {
+                fut?.wait()?;
             }
         }
         Ok(())
@@ -279,7 +272,7 @@ impl GekkoClient {
         }
         // Emptiness is checked across all daemons. This is the paper's
         // eventual-consistency caveat: a concurrent create can slip in.
-        let listings = self.ring.broadcast(|n| self.ring.readdir(n, &path));
+        let listings = self.ring.broadcast(|n| self.ring.readdir_nb(n, &path));
         for l in listings {
             if !l?.is_empty() {
                 return Err(GkfsError::NotEmpty);
@@ -298,7 +291,7 @@ impl GekkoClient {
         if !meta.is_dir() {
             return Err(GkfsError::NotDirectory);
         }
-        let listings = self.ring.broadcast(|n| self.ring.readdir(n, &path));
+        let listings = self.ring.broadcast(|n| self.ring.readdir_nb(n, &path));
         let mut all = Vec::new();
         for l in listings {
             all.extend(l?);
@@ -326,7 +319,7 @@ impl GekkoClient {
         };
         let results = self
             .ring
-            .broadcast(|n| self.ring.truncate_chunks(n, &path, keep_chunk, keep_bytes));
+            .broadcast(|n| self.ring.truncate_chunks_nb(n, &path, keep_chunk, keep_bytes));
         for r in results {
             r?;
         }
@@ -554,20 +547,17 @@ impl GekkoClient {
             let (node, (ops, bulk)) = per_node.into_iter().next().unwrap();
             return self.ring.write_chunks(node, path, ops, Bytes::from(bulk));
         }
-        let results: Vec<Result<()>> = std::thread::scope(|s| {
-            per_node
-                .into_iter()
-                .map(|(node, (ops, bulk))| {
-                    let ring = &self.ring;
-                    s.spawn(move || ring.write_chunks(node, path, ops, Bytes::from(bulk)))
-                })
-                .collect::<Vec<_>>()
-                .into_iter()
-                .map(|h| h.join().unwrap())
-                .collect()
-        });
-        for r in results {
-            r?;
+        // Pipelined fan-out: submit every daemon's batch, then wait for
+        // all the replies. A failed submit still waits nothing — the
+        // in-flight handles reap themselves on drop.
+        let inflight = per_node
+            .into_iter()
+            .map(|(node, (ops, bulk))| {
+                self.ring.write_chunks_nb(node, path, ops, Bytes::from(bulk))
+            })
+            .collect::<Vec<_>>();
+        for fut in inflight {
+            fut?.wait()?;
         }
         Ok(())
     }
@@ -606,27 +596,19 @@ impl GekkoClient {
         }
 
         // Holes read as zeros: pre-zero the buffer, copy what returns.
+        // The gather submits one read batch per daemon before waiting
+        // on any reply, so every daemon streams its chunks back
+        // concurrently.
         let mut out = vec![0u8; effective as usize];
-        let gathered: Vec<Result<(Vec<(u64, ChunkOp)>, Vec<u64>, Bytes)>> =
-            std::thread::scope(|s| {
-                per_node
-                    .into_iter()
-                    .map(|(node, batch)| {
-                        let ring = &self.ring;
-                        let path = &path;
-                        s.spawn(move || {
-                            let ops: Vec<ChunkOp> = batch.iter().map(|(_, op)| *op).collect();
-                            let (lens, bulk) = ring.read_chunks(node, path, ops)?;
-                            Ok((batch, lens, bulk))
-                        })
-                    })
-                    .collect::<Vec<_>>()
-                    .into_iter()
-                    .map(|h| h.join().unwrap())
-                    .collect()
-            });
-        for g in gathered {
-            let (batch, lens, bulk) = g?;
+        let inflight: Vec<_> = per_node
+            .into_iter()
+            .map(|(node, batch)| {
+                let ops: Vec<ChunkOp> = batch.iter().map(|(_, op)| *op).collect();
+                (batch, self.ring.read_chunks_nb(node, &path, ops))
+            })
+            .collect();
+        for (batch, fut) in inflight {
+            let (lens, bulk) = fut?.wait()?;
             let mut cursor = 0usize;
             for ((buf_off, op), got) in batch.iter().zip(lens.iter()) {
                 let got = *got as usize;
@@ -656,12 +638,21 @@ impl GekkoClient {
         Ok(())
     }
 
-    /// Flush all buffered size updates (unmount).
+    /// Flush all buffered size updates (unmount). One update per dirty
+    /// file, all submitted before any reply is awaited.
     pub fn flush_all(&self) -> Result<()> {
-        for p in self.size_cache.drain_all() {
-            self.stats.size_updates_sent.fetch_add(1, Ordering::Relaxed);
-            self.ring
-                .update_size(self.meta_owner(&p.path), &p.path, p.size, p.mtime_ns)?;
+        let inflight: Vec<_> = self
+            .size_cache
+            .drain_all()
+            .into_iter()
+            .map(|p| {
+                self.stats.size_updates_sent.fetch_add(1, Ordering::Relaxed);
+                self.ring
+                    .update_size_nb(self.meta_owner(&p.path), &p.path, p.size, p.mtime_ns)
+            })
+            .collect();
+        for fut in inflight {
+            fut?.wait()?;
         }
         Ok(())
     }
@@ -669,7 +660,7 @@ impl GekkoClient {
     /// Aggregate daemon statistics across the cluster.
     pub fn cluster_stats(&self) -> Result<Vec<DaemonStatsResp>> {
         self.ring
-            .broadcast(|n| self.ring.daemon_stats(n))
+            .broadcast(|n| self.ring.daemon_stats_nb(n))
             .into_iter()
             .collect()
     }
@@ -692,7 +683,7 @@ impl GekkoClient {
         let mut chunk_holders: HashMap<String, Vec<NodeId>> = HashMap::new();
         for (node, inv) in self
             .ring
-            .broadcast(|n| self.ring.chunk_inventory(n))
+            .broadcast(|n| self.ring.chunk_inventory_nb(n))
             .into_iter()
             .enumerate()
         {
@@ -746,8 +737,13 @@ impl GekkoClient {
     /// Purge the orphan chunks a previous [`GekkoClient::fsck`] found.
     /// Returns how many (node, path) holdings were removed.
     pub fn fsck_purge(&self, report: &FsckReport) -> Result<usize> {
-        for (node, path) in &report.orphan_chunks {
-            self.ring.remove_chunks(*node, path)?;
+        let inflight: Vec<_> = report
+            .orphan_chunks
+            .iter()
+            .map(|(node, path)| self.ring.remove_chunks_nb(*node, path))
+            .collect();
+        for fut in inflight {
+            fut?.wait()?;
         }
         Ok(report.orphan_chunks.len())
     }

@@ -4,14 +4,40 @@
 //! book"). All placement decisions happen above, in
 //! [`crate::client::GekkoClient`]; this layer only encodes, sends,
 //! decodes.
+//!
+//! Every operation comes in two flavors built from one generic
+//! helper: the blocking wrapper (`stat`, `write_chunks`, …) and a
+//! nonblocking `_nb` sibling returning a typed [`ReplyFuture`] — the
+//! client's `margo_iforward`. Hot paths submit to every responsible
+//! daemon first and only then wait, so wide striping runs at
+//! transport speed with zero per-call thread spawns.
 
 use bytes::Bytes;
 use gkfs_common::distributor::NodeId;
 use gkfs_common::types::Dirent;
 use gkfs_common::{FileKind, GkfsError, Metadata, Result};
 use gkfs_rpc::proto::*;
-use gkfs_rpc::{Endpoint, Opcode, Request};
+use gkfs_rpc::{Endpoint, Opcode, ReplyHandle, Request, Response};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// A typed in-flight RPC: the nonblocking half of a [`DaemonRing`]
+/// wrapper. [`ReplyFuture::wait`] blocks for the response (bounded by
+/// the endpoint's configured timeout), surfaces remote errors, and
+/// decodes the typed result.
+pub struct ReplyFuture<T> {
+    handle: ReplyHandle,
+    timeout: Duration,
+    decode: Box<dyn FnOnce(Response) -> Result<T> + Send>,
+}
+
+impl<T> ReplyFuture<T> {
+    /// Block until the reply arrives and decode it.
+    pub fn wait(self) -> Result<T> {
+        let resp = self.handle.wait(self.timeout)?.into_result()?;
+        (self.decode)(resp)
+    }
+}
 
 /// The set of daemon endpoints, indexed by [`NodeId`].
 pub struct DaemonRing {
@@ -36,12 +62,61 @@ impl DaemonRing {
             .ok_or_else(|| GkfsError::Rpc(format!("no endpoint for node {node}")))
     }
 
+    /// The one generic nonblocking wrapper every opcode reduces to:
+    /// encode is done by the caller (a body plus optional bulk), the
+    /// typed decode runs at [`ReplyFuture::wait`].
+    fn unary_nb<T>(
+        &self,
+        node: NodeId,
+        op: Opcode,
+        body: impl Into<Bytes>,
+        bulk: Bytes,
+        decode: impl FnOnce(Response) -> Result<T> + Send + 'static,
+    ) -> Result<ReplyFuture<T>> {
+        let ep = self.ep(node)?;
+        let handle = ep.submit(Request::new(op, body).with_bulk(bulk))?;
+        Ok(ReplyFuture {
+            handle,
+            timeout: ep.timeout(),
+            decode: Box::new(decode),
+        })
+    }
+
+    /// Blocking sibling of [`DaemonRing::unary_nb`].
+    fn unary<T>(
+        &self,
+        node: NodeId,
+        op: Opcode,
+        body: impl Into<Bytes>,
+        decode: impl FnOnce(Response) -> Result<T> + Send + 'static,
+    ) -> Result<T> {
+        self.unary_nb(node, op, body, Bytes::new(), decode)?.wait()
+    }
+
+    /// Submit `f(node)` to every node, then wait for all replies in
+    /// node order — pipelined fan-out (`margo_iforward` to the whole
+    /// ring, then `margo_wait` on each handle) with zero thread
+    /// spawns. Used for broadcast operations (readdir, remove,
+    /// truncate, stats, fsck inventory).
+    pub fn broadcast<T, F>(&self, f: F) -> Vec<Result<T>>
+    where
+        F: Fn(NodeId) -> Result<ReplyFuture<T>>,
+    {
+        let inflight: Vec<Result<ReplyFuture<T>>> = (0..self.nodes()).map(f).collect();
+        inflight
+            .into_iter()
+            .map(|fut| fut.and_then(|fut| fut.wait()))
+            .collect()
+    }
+
     /// Liveness check used during deployment.
     pub fn ping(&self, node: NodeId) -> Result<()> {
-        self.ep(node)?
-            .call(Request::new(Opcode::Ping, Bytes::new()))?
-            .into_result()
-            .map(|_| ())
+        self.ping_nb(node)?.wait()
+    }
+
+    /// Nonblocking [`DaemonRing::ping`].
+    pub fn ping_nb(&self, node: NodeId) -> Result<ReplyFuture<()>> {
+        self.unary_nb(node, Opcode::Ping, Bytes::new(), Bytes::new(), |_| Ok(()))
     }
 
     /// Create.
@@ -64,47 +139,50 @@ impl DaemonRing {
             exclusive,
             now_ns,
         };
-        self.ep(node)?
-            .call(Request::new(Opcode::Create, req.encode()))?
-            .into_result()
-            .map(|_| ())
+        self.unary(node, Opcode::Create, req.encode(), |_| Ok(()))
     }
 
     /// Stat.
     pub fn stat(&self, node: NodeId, path: &str) -> Result<Metadata> {
-        let resp = self
-            .ep(node)?
-            .call(Request::new(Opcode::Stat, PathReq::new(path).encode()))?
-            .into_result()?;
-        Metadata::decode(&resp.body)
+        self.unary(node, Opcode::Stat, PathReq::new(path).encode(), |resp| {
+            Metadata::decode(&resp.body)
+        })
     }
 
     /// Remove the metadata entry; returns the removed entry's kind.
     pub fn remove_meta(&self, node: NodeId, path: &str) -> Result<FileKind> {
-        let resp = self
-            .ep(node)?
-            .call(Request::new(
-                Opcode::RemoveMeta,
-                PathReq::new(path).encode(),
-            ))?
-            .into_result()?;
-        match RemoveMetaResp::decode(&resp.body)?.kind {
-            0 => Ok(FileKind::File),
-            _ => Ok(FileKind::Directory),
-        }
+        self.unary(
+            node,
+            Opcode::RemoveMeta,
+            PathReq::new(path).encode(),
+            |resp| match RemoveMetaResp::decode(&resp.body)?.kind {
+                0 => Ok(FileKind::File),
+                _ => Ok(FileKind::Directory),
+            },
+        )
     }
 
     /// Update size.
     pub fn update_size(&self, node: NodeId, path: &str, size: u64, mtime_ns: u64) -> Result<()> {
+        self.update_size_nb(node, path, size, mtime_ns)?.wait()
+    }
+
+    /// Nonblocking [`DaemonRing::update_size`] (flush fan-out).
+    pub fn update_size_nb(
+        &self,
+        node: NodeId,
+        path: &str,
+        size: u64,
+        mtime_ns: u64,
+    ) -> Result<ReplyFuture<()>> {
         let req = UpdateSizeReq {
             path: path.to_string(),
             size,
             mtime_ns,
         };
-        self.ep(node)?
-            .call(Request::new(Opcode::UpdateSize, req.encode()))?
-            .into_result()
-            .map(|_| ())
+        self.unary_nb(node, Opcode::UpdateSize, req.encode(), Bytes::new(), |_| {
+            Ok(())
+        })
     }
 
     /// Truncate meta.
@@ -114,31 +192,37 @@ impl DaemonRing {
             new_size,
             mtime_ns,
         };
-        self.ep(node)?
-            .call(Request::new(Opcode::TruncateMeta, req.encode()))?
-            .into_result()
-            .map(|_| ())
+        self.unary(node, Opcode::TruncateMeta, req.encode(), |_| Ok(()))
     }
 
     /// Readdir.
     pub fn readdir(&self, node: NodeId, dir: &str) -> Result<Vec<Dirent>> {
-        let resp = self
-            .ep(node)?
-            .call(Request::new(Opcode::ReadDir, PathReq::new(dir).encode()))?
-            .into_result()?;
-        Ok(ReadDirResp::decode(&resp.body)?
-            .entries
-            .into_iter()
-            .map(|e| Dirent {
-                name: e.name,
-                kind: if e.kind == 0 {
-                    FileKind::File
-                } else {
-                    FileKind::Directory
-                },
-                size: e.size,
-            })
-            .collect())
+        self.readdir_nb(node, dir)?.wait()
+    }
+
+    /// Nonblocking [`DaemonRing::readdir`] (broadcast listings).
+    pub fn readdir_nb(&self, node: NodeId, dir: &str) -> Result<ReplyFuture<Vec<Dirent>>> {
+        self.unary_nb(
+            node,
+            Opcode::ReadDir,
+            PathReq::new(dir).encode(),
+            Bytes::new(),
+            |resp| {
+                Ok(ReadDirResp::decode(&resp.body)?
+                    .entries
+                    .into_iter()
+                    .map(|e| Dirent {
+                        name: e.name,
+                        kind: if e.kind == 0 {
+                            FileKind::File
+                        } else {
+                            FileKind::Directory
+                        },
+                        size: e.size,
+                    })
+                    .collect())
+            },
+        )
     }
 
     /// Write one batch of chunks; `bulk` is the concatenated data in
@@ -150,14 +234,22 @@ impl DaemonRing {
         ops: Vec<ChunkOp>,
         bulk: Bytes,
     ) -> Result<()> {
+        self.write_chunks_nb(node, path, ops, bulk)?.wait()
+    }
+
+    /// Nonblocking [`DaemonRing::write_chunks`] (write fan-out).
+    pub fn write_chunks_nb(
+        &self,
+        node: NodeId,
+        path: &str,
+        ops: Vec<ChunkOp>,
+        bulk: Bytes,
+    ) -> Result<ReplyFuture<()>> {
         let req = ChunkBatchReq {
             path: path.to_string(),
             ops,
         };
-        self.ep(node)?
-            .call(Request::new(Opcode::WriteChunks, req.encode()).with_bulk(bulk))?
-            .into_result()
-            .map(|_| ())
+        self.unary_nb(node, Opcode::WriteChunks, req.encode(), bulk, |_| Ok(()))
     }
 
     /// Read one batch of chunks; returns per-op lengths and the
@@ -168,27 +260,40 @@ impl DaemonRing {
         path: &str,
         ops: Vec<ChunkOp>,
     ) -> Result<(Vec<u64>, Bytes)> {
+        self.read_chunks_nb(node, path, ops)?.wait()
+    }
+
+    /// Nonblocking [`DaemonRing::read_chunks`] (read gather).
+    pub fn read_chunks_nb(
+        &self,
+        node: NodeId,
+        path: &str,
+        ops: Vec<ChunkOp>,
+    ) -> Result<ReplyFuture<(Vec<u64>, Bytes)>> {
         let req = ChunkBatchReq {
             path: path.to_string(),
             ops,
         };
-        let resp = self
-            .ep(node)?
-            .call(Request::new(Opcode::ReadChunks, req.encode()))?
-            .into_result()?;
-        let lens = ReadChunksResp::decode(&resp.body)?.lens;
-        Ok((lens, resp.bulk))
+        self.unary_nb(node, Opcode::ReadChunks, req.encode(), Bytes::new(), |resp| {
+            let lens = ReadChunksResp::decode(&resp.body)?.lens;
+            Ok((lens, resp.bulk))
+        })
     }
 
     /// Remove chunks.
     pub fn remove_chunks(&self, node: NodeId, path: &str) -> Result<()> {
-        self.ep(node)?
-            .call(Request::new(
-                Opcode::RemoveChunks,
-                PathReq::new(path).encode(),
-            ))?
-            .into_result()
-            .map(|_| ())
+        self.remove_chunks_nb(node, path)?.wait()
+    }
+
+    /// Nonblocking [`DaemonRing::remove_chunks`] (unlink fan-out).
+    pub fn remove_chunks_nb(&self, node: NodeId, path: &str) -> Result<ReplyFuture<()>> {
+        self.unary_nb(
+            node,
+            Opcode::RemoveChunks,
+            PathReq::new(path).encode(),
+            Bytes::new(),
+            |_| Ok(()),
+        )
     }
 
     /// Truncate chunks.
@@ -199,55 +304,59 @@ impl DaemonRing {
         keep_chunk: u64,
         keep_bytes: u64,
     ) -> Result<()> {
+        self.truncate_chunks_nb(node, path, keep_chunk, keep_bytes)?
+            .wait()
+    }
+
+    /// Nonblocking [`DaemonRing::truncate_chunks`] (truncate broadcast).
+    pub fn truncate_chunks_nb(
+        &self,
+        node: NodeId,
+        path: &str,
+        keep_chunk: u64,
+        keep_bytes: u64,
+    ) -> Result<ReplyFuture<()>> {
         let req = TruncateChunksReq {
             path: path.to_string(),
             keep_chunk,
             keep_bytes,
         };
-        self.ep(node)?
-            .call(Request::new(Opcode::TruncateChunks, req.encode()))?
-            .into_result()
-            .map(|_| ())
+        self.unary_nb(node, Opcode::TruncateChunks, req.encode(), Bytes::new(), |_| {
+            Ok(())
+        })
     }
 
     /// Paths (and chunk counts) daemon `node` holds chunks for.
     pub fn chunk_inventory(&self, node: NodeId) -> Result<Vec<(String, u64)>> {
-        let resp = self
-            .ep(node)?
-            .call(Request::new(Opcode::ChunkInventory, Bytes::new()))?
-            .into_result()?;
-        Ok(ChunkInventoryResp::decode(&resp.body)?.entries)
+        self.chunk_inventory_nb(node)?.wait()
+    }
+
+    /// Nonblocking [`DaemonRing::chunk_inventory`] (fsck broadcast).
+    pub fn chunk_inventory_nb(&self, node: NodeId) -> Result<ReplyFuture<Vec<(String, u64)>>> {
+        self.unary_nb(
+            node,
+            Opcode::ChunkInventory,
+            Bytes::new(),
+            Bytes::new(),
+            |resp| Ok(ChunkInventoryResp::decode(&resp.body)?.entries),
+        )
     }
 
     /// Daemon stats.
     pub fn daemon_stats(&self, node: NodeId) -> Result<DaemonStatsResp> {
-        let resp = self
-            .ep(node)?
-            .call(Request::new(Opcode::DaemonStats, Bytes::new()))?
-            .into_result()?;
-        DaemonStatsResp::decode(&resp.body)
+        self.daemon_stats_nb(node)?.wait()
     }
 
-    /// Run `f(node)` for every node in parallel and collect results in
-    /// node order. Used for broadcast operations (readdir, remove,
-    /// truncate) and parallel chunk fan-out.
-    pub fn broadcast<T, F>(&self, f: F) -> Vec<Result<T>>
-    where
-        T: Send,
-        F: Fn(NodeId) -> Result<T> + Sync,
-    {
-        if self.nodes() == 1 {
-            return vec![f(0)];
-        }
-        std::thread::scope(|s| {
-            let handles: Vec<_> = (0..self.nodes())
-                .map(|n| {
-                    let f = &f;
-                    s.spawn(move || f(n))
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        })
+    /// Nonblocking [`DaemonRing::daemon_stats`] (cluster-stats
+    /// broadcast).
+    pub fn daemon_stats_nb(&self, node: NodeId) -> Result<ReplyFuture<DaemonStatsResp>> {
+        self.unary_nb(
+            node,
+            Opcode::DaemonStats,
+            Bytes::new(),
+            Bytes::new(),
+            |resp| DaemonStatsResp::decode(&resp.body),
+        )
     }
 }
 
@@ -255,7 +364,7 @@ impl DaemonRing {
 mod tests {
     use super::*;
     use gkfs_common::DaemonConfig;
-    use gkfs_daemon_for_tests::make_ring;
+    use gkfs_daemon_for_tests::{make_ring, make_sleepy_ring};
 
     /// Test-only helper building a ring of real in-process daemons.
     mod gkfs_daemon_for_tests {
@@ -280,6 +389,23 @@ mod tests {
             DaemonRing::new(endpoints)
         }
 
+        /// A ring whose Ping handlers sleep `delay_ms` — for proving
+        /// broadcast overlaps daemons instead of visiting them
+        /// serially.
+        pub fn make_sleepy_ring(n: usize, delay_ms: u64) -> DaemonRing {
+            let mut endpoints: Vec<Arc<dyn Endpoint>> = Vec::new();
+            for _ in 0..n {
+                let mut reg = gkfs_rpc::HandlerRegistry::new();
+                reg.register_fn(Opcode::Ping, move |req| {
+                    std::thread::sleep(std::time::Duration::from_millis(delay_ms));
+                    gkfs_rpc::Response::ok(req.body)
+                });
+                let server = gkfs_rpc::RpcServer::new(reg, 1);
+                endpoints.push(server.endpoint());
+            }
+            DaemonRing::new(endpoints)
+        }
+
         #[allow(unused)]
         fn quiet(_: DaemonConfig) {}
     }
@@ -298,13 +424,46 @@ mod tests {
     fn out_of_range_node_is_rpc_error() {
         let ring = make_ring(2);
         assert!(matches!(ring.ping(5), Err(GkfsError::Rpc(_))));
+        assert!(ring.ping_nb(5).is_err());
     }
 
     #[test]
     fn broadcast_hits_every_node_in_order() {
         let ring = make_ring(4);
-        let results = ring.broadcast(|n| Ok::<usize, GkfsError>(n * 10));
-        let vals: Vec<usize> = results.into_iter().map(|r| r.unwrap()).collect();
-        assert_eq!(vals, vec![0, 10, 20, 30]);
+        let results = ring.broadcast(|n| ring.ping_nb(n));
+        assert_eq!(results.len(), 4);
+        for r in results {
+            r.unwrap();
+        }
+    }
+
+    #[test]
+    fn broadcast_pipelines_across_nodes() {
+        // 4 daemons × 60 ms of handler work each: a serial visit costs
+        // 240 ms, the submit-all-then-wait-all broadcast ~60 ms.
+        let ring = make_sleepy_ring(4, 60);
+        let t0 = std::time::Instant::now();
+        let results = ring.broadcast(|n| ring.ping_nb(n));
+        for r in results {
+            r.unwrap();
+        }
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed < std::time::Duration::from_millis(200),
+            "broadcast visited daemons serially: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn nonblocking_submit_returns_before_completion() {
+        let ring = make_sleepy_ring(1, 80);
+        let t0 = std::time::Instant::now();
+        let fut = ring.ping_nb(0).unwrap();
+        assert!(
+            t0.elapsed() < std::time::Duration::from_millis(50),
+            "submit must not block on the handler"
+        );
+        fut.wait().unwrap();
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(80));
     }
 }

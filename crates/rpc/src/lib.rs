@@ -22,8 +22,13 @@
 //!   request-id correlation and connection reuse.
 //!
 //! The daemon registers handlers and serves; the client holds one
-//! [`Endpoint`] per daemon and issues blocking calls, fanning out with
-//! scoped threads where the file-system layer needs parallelism.
+//! [`Endpoint`] per daemon. The endpoint API is
+//! submission/completion, Margo's own shape: a nonblocking
+//! [`Endpoint::submit`] (`margo_iforward`) returns a
+//! [`ReplyHandle`] whose `wait` (`margo_wait`) yields the response,
+//! so one client thread pipelines requests across any number of
+//! daemons with zero thread spawns; blocking `call` is sugar over the
+//! pair.
 
 #![warn(missing_docs)]
 
@@ -41,4 +46,4 @@ pub use pool::HandlerPool;
 pub use stats::RpcStats;
 pub use transport::inproc::{InprocEndpoint, RpcServer};
 pub use transport::tcp::{TcpEndpoint, TcpServer};
-pub use transport::Endpoint;
+pub use transport::{Endpoint, EndpointOptions, ReplyHandle, DEFAULT_TIMEOUT};

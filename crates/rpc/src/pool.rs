@@ -9,10 +9,17 @@
 //! one socket and size it statically (paper §IV: daemon and application
 //! pinned to separate sockets).
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// Queue slots per worker for daemon-facing pools. With nonblocking
+/// client submission the queue is the only thing bounding a daemon's
+/// memory under overload; once it fills, `submit` blocks the enqueuer
+/// (the in-process client, or a TCP connection reader whose stalled
+/// socket then pushes back to the peer) — back-pressure, not OOM.
+pub const SERVER_QUEUE_PER_WORKER: usize = 256;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -29,10 +36,25 @@ pub struct HandlerPool {
 }
 
 impl HandlerPool {
-    /// Spawn a pool with `threads` workers (min 1).
+    /// Spawn a pool with `threads` workers (min 1) and an unbounded
+    /// queue.
     pub fn new(threads: usize) -> HandlerPool {
+        Self::build(threads, None)
+    }
+
+    /// Spawn a pool with `threads` workers (min 1) and a queue bounded
+    /// to `queue_cap` jobs (min 1): [`HandlerPool::submit`] blocks
+    /// while the queue is full, applying back-pressure to submitters.
+    pub fn bounded(threads: usize, queue_cap: usize) -> HandlerPool {
+        Self::build(threads, Some(queue_cap.max(1)))
+    }
+
+    fn build(threads: usize, queue_cap: Option<usize>) -> HandlerPool {
         let threads = threads.max(1);
-        let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
+        let (tx, rx): (Sender<Job>, Receiver<Job>) = match queue_cap {
+            Some(cap) => bounded(cap),
+            None => unbounded(),
+        };
         let shared = Arc::new(PoolShared {
             queued: AtomicU64::new(0),
             executed: AtomicU64::new(0),
@@ -59,8 +81,9 @@ impl HandlerPool {
         }
     }
 
-    /// Enqueue a job. Panics if the pool is already shut down (a
-    /// lifecycle bug, not a runtime condition).
+    /// Enqueue a job. On a bounded pool this blocks while the queue is
+    /// full (back-pressure). Panics if the pool is already shut down
+    /// (a lifecycle bug, not a runtime condition).
     pub fn submit<F: FnOnce() + Send + 'static>(&self, job: F) {
         self.shared.queued.fetch_add(1, Ordering::Relaxed);
         self.tx
@@ -167,5 +190,57 @@ mod tests {
     fn zero_threads_clamps_to_one() {
         let pool = HandlerPool::new(0);
         assert_eq!(pool.threads(), 1);
+    }
+
+    #[test]
+    fn bounded_pool_executes_everything_under_pressure() {
+        // Tiny queue, many producers: submits block rather than fail,
+        // and every job still runs exactly once.
+        let pool = Arc::new(HandlerPool::bounded(2, 2));
+        let counter = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let pool = pool.clone();
+                let counter = counter.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        let c = counter.clone();
+                        pool.submit(move || {
+                            c.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        let mut pool = Arc::into_inner(pool).expect("sole owner after scope");
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 400);
+        let (q, e) = pool.counters();
+        assert_eq!(q, 400);
+        assert_eq!(e, 400);
+    }
+
+    #[test]
+    fn bounded_queue_blocks_when_full() {
+        // One worker parked on a gate; capacity 1. The third submit
+        // (1 running + 1 queued) must block until the gate opens.
+        let pool = HandlerPool::bounded(1, 1);
+        let (gate_tx, gate_rx) = crossbeam::channel::bounded::<()>(0);
+        pool.submit(move || {
+            let _ = gate_rx.recv(); // occupy the worker
+        });
+        pool.submit(|| {}); // fills the single queue slot
+        let blocked = Arc::new(AtomicUsize::new(0));
+        let flag = blocked.clone();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                pool.submit(move || {});
+                flag.fetch_add(1, Ordering::SeqCst);
+            });
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            assert_eq!(blocked.load(Ordering::SeqCst), 0, "submit must block on full queue");
+            gate_tx.send(()).unwrap(); // release the worker
+        });
+        assert_eq!(blocked.load(Ordering::SeqCst), 1, "submit unblocks after drain");
     }
 }

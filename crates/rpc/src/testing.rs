@@ -6,12 +6,40 @@
 //! misbehaves, clients must get errors, not hangs, corruption, or
 //! panics. These wrappers inject failures at the endpoint boundary.
 
-use crate::message::{Request, Response};
-use crate::transport::Endpoint;
+use crate::handler::HandlerRegistry;
+use crate::message::{Opcode, Request, Response};
+use crate::transport::{Endpoint, ReplyHandle};
 use gkfs_common::{GkfsError, Result};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Register a "sleepy echo" handler on `opcode`: each request sleeps
+/// for the number of milliseconds in the first two bytes of its body
+/// (little-endian u16; missing/short body = no sleep), then echoes
+/// body and bulk back. With a wide handler pool this lets tests force
+/// responses to complete **out of submission order** — the scenario
+/// the pipelined submit/wait path must correlate correctly.
+pub fn register_sleepy_echo(reg: &mut HandlerRegistry, opcode: Opcode) {
+    reg.register_fn(opcode, |req| {
+        let ms = if req.body.len() >= 2 {
+            u16::from_le_bytes([req.body[0], req.body[1]]) as u64
+        } else {
+            0
+        };
+        if ms > 0 {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        Response::ok(req.body).with_bulk(req.bulk)
+    });
+}
+
+/// Encode a sleepy-echo body: the delay prefix followed by `tag`.
+pub fn sleepy_body(delay_ms: u16, tag: &[u8]) -> Vec<u8> {
+    let mut body = delay_ms.to_le_bytes().to_vec();
+    body.extend_from_slice(tag);
+    body
+}
 
 /// Fails every `fail_every`-th call with an RPC error (1 = every call).
 pub struct FlakyEndpoint {
@@ -38,17 +66,22 @@ impl FlakyEndpoint {
 }
 
 impl Endpoint for FlakyEndpoint {
-    fn call(&self, req: Request) -> Result<Response> {
+    fn submit(&self, req: Request) -> Result<ReplyHandle> {
         let n = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
         if n % self.fail_every == 0 {
             return Err(GkfsError::Rpc("injected fault".into()));
         }
-        self.inner.call(req)
+        self.inner.submit(req)
+    }
+
+    fn timeout(&self) -> Duration {
+        self.inner.timeout()
     }
 }
 
-/// Delays every call by a fixed amount before forwarding — a slow or
-/// congested daemon.
+/// Delays every submission by a fixed amount before forwarding — a
+/// slow or congested daemon (the delay sits on the submission path,
+/// so even nonblocking callers feel it, like a full send queue).
 pub struct SlowEndpoint {
     inner: Arc<dyn Endpoint>,
     delay: Duration,
@@ -62,9 +95,13 @@ impl SlowEndpoint {
 }
 
 impl Endpoint for SlowEndpoint {
-    fn call(&self, req: Request) -> Result<Response> {
+    fn submit(&self, req: Request) -> Result<ReplyHandle> {
         std::thread::sleep(self.delay);
-        self.inner.call(req)
+        self.inner.submit(req)
+    }
+
+    fn timeout(&self) -> Duration {
+        self.inner.timeout()
     }
 }
 
@@ -72,7 +109,7 @@ impl Endpoint for SlowEndpoint {
 pub struct DeadEndpoint;
 
 impl Endpoint for DeadEndpoint {
-    fn call(&self, _req: Request) -> Result<Response> {
+    fn submit(&self, _req: Request) -> Result<ReplyHandle> {
         Err(GkfsError::Rpc("daemon unreachable".into()))
     }
 }
@@ -80,9 +117,8 @@ impl Endpoint for DeadEndpoint {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::handler::HandlerRegistry;
-    use crate::message::Opcode;
     use crate::transport::inproc::RpcServer;
+    use crate::transport::EndpointOptions;
 
     fn echo() -> Arc<RpcServer> {
         let mut reg = HandlerRegistry::new();
@@ -135,10 +171,26 @@ mod tests {
             Response::ok(req.body)
         });
         let server = RpcServer::new(reg, 1);
-        let ep = server.endpoint_with_timeout(Duration::from_millis(30));
+        let ep = server
+            .endpoint_with(EndpointOptions::new().with_timeout(Duration::from_millis(30)));
         let t0 = std::time::Instant::now();
         let r = ep.call(Request::new(Opcode::Ping, &b""[..]));
         assert!(matches!(r, Err(GkfsError::Timeout)));
         assert!(t0.elapsed() < Duration::from_millis(200), "timed out promptly");
+    }
+
+    #[test]
+    fn sleepy_echo_sleeps_and_echoes() {
+        let mut reg = HandlerRegistry::new();
+        register_sleepy_echo(&mut reg, Opcode::Ping);
+        let server = RpcServer::new(reg, 1);
+        let ep = server.endpoint();
+        let body = sleepy_body(30, b"tagged");
+        let t0 = std::time::Instant::now();
+        let resp = ep
+            .call(Request::new(Opcode::Ping, bytes::Bytes::from(body.clone())))
+            .unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(30));
+        assert_eq!(&resp.body[..], &body[..]);
     }
 }

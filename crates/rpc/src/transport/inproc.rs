@@ -1,18 +1,19 @@
 //! In-process transport.
 //!
 //! Daemon and client live in the same address space (the configuration
-//! used by the in-process cluster, tests, and benchmarks). A call
-//! enqueues the request on the daemon's handler pool and parks on a
-//! rendezvous channel; bulk payloads are `Bytes`, so data moves by
-//! reference with zero copies — the moral equivalent of the paper's
-//! RDMA path, where "the client exposes the relevant chunk memory
-//! region to the daemon".
+//! used by the in-process cluster, tests, and benchmarks). A
+//! submission enqueues the request on the daemon's handler pool and
+//! returns immediately; the handler completes the reply handle when it
+//! finishes. Bulk payloads are `Bytes`, so data moves by reference
+//! with zero copies — the moral equivalent of the paper's RDMA path,
+//! where "the client exposes the relevant chunk memory region to the
+//! daemon".
 
 use crate::handler::HandlerRegistry;
 use crate::message::{Request, Response};
-use crate::pool::HandlerPool;
+use crate::pool::{HandlerPool, SERVER_QUEUE_PER_WORKER};
 use crate::stats::RpcStats;
-use crate::transport::Endpoint;
+use crate::transport::{Endpoint, EndpointOptions, ReplyHandle};
 use crate::Status;
 use gkfs_common::{GkfsError, Result};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -29,11 +30,16 @@ pub struct RpcServer {
 }
 
 impl RpcServer {
-    /// Construct over a registry with `handler_threads` workers.
+    /// Construct over a registry with `handler_threads` workers. The
+    /// pool queue is bounded (see [`SERVER_QUEUE_PER_WORKER`]): once
+    /// nonblocking clients have that many submissions outstanding,
+    /// further `submit`s block until workers drain the backlog —
+    /// back-pressure instead of unbounded queue growth.
     pub fn new(registry: HandlerRegistry, handler_threads: usize) -> Arc<RpcServer> {
+        let threads = handler_threads.max(1);
         Arc::new(RpcServer {
             registry: Arc::new(registry),
-            pool: HandlerPool::new(handler_threads),
+            pool: HandlerPool::bounded(threads, threads * SERVER_QUEUE_PER_WORKER),
             stats: Arc::new(RpcStats::default()),
             shutting_down: AtomicBool::new(false),
             next_id: AtomicU64::new(1),
@@ -55,16 +61,17 @@ impl RpcServer {
         self.shutting_down.load(Ordering::SeqCst)
     }
 
-    /// Create a client endpoint connected to this server.
+    /// Create a client endpoint connected to this server with default
+    /// options.
     pub fn endpoint(self: &Arc<RpcServer>) -> Arc<InprocEndpoint> {
-        self.endpoint_with_timeout(Duration::from_secs(30))
+        self.endpoint_with(EndpointOptions::default())
     }
 
-    /// Create a client endpoint with a custom call timeout.
-    pub fn endpoint_with_timeout(self: &Arc<RpcServer>, timeout: Duration) -> Arc<InprocEndpoint> {
+    /// Create a client endpoint with explicit [`EndpointOptions`].
+    pub fn endpoint_with(self: &Arc<RpcServer>, opts: EndpointOptions) -> Arc<InprocEndpoint> {
         Arc::new(InprocEndpoint {
             server: Arc::clone(self),
-            timeout,
+            timeout: opts.timeout,
         })
     }
 }
@@ -76,7 +83,7 @@ pub struct InprocEndpoint {
 }
 
 impl Endpoint for InprocEndpoint {
-    fn call(&self, mut req: Request) -> Result<Response> {
+    fn submit(&self, mut req: Request) -> Result<ReplyHandle> {
         if self.server.is_shutting_down() {
             return Err(GkfsError::ShuttingDown);
         }
@@ -85,19 +92,23 @@ impl Endpoint for InprocEndpoint {
 
         let (tx, rx) = crossbeam::channel::bounded::<Response>(1);
         let registry = Arc::clone(&self.server.registry);
+        let stats = Arc::clone(&self.server.stats);
         self.server.pool.submit(move || {
             let resp = registry.dispatch(req);
+            stats.record_response(
+                matches!(resp.status, Status::Ok),
+                resp.body.len(),
+                resp.bulk.len(),
+            );
             let _ = tx.send(resp);
         });
-        let resp = rx
-            .recv_timeout(self.timeout)
-            .map_err(|_| GkfsError::Timeout)?;
-        self.server.stats.record_response(
-            matches!(resp.status, Status::Ok),
-            resp.body.len(),
-            resp.bulk.len(),
-        );
-        Ok(resp)
+        // If the pool is torn down with the job undrained, the sender
+        // drops and the handle disconnects — surface that as shutdown.
+        Ok(ReplyHandle::pending(rx).on_disconnect(GkfsError::ShuttingDown))
+    }
+
+    fn timeout(&self) -> Duration {
+        self.timeout
     }
 }
 
@@ -149,6 +160,28 @@ mod tests {
             ep.call(Request::new(Opcode::Ping, &b""[..])),
             Err(GkfsError::ShuttingDown)
         ));
+        assert!(matches!(
+            ep.submit(Request::new(Opcode::Ping, &b""[..])),
+            Err(GkfsError::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn submit_pipelines_before_wait() {
+        // One worker, three submissions: all three must be accepted
+        // before any wait — the nonblocking property itself.
+        let server = echo_server(1);
+        let ep = server.endpoint();
+        let handles: Vec<ReplyHandle> = (0..3)
+            .map(|i| {
+                ep.submit(Request::new(Opcode::Ping, Bytes::from(format!("m{i}"))))
+                    .unwrap()
+            })
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            let resp = h.wait(Duration::from_secs(5)).unwrap();
+            assert_eq!(&resp.body[..], format!("m{i}").as_bytes());
+        }
     }
 
     #[test]

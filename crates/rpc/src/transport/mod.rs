@@ -4,20 +4,233 @@
 //! daemon. The file-system layers above never know which transport is
 //! in use — exactly Mercury's portability property that the paper
 //! leans on ("GekkoFS should be hardware independent", §III).
+//!
+//! The API is **submission/completion**, mirroring Margo: a
+//! nonblocking [`Endpoint::submit`] is `margo_iforward` (the request
+//! is on the wire / on the handler pool when it returns) and
+//! [`ReplyHandle::wait`] is `margo_wait`. The blocking
+//! [`Endpoint::call`] is a convenience built from the two. Wide
+//! striping only pays off when one client thread can keep many
+//! daemons busy simultaneously (§III-B), which is exactly what
+//! submit-all-then-wait-all enables.
 
 use crate::message::{Request, Response};
-use gkfs_common::Result;
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+use gkfs_common::{GkfsError, Result};
+use std::time::Duration;
 
 pub mod inproc;
 pub mod tcp;
 
-/// A client's handle to one daemon: a blocking request/response call.
+/// Default per-call timeout used by [`EndpointOptions::default`].
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Construction options shared by both transports.
+///
+/// One builder replaces the old `connect`/`connect_with_timeout` and
+/// `endpoint`/`endpoint_with_timeout` constructor pairs:
+///
+/// ```ignore
+/// let ep = TcpEndpoint::connect_with(addr, EndpointOptions::new().with_timeout(t))?;
+/// let ep = server.endpoint_with(EndpointOptions::new().with_timeout(t));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EndpointOptions {
+    /// Per-call timeout applied by [`Endpoint::call`]; also the
+    /// timeout reported by [`Endpoint::timeout`] for callers that
+    /// `wait` on submitted handles themselves.
+    pub timeout: Duration,
+}
+
+impl Default for EndpointOptions {
+    fn default() -> EndpointOptions {
+        EndpointOptions {
+            timeout: DEFAULT_TIMEOUT,
+        }
+    }
+}
+
+impl EndpointOptions {
+    /// Options with all defaults.
+    pub fn new() -> EndpointOptions {
+        EndpointOptions::default()
+    }
+
+    /// Set the per-call timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> EndpointOptions {
+        self.timeout = timeout;
+        self
+    }
+}
+
+enum ReplySource {
+    /// Response will arrive on this channel (transport completion).
+    Waiting(Receiver<Response>),
+    /// Result was known at submission time (test doubles, fast errors).
+    Ready(Option<Result<Response>>),
+}
+
+/// An in-flight RPC: the completion half of [`Endpoint::submit`].
+///
+/// The transport completes the handle by sending the response on its
+/// channel. If the transport dies first (connection closed, server
+/// shut down), the channel disconnects and `wait` fails fast with the
+/// transport's disconnect error instead of burning the full timeout.
+pub struct ReplyHandle {
+    source: ReplySource,
+    /// Error surfaced when the transport drops the completion channel
+    /// without responding.
+    disconnect: GkfsError,
+    /// Cleanup run if the caller gives up (timeout or drop) before the
+    /// response arrives — transports use it to reap their pending-slot
+    /// so abandoned requests do not leak correlation entries.
+    abandon: Option<Box<dyn FnOnce() + Send>>,
+}
+
+impl ReplyHandle {
+    /// A handle completed by sending on the paired channel.
+    pub fn pending(rx: Receiver<Response>) -> ReplyHandle {
+        ReplyHandle {
+            source: ReplySource::Waiting(rx),
+            disconnect: GkfsError::Rpc("connection closed".into()),
+            abandon: None,
+        }
+    }
+
+    /// A handle whose outcome is already known (test doubles).
+    pub fn ready(result: Result<Response>) -> ReplyHandle {
+        ReplyHandle {
+            source: ReplySource::Ready(Some(result)),
+            disconnect: GkfsError::Rpc("connection closed".into()),
+            abandon: None,
+        }
+    }
+
+    /// Set the error reported when the transport disconnects before
+    /// responding.
+    pub fn on_disconnect(mut self, e: GkfsError) -> ReplyHandle {
+        self.disconnect = e;
+        self
+    }
+
+    /// Set the cleanup hook run when the handle is abandoned (timeout
+    /// or drop) before completion.
+    pub fn on_abandon(mut self, f: impl FnOnce() + Send + 'static) -> ReplyHandle {
+        self.abandon = Some(Box::new(f));
+        self
+    }
+
+    /// Block until the response arrives (transport-level success; the
+    /// application status still rides inside the [`Response`]).
+    ///
+    /// * response arrived → `Ok(resp)`
+    /// * transport died → the disconnect error, immediately
+    /// * `timeout` elapsed → `Err(Timeout)`, and the pending slot is
+    ///   reaped so a late response cannot leak it
+    pub fn wait(mut self, timeout: Duration) -> Result<Response> {
+        match &mut self.source {
+            ReplySource::Ready(result) => {
+                self.abandon = None;
+                result.take().expect("ReplyHandle waited twice")
+            }
+            ReplySource::Waiting(rx) => match rx.recv_timeout(timeout) {
+                Ok(resp) => {
+                    // Completed: the transport already reaped the slot.
+                    self.abandon = None;
+                    Ok(resp)
+                }
+                Err(RecvTimeoutError::Disconnected) => Err(self.disconnect.clone()),
+                Err(RecvTimeoutError::Timeout) => Err(GkfsError::Timeout),
+            },
+        }
+    }
+}
+
+impl Drop for ReplyHandle {
+    fn drop(&mut self) {
+        if let Some(f) = self.abandon.take() {
+            f();
+        }
+    }
+}
+
+/// A client's handle to one daemon.
 ///
 /// Implementations must be usable concurrently from many threads; the
-/// client library fans out chunk operations over endpoints with scoped
-/// threads.
+/// client library pipelines chunk operations by submitting to every
+/// responsible daemon before waiting on any reply.
 pub trait Endpoint: Send + Sync {
-    /// Issue `req` and wait for the response (transport errors surface
-    /// as `Err`; application errors ride inside the `Response` status).
-    fn call(&self, req: Request) -> Result<Response>;
+    /// Nonblocking submission (`margo_iforward`): hand `req` to the
+    /// transport and return immediately with a [`ReplyHandle`].
+    /// Transport-level submission failures surface as `Err`;
+    /// application errors ride inside the eventual [`Response`].
+    fn submit(&self, req: Request) -> Result<ReplyHandle>;
+
+    /// The per-call timeout [`Endpoint::call`] applies, exposed so
+    /// callers driving `submit`/`wait` themselves honor the endpoint's
+    /// configuration.
+    fn timeout(&self) -> Duration {
+        DEFAULT_TIMEOUT
+    }
+
+    /// Blocking convenience: `submit` + `wait` (`margo_forward`).
+    fn call(&self, req: Request) -> Result<Response> {
+        self.submit(req)?.wait(self.timeout())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::bounded;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn ready_handle_returns_immediately() {
+        let h = ReplyHandle::ready(Ok(Response::ok(&b"now"[..])));
+        let resp = h.wait(Duration::from_millis(1)).unwrap();
+        assert_eq!(&resp.body[..], b"now");
+    }
+
+    #[test]
+    fn disconnect_fails_fast_with_custom_error() {
+        let (tx, rx) = bounded::<Response>(1);
+        let h = ReplyHandle::pending(rx).on_disconnect(GkfsError::ShuttingDown);
+        drop(tx);
+        let t0 = std::time::Instant::now();
+        assert!(matches!(
+            h.wait(Duration::from_secs(30)),
+            Err(GkfsError::ShuttingDown)
+        ));
+        assert!(t0.elapsed() < Duration::from_secs(1), "must not burn the timeout");
+    }
+
+    #[test]
+    fn timeout_and_drop_run_the_abandon_hook_once() {
+        let (_tx, rx) = bounded::<Response>(1);
+        let reaped = Arc::new(AtomicBool::new(false));
+        let flag = reaped.clone();
+        let h = ReplyHandle::pending(rx).on_abandon(move || {
+            assert!(!flag.swap(true, Ordering::SeqCst), "hook ran twice");
+        });
+        assert!(matches!(
+            h.wait(Duration::from_millis(5)),
+            Err(GkfsError::Timeout)
+        ));
+        assert!(reaped.load(Ordering::SeqCst), "timeout must reap the slot");
+    }
+
+    #[test]
+    fn completion_skips_the_abandon_hook() {
+        let (tx, rx) = bounded::<Response>(1);
+        let reaped = Arc::new(AtomicBool::new(false));
+        let flag = reaped.clone();
+        let h = ReplyHandle::pending(rx).on_abandon(move || {
+            flag.store(true, Ordering::SeqCst);
+        });
+        tx.send(Response::ok(&b"done"[..])).unwrap();
+        h.wait(Duration::from_secs(1)).unwrap();
+        assert!(!reaped.load(Ordering::SeqCst), "completed handles are not abandoned");
+    }
 }

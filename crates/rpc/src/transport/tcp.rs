@@ -5,12 +5,15 @@
 //! one reader thread, and responses are correlated to waiting callers
 //! by request id, so one connection multiplexes any number of
 //! concurrent calls (as Mercury does over its network plugins).
+//! Submission is nonblocking: `submit` registers the pending slot and
+//! writes the frame; the reader thread completes handles as responses
+//! arrive, in whatever order the daemon finishes them.
 
 use crate::handler::HandlerRegistry;
 use crate::message::{Request, Response};
-use crate::pool::HandlerPool;
+use crate::pool::{HandlerPool, SERVER_QUEUE_PER_WORKER};
 use crate::stats::RpcStats;
-use crate::transport::Endpoint;
+use crate::transport::{Endpoint, EndpointOptions, ReplyHandle};
 use crate::Status;
 use crossbeam::channel::{bounded, Sender};
 use gkfs_common::{GkfsError, Result};
@@ -48,6 +51,10 @@ fn read_frame(stream: &mut TcpStream) -> Result<Vec<u8>> {
     Ok(buf)
 }
 
+fn closed_err() -> GkfsError {
+    GkfsError::Rpc("connection closed".into())
+}
+
 /// A TCP daemon listener: accepts connections and serves requests on a
 /// handler pool.
 pub struct TcpServer {
@@ -64,7 +71,11 @@ pub struct TcpServer {
 impl TcpServer {
     /// Bind `addr` (use port 0 for an OS-assigned port; the actual
     /// address is available via [`TcpServer::local_addr`]) and start
-    /// serving.
+    /// serving. The handler pool queue is bounded
+    /// ([`SERVER_QUEUE_PER_WORKER`] slots per worker): when pipelining
+    /// clients outrun the daemon, connection readers stall on the full
+    /// queue and TCP flow control pushes back to the submitters
+    /// instead of the queue growing without bound.
     pub fn bind(
         addr: &str,
         registry: HandlerRegistry,
@@ -76,7 +87,11 @@ impl TcpServer {
         let shutting_down = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(RpcStats::default());
         let registry = Arc::new(registry);
-        let pool = Arc::new(HandlerPool::new(handler_threads));
+        let threads = handler_threads.max(1);
+        let pool = Arc::new(HandlerPool::bounded(
+            threads,
+            threads * SERVER_QUEUE_PER_WORKER,
+        ));
         let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
 
         let accept = {
@@ -200,7 +215,8 @@ fn serve_connection(
     }
 }
 
-/// Client handle to one TCP daemon. One socket, multiplexed.
+/// Client handle to one TCP daemon. One socket, multiplexed: any
+/// number of submitted requests share it, correlated by id.
 pub struct TcpEndpoint {
     writer: Mutex<TcpStream>,
     pending: Arc<Mutex<HashMap<u64, Sender<Response>>>>,
@@ -210,13 +226,13 @@ pub struct TcpEndpoint {
 }
 
 impl TcpEndpoint {
-    /// Connect to a daemon at `addr`.
+    /// Connect to a daemon at `addr` with default options.
     pub fn connect(addr: &str) -> Result<Arc<TcpEndpoint>> {
-        Self::connect_with_timeout(addr, Duration::from_secs(30))
+        Self::connect_with(addr, EndpointOptions::default())
     }
 
-    /// Connect with a custom per-call timeout.
-    pub fn connect_with_timeout(addr: &str, timeout: Duration) -> Result<Arc<TcpEndpoint>> {
+    /// Connect with explicit [`EndpointOptions`].
+    pub fn connect_with(addr: &str, opts: EndpointOptions) -> Result<Arc<TcpEndpoint>> {
         let stream = TcpStream::connect(addr)
             .map_err(|e| GkfsError::Rpc(format!("connect {addr}: {e}")))?;
         stream.set_nodelay(true).ok();
@@ -246,8 +262,14 @@ impl TcpEndpoint {
                             let _ = tx.send(resp);
                         }
                     }
+                    // Order matters for the fail-fast guarantee:
+                    // `closed` flips first, then the pending table is
+                    // drained. A submitter that slips its slot in
+                    // after the drain observes `closed` on its
+                    // post-insert recheck and reaps the slot itself —
+                    // either way every waiter's channel disconnects
+                    // promptly instead of burning its full timeout.
                     closed.store(true, Ordering::SeqCst);
-                    // Wake all waiters; their channels drop empty.
                     pending.lock().clear();
                 })
                 .expect("spawn reader thread");
@@ -257,39 +279,52 @@ impl TcpEndpoint {
             writer: Mutex::new(stream),
             pending,
             next_id: AtomicU64::new(1),
-            timeout,
+            timeout: opts.timeout,
             closed,
         }))
+    }
+
+    /// Number of submitted requests whose responses have not arrived
+    /// yet (diagnostics; the pipelining tests assert nothing leaks).
+    pub fn pending_len(&self) -> usize {
+        self.pending.lock().len()
     }
 }
 
 impl Endpoint for TcpEndpoint {
-    fn call(&self, mut req: Request) -> Result<Response> {
+    fn submit(&self, mut req: Request) -> Result<ReplyHandle> {
         if self.closed.load(Ordering::SeqCst) {
-            return Err(GkfsError::Rpc("connection closed".into()));
+            return Err(closed_err());
         }
         req.id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let id = req.id;
         let (tx, rx) = bounded::<Response>(1);
-        self.pending.lock().insert(req.id, tx);
+        self.pending.lock().insert(id, tx);
         let frame = req.encode();
         {
             let mut w = self.writer.lock();
             if let Err(e) = write_frame(&mut w, &frame) {
-                self.pending.lock().remove(&req.id);
+                self.pending.lock().remove(&id);
                 return Err(e);
             }
         }
-        match rx.recv_timeout(self.timeout) {
-            Ok(resp) => Ok(resp),
-            Err(_) => {
-                self.pending.lock().remove(&req.id);
-                if self.closed.load(Ordering::SeqCst) {
-                    Err(GkfsError::Rpc("connection closed".into()))
-                } else {
-                    Err(GkfsError::Timeout)
-                }
-            }
+        // Close race: if the reader died between the check above and
+        // our insert, it has already drained `pending` and will never
+        // see the slot. Reap it ourselves so the handle disconnects
+        // immediately instead of timing out.
+        if self.closed.load(Ordering::SeqCst) {
+            self.pending.lock().remove(&id);
         }
+        let pending = Arc::clone(&self.pending);
+        Ok(ReplyHandle::pending(rx)
+            .on_disconnect(closed_err())
+            .on_abandon(move || {
+                pending.lock().remove(&id);
+            }))
+    }
+
+    fn timeout(&self) -> Duration {
+        self.timeout
     }
 }
 
@@ -301,9 +336,7 @@ mod tests {
 
     fn echo_registry() -> HandlerRegistry {
         let mut reg = HandlerRegistry::new();
-        reg.register_fn(Opcode::Ping, |req| {
-            Response::ok(req.body).with_bulk(req.bulk)
-        });
+        reg.register_fn(Opcode::Ping, |req| Response::ok(req.body).with_bulk(req.bulk));
         reg.register_fn(Opcode::Stat, |_| Response::err(GkfsError::NotFound));
         reg
     }
@@ -347,6 +380,25 @@ mod tests {
                 });
             }
         });
+        assert_eq!(ep.pending_len(), 0, "no leaked pending slots");
+        server.shutdown();
+    }
+
+    #[test]
+    fn submitted_batch_multiplexes_one_socket() {
+        let server = TcpServer::bind("127.0.0.1:0", echo_registry(), 4).unwrap();
+        let ep = TcpEndpoint::connect(&server.local_addr().to_string()).unwrap();
+        let handles: Vec<ReplyHandle> = (0..32)
+            .map(|i| {
+                ep.submit(Request::new(Opcode::Ping, Bytes::from(format!("b{i}"))))
+                    .unwrap()
+            })
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            let resp = h.wait(Duration::from_secs(10)).unwrap();
+            assert_eq!(&resp.body[..], format!("b{i}").as_bytes());
+        }
+        assert_eq!(ep.pending_len(), 0, "no leaked pending slots");
         server.shutdown();
     }
 

@@ -4,7 +4,7 @@
 use bytes::Bytes;
 use gkfs_common::GkfsError;
 use gkfs_rpc::transport::Endpoint;
-use gkfs_rpc::{HandlerRegistry, Opcode, Request, Response, TcpEndpoint, TcpServer};
+use gkfs_rpc::{EndpointOptions, HandlerRegistry, Opcode, Request, Response, TcpEndpoint, TcpServer};
 use std::io::Write;
 use std::net::TcpStream;
 use std::time::Duration;
@@ -121,9 +121,9 @@ fn zero_timeout_request_times_out_not_hangs() {
         Response::ok(req.body)
     });
     let server = TcpServer::bind("127.0.0.1:0", reg, 1).unwrap();
-    let ep = TcpEndpoint::connect_with_timeout(
+    let ep = TcpEndpoint::connect_with(
         &server.local_addr().to_string(),
-        Duration::from_millis(20),
+        EndpointOptions::new().with_timeout(Duration::from_millis(20)),
     )
     .unwrap();
     let r = ep.call(Request::new(Opcode::Ping, &b""[..]));

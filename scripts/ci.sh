@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must pass. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> bench smoke (compile + run benches in test mode)"
+cargo bench -p gkfs-bench --bench rpc -- --test
+
+echo "ci: all green"
