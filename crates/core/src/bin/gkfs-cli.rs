@@ -187,6 +187,22 @@ fn run() -> Result<(), GkfsError> {
                     "node {i}: {} metadata entries, {} B written, {} B read",
                     s.meta_entries, s.storage_write_bytes, s.storage_read_bytes
                 );
+                let mean_group = if s.kv_group_commits > 0 {
+                    s.kv_group_commit_records as f64 / s.kv_group_commits as f64
+                } else {
+                    0.0
+                };
+                println!(
+                    "        lsm: {} flushes, {} compactions, {} stalls ({} us), \
+                     {} imm hits, {} bloom skips, group commit {:.1} rec/batch",
+                    s.kv_flushes,
+                    s.kv_compactions,
+                    s.kv_stalls,
+                    s.kv_stall_micros,
+                    s.kv_imm_hits,
+                    s.kv_bloom_skips,
+                    mean_group
+                );
             }
         }
         other => {

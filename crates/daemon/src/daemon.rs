@@ -82,12 +82,17 @@ impl Daemon {
         &self.config
     }
 
-    /// Begin an orderly shutdown: refuse new requests, stop TCP.
+    /// Begin an orderly shutdown: refuse new requests, stop TCP, then
+    /// drain the KV store's background flush/compaction work so every
+    /// frozen memtable reaches an SSTable before the process exits.
     pub fn shutdown(&self) {
         gkfs_common::gkfs_info!("daemon shutting down");
         self.rpc.begin_shutdown();
         if let Some(tcp) = self.tcp.lock().take() {
             tcp.shutdown();
+        }
+        if let Err(e) = self.backends.meta.shutdown() {
+            gkfs_common::gkfs_info!("metadata store shutdown error: {e}");
         }
     }
 }

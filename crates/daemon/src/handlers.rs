@@ -200,15 +200,24 @@ pub fn build_registry(backends: Arc<Backends>) -> HandlerRegistry {
         let b = backends.clone();
         reg.register_fn(Opcode::DaemonStats, move |_req| {
             respond(|| {
+                use std::sync::atomic::Ordering::Relaxed;
                 let kv = b.meta.db().stats();
                 let (_, w_bytes, _, r_bytes) = b.data.stats().snapshot();
                 let resp = DaemonStatsResp {
                     meta_entries: b.meta.entry_count()? as u64,
-                    kv_puts: kv.puts.load(std::sync::atomic::Ordering::Relaxed),
-                    kv_gets: kv.gets.load(std::sync::atomic::Ordering::Relaxed),
-                    kv_merges: kv.merges.load(std::sync::atomic::Ordering::Relaxed),
+                    kv_puts: kv.puts.load(Relaxed),
+                    kv_gets: kv.gets.load(Relaxed),
+                    kv_merges: kv.merges.load(Relaxed),
                     storage_write_bytes: w_bytes,
                     storage_read_bytes: r_bytes,
+                    kv_flushes: kv.flushes.load(Relaxed),
+                    kv_compactions: kv.compactions.load(Relaxed),
+                    kv_stalls: kv.stalls.load(Relaxed),
+                    kv_stall_micros: kv.stall_micros.load(Relaxed),
+                    kv_imm_hits: kv.imm_hits.load(Relaxed),
+                    kv_group_commits: kv.group_commits.load(Relaxed),
+                    kv_group_commit_records: kv.group_commit_records.load(Relaxed),
+                    kv_bloom_skips: kv.bloom_skips.load(Relaxed),
                 };
                 Ok(Response::ok(resp.encode()))
             })

@@ -94,6 +94,14 @@ impl MetadataBackend {
         &self.db
     }
 
+    /// Orderly shutdown: drain queued background flushes/compactions,
+    /// stop the store's worker threads, and surface any deferred
+    /// background error. Dropping without this is crash-equivalent
+    /// (recovery then runs from manifest + WAL).
+    pub fn shutdown(&self) -> Result<()> {
+        self.db.shutdown()
+    }
+
     /// Create an entry. With `exclusive`, an existing entry fails with
     /// `Exists`; without, it is a no-op success (open-with-`O_CREAT`).
     pub fn create(&self, path: &str, meta: &Metadata, exclusive: bool) -> Result<()> {

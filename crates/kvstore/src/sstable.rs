@@ -283,6 +283,33 @@ impl Table {
         Ok(None)
     }
 
+    /// Existence probe: like [`Table::get`] but returns only the
+    /// entry's tag, never copying the value out of the block — the
+    /// daemon's create-path existence check doesn't need the bytes.
+    pub fn tag_of(&self, key: &[u8]) -> Result<Option<Tag>> {
+        if !self.bloom.may_contain(key) {
+            return Ok(None);
+        }
+        let Some(bi) = self.block_for(key) else {
+            return Ok(None);
+        };
+        let block = self.block(bi)?;
+        let mut d = Decoder::new(block);
+        while d.remaining() > 0 {
+            let tag = Tag::from_u8(d.u8()?)?;
+            let klen = d.varint()? as usize;
+            let k = d.raw(klen)?;
+            let vlen = d.varint()? as usize;
+            d.raw(vlen)?; // skip the value bytes in place
+            match k.cmp(key) {
+                std::cmp::Ordering::Less => continue,
+                std::cmp::Ordering::Equal => return Ok(Some(tag)),
+                std::cmp::Ordering::Greater => return Ok(None),
+            }
+        }
+        Ok(None)
+    }
+
     /// Iterate all entries with `key >= start`, in key order.
     pub fn iter_from(&self, start: &[u8]) -> TableIter<'_> {
         let block = match self.block_for(start) {
@@ -394,6 +421,22 @@ mod tests {
         assert!(t.get(b"/files/99999999").unwrap().is_none());
         assert!(t.get(b"/absent").unwrap().is_none());
         assert!(t.get(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn tag_of_matches_get_without_value() {
+        let t = build_table(1000);
+        assert_eq!(t.tag_of(b"/files/00000005").unwrap(), Some(Tag::Put));
+        assert_eq!(t.tag_of(b"/files/00000003").unwrap(), Some(Tag::Delete));
+        assert_eq!(t.tag_of(b"/files/99999999").unwrap(), None);
+        assert_eq!(t.tag_of(b"/absent").unwrap(), None);
+        assert_eq!(t.tag_of(b"").unwrap(), None);
+        // Agrees with get() across the whole key range.
+        for i in (0..1000).step_by(37) {
+            let key = format!("/files/{i:08}");
+            let expect = t.get(key.as_bytes()).unwrap().map(|(tag, _)| tag);
+            assert_eq!(t.tag_of(key.as_bytes()).unwrap(), expect);
+        }
     }
 
     #[test]

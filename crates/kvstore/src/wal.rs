@@ -1,11 +1,22 @@
 //! Write-ahead log encoding and replay.
 //!
-//! Every mutation is framed as `[crc32 | len | payload]` and appended
-//! to the blob store's log before touching the memtable, so a daemon
-//! restart can rebuild the memtable exactly. Replay is tolerant of a
-//! torn tail (a crash mid-append): the first record that fails its
-//! checksum or runs past the buffer ends replay, matching RocksDB's
-//! `kTolerateCorruptedTailRecords` recovery mode.
+//! Every mutation is framed as `[crc32 | len | seq | payload]` and
+//! appended to the blob store's active log segment before it is
+//! acknowledged, so a daemon restart can rebuild the memtable exactly.
+//! The `seq` is the store-wide monotonically increasing sequence
+//! number assigned under the memtable lock, which gives replay two
+//! properties the background-flush engine needs:
+//!
+//! * log order and memtable apply order are identical even when group
+//!   commit batches frames from many writers, and
+//! * replay can skip records already covered by the manifest's
+//!   `flushed_seq` watermark — without it, a crash landing between
+//!   "SSTable installed" and "log segment dropped" would re-apply
+//!   non-idempotent merge operands.
+//!
+//! Replay is tolerant of a torn tail (a crash mid-append): the first
+//! record that fails its checksum or runs past the buffer ends replay,
+//! matching RocksDB's `kTolerateCorruptedTailRecords` recovery mode.
 
 use gkfs_common::crc::crc32;
 use gkfs_common::wire::{Decoder, Encoder};
@@ -44,6 +55,9 @@ const TAG_DELETE: u8 = 2;
 const TAG_MERGE: u8 = 3;
 const TAG_BATCH: u8 = 4;
 
+/// Frame header: crc32 (4) + body len (4) + sequence number (8).
+const FRAME_HEADER: usize = 16;
+
 impl WalRecord {
     fn encode_body(&self, body: &mut Encoder) {
         match self {
@@ -59,24 +73,28 @@ impl WalRecord {
             WalRecord::Batch(records) => {
                 body.u8(TAG_BATCH).u32(records.len() as u32);
                 for r in records {
-                    assert!(
-                        !matches!(r, WalRecord::Batch(_)),
-                        "batches do not nest"
-                    );
+                    assert!(!matches!(r, WalRecord::Batch(_)), "batches do not nest");
                     r.encode_body(body);
                 }
             }
         }
     }
 
-    /// Frame this record for appending to the log.
-    pub fn encode(&self) -> Vec<u8> {
+    /// Frame this record for appending to the log, stamped with its
+    /// commit sequence number. The checksum covers `seq` as well as
+    /// the body so a torn header cannot resurrect a record under the
+    /// wrong sequence.
+    pub fn encode(&self, seq: u64) -> Vec<u8> {
         let mut body = Encoder::new();
         self.encode_body(&mut body);
         let body = body.into_vec();
-        let mut framed = Encoder::with_capacity(body.len() + 8);
-        framed.u32(crc32(&body));
+        let mut checked = Vec::with_capacity(body.len() + 8);
+        checked.extend_from_slice(&seq.to_le_bytes());
+        checked.extend_from_slice(&body);
+        let mut framed = Encoder::with_capacity(body.len() + FRAME_HEADER);
+        framed.u32(crc32(&checked));
         framed.u32(body.len() as u32);
+        framed.u64(seq);
         framed.raw(&body);
         framed.into_vec()
     }
@@ -114,24 +132,26 @@ impl WalRecord {
     }
 }
 
-/// Replay a log buffer into its records. Stops silently at a torn
-/// tail; returns `Corruption` only for damage *before* the tail (a
-/// record that parses but whose interior is malformed).
-pub fn replay(log: &[u8]) -> Result<Vec<WalRecord>> {
+/// Replay a log buffer into `(seq, record)` pairs. Stops silently at a
+/// torn tail; returns `Corruption` only for damage *before* the tail
+/// (a record that parses but whose interior is malformed).
+pub fn replay(log: &[u8]) -> Result<Vec<(u64, WalRecord)>> {
     let mut out = Vec::new();
     let mut pos = 0usize;
-    while pos + 8 <= log.len() {
+    while pos + FRAME_HEADER <= log.len() {
         let crc = u32::from_le_bytes(log[pos..pos + 4].try_into().unwrap());
         let len = u32::from_le_bytes(log[pos + 4..pos + 8].try_into().unwrap()) as usize;
-        if pos + 8 + len > log.len() {
+        if pos + FRAME_HEADER + len > log.len() {
             break; // torn tail: length runs past the buffer
         }
-        let body = &log[pos + 8..pos + 8 + len];
-        if crc32(body) != crc {
+        let checked = &log[pos + 8..pos + FRAME_HEADER + len];
+        if crc32(checked) != crc {
             break; // torn tail: checksum mismatch
         }
-        out.push(WalRecord::decode_body(body)?);
-        pos += 8 + len;
+        let seq = u64::from_le_bytes(log[pos + 8..pos + 16].try_into().unwrap());
+        let body = &log[pos + FRAME_HEADER..pos + FRAME_HEADER + len];
+        out.push((seq, WalRecord::decode_body(body)?));
+        pos += FRAME_HEADER + len;
     }
     Ok(out)
 }
@@ -154,13 +174,22 @@ mod tests {
         ]
     }
 
+    fn encode_all(records: &[WalRecord]) -> Vec<u8> {
+        let mut log = Vec::new();
+        for (i, r) in records.iter().enumerate() {
+            log.extend_from_slice(&r.encode(i as u64 + 1));
+        }
+        log
+    }
+
     #[test]
     fn encode_replay_roundtrip() {
-        let mut log = Vec::new();
-        for r in sample() {
-            log.extend_from_slice(&r.encode());
-        }
-        assert_eq!(replay(&log).unwrap(), sample());
+        let log = encode_all(&sample());
+        let replayed = replay(&log).unwrap();
+        let records: Vec<WalRecord> = replayed.iter().map(|(_, r)| r.clone()).collect();
+        let seqs: Vec<u64> = replayed.iter().map(|(s, _)| *s).collect();
+        assert_eq!(records, sample());
+        assert_eq!(seqs, vec![1, 2, 3]);
     }
 
     #[test]
@@ -170,31 +199,37 @@ mod tests {
 
     #[test]
     fn torn_tail_is_ignored() {
-        let mut log = Vec::new();
-        for r in sample() {
-            log.extend_from_slice(&r.encode());
-        }
+        let log = encode_all(&sample());
         let full = replay(&log).unwrap().len();
         // Chop bytes off the end: we must recover a prefix, never error.
-        for cut in 1..20 {
+        for cut in 1..28 {
             let truncated = &log[..log.len() - cut];
             let recovered = replay(truncated).unwrap();
             assert!(recovered.len() < full || cut == 0);
             // Recovered records must be a prefix of the originals.
-            assert_eq!(recovered[..], sample()[..recovered.len()]);
+            for (i, (seq, rec)) in recovered.iter().enumerate() {
+                assert_eq!(*seq, i as u64 + 1);
+                assert_eq!(*rec, sample()[i]);
+            }
         }
     }
 
     #[test]
     fn corrupt_tail_checksum_stops_replay() {
-        let mut log = Vec::new();
-        for r in sample() {
-            log.extend_from_slice(&r.encode());
-        }
+        let mut log = encode_all(&sample());
         let n = log.len();
         log[n - 1] ^= 0xFF; // flip a bit in the last record's body
         let recovered = replay(&log).unwrap();
         assert_eq!(recovered.len(), sample().len() - 1);
+    }
+
+    #[test]
+    fn corrupt_seq_fails_checksum() {
+        // The checksum covers the sequence number: flipping a seq byte
+        // must not replay the record under a different sequence.
+        let mut log = encode_all(&sample());
+        log[8] ^= 0xFF; // first record's seq, little-endian low byte
+        assert!(replay(&log).unwrap().is_empty());
     }
 
     #[test]
@@ -210,10 +245,10 @@ mod tests {
                 operand: b"op".to_vec(),
             },
         ]);
-        let mut log = batch.encode();
-        assert_eq!(replay(&log).unwrap(), vec![batch.clone()]);
+        let mut log = batch.encode(7);
+        assert_eq!(replay(&log).unwrap(), vec![(7, batch.clone())]);
         // Any truncation inside the batch drops the WHOLE batch.
-        for cut in 1..log.len() - 8 {
+        for cut in 1..log.len() - FRAME_HEADER {
             let t = &log[..log.len() - cut];
             assert!(replay(t).unwrap().is_empty(), "cut {cut} must drop batch");
         }
@@ -223,7 +258,7 @@ mod tests {
                 key: b"/z".to_vec(),
                 value: b"v".to_vec(),
             }
-            .encode(),
+            .encode(8),
         );
         assert_eq!(replay(&log).unwrap().len(), 2);
     }
@@ -231,12 +266,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "batches do not nest")]
     fn nested_batches_rejected() {
-        WalRecord::Batch(vec![WalRecord::Batch(vec![])]).encode();
+        WalRecord::Batch(vec![WalRecord::Batch(vec![])]).encode(1);
     }
 
     #[test]
     fn garbage_after_valid_records_is_tail() {
-        let mut log = sample()[0].encode();
+        let mut log = sample()[0].encode(1);
         log.extend_from_slice(&[0xDE, 0xAD, 0xBE]);
         let recovered = replay(&log).unwrap();
         assert_eq!(recovered.len(), 1);

@@ -39,10 +39,11 @@ fn key(k: u8) -> Vec<u8> {
 
 fn opts() -> DbOptions {
     DbOptions {
-        memtable_bytes: 2048, // tiny: force organic flushes too
+        memtable_bytes: 2048, // tiny: force organic background flushes too
         l0_compaction_trigger: 3,
         wal: true,
         merge_operator: Some(Arc::new(Add64MergeOperator)),
+        ..DbOptions::default()
     }
 }
 
@@ -113,6 +114,7 @@ proptest! {
             l0_compaction_trigger: usize::MAX >> 1,
             wal: true,
             merge_operator: Some(Arc::new(Add64MergeOperator)),
+            ..DbOptions::default()
         };
         let db = Db::open(store.clone(), no_flush.clone()).unwrap();
 
@@ -142,7 +144,7 @@ proptest! {
         drop(db);
 
         // Crash: keep only a prefix of the log bytes.
-        let log = store.read_log().unwrap();
+        let log = store.read_logs().unwrap();
         let cut = (log.len() as f64 * cut_frac) as usize;
         store.reset_log().unwrap();
         store.append_log(&log[..cut]).unwrap();

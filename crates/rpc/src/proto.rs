@@ -357,6 +357,22 @@ pub struct DaemonStatsResp {
     pub storage_write_bytes: u64,
     /// Storage read bytes.
     pub storage_read_bytes: u64,
+    /// Memtable flushes completed by the background flush thread.
+    pub kv_flushes: u64,
+    /// L0→L1 compactions completed by the background thread.
+    pub kv_compactions: u64,
+    /// Write stalls (full episodes where writers waited on backlog).
+    pub kv_stalls: u64,
+    /// Total microseconds writers spent stalled.
+    pub kv_stall_micros: u64,
+    /// Reads served from a frozen (immutable) memtable.
+    pub kv_imm_hits: u64,
+    /// WAL group commits (shared append/fsync batches).
+    pub kv_group_commits: u64,
+    /// Records carried by those group commits.
+    pub kv_group_commit_records: u64,
+    /// Table probes skipped by bloom filters.
+    pub kv_bloom_skips: u64,
 }
 
 impl DaemonStatsResp {
@@ -368,7 +384,15 @@ impl DaemonStatsResp {
             .u64(self.kv_gets)
             .u64(self.kv_merges)
             .u64(self.storage_write_bytes)
-            .u64(self.storage_read_bytes);
+            .u64(self.storage_read_bytes)
+            .u64(self.kv_flushes)
+            .u64(self.kv_compactions)
+            .u64(self.kv_stalls)
+            .u64(self.kv_stall_micros)
+            .u64(self.kv_imm_hits)
+            .u64(self.kv_group_commits)
+            .u64(self.kv_group_commit_records)
+            .u64(self.kv_bloom_skips);
         e.into_vec()
     }
 
@@ -382,6 +406,14 @@ impl DaemonStatsResp {
             kv_merges: d.u64()?,
             storage_write_bytes: d.u64()?,
             storage_read_bytes: d.u64()?,
+            kv_flushes: d.u64()?,
+            kv_compactions: d.u64()?,
+            kv_stalls: d.u64()?,
+            kv_stall_micros: d.u64()?,
+            kv_imm_hits: d.u64()?,
+            kv_group_commits: d.u64()?,
+            kv_group_commit_records: d.u64()?,
+            kv_bloom_skips: d.u64()?,
         };
         d.finish()?;
         Ok(r)
@@ -541,6 +573,14 @@ mod tests {
             kv_merges: 4,
             storage_write_bytes: 5,
             storage_read_bytes: 6,
+            kv_flushes: 7,
+            kv_compactions: 8,
+            kv_stalls: 9,
+            kv_stall_micros: 10,
+            kv_imm_hits: 11,
+            kv_group_commits: 12,
+            kv_group_commit_records: 13,
+            kv_bloom_skips: 14,
         };
         assert_eq!(DaemonStatsResp::decode(&r.encode()).unwrap(), r);
     }

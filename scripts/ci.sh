@@ -15,4 +15,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> bench smoke (compile + run benches in test mode)"
 cargo bench -p gkfs-bench --bench rpc -- --test
 
+echo "==> kvstore release stress (optimized timing: stalls, group commit, crash recovery)"
+# The LSM concurrency tests (background flush races, write stalls,
+# group-commit fan-in, crash/reopen proptests) depend on real timing
+# and thread interleaving; debug-mode runs are too slow to exercise
+# the contended paths, so run the kvstore suite again in release.
+cargo test -p gkfs-kvstore --release -q
+
 echo "ci: all green"

@@ -101,7 +101,7 @@ fn torn_wal_tail_recovers_prefix() {
         }
     }
     // Tear the log mid-record (a crash during append).
-    let log = store.read_log().unwrap();
+    let log = store.read_logs().unwrap();
     store.reset_log().unwrap();
     store.append_log(&log[..log.len() - 7]).unwrap();
 
