@@ -544,8 +544,10 @@ impl GekkoClient {
         per_node: HashMap<NodeId, (Vec<ChunkOp>, Vec<u8>)>,
     ) -> Result<()> {
         if per_node.len() == 1 {
-            let (node, (ops, bulk)) = per_node.into_iter().next().unwrap();
-            return self.ring.write_chunks(node, path, ops, Bytes::from(bulk));
+            if let Some((node, (ops, bulk))) = per_node.into_iter().next() {
+                return self.ring.write_chunks(node, path, ops, Bytes::from(bulk));
+            }
+            return Ok(());
         }
         // Pipelined fan-out: submit every daemon's batch, then wait for
         // all the replies. A failed submit still waits nothing — the

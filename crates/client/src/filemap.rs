@@ -9,7 +9,7 @@
 
 use gkfs_common::types::{FileKind, OpenFlags};
 use gkfs_common::{GkfsError, Result};
-use parking_lot::{Mutex, RwLock};
+use gkfs_common::lock::{rank, OrderedMutex, OrderedRwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicI32, Ordering};
 use std::sync::Arc;
@@ -29,7 +29,7 @@ pub struct OpenFile {
     /// Current seek position. A lock (not an atomic) because
     /// read-modify-write sequences on it must be atomic with the I/O
     /// size decision.
-    pos: Mutex<u64>,
+    pos: OrderedMutex<u64>,
 }
 
 impl OpenFile {
@@ -39,7 +39,7 @@ impl OpenFile {
             path: path.into(),
             flags,
             kind,
-            pos: Mutex::new(0),
+            pos: OrderedMutex::new(rank::CLIENT_FILE_POS, 0),
         }
     }
 
@@ -67,7 +67,7 @@ impl OpenFile {
 
 /// Descriptor table for one client.
 pub struct FileMap {
-    files: RwLock<HashMap<i32, Arc<OpenFile>>>,
+    files: OrderedRwLock<HashMap<i32, Arc<OpenFile>>>,
     next_fd: AtomicI32,
 }
 
@@ -81,7 +81,7 @@ impl FileMap {
     /// New.
     pub fn new() -> FileMap {
         FileMap {
-            files: RwLock::new(HashMap::new()),
+            files: OrderedRwLock::new(rank::CLIENT_FILEMAP, HashMap::new()),
             next_fd: AtomicI32::new(FD_BASE),
         }
     }

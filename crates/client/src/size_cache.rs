@@ -15,7 +15,7 @@
 //! paper's consistency story (a reader statting mid-burst may see a
 //! stale size — exactly the relaxation the paper accepts).
 
-use parking_lot::Mutex;
+use gkfs_common::lock::{rank, OrderedMutex};
 use std::collections::HashMap;
 
 /// One drained update to be sent to the metadata owner.
@@ -41,7 +41,7 @@ struct Entry {
 /// default synchronous mode).
 pub struct SizeCache {
     window: usize,
-    entries: Mutex<HashMap<String, Entry>>,
+    sizes: OrderedMutex<HashMap<String, Entry>>,
 }
 
 impl SizeCache {
@@ -49,7 +49,7 @@ impl SizeCache {
     pub fn new(window: usize) -> SizeCache {
         SizeCache {
             window,
-            entries: Mutex::new(HashMap::new()),
+            sizes: OrderedMutex::new(rank::CLIENT_SIZE_CACHE, HashMap::new()),
         }
     }
 
@@ -68,8 +68,8 @@ impl SizeCache {
                 mtime_ns,
             });
         }
-        let mut entries = self.entries.lock();
-        let e = entries.entry(path.to_string()).or_default();
+        let mut sizes = self.sizes.lock();
+        let e = sizes.entry(path.to_string()).or_default();
         e.max_size = e.max_size.max(size);
         e.mtime_ns = e.mtime_ns.max(mtime_ns);
         e.ops += 1;
@@ -79,7 +79,7 @@ impl SizeCache {
                 size: e.max_size,
                 mtime_ns: e.mtime_ns,
             };
-            entries.remove(path);
+            sizes.remove(path);
             Some(out)
         } else {
             None
@@ -90,12 +90,12 @@ impl SizeCache {
     /// it. The client uses this so its *own* stats see its buffered
     /// writes even before they are flushed to the metadata owner.
     pub fn peek(&self, path: &str) -> Option<u64> {
-        self.entries.lock().get(path).map(|e| e.max_size)
+        self.sizes.lock().get(path).map(|e| e.max_size)
     }
 
     /// Drain the pending update for one path (close/fsync).
     pub fn drain(&self, path: &str) -> Option<PendingSize> {
-        self.entries.lock().remove(path).map(|e| PendingSize {
+        self.sizes.lock().remove(path).map(|e| PendingSize {
             path: path.to_string(),
             size: e.max_size,
             mtime_ns: e.mtime_ns,
@@ -104,7 +104,7 @@ impl SizeCache {
 
     /// Drain everything (unmount).
     pub fn drain_all(&self) -> Vec<PendingSize> {
-        self.entries
+        self.sizes
             .lock()
             .drain()
             .map(|(path, e)| PendingSize {
@@ -117,7 +117,7 @@ impl SizeCache {
 
     /// Number of paths with buffered updates.
     pub fn pending_paths(&self) -> usize {
-        self.entries.lock().len()
+        self.sizes.lock().len()
     }
 }
 

@@ -13,7 +13,7 @@
 //! or refresh eagerly, so a client always reads its own writes.
 
 use gkfs_common::Metadata;
-use parking_lot::Mutex;
+use gkfs_common::lock::{rank, OrderedMutex};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -25,7 +25,7 @@ struct Entry {
 /// TTL-bounded map of path → metadata.
 pub struct StatCache {
     ttl: Duration,
-    entries: Mutex<HashMap<String, Entry>>,
+    entries: OrderedMutex<HashMap<String, Entry>>,
     hits: std::sync::atomic::AtomicU64,
     misses: std::sync::atomic::AtomicU64,
 }
@@ -35,7 +35,7 @@ impl StatCache {
     pub fn new(ttl: Duration) -> StatCache {
         StatCache {
             ttl,
-            entries: Mutex::new(HashMap::new()),
+            entries: OrderedMutex::new(rank::CLIENT_STAT_CACHE, HashMap::new()),
             hits: Default::default(),
             misses: Default::default(),
         }

@@ -19,6 +19,9 @@
 //!   RPC layer and the KV store's on-disk formats.
 //! * [`crc`] — CRC32 (IEEE) for WAL and SSTable block integrity.
 //! * [`config`] — daemon/cluster configuration knobs.
+//! * [`lock`] — ranked mutex/rwlock wrappers enforcing the global lock
+//!   hierarchy (strictly descending acquisition), validated at runtime
+//!   in debug builds and lexically by `gkfs-lint`.
 
 #![warn(missing_docs)]
 
@@ -28,6 +31,7 @@ pub mod crc;
 pub mod distributor;
 pub mod error;
 pub mod hash;
+pub mod lock;
 pub mod log;
 pub mod path;
 pub mod types;
@@ -37,4 +41,5 @@ pub use chunk::{chunk_range, ChunkInfo, ChunkLayout};
 pub use config::{ClusterConfig, DaemonConfig, DEFAULT_CHUNK_SIZE};
 pub use distributor::{Distributor, JumpDistributor, LocalityDistributor, SimpleHashDistributor};
 pub use error::{GkfsError, Result};
+pub use lock::{LockRank, OrderedMutex, OrderedRwLock};
 pub use types::{FileKind, Metadata, OpenFlags};

@@ -1,0 +1,628 @@
+//! Ranked lock wrappers enforcing a global lock hierarchy.
+//!
+//! Every long-lived lock in the workspace is an [`OrderedMutex`] or
+//! [`OrderedRwLock`] carrying a static [`LockRank`]. The project rule
+//! is *strictly descending acquisition*: a thread may acquire a lock
+//! only if its rank is strictly lower than the rank of every lock the
+//! thread already holds. Any total order over the ranks makes
+//! deadlock by lock-order inversion impossible, and strictness also
+//! catches "two locks of the same class at once" bugs (two storage
+//! shards, two memtables) that an `<=` check would let through.
+//!
+//! The wrappers are thin over `parking_lot` and compile to plain
+//! `parking_lot` locks in release builds — no rank bookkeeping is
+//! consulted on the lock/unlock paths. In debug and test builds two
+//! validation layers run:
+//!
+//! 1. a **thread-local held-rank stack**: each acquisition asserts the
+//!    new rank is strictly below the most recently acquired held rank
+//!    (the stack is strictly decreasing by construction, so its last
+//!    element is its minimum) and panics with the full held stack and
+//!    a captured backtrace on violation;
+//! 2. a **global acquisition graph**: every observed `held → acquired`
+//!    rank edge is recorded with the backtrace of its first
+//!    occurrence, and each new edge triggers a cycle search. A cycle
+//!    means two code paths acquire the same ranks in opposite orders —
+//!    the classic A→B / B→A inversion — and the panic message carries
+//!    both backtraces (the stored one and the current one).
+//!
+//! The declared hierarchy lives in [`rank`] and is documented in
+//! DESIGN.md ("Concurrency invariants & lock hierarchy"). The static
+//! analyzer in `crates/lint` (rule `GKL001`) checks the same hierarchy
+//! lexically at CI time; this module is the runtime backstop for
+//! nestings that span function or crate boundaries.
+//!
+//! Ranks are mutable in one controlled way: [`OrderedRwLock::demote`]
+//! lowers a lock's rank when its role changes. The kvstore uses this
+//! when an active memtable (rank [`rank::KV_MEMTABLE`]) is frozen onto
+//! the immutable list (rank [`rank::KV_MEMTABLE_FROZEN`]): writers
+//! holding the new active memtable may then consult frozen ones
+//! without violating strict descent.
+
+use parking_lot::Condvar;
+pub use parking_lot::WaitTimeoutResult;
+use std::sync::atomic::{AtomicU16, Ordering};
+use std::time::Duration;
+
+/// A static rank in the global lock hierarchy. Higher ranks must be
+/// acquired first; see [`rank`] for the declared constants.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LockRank(pub u16);
+
+impl LockRank {
+    /// The human-readable name of this rank (for diagnostics), or
+    /// `"?"` if the value is not one of the declared constants.
+    pub fn name(self) -> &'static str {
+        rank::name(self)
+    }
+}
+
+impl std::fmt::Display for LockRank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}({})", self.name(), self.0)
+    }
+}
+
+/// The declared lock hierarchy, highest (acquired first) to lowest
+/// (acquired last). Gaps between values leave room for future locks.
+///
+/// A thread holding a lock may only acquire locks of *strictly lower*
+/// rank. DESIGN.md documents what each lock protects and why the
+/// order is what it is.
+pub mod rank {
+    use super::LockRank;
+
+    /// Serializes whole preload tests (`crates/posix` test harness).
+    pub const POSIX_TEST: LockRank = LockRank(250);
+    /// The preload layer's global client slot (`posix::CLIENT`); held
+    /// in read mode across every forwarded client operation.
+    pub const POSIX_CLIENT: LockRank = LockRank(240);
+    /// The preload layer's directory-stream table.
+    pub const POSIX_DIR_STREAMS: LockRank = LockRank(230);
+    /// The client's fd → open-file table.
+    pub const CLIENT_FILEMAP: LockRank = LockRank(220);
+    /// A single open file's seek position.
+    pub const CLIENT_FILE_POS: LockRank = LockRank(216);
+    /// The client's stat cache.
+    pub const CLIENT_STAT_CACHE: LockRank = LockRank(212);
+    /// The client's write-back size cache.
+    pub const CLIENT_SIZE_CACHE: LockRank = LockRank(208);
+    /// The daemon's TCP-server slot.
+    pub const DAEMON_TCP: LockRank = LockRank(190);
+    /// The TCP server's accept-thread handle.
+    pub const RPC_ACCEPT: LockRank = LockRank(184);
+    /// The TCP server's list of open connections.
+    pub const RPC_CONNS: LockRank = LockRank(180);
+    /// A TCP endpoint's (or server connection's) write half.
+    pub const RPC_WRITER: LockRank = LockRank(176);
+    /// A TCP endpoint's pending-reply table.
+    pub const RPC_PENDING: LockRank = LockRank(172);
+    /// One shard of the in-memory chunk store.
+    pub const STORAGE_SHARD: LockRank = LockRank(150);
+    /// The kvstore's background-thread handles.
+    pub const KV_THREADS: LockRank = LockRank(130);
+    /// Serializes compactions.
+    pub const KV_COMPACTION: LockRank = LockRank(120);
+    /// Serializes manifest writers (flush vs compaction installs).
+    pub const KV_MANIFEST: LockRank = LockRank(116);
+    /// Background-work coordination state (`WorkState`).
+    pub const KV_WORK: LockRank = LockRank(112);
+    /// The current `Version` pointer.
+    pub const KV_VERSION: LockRank = LockRank(108);
+    /// The active memtable.
+    pub const KV_MEMTABLE: LockRank = LockRank(104);
+    /// A frozen (immutable-list) memtable; demoted from
+    /// [`KV_MEMTABLE`] at rotation so writers holding the active
+    /// memtable may read frozen ones.
+    pub const KV_MEMTABLE_FROZEN: LockRank = LockRank(102);
+    /// WAL group-commit queue state.
+    pub const KV_GROUP_COMMIT: LockRank = LockRank(100);
+    /// A blob store's blob map (in-memory store).
+    pub const KV_BLOB_MAP: LockRank = LockRank(40);
+    /// A blob store's WAL segment state (innermost: the group-commit
+    /// leader appends/syncs while holding it).
+    pub const KV_WAL_LOG: LockRank = LockRank(36);
+
+    /// Name lookup for diagnostics.
+    pub fn name(r: LockRank) -> &'static str {
+        match r.0 {
+            250 => "POSIX_TEST",
+            240 => "POSIX_CLIENT",
+            230 => "POSIX_DIR_STREAMS",
+            220 => "CLIENT_FILEMAP",
+            216 => "CLIENT_FILE_POS",
+            212 => "CLIENT_STAT_CACHE",
+            208 => "CLIENT_SIZE_CACHE",
+            190 => "DAEMON_TCP",
+            184 => "RPC_ACCEPT",
+            180 => "RPC_CONNS",
+            176 => "RPC_WRITER",
+            172 => "RPC_PENDING",
+            150 => "STORAGE_SHARD",
+            130 => "KV_THREADS",
+            120 => "KV_COMPACTION",
+            116 => "KV_MANIFEST",
+            112 => "KV_WORK",
+            108 => "KV_VERSION",
+            104 => "KV_MEMTABLE",
+            102 => "KV_MEMTABLE_FROZEN",
+            100 => "KV_GROUP_COMMIT",
+            40 => "KV_BLOB_MAP",
+            36 => "KV_WAL_LOG",
+            _ => "?",
+        }
+    }
+}
+
+/// Debug/test-only validation: thread-local held-rank stack plus a
+/// global acquisition graph with cycle detection. Public so the
+/// graph's cycle detector can be unit-tested directly (strict rank
+/// checking makes runtime cycles otherwise unreachable).
+#[cfg(debug_assertions)]
+pub mod checker {
+    use super::LockRank;
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+
+    thread_local! {
+        static HELD: RefCell<Vec<u16>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// `held-rank → acquired-rank` edges, each with the backtrace of
+    /// its first occurrence. A `std::sync` mutex, not one of our own
+    /// wrappers: the checker must not recurse into itself, and it is
+    /// deliberately outside the ranked hierarchy.
+    static GRAPH: std::sync::Mutex<Option<HashMap<(u16, u16), String>>> =
+        std::sync::Mutex::new(None);
+
+    /// Validate and record an acquisition of `rank` on this thread.
+    /// Panics if `rank` is not strictly below every held rank.
+    pub fn on_acquire(rank: LockRank) {
+        // The stack is strictly decreasing, so its last element is its
+        // minimum.
+        let top = HELD.with(|h| h.borrow().last().copied());
+        if let Some(top) = top {
+            if rank.0 >= top {
+                panic!(
+                    "lock order violation: acquiring {} while holding {} \
+                     (held stack, outermost first: {}) — ranks must be \
+                     acquired strictly descending\nacquisition backtrace:\n{}",
+                    rank,
+                    LockRank(top),
+                    held_stack(),
+                    std::backtrace::Backtrace::force_capture(),
+                );
+            }
+            record_edge(LockRank(top), rank);
+        }
+        HELD.with(|h| h.borrow_mut().push(rank.0));
+    }
+
+    /// Record a release of `rank` on this thread. Guards may be
+    /// dropped out of order, so the most recent matching entry is
+    /// removed rather than requiring LIFO discipline.
+    pub fn on_release(rank: LockRank) {
+        HELD.with(|h| {
+            let mut h = h.borrow_mut();
+            if let Some(pos) = h.iter().rposition(|&r| r == rank.0) {
+                h.remove(pos);
+            }
+        });
+    }
+
+    /// The current thread's held ranks, outermost first, for
+    /// diagnostics.
+    pub fn held_stack() -> String {
+        HELD.with(|h| {
+            let h = h.borrow();
+            if h.is_empty() {
+                return "<empty>".into();
+            }
+            h.iter()
+                .map(|&r| LockRank(r).to_string())
+                .collect::<Vec<_>>()
+                .join(" > ")
+        })
+    }
+
+    /// Record the acquisition-order edge `held → acquired` in the
+    /// global graph and search for a cycle through it. On a cycle the
+    /// panic message carries the stored backtrace of the conflicting
+    /// edge *and* the current one — both sides of the inversion.
+    pub fn record_edge(held: LockRank, acquired: LockRank) {
+        // A poisoned checker mutex just means another thread panicked
+        // mid-record; the map itself is still structurally sound.
+        let mut slot = GRAPH.lock().unwrap_or_else(|e| e.into_inner());
+        let graph = slot.get_or_insert_with(HashMap::new);
+        let key = (held.0, acquired.0);
+        if graph.contains_key(&key) {
+            return;
+        }
+        let here = std::backtrace::Backtrace::force_capture().to_string();
+        graph.insert(key, here.clone());
+        if let Some(path) = find_path(graph, acquired.0, held.0) {
+            let mut msg = format!(
+                "lock acquisition cycle: {} → {} closes a cycle {}\n\
+                 edge recorded here:\n{}\n",
+                held,
+                acquired,
+                path.iter()
+                    .map(|&r| LockRank(r).to_string())
+                    .collect::<Vec<_>>()
+                    .join(" → "),
+                here,
+            );
+            let mut prev = acquired.0;
+            for &next in path.iter().skip(1) {
+                if let Some(bt) = graph.get(&(prev, next)) {
+                    msg.push_str(&format!(
+                        "conflicting edge {} → {} recorded here:\n{}\n",
+                        LockRank(prev),
+                        LockRank(next),
+                        bt
+                    ));
+                }
+                prev = next;
+            }
+            drop(slot);
+            panic!("{msg}");
+        }
+    }
+
+    /// DFS for a path `from → … → to` over the recorded edges.
+    fn find_path(graph: &HashMap<(u16, u16), String>, from: u16, to: u16) -> Option<Vec<u16>> {
+        let mut stack = vec![vec![from]];
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(from);
+        while let Some(path) = stack.pop() {
+            let last = *path.last().expect("path is never empty");
+            if last == to {
+                return Some(path);
+            }
+            for &(a, b) in graph.keys() {
+                if a == last && seen.insert(b) {
+                    let mut p = path.clone();
+                    p.push(b);
+                    stack.push(p);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// A `parking_lot::Mutex` carrying a static [`LockRank`], validated
+/// against the global hierarchy in debug/test builds.
+pub struct OrderedMutex<T: ?Sized> {
+    rank: AtomicU16,
+    inner: parking_lot::Mutex<T>,
+}
+
+impl<T> OrderedMutex<T> {
+    /// Create a ranked mutex. `const` so it can initialize statics.
+    pub const fn new(rank: LockRank, value: T) -> OrderedMutex<T> {
+        OrderedMutex {
+            rank: AtomicU16::new(rank.0),
+            inner: parking_lot::Mutex::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> OrderedMutex<T> {
+    /// This lock's current rank.
+    pub fn rank(&self) -> LockRank {
+        LockRank(self.rank.load(Ordering::Relaxed))
+    }
+
+    /// Acquire the mutex. In debug builds, panics if any held lock's
+    /// rank is not strictly above this one's. The rank check runs
+    /// *before* blocking so an acquisition that would deadlock still
+    /// reports the ordering bug.
+    pub fn lock(&self) -> OrderedMutexGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        let rank = {
+            let r = self.rank();
+            checker::on_acquire(r);
+            r
+        };
+        OrderedMutexGuard {
+            inner: self.inner.lock(),
+            #[cfg(debug_assertions)]
+            rank,
+        }
+    }
+}
+
+impl<T: Default> Default for OrderedMutex<T> {
+    fn default() -> OrderedMutex<T> {
+        // A default-constructed lock has no declared place in the
+        // hierarchy; rank 0 means "innermost" (nothing may be
+        // acquired under it), the safe default.
+        OrderedMutex::new(LockRank(0), T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for OrderedMutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OrderedMutex")
+            .field("rank", &self.rank())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Guard for [`OrderedMutex`]. Dereferences to the protected value.
+pub struct OrderedMutexGuard<'a, T: ?Sized> {
+    inner: parking_lot::MutexGuard<'a, T>,
+    #[cfg(debug_assertions)]
+    rank: LockRank,
+}
+
+impl<T> OrderedMutexGuard<'_, T> {
+    /// Block on `cv`, atomically releasing the mutex while waiting.
+    /// The held-rank stack keeps the entry during the wait: the thread
+    /// is blocked, so it cannot acquire anything in between, and it
+    /// holds the lock again when this returns.
+    pub fn wait(&mut self, cv: &Condvar) {
+        cv.wait(&mut self.inner);
+    }
+
+    /// Like [`wait`](Self::wait) with a timeout.
+    pub fn wait_for(&mut self, cv: &Condvar, timeout: Duration) -> WaitTimeoutResult {
+        cv.wait_for(&mut self.inner, timeout)
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for OrderedMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for OrderedMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(debug_assertions)]
+impl<T: ?Sized> Drop for OrderedMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        checker::on_release(self.rank);
+    }
+}
+
+/// A `parking_lot::RwLock` carrying a static [`LockRank`], validated
+/// against the global hierarchy in debug/test builds.
+pub struct OrderedRwLock<T: ?Sized> {
+    rank: AtomicU16,
+    inner: parking_lot::RwLock<T>,
+}
+
+impl<T> OrderedRwLock<T> {
+    /// Create a ranked rwlock. `const` so it can initialize statics.
+    pub const fn new(rank: LockRank, value: T) -> OrderedRwLock<T> {
+        OrderedRwLock {
+            rank: AtomicU16::new(rank.0),
+            inner: parking_lot::RwLock::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> OrderedRwLock<T> {
+    /// This lock's current rank.
+    pub fn rank(&self) -> LockRank {
+        LockRank(self.rank.load(Ordering::Relaxed))
+    }
+
+    /// Lower this lock's rank because its role changed (e.g. an
+    /// active memtable being frozen onto the immutable list).
+    /// Outstanding guards release under the rank they were acquired
+    /// with; only later acquisitions see the new rank. Raising a rank
+    /// is not supported — it could hide inversions recorded under the
+    /// old value.
+    pub fn demote(&self, new_rank: LockRank) {
+        debug_assert!(
+            new_rank.0 <= self.rank.load(Ordering::Relaxed),
+            "demote must lower the rank"
+        );
+        self.rank.store(new_rank.0, Ordering::Relaxed);
+    }
+
+    /// Acquire shared. Read and write acquisitions rank identically:
+    /// two readers never deadlock on one lock, but a read guard held
+    /// while acquiring a second lock orders against writers of that
+    /// second lock all the same.
+    pub fn read(&self) -> OrderedRwLockReadGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        let rank = {
+            let r = self.rank();
+            checker::on_acquire(r);
+            r
+        };
+        OrderedRwLockReadGuard {
+            inner: self.inner.read(),
+            #[cfg(debug_assertions)]
+            rank,
+        }
+    }
+
+    /// Acquire exclusive.
+    pub fn write(&self) -> OrderedRwLockWriteGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        let rank = {
+            let r = self.rank();
+            checker::on_acquire(r);
+            r
+        };
+        OrderedRwLockWriteGuard {
+            inner: self.inner.write(),
+            #[cfg(debug_assertions)]
+            rank,
+        }
+    }
+}
+
+impl<T: Default> Default for OrderedRwLock<T> {
+    fn default() -> OrderedRwLock<T> {
+        OrderedRwLock::new(LockRank(0), T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for OrderedRwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OrderedRwLock")
+            .field("rank", &self.rank())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Shared guard for [`OrderedRwLock`].
+pub struct OrderedRwLockReadGuard<'a, T: ?Sized> {
+    inner: parking_lot::RwLockReadGuard<'a, T>,
+    #[cfg(debug_assertions)]
+    rank: LockRank,
+}
+
+impl<T: ?Sized> std::ops::Deref for OrderedRwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+#[cfg(debug_assertions)]
+impl<T: ?Sized> Drop for OrderedRwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        checker::on_release(self.rank);
+    }
+}
+
+/// Exclusive guard for [`OrderedRwLock`].
+pub struct OrderedRwLockWriteGuard<'a, T: ?Sized> {
+    inner: parking_lot::RwLockWriteGuard<'a, T>,
+    #[cfg(debug_assertions)]
+    rank: LockRank,
+}
+
+impl<T: ?Sized> std::ops::Deref for OrderedRwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for OrderedRwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(debug_assertions)]
+impl<T: ?Sized> Drop for OrderedRwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        checker::on_release(self.rank);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descending_acquisition_is_allowed() {
+        let a = OrderedMutex::new(LockRank(30), 1);
+        let b = OrderedMutex::new(LockRank(20), 2);
+        let c = OrderedMutex::new(LockRank(10), 3);
+        let ga = a.lock();
+        let gb = b.lock();
+        let gc = c.lock();
+        assert_eq!(*ga + *gb + *gc, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "lock order violation")]
+    fn ascending_acquisition_panics() {
+        // A seeded A→B / B→A inversion: this thread takes B (low) then
+        // A (high); the rank check fires on the second acquisition.
+        let a = OrderedMutex::new(LockRank(30), ());
+        let b = OrderedMutex::new(LockRank(20), ());
+        let _gb = b.lock();
+        let _ga = a.lock();
+    }
+
+    #[test]
+    #[should_panic(expected = "lock order violation")]
+    fn equal_rank_acquisition_panics() {
+        let a = OrderedMutex::new(LockRank(25), ());
+        let b = OrderedMutex::new(LockRank(25), ());
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+
+    #[test]
+    fn out_of_order_release_is_tracked() {
+        let a = OrderedMutex::new(LockRank(30), ());
+        let b = OrderedMutex::new(LockRank(20), ());
+        let c = OrderedMutex::new(LockRank(10), ());
+        let ga = a.lock();
+        let gb = b.lock();
+        drop(ga); // release the outer guard first
+        let gc = c.lock(); // still strictly below b's rank
+        drop(gb);
+        drop(gc);
+        // With everything released, a high rank is acquirable again.
+        let _ga = a.lock();
+    }
+
+    #[test]
+    fn rwlock_read_then_lower_write() {
+        let ver = OrderedRwLock::new(LockRank(50), 0u32);
+        let mem = OrderedRwLock::new(LockRank(40), 0u32);
+        let _v = ver.read();
+        let mut m = mem.write();
+        *m += 1;
+    }
+
+    #[test]
+    fn demote_allows_frozen_sibling_reads() {
+        // Model the memtable freeze: active and frozen start life at
+        // the same rank; freezing demotes, after which holding the
+        // active one while reading the frozen one is legal.
+        let frozen = OrderedRwLock::new(LockRank(104), 1u32);
+        let active = OrderedRwLock::new(LockRank(104), 2u32);
+        frozen.demote(LockRank(102));
+        let a = active.write();
+        let f = frozen.read();
+        assert_eq!(*a + *f, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn graph_detects_seeded_cycle() {
+        // Strict rank checking makes a runtime cycle unreachable, so
+        // drive the graph directly: the reverse edge closes a cycle
+        // and the panic carries both recorded backtraces. Ranks 1 and
+        // 2 are unused by real locks, so this cannot interfere with
+        // edges recorded by other tests in this process.
+        checker::record_edge(LockRank(2), LockRank(1));
+        checker::record_edge(LockRank(1), LockRank(2));
+    }
+
+    #[test]
+    fn condvar_wait_for_roundtrip() {
+        let m = OrderedMutex::new(LockRank(10), false);
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = g.wait_for(&cv, Duration::from_millis(5));
+        assert!(r.timed_out());
+        *g = true;
+        assert!(*g);
+    }
+
+    #[test]
+    fn const_static_init() {
+        static S: OrderedMutex<u32> = OrderedMutex::new(LockRank(10), 7);
+        assert_eq!(*S.lock(), 7);
+    }
+}

@@ -9,6 +9,7 @@
 
 use crate::handlers::{build_registry, Backends};
 use crate::metadata::MetadataBackend;
+use gkfs_common::lock::{rank, OrderedMutex};
 use gkfs_common::{DaemonConfig, Result};
 use gkfs_rpc::transport::tcp::TcpServer;
 use gkfs_rpc::{Endpoint, RpcServer};
@@ -19,7 +20,7 @@ use std::sync::Arc;
 pub struct Daemon {
     backends: Arc<Backends>,
     rpc: Arc<RpcServer>,
-    tcp: parking_lot::Mutex<Option<Arc<TcpServer>>>,
+    tcp: OrderedMutex<Option<Arc<TcpServer>>>,
     config: DaemonConfig,
 }
 
@@ -51,7 +52,7 @@ impl Daemon {
         Ok(Arc::new(Daemon {
             backends,
             rpc,
-            tcp: parking_lot::Mutex::new(None),
+            tcp: OrderedMutex::new(rank::DAEMON_TCP, None),
             config,
         }))
     }
@@ -88,7 +89,11 @@ impl Daemon {
     pub fn shutdown(&self) {
         gkfs_common::gkfs_info!("daemon shutting down");
         self.rpc.begin_shutdown();
-        if let Some(tcp) = self.tcp.lock().take() {
+        // Take the server out before winding it down: an `if let` on
+        // `.lock().take()` would hold the guard across the whole TCP
+        // teardown (accept-thread join and connection severing).
+        let tcp = self.tcp.lock().take();
+        if let Some(tcp) = tcp {
             tcp.shutdown();
         }
         if let Err(e) = self.backends.meta.shutdown() {

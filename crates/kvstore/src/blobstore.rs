@@ -20,8 +20,8 @@
 //! memtable's SSTable is in the manifest — the log never needs a
 //! wholesale reset while older memtables are still in flight.
 
+use gkfs_common::lock::{rank, OrderedMutex, OrderedRwLock};
 use gkfs_common::Result;
-use parking_lot::RwLock;
 use std::collections::{BTreeMap, HashMap};
 use std::fs;
 use std::io::{Read, Write};
@@ -89,16 +89,24 @@ impl Default for MemLog {
 }
 
 /// In-memory blob store.
-#[derive(Default)]
 pub struct MemBlobStore {
-    blobs: RwLock<HashMap<String, Arc<Vec<u8>>>>,
-    log: RwLock<MemLog>,
+    blobs: OrderedRwLock<HashMap<String, Arc<Vec<u8>>>>,
+    log: OrderedRwLock<MemLog>,
 }
 
 impl MemBlobStore {
     /// Create an empty in-memory blob store.
     pub fn new() -> MemBlobStore {
-        MemBlobStore::default()
+        MemBlobStore {
+            blobs: OrderedRwLock::new(rank::KV_BLOB_MAP, HashMap::new()),
+            log: OrderedRwLock::new(rank::KV_WAL_LOG, MemLog::default()),
+        }
+    }
+}
+
+impl Default for MemBlobStore {
+    fn default() -> MemBlobStore {
+        MemBlobStore::new()
     }
 }
 
@@ -193,7 +201,7 @@ pub struct FsBlobStore {
     dir: PathBuf,
     // Serializes log appends; active segment handle kept open for
     // append speed.
-    log: parking_lot::Mutex<FsLog>,
+    log: OrderedMutex<FsLog>,
 }
 
 impl FsBlobStore {
@@ -212,7 +220,7 @@ impl FsBlobStore {
         let file = Self::open_segment(&dir, active)?;
         Ok(FsBlobStore {
             dir,
-            log: parking_lot::Mutex::new(FsLog { active, file }),
+            log: OrderedMutex::new(rank::KV_WAL_LOG, FsLog { active, file }),
         })
     }
 

@@ -42,10 +42,15 @@
 //! with the manifest storing a `flushed_seq` watermark so replay never
 //! re-applies (non-idempotent) records that already reached a table.
 //!
-//! Lock order (to stay deadlock-free): `compaction_lock` →
-//! `manifest_lock` → `version` → memtable → group-commit state. The
-//! `work` mutex (background coordination) is independent, but is never
-//! acquired while holding the `version` write lock.
+//! Lock order (to stay deadlock-free), outermost to innermost:
+//! `threads` → `compaction_lock` → `manifest_lock` → `work` →
+//! `version` → active memtable → frozen memtables → group-commit
+//! state. Every lock is an [`OrderedMutex`]/[`OrderedRwLock`] carrying
+//! its `gkfs_common::lock::rank::KV_*` rank: debug builds assert the
+//! order at runtime, and `gkfs-lint` (GKL001) checks the nesting
+//! statically. Freezing a memtable *demotes* its rank
+//! (`KV_MEMTABLE` → `KV_MEMTABLE_FROZEN`) so readers may consult
+//! frozen tables while holding the active one.
 
 use crate::blobstore::{BlobStore, FsBlobStore, MemBlobStore};
 use crate::memtable::{MemTable, Value};
@@ -54,7 +59,8 @@ use crate::sstable::{Table, TableBuilder, Tag};
 use crate::wal::{replay, WalRecord};
 use gkfs_common::wire::{Decoder, Encoder};
 use gkfs_common::{GkfsError, Result};
-use parking_lot::{Condvar, Mutex, RwLock};
+use gkfs_common::lock::{rank, OrderedMutex, OrderedRwLock};
+use parking_lot::Condvar;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -223,7 +229,7 @@ impl WriteBatch {
 
 /// The active memtable, shared between the version that owns it and
 /// (after rotation) the immutable-memtable record flushing it.
-type SharedMem = Arc<RwLock<MemTable>>;
+type SharedMem = Arc<OrderedRwLock<MemTable>>;
 
 /// A frozen memtable awaiting background flush. Readable (the `mem`
 /// lock is only ever taken for reading once frozen), plus the WAL
@@ -282,14 +288,14 @@ struct GcState {
 /// writers becomes the leader and performs a single `append_log` —
 /// and at most one `sync_log` — for everything queued.
 struct GroupCommit {
-    state: Mutex<GcState>,
+    state: OrderedMutex<GcState>,
     cv: Condvar,
 }
 
 impl GroupCommit {
     fn new(last_seq: u64) -> GroupCommit {
         GroupCommit {
-            state: Mutex::new(GcState {
+            state: OrderedMutex::new(rank::KV_GROUP_COMMIT, GcState {
                 pending: Vec::new(),
                 pending_records: 0,
                 next_seq: last_seq + 1,
@@ -333,7 +339,7 @@ impl GroupCommit {
                 return Ok(());
             }
             if gc.leader_active {
-                self.cv.wait(&mut gc);
+                gc.wait(&self.cv);
                 continue;
             }
             // Become the leader: take the whole queue, write it with
@@ -392,7 +398,7 @@ impl GroupCommit {
     fn seal_and_rotate(&self, store: &dyn BlobStore) -> Result<(u64, u64)> {
         let mut gc = self.state.lock();
         while gc.leader_active {
-            self.cv.wait(&mut gc);
+            gc.wait(&self.cv);
         }
         let max_seq = gc.next_seq - 1;
         let res = seal_locked(&mut gc, store);
@@ -436,7 +442,7 @@ struct WorkState {
 }
 
 struct DbInner {
-    version: RwLock<Arc<Version>>,
+    version: OrderedRwLock<Arc<Version>>,
     store: Arc<dyn BlobStore>,
     opts: DbOptions,
     next_id: AtomicU64,
@@ -447,10 +453,10 @@ struct DbInner {
     flushed_seq: AtomicU64,
     /// Serializes manifest writers (flush installs vs compaction
     /// installs).
-    manifest_lock: Mutex<()>,
+    manifest_lock: OrderedMutex<()>,
     /// Serializes compactions (background vs explicit `compact()`).
-    compaction_lock: Mutex<()>,
-    work: Mutex<WorkState>,
+    compaction_lock: OrderedMutex<()>,
+    work: OrderedMutex<WorkState>,
     /// Wakes background threads (new imm, compaction request, stop).
     work_cv: Condvar,
     /// Wakes foreground threads waiting on background progress
@@ -464,7 +470,7 @@ struct DbInner {
 /// [`Db::shutdown`] for a clean drain.
 pub struct Db {
     inner: Arc<DbInner>,
-    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    threads: OrderedMutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 const MANIFEST: &str = "MANIFEST";
@@ -538,8 +544,8 @@ impl Db {
         }
 
         let inner = Arc::new(DbInner {
-            version: RwLock::new(Arc::new(Version {
-                mem: Arc::new(RwLock::new(mem)),
+            version: OrderedRwLock::new(rank::KV_VERSION, Arc::new(Version {
+                mem: Arc::new(OrderedRwLock::new(rank::KV_MEMTABLE, mem)),
                 imm: Vec::new(),
                 l0,
                 l1,
@@ -550,9 +556,9 @@ impl Db {
             stats: DbStats::default(),
             gc: GroupCommit::new(max_seq),
             flushed_seq: AtomicU64::new(flushed_seq),
-            manifest_lock: Mutex::new(()),
-            compaction_lock: Mutex::new(()),
-            work: Mutex::new(WorkState::default()),
+            manifest_lock: OrderedMutex::new(rank::KV_MANIFEST, ()),
+            compaction_lock: OrderedMutex::new(rank::KV_COMPACTION, ()),
+            work: OrderedMutex::new(rank::KV_WORK, WorkState::default()),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
         });
@@ -579,7 +585,7 @@ impl Db {
 
         Ok(Arc::new(Db {
             inner,
-            threads: Mutex::new(threads),
+            threads: OrderedMutex::new(rank::KV_THREADS, threads),
         }))
     }
 
@@ -722,7 +728,11 @@ impl Db {
             self.inner.work_cv.notify_all();
             self.inner.done_cv.notify_all();
         }
-        for t in self.threads.lock().drain(..) {
+        // Take the handles out first: joining while holding the
+        // `threads` guard would block every other shutdown/drop racer
+        // on the lock for the workers' whole runtime (GKL002).
+        let handles: Vec<_> = self.threads.lock().drain(..).collect();
+        for t in handles {
             let _ = t.join();
         }
         // If the flusher bailed early (error), finish its work inline.
@@ -784,7 +794,8 @@ impl Drop for Db {
             self.inner.work_cv.notify_all();
             self.inner.done_cv.notify_all();
         }
-        for t in self.threads.lock().drain(..) {
+        let handles: Vec<_> = self.threads.lock().drain(..).collect();
+        for t in handles {
             let _ = t.join();
         }
     }
@@ -1057,9 +1068,9 @@ impl DbInner {
             .map(|i| i.mem.clone())
             .chain(std::iter::once(ver.mem.clone()))
             .collect();
-        for m in &mems {
-            let m = m.read();
-            for (k, v) in m.range(start, end) {
+        for shared in &mems {
+            let mem = shared.read();
+            for (k, v) in mem.range(start, end) {
                 if !keep(k) {
                     break;
                 }
@@ -1104,7 +1115,7 @@ impl DbInner {
                 {
                     let mut w = self.work.lock();
                     if !w.stop {
-                        self.done_cv.wait_for(&mut w, Duration::from_millis(10));
+                        w.wait_for(&self.done_cv, Duration::from_millis(10));
                     }
                 }
                 if self.snapshot().l0.len() < self.opts.l0_stall_threshold {
@@ -1144,7 +1155,7 @@ impl DbInner {
             let mut w = self.work.lock();
             if !w.stop {
                 self.work_cv.notify_all(); // flusher may be idle-waiting
-                self.done_cv.wait_for(&mut w, Duration::from_millis(10));
+                w.wait_for(&self.done_cv, Duration::from_millis(10));
             }
         }
         if let Some(t) = stall_start {
@@ -1171,13 +1182,16 @@ impl DbInner {
                 (0, 0)
             };
             let mut imms = cur.imm.clone();
+            // Freeze: demote the memtable's rank so a reader holding
+            // the new active table (KV_MEMTABLE) may still consult it.
+            cur.mem.demote(rank::KV_MEMTABLE_FROZEN);
             imms.push(Arc::new(ImmMem {
                 mem: cur.mem.clone(),
                 wal_segment: segment,
                 max_seq,
             }));
             *ver = Arc::new(Version {
-                mem: Arc::new(RwLock::new(MemTable::new())),
+                mem: Arc::new(OrderedRwLock::new(rank::KV_MEMTABLE, MemTable::new())),
                 imm: imms,
                 l0: cur.l0.clone(),
                 l1: cur.l1.clone(),
@@ -1372,10 +1386,18 @@ impl DbInner {
     }
 
     fn drain_imms_inline(&self) -> Result<()> {
-        while let Some(imm) = self.version.read().imm.first().cloned() {
-            self.flush_imm(&imm)?;
+        // The version read guard must not outlive this statement: a
+        // `while let` header temporary would keep it alive across
+        // `flush_imm`, which re-acquires `version` (read, then write
+        // for the install) — a same-thread read→write self-deadlock.
+        // The debug-build rank checker flags exactly this shape.
+        loop {
+            let imm = self.version.read().imm.first().cloned();
+            match imm {
+                Some(imm) => self.flush_imm(&imm)?,
+                None => return Ok(()),
+            }
         }
-        Ok(())
     }
 
     fn wait_imm_drained(&self) -> Result<()> {
@@ -1390,7 +1412,7 @@ impl DbInner {
             let mut w = self.work.lock();
             if !w.stop && !self.version.read().imm.is_empty() {
                 self.work_cv.notify_all();
-                self.done_cv.wait_for(&mut w, Duration::from_millis(50));
+                w.wait_for(&self.done_cv, Duration::from_millis(50));
             }
         }
     }
@@ -1451,7 +1473,7 @@ fn flusher_loop(inner: &DbInner) {
                 // Re-check under the lock: rotation notifies while
                 // holding it, so a new imm cannot slip past us.
                 if inner.version.read().imm.is_empty() {
-                    inner.work_cv.wait_for(&mut w, Duration::from_millis(100));
+                    w.wait_for(&inner.work_cv, Duration::from_millis(100));
                 }
             }
         }
@@ -1468,7 +1490,7 @@ fn compactor_loop(inner: &DbInner) {
                 return;
             }
             if !w.compact_requested {
-                inner.work_cv.wait_for(&mut w, Duration::from_millis(100));
+                w.wait_for(&inner.work_cv, Duration::from_millis(100));
             }
             if w.stop {
                 return;
@@ -2023,6 +2045,33 @@ mod tests {
             assert_eq!(
                 db.get(format!("/sd/{i:02}").as_bytes()).unwrap().as_deref(),
                 Some(&b"value"[..])
+            );
+        }
+    }
+
+    /// Writes after `shutdown()` fall back to inline flush: rotation
+    /// drains the frozen memtable on the caller's thread. This is the
+    /// path that re-enters the version lock from under its own read
+    /// guard when written as a `while let` — the regression the ranked
+    /// locks (and gkfs-lint's temporary-scope model) exist to catch.
+    #[test]
+    fn writes_after_shutdown_flush_inline() {
+        let db = Db::open_memory(DbOptions {
+            memtable_bytes: 256,
+            l0_compaction_trigger: 100,
+            ..small_opts()
+        })
+        .unwrap();
+        db.shutdown().unwrap();
+        for i in 0..40 {
+            db.put(format!("/post/{i:02}").as_bytes(), &[i as u8; 32]).unwrap();
+        }
+        let (_, imm, _, _) = db.level_shape();
+        assert_eq!(imm, 0, "inline rotation must drain frozen memtables");
+        for i in 0..40 {
+            assert_eq!(
+                db.get(format!("/post/{i:02}").as_bytes()).unwrap().as_deref(),
+                Some(&[i as u8; 32][..])
             );
         }
     }

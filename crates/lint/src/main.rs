@@ -1,0 +1,6 @@
+//! `gkfs-lint` binary — see `gkfs_lint::cli_main` for the interface.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(gkfs_lint::cli_main(&args));
+}

@@ -1,0 +1,727 @@
+//! The lint rules, evaluated over the token stream of one file.
+//!
+//! | rule   | checks |
+//! |--------|--------|
+//! | GKL001 | nested lock acquisition must strictly descend the declared rank hierarchy |
+//! | GKL002 | no blocking call (fsync/sync/sleep/join/bare recv/WAL append) inside a held guard scope |
+//! | GKL003 | no `unwrap()`/`expect()` on rpc/daemon/client non-test paths |
+//! | GKL004 | no `Instant::now`/`SystemTime` inside `crates/sim` (determinism) |
+//! | GKL005 | every `unsafe` must carry a `// SAFETY:` comment or a `# Safety` doc section |
+//!
+//! Guard scopes are tracked *lexically* and intraprocedurally: a guard
+//! produced by `.lock()`, `.read()` or `.write()` (empty argument
+//! lists — which excludes `io::Read::read(&mut buf)` and friends) on a
+//! receiver registered in `lint.toml`'s `[locks]` table is considered
+//! held until its binding is dropped, its block closes, or — for
+//! statement temporaries — its statement ends. Temporaries in `if
+//! let`/`while let`/`match`/`for` headers extend through the
+//! construct's body, mirroring Rust's temporary-scope rules (this is
+//! exactly the gotcha that turns `while let Some(x) =
+//! lock.read().first() { ... }` into a guard held across the body).
+//! Nesting that spans function boundaries is the runtime checker's job
+//! (`gkfs_common::lock`).
+
+use crate::config::Config;
+use crate::lexer::{lex, Tok, TokKind};
+
+/// One finding, formatted as `file:line: [rule] message`.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    pub rule: &'static str,
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// The waiver key for this diagnostic: `RULE@file:line`.
+    pub fn waiver_key(&self) -> String {
+        format!("{}@{}:{}", self.rule, self.file, self.line)
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Calls considered blocking under a held guard (GKL002). `join` and
+/// `recv` count only with empty argument lists: `handle.join()` blocks
+/// but `parts.join(",")` is string joining, and `recv()` blocks where
+/// `recv_timeout(..)` is a different identifier altogether. Condvar
+/// `wait`/`wait_for` are deliberately absent — they release the lock
+/// while blocked.
+const BLOCKING: &[&str] = &[
+    "sync_all",
+    "sync_data",
+    "fsync",
+    "sleep",
+    "join",
+    "recv",
+    "append_log",
+    "sync_log",
+    "rotate_log",
+];
+
+/// How a tracked guard dies.
+#[derive(PartialEq, Debug, Clone, Copy)]
+enum Mode {
+    /// Let-bound: dies when its block closes (or on `drop`/rebind).
+    Block,
+    /// `if let`/`while let`/`match`/`for` header temporary: lives
+    /// through the construct's body.
+    HeaderTemp,
+    /// Plain `if`/`while` condition temporary: dies at the `{`.
+    CondTemp,
+    /// Statement temporary: dies at the next `;` at its depth.
+    Stmt,
+}
+
+struct Guard {
+    binding: Option<String>,
+    lock: String,
+    rank_name: String,
+    rank: u16,
+    line: u32,
+    depth: i32,
+    mode: Mode,
+    /// For HeaderTemp: the construct's block has opened.
+    opened: bool,
+}
+
+/// Result of checking one file: diagnostics plus the acquisition-order
+/// edges (`held rank name → acquired rank name`) observed, for the
+/// workspace-wide cycle report.
+pub struct FileReport {
+    pub diagnostics: Vec<Diagnostic>,
+    pub edges: Vec<(String, String)>,
+}
+
+/// Run every applicable rule over one file.
+pub fn check_file(rel_path: &str, src: &str, cfg: &Config) -> FileReport {
+    let lexed = lex(src);
+    let toks = &lexed.toks;
+    let skip = find_test_ranges(toks);
+
+    let unwrap_scope = rel_path.starts_with("crates/rpc/src")
+        || rel_path.starts_with("crates/daemon/src")
+        || rel_path.starts_with("crates/client/src");
+    let sim_scope = rel_path.starts_with("crates/sim/src");
+
+    let mut out = FileReport {
+        diagnostics: Vec::new(),
+        edges: Vec::new(),
+    };
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth: i32 = 0;
+    // (extends_through_body, depth at header keyword)
+    let mut pending_header: Option<bool> = None;
+
+    let mut i = 0usize;
+    let mut skip_idx = 0usize;
+    while i < toks.len() {
+        if skip_idx < skip.len() && i == skip.get(skip_idx).map(|r| r.0).unwrap_or(usize::MAX) {
+            i = skip[skip_idx].1;
+            skip_idx += 1;
+            continue;
+        }
+        let t = &toks[i];
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, "{") => {
+                depth += 1;
+                if pending_header.take().is_some() {
+                    for g in &mut guards {
+                        if !g.opened && g.mode == Mode::HeaderTemp {
+                            g.opened = true;
+                        }
+                    }
+                    guards.retain(|g| !(g.mode == Mode::CondTemp && !g.opened));
+                }
+            }
+            (TokKind::Punct, "}") => {
+                depth -= 1;
+                guards.retain(|g| {
+                    let block_dead = g.mode == Mode::Block && g.depth > depth;
+                    let header_dead =
+                        g.mode == Mode::HeaderTemp && g.opened && depth <= g.depth;
+                    let stranded = g.depth > depth; // safety net for any mode
+                    !(block_dead || header_dead || stranded)
+                });
+            }
+            (TokKind::Punct, ";") => {
+                guards.retain(|g| !(g.mode == Mode::Stmt && g.depth == depth));
+                pending_header = None; // e.g. `for` inside a generic bound never got a block
+            }
+            (TokKind::Ident, "if") | (TokKind::Ident, "while") => {
+                let extends = toks.get(i + 1).map(|n| n.is_ident("let")).unwrap_or(false);
+                pending_header = Some(extends);
+            }
+            (TokKind::Ident, "match") | (TokKind::Ident, "for") => {
+                pending_header = Some(true);
+            }
+            (TokKind::Ident, "drop") => {
+                if toks.get(i + 1).map(|n| n.is_punct('(')).unwrap_or(false) {
+                    if let Some(name) = toks.get(i + 2).filter(|n| n.kind == TokKind::Ident) {
+                        if toks.get(i + 3).map(|n| n.is_punct(')')).unwrap_or(false) {
+                            guards.retain(|g| g.binding.as_deref() != Some(&name.text));
+                        }
+                    }
+                }
+            }
+            (TokKind::Ident, "unsafe") => {
+                let line = t.line;
+                // Either convention satisfies the rule: `// SAFETY:`
+                // immediately above (unsafe blocks), or a `# Safety`
+                // doc section (unsafe fn declarations, where the
+                // caller contract lives in the rustdoc).
+                let documented = lexed.comments.iter().any(|(cl, text)| {
+                    *cl + 4 >= line
+                        && *cl <= line
+                        && (text.contains("SAFETY:") || text.contains("# Safety"))
+                });
+                if !documented {
+                    out.diagnostics.push(Diagnostic {
+                        rule: "GKL005",
+                        file: rel_path.to_string(),
+                        line,
+                        message: "`unsafe` without a preceding `// SAFETY:` comment".into(),
+                    });
+                }
+            }
+            _ => {}
+        }
+
+        // GKL003: unwrap/expect on rpc/daemon/client non-test paths.
+        if unwrap_scope
+            && t.is_punct('.')
+            && toks
+                .get(i + 1)
+                .map(|n| n.is_ident("unwrap") || n.is_ident("expect"))
+                .unwrap_or(false)
+            && toks.get(i + 2).map(|n| n.is_punct('(')).unwrap_or(false)
+        {
+            let name = &toks[i + 1].text;
+            out.diagnostics.push(Diagnostic {
+                rule: "GKL003",
+                file: rel_path.to_string(),
+                line: toks[i + 1].line,
+                message: format!(
+                    "`.{name}()` on a non-test rpc/daemon/client path — propagate the error"
+                ),
+            });
+        }
+
+        // GKL004: wall-clock time sources in the deterministic simulator.
+        if sim_scope && t.kind == TokKind::Ident {
+            let instant_now = t.text == "Instant"
+                && toks.get(i + 1).map(|n| n.is_punct(':')).unwrap_or(false)
+                && toks.get(i + 2).map(|n| n.is_punct(':')).unwrap_or(false)
+                && toks.get(i + 3).map(|n| n.is_ident("now")).unwrap_or(false);
+            let systemtime = t.text == "SystemTime";
+            if instant_now || systemtime {
+                out.diagnostics.push(Diagnostic {
+                    rule: "GKL004",
+                    file: rel_path.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "`{}` in crates/sim — the simulator must stay deterministic",
+                        if systemtime { "SystemTime" } else { "Instant::now" }
+                    ),
+                });
+            }
+        }
+
+        // GKL002: blocking call while a guard is held.
+        if t.kind == TokKind::Ident
+            && BLOCKING.contains(&t.text.as_str())
+            && toks.get(i + 1).map(|n| n.is_punct('(')).unwrap_or(false)
+            && !(i > 0 && toks[i - 1].is_ident("fn"))
+            && !guards.is_empty()
+        {
+            let needs_empty = t.text == "join" || t.text == "recv";
+            let empty = toks.get(i + 2).map(|n| n.is_punct(')')).unwrap_or(false);
+            if !needs_empty || empty {
+                let held = guards.last().expect("guards nonempty");
+                out.diagnostics.push(Diagnostic {
+                    rule: "GKL002",
+                    file: rel_path.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "blocking call `{}` while holding `{}` ({}={}, acquired line {})",
+                        t.text, held.lock, held.rank_name, held.rank, held.line
+                    ),
+                });
+            }
+        }
+
+        // GKL001: lock acquisition — strictly descending ranks.
+        if let Some(acq) = match_acquisition(toks, i, cfg) {
+            for g in &guards {
+                out.edges.push((g.rank_name.clone(), acq.rank_name.clone()));
+                if g.rank <= acq.rank {
+                    out.diagnostics.push(Diagnostic {
+                        rule: "GKL001",
+                        file: rel_path.to_string(),
+                        line: toks[i].line,
+                        message: format!(
+                            "acquiring `{}` ({}={}) while holding `{}` ({}={}, acquired line {}) — \
+                             ranks must strictly descend",
+                            acq.lock, acq.rank_name, acq.rank, g.lock, g.rank_name, g.rank, g.line
+                        ),
+                    });
+                }
+            }
+            // Determine how this guard lives.
+            let after = i + 4; // past `. name ( )`
+            let ends_stmt = toks.get(after).map(|n| n.is_punct(';')).unwrap_or(false);
+            let (binding, mode) = if ends_stmt {
+                match stmt_binding(toks, i) {
+                    Some(Binding::Let(name)) => (Some(name), Mode::Block),
+                    Some(Binding::Reassign(name)) => {
+                        guards.retain(|g| g.binding.as_deref() != Some(&name));
+                        (Some(name), Mode::Block)
+                    }
+                    None => (None, temp_mode(pending_header)),
+                }
+            } else {
+                (None, temp_mode(pending_header))
+            };
+            guards.push(Guard {
+                binding,
+                lock: acq.lock,
+                rank_name: acq.rank_name,
+                rank: acq.rank,
+                line: toks[i].line,
+                depth,
+                mode,
+                opened: false,
+            });
+        }
+
+        i += 1;
+    }
+    out
+}
+
+fn temp_mode(pending_header: Option<bool>) -> Mode {
+    match pending_header {
+        Some(true) => Mode::HeaderTemp,
+        Some(false) => Mode::CondTemp,
+        None => Mode::Stmt,
+    }
+}
+
+struct Acq {
+    lock: String,
+    rank_name: String,
+    rank: u16,
+}
+
+/// Does the token at `i` start `. lock()` / `. read()` / `. write()`
+/// (empty argument list) on a receiver registered in `[locks]`?
+fn match_acquisition(toks: &[Tok], i: usize, cfg: &Config) -> Option<Acq> {
+    if !toks[i].is_punct('.') {
+        return None;
+    }
+    let m = toks.get(i + 1)?;
+    if !(m.is_ident("lock") || m.is_ident("read") || m.is_ident("write")) {
+        return None;
+    }
+    if !toks.get(i + 2)?.is_punct('(') || !toks.get(i + 3)?.is_punct(')') {
+        return None;
+    }
+    let recv = receiver_name(toks, i)?;
+    let (rank_name, rank) = cfg.rank_of(&recv)?;
+    Some(Acq {
+        lock: recv,
+        rank_name: rank_name.to_string(),
+        rank,
+    })
+}
+
+/// The receiver identifier of the call whose `.` is at `i`: the ident
+/// just before the dot, or — when the receiver is itself a call like
+/// `self.shard(path)` — the callee's name.
+fn receiver_name(toks: &[Tok], i: usize) -> Option<String> {
+    if i == 0 {
+        return None;
+    }
+    let prev = &toks[i - 1];
+    if prev.kind == TokKind::Ident {
+        return Some(prev.text.clone());
+    }
+    if prev.is_punct(')') {
+        // Walk back over the matched parens, then take the ident
+        // before the `(`.
+        let mut bal = 1i32;
+        let mut j = i - 1;
+        while bal > 0 && j > 0 {
+            j -= 1;
+            if toks[j].is_punct(')') {
+                bal += 1;
+            } else if toks[j].is_punct('(') {
+                bal -= 1;
+            }
+        }
+        if bal == 0 && j > 0 && toks[j - 1].kind == TokKind::Ident {
+            return Some(toks[j - 1].text.clone());
+        }
+    }
+    None
+}
+
+enum Binding {
+    Let(String),
+    Reassign(String),
+}
+
+/// For an acquisition ending its statement, find the binding pattern
+/// at the start of the statement: `let [mut] NAME = …` or `NAME = …`.
+fn stmt_binding(toks: &[Tok], acq_dot: usize) -> Option<Binding> {
+    // Scan back to the statement start.
+    let mut s = acq_dot;
+    while s > 0 {
+        let t = &toks[s - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        s -= 1;
+    }
+    let first = toks.get(s)?;
+    if first.is_ident("let") {
+        let mut n = s + 1;
+        if toks.get(n).map(|t| t.is_ident("mut")).unwrap_or(false) {
+            n += 1;
+        }
+        let name = toks.get(n).filter(|t| t.kind == TokKind::Ident)?;
+        // The next token must introduce `=` directly or via a type
+        // ascription; anything else (tuple/struct patterns) is not a
+        // guard binding.
+        let next = toks.get(n + 1)?;
+        if next.is_punct('=') || next.is_punct(':') {
+            return Some(Binding::Let(name.text.clone()));
+        }
+        return None;
+    }
+    if first.kind == TokKind::Ident
+        && toks.get(s + 1).map(|t| t.is_punct('=')).unwrap_or(false)
+        && !toks.get(s + 2).map(|t| t.is_punct('=')).unwrap_or(false)
+    {
+        return Some(Binding::Reassign(first.text.clone()));
+    }
+    None
+}
+
+/// Token index ranges `[start, end)` covering `#[test]` functions and
+/// `#[cfg(test)]` items (plus any attribute mentioning `test` without
+/// `not`, e.g. `#[cfg(all(test, …))]`), which every rule skips.
+fn find_test_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && toks.get(i + 1).map(|t| t.is_punct('[')).unwrap_or(false) {
+            let mut j = i + 2;
+            let mut bal = 1i32;
+            let mut has_test = false;
+            let mut has_not = false;
+            while j < toks.len() && bal > 0 {
+                if toks[j].is_punct('[') {
+                    bal += 1;
+                } else if toks[j].is_punct(']') {
+                    bal -= 1;
+                } else if toks[j].is_ident("test") {
+                    has_test = true;
+                } else if toks[j].is_ident("not") {
+                    has_not = true;
+                }
+                j += 1;
+            }
+            if has_test && !has_not {
+                // Skip to the end of the annotated item: a `;` before
+                // any `{`, or the matching `}` of the first `{`.
+                let mut k = j;
+                while k < toks.len() {
+                    if toks[k].is_punct(';') {
+                        k += 1;
+                        break;
+                    }
+                    if toks[k].is_punct('{') {
+                        let mut b = 1i32;
+                        k += 1;
+                        while k < toks.len() && b > 0 {
+                            if toks[k].is_punct('{') {
+                                b += 1;
+                            } else if toks[k].is_punct('}') {
+                                b -= 1;
+                            }
+                            k += 1;
+                        }
+                        break;
+                    }
+                    k += 1;
+                }
+                ranges.push((i, k));
+                i = k;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    fn cfg() -> Config {
+        let mut ranks = HashMap::new();
+        ranks.insert("HIGH".to_string(), 200u16);
+        ranks.insert("MID".to_string(), 100u16);
+        ranks.insert("LOW".to_string(), 50u16);
+        let mut locks = HashMap::new();
+        locks.insert("outer".to_string(), "HIGH".to_string());
+        locks.insert("inner".to_string(), "MID".to_string());
+        locks.insert("leaf".to_string(), "LOW".to_string());
+        Config {
+            ranks,
+            locks,
+            allow: HashSet::new(),
+        }
+    }
+
+    fn rules(src: &str) -> Vec<Diagnostic> {
+        check_file("crates/x/src/lib.rs", src, &cfg()).diagnostics
+    }
+
+    fn rules_at(path: &str, src: &str) -> Vec<Diagnostic> {
+        check_file(path, src, &cfg()).diagnostics
+    }
+
+    // ---- GKL001 ----
+
+    #[test]
+    fn gkl001_fires_on_ascending_ranks() {
+        let d = rules("fn f(&self) { let a = self.inner.lock(); let b = self.outer.lock(); }");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "GKL001");
+        assert!(d[0].message.contains("outer"));
+    }
+
+    #[test]
+    fn gkl001_clean_on_descending_ranks() {
+        let d = rules("fn f(&self) { let a = self.outer.lock(); let b = self.inner.read(); }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn gkl001_equal_rank_fires() {
+        let d = rules("fn f(&self) { let a = self.inner.lock(); let b = self.inner.lock(); }");
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn gkl001_drop_releases() {
+        let d = rules(
+            "fn f(&self) { let a = self.inner.lock(); drop(a); let b = self.outer.lock(); }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn gkl001_block_scope_releases() {
+        let d = rules("fn f(&self) { { let a = self.inner.lock(); } let b = self.outer.lock(); }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn gkl001_statement_temp_releases_at_semicolon() {
+        let d = rules("fn f(&self) { self.inner.lock().push(1); let b = self.outer.lock(); }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn gkl001_while_let_temp_extends_through_body() {
+        // The classic gotcha: the scrutinee guard lives through the
+        // body, so the inner acquisition nests under it.
+        let d = rules(
+            "fn f(&self) { while let Some(x) = self.inner.read().first() { \
+             let g = self.outer.lock(); } }",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "GKL001");
+    }
+
+    #[test]
+    fn gkl001_plain_if_condition_temp_dies_at_block() {
+        let d = rules(
+            "fn f(&self) { if self.inner.read().is_empty() { let g = self.outer.lock(); } }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn gkl001_reassignment_tracks_new_guard() {
+        let d = rules(
+            "fn f(&self) { let mut g = self.inner.lock(); drop(g); \
+             g = self.inner.lock(); let h = self.leaf.lock(); }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn gkl001_method_receiver_via_parens() {
+        let d = rules("fn f(&self) { let a = self.leaf.lock(); let b = self.inner(0).write(); }");
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn gkl001_unknown_receiver_is_ignored() {
+        let d = rules("fn f(&self) { let a = self.mystery.lock(); let b = self.outer.lock(); }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn gkl001_io_read_with_args_is_not_a_lock() {
+        let d = rules("fn f(&self) { let a = self.outer.lock(); inner.read(&mut buf); }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    // ---- GKL002 ----
+
+    #[test]
+    fn gkl002_fires_on_sync_under_guard() {
+        let d = rules("fn f(&self) { let g = self.inner.lock(); file.sync_data(); }");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "GKL002");
+    }
+
+    #[test]
+    fn gkl002_fires_on_join_in_header_temp() {
+        let d = rules(
+            "fn f(&self) { if let Some(t) = self.inner.lock().take() { let _ = t.join(); } }",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "GKL002");
+    }
+
+    #[test]
+    fn gkl002_clean_after_guard_dropped() {
+        let d = rules("fn f(&self) { let g = self.inner.lock(); drop(g); file.sync_data(); }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn gkl002_string_join_with_args_is_fine() {
+        let d = rules("fn f(&self) { let g = self.inner.lock(); let s = parts.join(sep); }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn gkl002_recv_timeout_is_fine() {
+        let d = rules("fn f(&self) { let g = self.inner.lock(); rx.recv_timeout(d); }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    // ---- GKL003 ----
+
+    #[test]
+    fn gkl003_fires_in_scoped_crates() {
+        let d = rules_at("crates/rpc/src/lib.rs", "fn f() { x.unwrap(); y.expect(\"m\"); }");
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().all(|d| d.rule == "GKL003"));
+    }
+
+    #[test]
+    fn gkl003_ignores_test_code() {
+        let d = rules_at(
+            "crates/client/src/lib.rs",
+            "#[cfg(test)] mod tests { fn f() { x.unwrap(); } }\n\
+             #[test]\nfn t() { y.unwrap(); }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn gkl003_out_of_scope_crates_are_fine() {
+        let d = rules_at("crates/kvstore/src/db.rs", "fn f() { x.unwrap(); }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn gkl003_unwrap_or_is_fine() {
+        let d = rules_at("crates/rpc/src/lib.rs", "fn f() { x.unwrap_or(0); }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    // ---- GKL004 ----
+
+    #[test]
+    fn gkl004_fires_in_sim() {
+        let d = rules_at(
+            "crates/sim/src/lib.rs",
+            "fn f() { let t = Instant::now(); let s = SystemTime::now(); }",
+        );
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().all(|d| d.rule == "GKL004"));
+    }
+
+    #[test]
+    fn gkl004_instant_elapsed_alone_is_fine() {
+        let d = rules_at("crates/sim/src/lib.rs", "fn f(t: Instant) { t.elapsed(); }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn gkl004_only_applies_to_sim() {
+        let d = rules_at("crates/kvstore/src/db.rs", "fn f() { let t = Instant::now(); }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    // ---- GKL005 ----
+
+    #[test]
+    fn gkl005_fires_without_safety_comment() {
+        let d = rules("fn f() { unsafe { danger() } }");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "GKL005");
+    }
+
+    #[test]
+    fn gkl005_clean_with_safety_comment() {
+        let d = rules("fn f() {\n    // SAFETY: checked above\n    unsafe { danger() }\n}");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn gkl005_comment_too_far_away_fires() {
+        let d = rules("// SAFETY: stale\n\n\n\n\n\n\nfn f() { unsafe { danger() } }");
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn gkl005_clean_with_safety_doc_section() {
+        let d = rules(
+            "/// # Safety\n/// `p` must be valid.\n#[no_mangle]\npub unsafe fn f(p: *const u8) {}",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    // ---- edges ----
+
+    #[test]
+    fn edges_are_reported_for_nested_acquisition() {
+        let r = check_file(
+            "crates/x/src/lib.rs",
+            "fn f(&self) { let a = self.outer.lock(); let b = self.inner.lock(); }",
+            &cfg(),
+        );
+        assert_eq!(r.edges, vec![("HIGH".to_string(), "MID".to_string())]);
+    }
+}

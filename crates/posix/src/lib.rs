@@ -26,13 +26,14 @@
 #![warn(missing_docs)]
 
 use gekkofs::{GekkoClient, GkfsError, OpenFlags, Whence};
-use parking_lot::RwLock;
+use gkfs_common::lock::{rank, OrderedRwLock};
 use std::cell::Cell;
 use std::ffi::CStr;
 use std::os::raw::{c_char, c_int};
 use std::sync::Arc;
 
-static CLIENT: RwLock<Option<Arc<GekkoClient>>> = RwLock::new(None);
+static CLIENT: OrderedRwLock<Option<Arc<GekkoClient>>> =
+    OrderedRwLock::new(rank::POSIX_CLIENT, None);
 
 thread_local! {
     static ERRNO: Cell<i32> = const { Cell::new(0) };
@@ -84,7 +85,9 @@ unsafe fn cstr<'a>(path: *const c_char) -> Result<&'a str, GkfsError> {
     if path.is_null() {
         return Err(GkfsError::InvalidArgument("NULL path".into()));
     }
-    CStr::from_ptr(path)
+    // SAFETY: `path` is non-null (checked above) and the caller
+    // guarantees it is NUL-terminated and valid for reads.
+    unsafe { CStr::from_ptr(path) }
         .to_str()
         .map_err(|_| GkfsError::InvalidArgument("non-UTF8 path".into()))
 }
@@ -116,7 +119,8 @@ fn ret_ssize(r: Result<isize, GkfsError>) -> isize {
 #[no_mangle]
 pub unsafe extern "C" fn gkfs_open(path: *const c_char, flags: c_int, _mode: u32) -> c_int {
     ret_int(with_client(|c| {
-        let path = cstr(path)?;
+        // SAFETY: forwarding this function's own caller contract.
+        let path = unsafe { cstr(path)? };
         c.open(path, OpenFlags::from_posix(flags))
     }))
 }
@@ -137,7 +141,9 @@ pub unsafe extern "C" fn gkfs_write(fd: c_int, buf: *const u8, count: usize) -> 
         if buf.is_null() && count > 0 {
             return Err(GkfsError::InvalidArgument("NULL buffer".into()));
         }
-        let data = std::slice::from_raw_parts(buf, count);
+        // SAFETY: `buf` is non-null (checked above) and the caller
+        // guarantees `count` readable bytes behind it.
+        let data = unsafe { std::slice::from_raw_parts(buf, count) };
         c.write(fd, data).map(|n| n as isize)
     }))
 }
@@ -153,7 +159,9 @@ pub unsafe extern "C" fn gkfs_read(fd: c_int, buf: *mut u8, count: usize) -> isi
             return Err(GkfsError::InvalidArgument("NULL buffer".into()));
         }
         let data = c.read(fd, count)?;
-        std::slice::from_raw_parts_mut(buf, data.len()).copy_from_slice(&data);
+        // SAFETY: `buf` is non-null (checked above), the caller
+        // guarantees `count` writable bytes, and `data.len() <= count`.
+        unsafe { std::slice::from_raw_parts_mut(buf, data.len()) }.copy_from_slice(&data);
         Ok(data.len() as isize)
     }))
 }
@@ -168,7 +176,9 @@ pub unsafe extern "C" fn gkfs_pwrite(fd: c_int, buf: *const u8, count: usize, of
         if buf.is_null() && count > 0 {
             return Err(GkfsError::InvalidArgument("NULL buffer".into()));
         }
-        let data = std::slice::from_raw_parts(buf, count);
+        // SAFETY: `buf` is non-null (checked above) and the caller
+        // guarantees `count` readable bytes behind it.
+        let data = unsafe { std::slice::from_raw_parts(buf, count) };
         c.pwrite(fd, offset, data).map(|n| n as isize)
     }))
 }
@@ -184,7 +194,9 @@ pub unsafe extern "C" fn gkfs_pread(fd: c_int, buf: *mut u8, count: usize, offse
             return Err(GkfsError::InvalidArgument("NULL buffer".into()));
         }
         let data = c.pread(fd, offset, count)?;
-        std::slice::from_raw_parts_mut(buf, data.len()).copy_from_slice(&data);
+        // SAFETY: `buf` is non-null (checked above), the caller
+        // guarantees `count` writable bytes, and `data.len() <= count`.
+        unsafe { std::slice::from_raw_parts_mut(buf, data.len()) }.copy_from_slice(&data);
         Ok(data.len() as isize)
     }))
 }
@@ -234,18 +246,21 @@ pub struct GkfsStat {
 #[no_mangle]
 pub unsafe extern "C" fn gkfs_stat(path: *const c_char, out: *mut GkfsStat) -> c_int {
     ret_int(with_client(|c| {
-        let path = cstr(path)?;
+        // SAFETY: forwarding this function's own caller contract.
+        let path = unsafe { cstr(path)? };
         if out.is_null() {
             return Err(GkfsError::InvalidArgument("NULL stat buffer".into()));
         }
         let m = c.stat(path)?;
-        *out = GkfsStat {
+        // SAFETY: `out` is non-null (checked above) and the caller
+        // guarantees it is valid for writes.
+        unsafe { *out = GkfsStat {
             size: m.size,
             mode: m.mode,
             is_dir: m.is_dir() as u32,
             ctime_ns: m.ctime_ns,
             mtime_ns: m.mtime_ns,
-        };
+        } };
         Ok(0)
     }))
 }
@@ -256,7 +271,11 @@ pub unsafe extern "C" fn gkfs_stat(path: *const c_char, out: *mut GkfsStat) -> c
 /// `path` must be a valid NUL-terminated C string.
 #[no_mangle]
 pub unsafe extern "C" fn gkfs_unlink(path: *const c_char) -> c_int {
-    ret_int(with_client(|c| c.unlink(cstr(path)?).map(|_| 0)))
+    ret_int(with_client(|c| {
+        // SAFETY: forwarding this function's own caller contract.
+        let path = unsafe { cstr(path)? };
+        c.unlink(path).map(|_| 0)
+    }))
 }
 
 /// `mkdir(2)`-alike.
@@ -265,7 +284,11 @@ pub unsafe extern "C" fn gkfs_unlink(path: *const c_char) -> c_int {
 /// `path` must be a valid NUL-terminated C string.
 #[no_mangle]
 pub unsafe extern "C" fn gkfs_mkdir(path: *const c_char, mode: u32) -> c_int {
-    ret_int(with_client(|c| c.mkdir(cstr(path)?, mode).map(|_| 0)))
+    ret_int(with_client(|c| {
+        // SAFETY: forwarding this function's own caller contract.
+        let path = unsafe { cstr(path)? };
+        c.mkdir(path, mode).map(|_| 0)
+    }))
 }
 
 /// `rmdir(2)`-alike.
@@ -274,7 +297,11 @@ pub unsafe extern "C" fn gkfs_mkdir(path: *const c_char, mode: u32) -> c_int {
 /// `path` must be a valid NUL-terminated C string.
 #[no_mangle]
 pub unsafe extern "C" fn gkfs_rmdir(path: *const c_char) -> c_int {
-    ret_int(with_client(|c| c.rmdir(cstr(path)?).map(|_| 0)))
+    ret_int(with_client(|c| {
+        // SAFETY: forwarding this function's own caller contract.
+        let path = unsafe { cstr(path)? };
+        c.rmdir(path).map(|_| 0)
+    }))
 }
 
 /// `truncate(2)`-alike.
@@ -283,7 +310,11 @@ pub unsafe extern "C" fn gkfs_rmdir(path: *const c_char) -> c_int {
 /// `path` must be a valid NUL-terminated C string.
 #[no_mangle]
 pub unsafe extern "C" fn gkfs_truncate(path: *const c_char, size: u64) -> c_int {
-    ret_int(with_client(|c| c.truncate(cstr(path)?, size).map(|_| 0)))
+    ret_int(with_client(|c| {
+        // SAFETY: forwarding this function's own caller contract.
+        let path = unsafe { cstr(path)? };
+        c.truncate(path, size).map(|_| 0)
+    }))
 }
 
 /// `rename(2)`-alike — always `EOPNOTSUPP` (paper §III-A: "GekkoFS
@@ -294,7 +325,9 @@ pub unsafe extern "C" fn gkfs_truncate(path: *const c_char, size: u64) -> c_int 
 #[no_mangle]
 pub unsafe extern "C" fn gkfs_rename(from: *const c_char, to: *const c_char) -> c_int {
     ret_int(with_client(|c| {
-        c.rename(cstr(from)?, cstr(to)?).map(|_| 0)
+        // SAFETY: forwarding this function's own caller contract.
+        let (from, to) = unsafe { (cstr(from)?, cstr(to)?) };
+        c.rename(from, to).map(|_| 0)
     }))
 }
 
@@ -311,7 +344,11 @@ pub extern "C" fn gkfs_fsync(fd: c_int) -> c_int {
 /// `path` must be a valid NUL-terminated C string.
 #[no_mangle]
 pub unsafe extern "C" fn gkfs_access(path: *const c_char, _mode: c_int) -> c_int {
-    ret_int(with_client(|c| c.stat(cstr(path)?).map(|_| 0)))
+    ret_int(with_client(|c| {
+        // SAFETY: forwarding this function's own caller contract.
+        let path = unsafe { cstr(path)? };
+        c.stat(path).map(|_| 0)
+    }))
 }
 
 /// `fstat(2)`-alike: stat through an open descriptor.
@@ -326,13 +363,15 @@ pub unsafe extern "C" fn gkfs_fstat(fd: c_int, out: *mut GkfsStat) -> c_int {
         }
         let path = c.files().get(fd)?.path.clone();
         let m = c.stat(&path)?;
-        *out = GkfsStat {
+        // SAFETY: `out` is non-null (checked above) and the caller
+        // guarantees it is valid for writes.
+        unsafe { *out = GkfsStat {
             size: m.size,
             mode: m.mode,
             is_dir: m.is_dir() as u32,
             ctime_ns: m.ctime_ns,
             mtime_ns: m.mtime_ns,
-        };
+        } };
         Ok(0)
     }))
 }
@@ -389,8 +428,8 @@ struct DirStream {
     cursor: usize,
 }
 
-static DIR_STREAMS: RwLock<Option<std::collections::HashMap<c_int, DirStream>>> =
-    RwLock::new(None);
+static DIR_STREAMS: OrderedRwLock<Option<std::collections::HashMap<c_int, DirStream>>> =
+    OrderedRwLock::new(rank::POSIX_DIR_STREAMS, None);
 static NEXT_DIR_FD: std::sync::atomic::AtomicI32 = std::sync::atomic::AtomicI32::new(200_000);
 
 /// `opendir(3)`-alike: snapshot the listing, return a directory
@@ -401,7 +440,9 @@ static NEXT_DIR_FD: std::sync::atomic::AtomicI32 = std::sync::atomic::AtomicI32:
 #[no_mangle]
 pub unsafe extern "C" fn gkfs_opendir(path: *const c_char) -> c_int {
     ret_int(with_client(|c| {
-        let entries = c.readdir(cstr(path)?)?;
+        // SAFETY: forwarding this function's own caller contract.
+        let path = unsafe { cstr(path)? };
+        let entries = c.readdir(path)?;
         let fd = NEXT_DIR_FD.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let mut guard = DIR_STREAMS.write();
         guard
@@ -440,7 +481,9 @@ pub unsafe extern "C" fn gkfs_readdir(dirfd: c_int, out: *mut GkfsDirent) -> c_i
     let bytes = e.name.as_bytes();
     let n = bytes.len().min(255);
     d.name[..n].copy_from_slice(&bytes[..n]);
-    *out = d;
+    // SAFETY: `out` is non-null (checked above) and the caller
+    // guarantees it is valid for writes.
+    unsafe { *out = d };
     1
 }
 
@@ -481,9 +524,10 @@ mod tests {
 
     // The installed client is process-global, so tests must not
     // interleave: each takes this lock for its whole body.
-    static TEST_LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+    static TEST_LOCK: gkfs_common::lock::OrderedMutex<()> =
+        gkfs_common::lock::OrderedMutex::new(rank::POSIX_TEST, ());
 
-    fn setup() -> (Cluster, parking_lot::MutexGuard<'static, ()>) {
+    fn setup() -> (Cluster, gkfs_common::lock::OrderedMutexGuard<'static, ()>) {
         let guard = TEST_LOCK.lock();
         let cluster = Cluster::deploy(ClusterConfig::new(2)).unwrap();
         install_client(Arc::new(cluster.mount().unwrap()));

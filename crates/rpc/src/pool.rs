@@ -59,8 +59,11 @@ impl HandlerPool {
             queued: AtomicU64::new(0),
             executed: AtomicU64::new(0),
         });
+        // Thread exhaustion is not fatal: whatever subset spawns
+        // serves the queue, and with zero workers `submit` degrades to
+        // caller-runs.
         let workers = (0..threads)
-            .map(|i| {
+            .filter_map(|i| {
                 let rx = rx.clone();
                 let shared = shared.clone();
                 std::thread::Builder::new()
@@ -71,7 +74,7 @@ impl HandlerPool {
                             shared.executed.fetch_add(1, Ordering::Relaxed);
                         }
                     })
-                    .expect("spawn handler thread")
+                    .ok()
             })
             .collect();
         HandlerPool {
@@ -82,15 +85,22 @@ impl HandlerPool {
     }
 
     /// Enqueue a job. On a bounded pool this blocks while the queue is
-    /// full (back-pressure). Panics if the pool is already shut down
-    /// (a lifecycle bug, not a runtime condition).
+    /// full (back-pressure). If the pool has no live workers — shut
+    /// down, or thread spawn failed at build time — the job runs on
+    /// the calling thread instead: degraded throughput, never a lost
+    /// job or a panic on the daemon's request path.
     pub fn submit<F: FnOnce() + Send + 'static>(&self, job: F) {
         self.shared.queued.fetch_add(1, Ordering::Relaxed);
-        self.tx
-            .as_ref()
-            .expect("pool is shut down")
-            .send(Box::new(job))
-            .expect("pool workers gone");
+        let job: Job = Box::new(job);
+        let job = match &self.tx {
+            Some(tx) if !self.workers.is_empty() => match tx.send(job) {
+                Ok(()) => return,
+                Err(e) => e.into_inner(),
+            },
+            _ => job,
+        };
+        job();
+        self.shared.executed.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Number of worker threads.

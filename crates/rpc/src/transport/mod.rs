@@ -131,7 +131,13 @@ impl ReplyHandle {
         match &mut self.source {
             ReplySource::Ready(result) => {
                 self.abandon = None;
-                result.take().expect("ReplyHandle waited twice")
+                match result.take() {
+                    Some(r) => r,
+                    // Unreachable in practice (`wait` consumes the
+                    // handle), but a closed-out handle should read as
+                    // an RPC failure, not a daemon panic.
+                    None => Err(GkfsError::Rpc("reply already consumed".into())),
+                }
             }
             ReplySource::Waiting(rx) => match rx.recv_timeout(timeout) {
                 Ok(resp) => {

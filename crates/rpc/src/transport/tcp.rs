@@ -16,8 +16,8 @@ use crate::stats::RpcStats;
 use crate::transport::{Endpoint, EndpointOptions, ReplyHandle};
 use crate::Status;
 use crossbeam::channel::{bounded, Sender};
+use gkfs_common::lock::{rank, OrderedMutex};
 use gkfs_common::{GkfsError, Result};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -61,11 +61,11 @@ pub struct TcpServer {
     addr: SocketAddr,
     shutting_down: Arc<AtomicBool>,
     stats: Arc<RpcStats>,
-    accept_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+    accept_thread: OrderedMutex<Option<std::thread::JoinHandle<()>>>,
     /// Live connection sockets, closed forcibly on shutdown so that
     /// clients of a stopped daemon see errors instead of a silently
     /// still-working ghost server.
-    conns: Arc<Mutex<Vec<TcpStream>>>,
+    conns: Arc<OrderedMutex<Vec<TcpStream>>>,
 }
 
 impl TcpServer {
@@ -92,7 +92,8 @@ impl TcpServer {
             threads,
             threads * SERVER_QUEUE_PER_WORKER,
         ));
-        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let conns: Arc<OrderedMutex<Vec<TcpStream>>> =
+            Arc::new(OrderedMutex::new(rank::RPC_CONNS, Vec::new()));
 
         let accept = {
             let shutting_down = shutting_down.clone();
@@ -117,22 +118,27 @@ impl TcpServer {
                         let pool = pool.clone();
                         let stats = stats.clone();
                         let shutting_down = shutting_down.clone();
-                        std::thread::Builder::new()
+                        let spawned = std::thread::Builder::new()
                             .name("gkfs-tcp-conn".into())
                             .spawn(move || {
                                 serve_connection(stream, registry, pool, stats, shutting_down)
-                            })
-                            .expect("spawn connection thread");
+                            });
+                        // Thread exhaustion: dropping the stream hangs
+                        // up on the peer (it can retry) instead of
+                        // killing the accept loop for everyone.
+                        if spawned.is_err() {
+                            continue;
+                        }
                     }
                 })
-                .expect("spawn accept thread")
+                .map_err(|e| GkfsError::Rpc(format!("spawn accept thread: {e}")))?
         };
 
         Ok(Arc::new(TcpServer {
             addr: local,
             shutting_down,
             stats,
-            accept_thread: Mutex::new(Some(accept)),
+            accept_thread: OrderedMutex::new(rank::RPC_ACCEPT, Some(accept)),
             conns,
         }))
     }
@@ -153,9 +159,13 @@ impl TcpServer {
         if self.shutting_down.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Unblock the accept loop with a dummy connection.
+        // Unblock the accept loop with a dummy connection. The handle
+        // comes out of the lock before the join: an `if let` on
+        // `.lock().take()` would hold the guard for the accept loop's
+        // whole wind-down (GKL002).
         let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.lock().take() {
+        let accept = self.accept_thread.lock().take();
+        if let Some(t) = accept {
             let _ = t.join();
         }
         // Sever every established connection: a stopped daemon must
@@ -179,10 +189,13 @@ fn serve_connection(
     stats: Arc<RpcStats>,
     shutting_down: Arc<AtomicBool>,
 ) {
-    let writer = Arc::new(Mutex::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    }));
+    let writer = Arc::new(OrderedMutex::new(
+        rank::RPC_WRITER,
+        match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        },
+    ));
     let mut reader = stream;
     loop {
         let frame = match read_frame(&mut reader) {
@@ -218,8 +231,8 @@ fn serve_connection(
 /// Client handle to one TCP daemon. One socket, multiplexed: any
 /// number of submitted requests share it, correlated by id.
 pub struct TcpEndpoint {
-    writer: Mutex<TcpStream>,
-    pending: Arc<Mutex<HashMap<u64, Sender<Response>>>>,
+    writer: OrderedMutex<TcpStream>,
+    pending: Arc<OrderedMutex<HashMap<u64, Sender<Response>>>>,
     next_id: AtomicU64,
     timeout: Duration,
     closed: Arc<AtomicBool>,
@@ -239,8 +252,8 @@ impl TcpEndpoint {
         let reader = stream
             .try_clone()
             .map_err(|e| GkfsError::Rpc(e.to_string()))?;
-        let pending: Arc<Mutex<HashMap<u64, Sender<Response>>>> =
-            Arc::new(Mutex::new(HashMap::new()));
+        let pending: Arc<OrderedMutex<HashMap<u64, Sender<Response>>>> =
+            Arc::new(OrderedMutex::new(rank::RPC_PENDING, HashMap::new()));
         let closed = Arc::new(AtomicBool::new(false));
 
         {
@@ -272,11 +285,11 @@ impl TcpEndpoint {
                     closed.store(true, Ordering::SeqCst);
                     pending.lock().clear();
                 })
-                .expect("spawn reader thread");
+                .map_err(|e| GkfsError::Rpc(format!("spawn reader thread: {e}")))?;
         }
 
         Ok(Arc::new(TcpEndpoint {
-            writer: Mutex::new(stream),
+            writer: OrderedMutex::new(rank::RPC_WRITER, stream),
             pending,
             next_id: AtomicU64::new(1),
             timeout: opts.timeout,

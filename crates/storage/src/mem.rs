@@ -10,7 +10,7 @@ use crate::stats::StorageStats;
 use crate::ChunkStorage;
 use gkfs_common::hash::fnv1a64;
 use gkfs_common::Result;
-use parking_lot::RwLock;
+use gkfs_common::lock::{rank, OrderedRwLock};
 use std::collections::HashMap;
 
 const SHARDS: usize = 16;
@@ -19,7 +19,7 @@ type ChunkMap = HashMap<String, HashMap<u64, Vec<u8>>>;
 
 /// Heap-backed chunk store.
 pub struct MemChunkStorage {
-    shards: Vec<RwLock<ChunkMap>>,
+    shards: Vec<OrderedRwLock<ChunkMap>>,
     stats: StorageStats,
 }
 
@@ -33,12 +33,14 @@ impl MemChunkStorage {
     /// New.
     pub fn new() -> MemChunkStorage {
         MemChunkStorage {
-            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..SHARDS)
+                .map(|_| OrderedRwLock::new(rank::STORAGE_SHARD, HashMap::new()))
+                .collect(),
             stats: StorageStats::default(),
         }
     }
 
-    fn shard(&self, path: &str) -> &RwLock<ChunkMap> {
+    fn shard(&self, path: &str) -> &OrderedRwLock<ChunkMap> {
         &self.shards[(fnv1a64(path.as_bytes()) % SHARDS as u64) as usize]
     }
 
@@ -46,8 +48,8 @@ impl MemChunkStorage {
     pub fn total_bytes(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| {
-                s.read()
+            .map(|shard| {
+                shard.read()
                     .values()
                     .flat_map(|chunks| chunks.values().map(|c| c.len()))
                     .sum::<usize>()
@@ -153,7 +155,7 @@ mod tests {
         for i in 0..200 {
             s.write_chunk(&format!("/f{i}"), 0, 0, b"x").unwrap();
         }
-        let populated = s.shards.iter().filter(|sh| !sh.read().is_empty()).count();
+        let populated = s.shards.iter().filter(|shard| !shard.read().is_empty()).count();
         assert!(populated > SHARDS / 2, "paths should spread over shards");
     }
 }

@@ -3,6 +3,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> gkfs-lint (concurrency & safety analyzer, all rules deny)"
+# Run the analyzer before anything else: lock-hierarchy or safety
+# violations should fail fast, without waiting for a full build.
+cargo run -p gkfs-lint -- --deny-all
+
 echo "==> cargo build --release"
 cargo build --release
 
