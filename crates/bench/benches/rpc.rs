@@ -1,9 +1,12 @@
 //! RPC-layer microbenchmarks: per-call overhead on both transports,
-//! the handler-pool-width ablation (Margo tuning, DESIGN.md), and the
-//! pipelined submit/wait fan-out against the blocking baseline.
+//! the handler-pool-width ablation (Margo tuning, DESIGN.md), the
+//! pipelined submit/wait fan-out against the blocking baseline, and
+//! the retry-layer fast-path tax (EXPERIMENTS.md: ≤2 %).
 
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, Criterion};
+use gkfs_client::DaemonRing;
+use gkfs_common::config::RetryConfig;
 use gkfs_rpc::{
     HandlerRegistry, Opcode, ReplyHandle, Request, Response, RpcServer, TcpEndpoint, TcpServer,
 };
@@ -176,9 +179,31 @@ fn bench_tcp_outstanding(c: &mut Criterion) {
     server.shutdown();
 }
 
+/// The robustness-layer tax on the fault-free fast path: the same
+/// `DaemonRing::ping` with retries disabled (single attempt, no
+/// breaker, no deadline) vs the default policy (4 attempts armed,
+/// breaker consulted, deadline clamped). No fault ever fires, so the
+/// difference is pure bookkeeping — EXPERIMENTS.md records it at ≤2 %.
+fn bench_retry_fastpath(c: &mut Criterion) {
+    let make_ring = |retry: RetryConfig| {
+        let server = RpcServer::new(echo_registry(), 4);
+        DaemonRing::with_retry(vec![server.endpoint() as Arc<dyn Endpoint>], retry)
+    };
+    let disabled = make_ring(RetryConfig::disabled());
+    let armed = make_ring(RetryConfig::default());
+    let mut group = c.benchmark_group("rpc/retry_fastpath");
+    group.bench_function("ping_retry_disabled", |b| {
+        b.iter(|| black_box(disabled.ping(0).unwrap()))
+    });
+    group.bench_function("ping_retry_default", |b| {
+        b.iter(|| black_box(armed.ping(0).unwrap()))
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_inproc, bench_tcp, bench_pool_width, bench_fanout, bench_tcp_outstanding
+    targets = bench_inproc, bench_tcp, bench_pool_width, bench_fanout, bench_tcp_outstanding, bench_retry_fastpath
 }
 criterion_main!(benches);

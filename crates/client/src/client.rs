@@ -115,7 +115,7 @@ impl GekkoClient {
             )));
         }
         let client = GekkoClient {
-            ring: DaemonRing::new(endpoints),
+            ring: DaemonRing::with_retry(endpoints, config.retry.clone()),
             dist: config.make_distributor_for(local_node),
             layout: ChunkLayout::new(config.chunk_size),
             files: FileMap::new(),
@@ -247,13 +247,15 @@ impl GekkoClient {
             targets.sort_unstable();
             targets.dedup();
             // Submit the remove to every holder, then wait — the
-            // whole fan-out overlaps on the wire.
+            // whole fan-out overlaps on the wire and shares one
+            // operation deadline.
+            let deadline = self.ring.op_deadline();
             let inflight = targets
                 .into_iter()
                 .map(|n| self.ring.remove_chunks_nb(n, &path))
                 .collect::<Vec<_>>();
             for fut in inflight {
-                fut?.wait()?;
+                fut?.wait_deadline(deadline)?;
             }
         }
         Ok(())
@@ -549,9 +551,10 @@ impl GekkoClient {
             }
             return Ok(());
         }
-        // Pipelined fan-out: submit every daemon's batch, then wait for
-        // all the replies. A failed submit still waits nothing — the
-        // in-flight handles reap themselves on drop.
+        // Pipelined fan-out: submit every daemon's batch, then wait
+        // for all the replies under one shared deadline — the striped
+        // write gets a single time budget, not N stacked timeouts.
+        let deadline = self.ring.op_deadline();
         let inflight = per_node
             .into_iter()
             .map(|(node, (ops, bulk))| {
@@ -559,7 +562,7 @@ impl GekkoClient {
             })
             .collect::<Vec<_>>();
         for fut in inflight {
-            fut?.wait()?;
+            fut?.wait_deadline(deadline)?;
         }
         Ok(())
     }
@@ -602,6 +605,7 @@ impl GekkoClient {
         // on any reply, so every daemon streams its chunks back
         // concurrently.
         let mut out = vec![0u8; effective as usize];
+        let deadline = self.ring.op_deadline();
         let inflight: Vec<_> = per_node
             .into_iter()
             .map(|(node, batch)| {
@@ -610,7 +614,7 @@ impl GekkoClient {
             })
             .collect();
         for (batch, fut) in inflight {
-            let (lens, bulk) = fut?.wait()?;
+            let (lens, bulk) = fut?.wait_deadline(deadline)?;
             let mut cursor = 0usize;
             for ((buf_off, op), got) in batch.iter().zip(lens.iter()) {
                 let got = *got as usize;
@@ -643,6 +647,7 @@ impl GekkoClient {
     /// Flush all buffered size updates (unmount). One update per dirty
     /// file, all submitted before any reply is awaited.
     pub fn flush_all(&self) -> Result<()> {
+        let deadline = self.ring.op_deadline();
         let inflight: Vec<_> = self
             .size_cache
             .drain_all()
@@ -654,7 +659,7 @@ impl GekkoClient {
             })
             .collect();
         for fut in inflight {
-            fut?.wait()?;
+            fut?.wait_deadline(deadline)?;
         }
         Ok(())
     }
@@ -665,6 +670,14 @@ impl GekkoClient {
             .broadcast(|n| self.ring.daemon_stats_nb(n))
             .into_iter()
             .collect()
+    }
+
+    /// Client-side fault-handling health per daemon: breaker state,
+    /// retry/failure counters, transport reconnects. Unlike
+    /// [`GekkoClient::cluster_stats`] this needs no RPC — it reports
+    /// what *this* client has observed of each daemon.
+    pub fn node_health(&self) -> Vec<crate::rpc::NodeHealthSnapshot> {
+        self.ring.health_snapshot()
     }
 
     /// Consistency check across the whole namespace (the `fsck` admin
@@ -739,13 +752,14 @@ impl GekkoClient {
     /// Purge the orphan chunks a previous [`GekkoClient::fsck`] found.
     /// Returns how many (node, path) holdings were removed.
     pub fn fsck_purge(&self, report: &FsckReport) -> Result<usize> {
+        let deadline = self.ring.op_deadline();
         let inflight: Vec<_> = report
             .orphan_chunks
             .iter()
             .map(|(node, path)| self.ring.remove_chunks_nb(*node, path))
             .collect();
         for fut in inflight {
-            fut?.wait()?;
+            fut?.wait_deadline(deadline)?;
         }
         Ok(report.orphan_chunks.len())
     }

@@ -33,4 +33,4 @@ pub mod stat_cache;
 
 pub use client::{ClientStats, FsckReport, GekkoClient};
 pub use filemap::{FileMap, OpenFile};
-pub use rpc::{DaemonRing, ReplyFuture};
+pub use rpc::{DaemonRing, NodeHealth, NodeHealthSnapshot, ReplyFuture};

@@ -1,9 +1,30 @@
-//! Typed RPC wrappers: one function per daemon operation.
+//! Typed RPC wrappers: one function per daemon operation, with the
+//! client half of the fault-handling layer.
 //!
 //! [`DaemonRing`] owns the per-daemon endpoints (the client's "address
 //! book"). All placement decisions happen above, in
-//! [`crate::client::GekkoClient`]; this layer only encodes, sends,
-//! decodes.
+//! [`crate::client::GekkoClient`]; this layer encodes, sends, decodes
+//! — and, since the retry layer, also owns **when a failed RPC is
+//! tried again**:
+//!
+//! * Every wrapper runs under a [`RetryPolicy`] (bounded attempts,
+//!   deterministic seeded backoff) and a per-operation [`Deadline`]
+//!   from the cluster's [`RetryConfig`]. Aggregate operations pass one
+//!   shared deadline to every constituent wait via
+//!   [`ReplyFuture::wait_deadline`], so a striped write cannot stack N
+//!   per-call timeouts.
+//! * Each node has a [`NodeHealth`]: a [`CircuitBreaker`] plus retry
+//!   and failure counters. After `breaker_threshold` consecutive
+//!   transport failures the node fails fast with
+//!   [`GkfsError::Unavailable`] instead of burning deadlines.
+//! * Only **transport** errors ([`GkfsError::is_retryable`]) are
+//!   retried. Application errors (`NotFound`, `Exists`, …) prove the
+//!   daemon answered, so they record *success* with the breaker.
+//! * Non-idempotent ops retry with **tolerance**: a retried `create`
+//!   that hits `Exists`, or a retried remove that hits `NotFound`,
+//!   treats the error as its own first attempt having been applied
+//!   (the reply was lost, not the request). See DESIGN.md "Fault
+//!   model" for the `O_EXCL` caveat this implies.
 //!
 //! Every operation comes in two flavors built from one generic
 //! helper: the blocking wrapper (`stat`, `write_chunks`, …) and a
@@ -14,46 +35,272 @@
 
 use bytes::Bytes;
 use gkfs_common::distributor::NodeId;
+use gkfs_common::retry::{BreakerState, CircuitBreaker, Deadline, RetryPolicy};
 use gkfs_common::types::Dirent;
-use gkfs_common::{FileKind, GkfsError, Metadata, Result};
+use gkfs_common::{FileKind, GkfsError, Metadata, Result, RetryConfig};
 use gkfs_rpc::proto::*;
 use gkfs_rpc::{Endpoint, Opcode, ReplyHandle, Request, Response};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// A typed in-flight RPC: the nonblocking half of a [`DaemonRing`]
-/// wrapper. [`ReplyFuture::wait`] blocks for the response (bounded by
-/// the endpoint's configured timeout), surfaces remote errors, and
-/// decodes the typed result.
-pub struct ReplyFuture<T> {
-    handle: ReplyHandle,
-    timeout: Duration,
-    decode: Box<dyn FnOnce(Response) -> Result<T> + Send>,
+/// Per-daemon health: the circuit breaker plus counters surfaced by
+/// `cluster_stats` / `gkfs-cli df`.
+#[derive(Debug)]
+pub struct NodeHealth {
+    breaker: CircuitBreaker,
+    retries: AtomicU64,
+    failures: AtomicU64,
 }
 
-impl<T> ReplyFuture<T> {
-    /// Block until the reply arrives and decode it.
-    pub fn wait(self) -> Result<T> {
-        let resp = self.handle.wait(self.timeout)?.into_result()?;
-        (self.decode)(resp)
+impl NodeHealth {
+    fn new(cfg: &RetryConfig) -> NodeHealth {
+        NodeHealth {
+            breaker: CircuitBreaker::new(
+                cfg.breaker_threshold,
+                Duration::from_millis(cfg.breaker_cooldown_ms),
+            ),
+            retries: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+        }
+    }
+
+    /// Current breaker state (racy by nature; for reporting).
+    pub fn breaker_state(&self) -> BreakerState {
+        self.breaker.state()
+    }
+
+    /// Consecutive transport failures since the last success.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.breaker.consecutive_failures()
+    }
+
+    /// RPC attempts beyond the first, across all operations.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Transport-level failures observed (app errors excluded).
+    pub fn failures(&self) -> u64 {
+        self.failures.load(Ordering::Relaxed)
+    }
+
+    fn record_success(&self) {
+        self.breaker.record_success();
+    }
+
+    fn record_failure(&self) {
+        self.failures.fetch_add(1, Ordering::Relaxed);
+        self.breaker.record_failure();
+    }
+
+    fn note_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
     }
 }
 
-/// The set of daemon endpoints, indexed by [`NodeId`].
+/// Point-in-time client-side health of one daemon, as shown by
+/// `gkfs-cli df` next to the daemon's own counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeHealthSnapshot {
+    /// Node id.
+    pub node: NodeId,
+    /// Circuit-breaker state at snapshot time.
+    pub breaker: BreakerState,
+    /// Consecutive transport failures since the last success.
+    pub consecutive_failures: u32,
+    /// RPC attempts beyond the first, across all operations.
+    pub retries: u64,
+    /// Transport-level failures observed (app errors excluded).
+    pub failures: u64,
+    /// Times the transport re-established its connection.
+    pub reconnects: u64,
+}
+
+/// A typed in-flight RPC: the nonblocking half of a [`DaemonRing`]
+/// wrapper. [`ReplyFuture::wait`] blocks for the response (bounded by
+/// the endpoint timeout, the retry policy, and the operation
+/// deadline), retries transport failures, surfaces remote errors, and
+/// decodes the typed result.
+///
+/// A submit failure on the first attempt does **not** fail `_nb`
+/// construction: it is carried inside the future and retried at
+/// `wait`, so fan-out call sites keep their submit-all-then-wait-all
+/// shape even while a daemon flaps.
+pub struct ReplyFuture<T> {
+    /// Outcome of attempt 0's submission.
+    state: Result<ReplyHandle>,
+    timeout: Duration,
+    policy: RetryPolicy,
+    deadline: Deadline,
+    /// Jitter salt: unique per future, so concurrent retries against
+    /// the same daemon de-synchronize.
+    salt: u64,
+    health: Arc<NodeHealth>,
+    /// Re-submission closure for attempts ≥ 1 (checks the breaker,
+    /// clones the cheap refcounted body/bulk).
+    submit: Box<dyn Fn() -> Result<ReplyHandle> + Send>,
+    /// Idempotency tolerance: maps an application error on a *retried*
+    /// attempt to a success value when it proves the first attempt was
+    /// applied (lost-reply semantics).
+    tolerate: Option<Box<dyn Fn(&GkfsError) -> Option<T> + Send>>,
+    decode: Box<dyn Fn(Response) -> Result<T> + Send>,
+}
+
+impl<T> ReplyFuture<T> {
+    /// Block until the reply arrives (retrying transport failures
+    /// under this future's own per-operation deadline) and decode it.
+    pub fn wait(self) -> Result<T> {
+        let deadline = self.deadline;
+        self.wait_deadline(deadline)
+    }
+
+    /// Like [`ReplyFuture::wait`], but clamp every per-attempt wait
+    /// and every backoff sleep to `deadline` — used by aggregate
+    /// operations (striped writes, broadcasts) that share one budget
+    /// across the whole fan-out.
+    pub fn wait_deadline(self, deadline: Deadline) -> Result<T> {
+        let ReplyFuture {
+            state,
+            timeout,
+            policy,
+            salt,
+            health,
+            submit,
+            tolerate,
+            decode,
+            ..
+        } = self;
+        let attempts = policy.max_attempts.max(1);
+        let mut attempt: u32 = 0;
+        let mut pending = state;
+        loop {
+            let outcome: Result<T> = pending.and_then(|handle| {
+                let resp = handle.wait(deadline.clamp(timeout))?.into_result()?;
+                decode(resp)
+            });
+            match outcome {
+                Ok(v) => {
+                    health.record_success();
+                    return Ok(v);
+                }
+                Err(e) if e.is_retryable() => {
+                    health.record_failure();
+                    attempt += 1;
+                    if attempt >= attempts || deadline.expired() {
+                        return Err(e);
+                    }
+                    let pause = deadline.clamp(policy.backoff(salt, attempt - 1));
+                    if !pause.is_zero() {
+                        std::thread::sleep(pause);
+                    }
+                    if deadline.expired() {
+                        return Err(e);
+                    }
+                    health.note_retry();
+                    pending = submit();
+                }
+                Err(e) => {
+                    // An app error on a retried attempt may prove the
+                    // lost first attempt was applied: tolerate it.
+                    if attempt > 0 {
+                        if let Some(tol) = &tolerate {
+                            if let Some(v) = tol(&e) {
+                                health.record_success();
+                                return Ok(v);
+                            }
+                        }
+                    }
+                    // A daemon that answered is healthy — app errors
+                    // close the breaker. A breaker denial
+                    // (Unavailable) never touches the counters: no
+                    // request was sent.
+                    if !matches!(e, GkfsError::Unavailable(_)) {
+                        health.record_success();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    }
+}
+
+/// The set of daemon endpoints, indexed by [`NodeId`], plus the
+/// client-side fault-handling state (retry policy, per-node health).
 pub struct DaemonRing {
     endpoints: Vec<Arc<dyn Endpoint>>,
+    retry: RetryConfig,
+    policy: RetryPolicy,
+    health: Vec<Arc<NodeHealth>>,
+    /// Monotonic jitter-salt source (one per issued future).
+    salts: AtomicU64,
 }
 
 impl DaemonRing {
-    /// New.
+    /// New, with the default [`RetryConfig`].
     pub fn new(endpoints: Vec<Arc<dyn Endpoint>>) -> DaemonRing {
+        Self::with_retry(endpoints, RetryConfig::default())
+    }
+
+    /// New, with an explicit fault-handling configuration
+    /// ([`RetryConfig::disabled`] restores single-attempt semantics).
+    pub fn with_retry(endpoints: Vec<Arc<dyn Endpoint>>, retry: RetryConfig) -> DaemonRing {
         assert!(!endpoints.is_empty(), "need at least one daemon");
-        DaemonRing { endpoints }
+        let health = endpoints
+            .iter()
+            .map(|_| Arc::new(NodeHealth::new(&retry)))
+            .collect();
+        let policy = retry.policy();
+        DaemonRing {
+            endpoints,
+            retry,
+            policy,
+            health,
+            salts: AtomicU64::new(0),
+        }
     }
 
     /// Nodes.
     pub fn nodes(&self) -> usize {
         self.endpoints.len()
+    }
+
+    /// A fresh deadline for one logical client operation.
+    pub fn op_deadline(&self) -> Deadline {
+        self.retry.op_deadline()
+    }
+
+    /// Health of one daemon (breaker state, retry/failure counters).
+    pub fn node_health(&self, node: NodeId) -> Result<&Arc<NodeHealth>> {
+        self.health
+            .get(node)
+            .ok_or_else(|| GkfsError::Rpc(format!("no endpoint for node {node}")))
+    }
+
+    /// Health of every daemon, indexed by node id.
+    pub fn health(&self) -> &[Arc<NodeHealth>] {
+        &self.health
+    }
+
+    /// How many times node `node`'s transport re-dialed its daemon.
+    pub fn reconnects(&self, node: NodeId) -> u64 {
+        self.endpoints.get(node).map_or(0, |ep| ep.reconnects())
+    }
+
+    /// One [`NodeHealthSnapshot`] per daemon, in node order.
+    pub fn health_snapshot(&self) -> Vec<NodeHealthSnapshot> {
+        self.health
+            .iter()
+            .enumerate()
+            .map(|(node, h)| NodeHealthSnapshot {
+                node,
+                breaker: h.breaker_state(),
+                consecutive_failures: h.consecutive_failures(),
+                retries: h.retries(),
+                failures: h.failures(),
+                reconnects: self.reconnects(node),
+            })
+            .collect()
     }
 
     fn ep(&self, node: NodeId) -> Result<&Arc<dyn Endpoint>> {
@@ -64,22 +311,62 @@ impl DaemonRing {
 
     /// The one generic nonblocking wrapper every opcode reduces to:
     /// encode is done by the caller (a body plus optional bulk), the
-    /// typed decode runs at [`ReplyFuture::wait`].
+    /// typed decode runs at [`ReplyFuture::wait`]. `tolerate` is the
+    /// idempotency escape hatch described on [`ReplyFuture`].
+    ///
+    /// Fails immediately only on a misrouted node id; a failed or
+    /// breaker-denied submission is carried inside the returned future
+    /// and retried (or surfaced) at wait time.
+    fn unary_tol<T>(
+        &self,
+        node: NodeId,
+        op: Opcode,
+        body: impl Into<Bytes>,
+        bulk: Bytes,
+        tolerate: Option<Box<dyn Fn(&GkfsError) -> Option<T> + Send>>,
+        decode: impl Fn(Response) -> Result<T> + Send + 'static,
+    ) -> Result<ReplyFuture<T>> {
+        let ep = Arc::clone(self.ep(node)?);
+        let health = Arc::clone(&self.health[node]);
+        let timeout = ep.timeout();
+        let body: Bytes = body.into();
+        let submit = {
+            let health = Arc::clone(&health);
+            Box::new(move || {
+                if !health.breaker.allow() {
+                    return Err(GkfsError::Unavailable(format!(
+                        "node {node}: circuit breaker open"
+                    )));
+                }
+                // Bytes clones are refcount bumps, not copies.
+                ep.submit(Request::new(op, body.clone()).with_bulk(bulk.clone()))
+            })
+        };
+        let state = submit();
+        Ok(ReplyFuture {
+            state,
+            timeout,
+            policy: self.policy.clone(),
+            deadline: self.retry.op_deadline(),
+            salt: self.salts.fetch_add(1, Ordering::Relaxed),
+            health,
+            submit,
+            tolerate,
+            decode: Box::new(decode),
+        })
+    }
+
+    /// [`DaemonRing::unary_tol`] without tolerance — safe default for
+    /// idempotent operations (reads, writes, stat, size updates …).
     fn unary_nb<T>(
         &self,
         node: NodeId,
         op: Opcode,
         body: impl Into<Bytes>,
         bulk: Bytes,
-        decode: impl FnOnce(Response) -> Result<T> + Send + 'static,
+        decode: impl Fn(Response) -> Result<T> + Send + 'static,
     ) -> Result<ReplyFuture<T>> {
-        let ep = self.ep(node)?;
-        let handle = ep.submit(Request::new(op, body).with_bulk(bulk))?;
-        Ok(ReplyFuture {
-            handle,
-            timeout: ep.timeout(),
-            decode: Box::new(decode),
-        })
+        self.unary_tol(node, op, body, bulk, None, decode)
     }
 
     /// Blocking sibling of [`DaemonRing::unary_nb`].
@@ -88,7 +375,7 @@ impl DaemonRing {
         node: NodeId,
         op: Opcode,
         body: impl Into<Bytes>,
-        decode: impl FnOnce(Response) -> Result<T> + Send + 'static,
+        decode: impl Fn(Response) -> Result<T> + Send + 'static,
     ) -> Result<T> {
         self.unary_nb(node, op, body, Bytes::new(), decode)?.wait()
     }
@@ -96,16 +383,18 @@ impl DaemonRing {
     /// Submit `f(node)` to every node, then wait for all replies in
     /// node order — pipelined fan-out (`margo_iforward` to the whole
     /// ring, then `margo_wait` on each handle) with zero thread
-    /// spawns. Used for broadcast operations (readdir, remove,
-    /// truncate, stats, fsck inventory).
+    /// spawns. The whole broadcast shares **one** operation deadline.
+    /// Used for broadcast operations (readdir, remove, truncate,
+    /// stats, fsck inventory).
     pub fn broadcast<T, F>(&self, f: F) -> Vec<Result<T>>
     where
         F: Fn(NodeId) -> Result<ReplyFuture<T>>,
     {
+        let deadline = self.op_deadline();
         let inflight: Vec<Result<ReplyFuture<T>>> = (0..self.nodes()).map(f).collect();
         inflight
             .into_iter()
-            .map(|fut| fut.and_then(|fut| fut.wait()))
+            .map(|fut| fut.and_then(|fut| fut.wait_deadline(deadline)))
             .collect()
     }
 
@@ -119,7 +408,10 @@ impl DaemonRing {
         self.unary_nb(node, Opcode::Ping, Bytes::new(), Bytes::new(), |_| Ok(()))
     }
 
-    /// Create.
+    /// Create. Not idempotent — a lost reply leaves the entry behind —
+    /// so a retried attempt tolerates `Exists` as "my first attempt
+    /// was applied". The resulting `O_EXCL` ambiguity under connection
+    /// loss is documented in DESIGN.md ("Fault model").
     pub fn create(
         &self,
         node: NodeId,
@@ -139,7 +431,17 @@ impl DaemonRing {
             exclusive,
             now_ns,
         };
-        self.unary(node, Opcode::Create, req.encode(), |_| Ok(()))
+        self.unary_tol(
+            node,
+            Opcode::Create,
+            req.encode(),
+            Bytes::new(),
+            Some(Box::new(|e| {
+                matches!(e, GkfsError::Exists).then_some(())
+            })),
+            |_| Ok(()),
+        )?
+        .wait()
     }
 
     /// Stat.
@@ -150,16 +452,24 @@ impl DaemonRing {
     }
 
     /// Remove the metadata entry; returns the removed entry's kind.
+    /// Not idempotent — a retried attempt tolerates `NotFound` as "my
+    /// first attempt was applied" (the kind is unknowable then; caller
+    /// paths that retry discard it).
     pub fn remove_meta(&self, node: NodeId, path: &str) -> Result<FileKind> {
-        self.unary(
+        self.unary_tol(
             node,
             Opcode::RemoveMeta,
             PathReq::new(path).encode(),
+            Bytes::new(),
+            Some(Box::new(|e| {
+                matches!(e, GkfsError::NotFound).then_some(FileKind::File)
+            })),
             |resp| match RemoveMetaResp::decode(&resp.body)?.kind {
                 0 => Ok(FileKind::File),
                 _ => Ok(FileKind::Directory),
             },
-        )
+        )?
+        .wait()
     }
 
     /// Update size.
@@ -226,7 +536,8 @@ impl DaemonRing {
     }
 
     /// Write one batch of chunks; `bulk` is the concatenated data in
-    /// op order.
+    /// op order. Chunk writes are idempotent (same data, same place),
+    /// so they retry freely.
     pub fn write_chunks(
         &self,
         node: NodeId,
@@ -280,7 +591,8 @@ impl DaemonRing {
         })
     }
 
-    /// Remove chunks.
+    /// Remove chunks. Idempotent by construction (removing absent
+    /// chunks is a no-op on the daemon), so it retries freely.
     pub fn remove_chunks(&self, node: NodeId, path: &str) -> Result<()> {
         self.remove_chunks_nb(node, path)?.wait()
     }
@@ -364,29 +676,39 @@ impl DaemonRing {
 mod tests {
     use super::*;
     use gkfs_common::DaemonConfig;
-    use gkfs_daemon_for_tests::{make_ring, make_sleepy_ring};
+    use gkfs_daemon_for_tests::{make_ring, make_ring_of, make_sleepy_ring};
+    use gkfs_rpc::testing::{DeadEndpoint, FlakyEndpoint};
 
     /// Test-only helper building a ring of real in-process daemons.
     mod gkfs_daemon_for_tests {
         use super::*;
 
-        pub fn make_ring(n: usize) -> DaemonRing {
+        pub fn fake_daemon() -> Arc<dyn Endpoint> {
             // The client crate must not depend on the daemon crate
             // (layering), so tests register a minimal fake daemon:
             // an echo for Ping and canned behaviour for Stat.
-            let mut endpoints: Vec<Arc<dyn Endpoint>> = Vec::new();
-            for _ in 0..n {
-                let mut reg = gkfs_rpc::HandlerRegistry::new();
-                reg.register_fn(Opcode::Ping, |req| gkfs_rpc::Response::ok(req.body));
-                reg.register_fn(Opcode::Stat, |_req| {
-                    gkfs_rpc::Response::err(GkfsError::NotFound)
-                });
-                let server = gkfs_rpc::RpcServer::new(reg, 1);
-                endpoints.push(server.endpoint());
-                // Keep server alive by leaking its Arc into the endpoint
-                // (endpoint holds the server internally).
-            }
-            DaemonRing::new(endpoints)
+            let mut reg = gkfs_rpc::HandlerRegistry::new();
+            reg.register_fn(Opcode::Ping, |req| gkfs_rpc::Response::ok(req.body));
+            reg.register_fn(Opcode::Stat, |_req| {
+                gkfs_rpc::Response::err(GkfsError::NotFound)
+            });
+            let server = gkfs_rpc::RpcServer::new(reg, 1);
+            // Keep server alive by leaking its Arc into the endpoint
+            // (endpoint holds the server internally).
+            server.endpoint()
+        }
+
+        pub fn make_ring(n: usize) -> DaemonRing {
+            DaemonRing::new((0..n).map(|_| fake_daemon()).collect())
+        }
+
+        /// A ring over caller-supplied endpoints with explicit retry
+        /// configuration — for fault-injection tests.
+        pub fn make_ring_of(
+            endpoints: Vec<Arc<dyn Endpoint>>,
+            retry: RetryConfig,
+        ) -> DaemonRing {
+            DaemonRing::with_retry(endpoints, retry)
         }
 
         /// A ring whose Ping handlers sleep `delay_ms` — for proving
@@ -410,6 +732,18 @@ mod tests {
         fn quiet(_: DaemonConfig) {}
     }
 
+    /// Fast deterministic retry knobs for tests.
+    fn test_retry(max_attempts: u32) -> RetryConfig {
+        RetryConfig {
+            max_attempts,
+            base_backoff_ms: 1,
+            max_backoff_ms: 2,
+            breaker_threshold: 0,
+            op_deadline_ms: 5_000,
+            ..RetryConfig::default()
+        }
+    }
+
     #[test]
     fn ping_and_stat_not_found() {
         let ring = make_ring(3);
@@ -425,6 +759,8 @@ mod tests {
         let ring = make_ring(2);
         assert!(matches!(ring.ping(5), Err(GkfsError::Rpc(_))));
         assert!(ring.ping_nb(5).is_err());
+        assert!(ring.node_health(5).is_err());
+        assert_eq!(ring.reconnects(5), 0);
     }
 
     #[test]
@@ -465,5 +801,136 @@ mod tests {
         );
         fut.wait().unwrap();
         assert!(t0.elapsed() >= std::time::Duration::from_millis(80));
+    }
+
+    #[test]
+    fn retry_absorbs_flaky_submissions() {
+        // Every 2nd submission errors; 4 attempts make each ping
+        // reliable. Health counters record the recovery.
+        let flaky: Arc<dyn Endpoint> =
+            FlakyEndpoint::new(gkfs_daemon_for_tests::fake_daemon(), 2);
+        let ring = make_ring_of(vec![flaky], test_retry(4));
+        for _ in 0..10 {
+            ring.ping(0).unwrap();
+        }
+        let h = ring.node_health(0).unwrap();
+        assert!(h.retries() >= 5, "flaky submits must be retried: {}", h.retries());
+        assert!(h.failures() >= 5);
+        assert_eq!(h.consecutive_failures(), 0, "successes reset the streak");
+    }
+
+    #[test]
+    fn disabled_retry_restores_single_attempt_semantics() {
+        let flaky: Arc<dyn Endpoint> =
+            FlakyEndpoint::new(gkfs_daemon_for_tests::fake_daemon(), 2);
+        let ring = make_ring_of(vec![flaky], RetryConfig::disabled());
+        let outcomes: Vec<bool> = (0..6).map(|_| ring.ping(0).is_ok()).collect();
+        assert_eq!(outcomes, vec![true, false, true, false, true, false]);
+        assert_eq!(ring.node_health(0).unwrap().retries(), 0);
+    }
+
+    #[test]
+    fn retried_create_tolerates_exists_from_lost_reply() {
+        // A create whose *reply* is lost was still applied by the
+        // daemon; the retried attempt sees Exists and must report
+        // success — and the entry must have been created exactly once.
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let created = Arc::new(Mutex::new(HashSet::<String>::new()));
+        let inserts = Arc::new(AtomicU64::new(0));
+        let mut reg = gkfs_rpc::HandlerRegistry::new();
+        {
+            let created = Arc::clone(&created);
+            let inserts = Arc::clone(&inserts);
+            reg.register_fn(Opcode::Create, move |req| {
+                let path = CreateReq::decode(&req.body).unwrap().path;
+                let mut set = created.lock().unwrap();
+                if set.contains(&path) {
+                    gkfs_rpc::Response::err(GkfsError::Exists)
+                } else {
+                    set.insert(path);
+                    inserts.fetch_add(1, Ordering::Relaxed);
+                    gkfs_rpc::Response::ok(bytes::Bytes::new())
+                }
+            });
+        }
+        reg.register_fn(Opcode::Ping, |req| gkfs_rpc::Response::ok(req.body));
+        let server = gkfs_rpc::RpcServer::new(reg, 1);
+        // Reply-path fault every 2nd call; a ping consumes call #1 so
+        // the create's first attempt is the one that loses its reply.
+        let flaky: Arc<dyn Endpoint> =
+            FlakyEndpoint::new_reply_path(server.endpoint(), 2);
+        let ring = make_ring_of(vec![flaky], test_retry(4));
+        ring.ping(0).unwrap();
+        ring.create(0, "/lost-reply", FileKind::File, 0o644, true, 1)
+            .unwrap();
+        assert_eq!(
+            inserts.load(Ordering::Relaxed),
+            1,
+            "retried create must be exactly-once-observable"
+        );
+        // A genuine duplicate create (first attempt answered, via a
+        // healthy endpoint) still surfaces Exists — tolerance only
+        // covers retried attempts.
+        let clean = make_ring_of(vec![server.endpoint()], test_retry(4));
+        match clean.create(0, "/lost-reply", FileKind::File, 0o644, true, 1) {
+            Err(GkfsError::Exists) => {}
+            other => panic!("fresh duplicate create must fail: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn breaker_opens_after_consecutive_failures_and_recovers() {
+        let dead: Arc<dyn Endpoint> = Arc::new(DeadEndpoint);
+        let cfg = RetryConfig {
+            max_attempts: 1,
+            breaker_threshold: 3,
+            breaker_cooldown_ms: 40,
+            op_deadline_ms: 0,
+            ..RetryConfig::default()
+        };
+        let ring = make_ring_of(vec![dead], cfg);
+        for _ in 0..3 {
+            assert!(matches!(ring.ping(0), Err(GkfsError::Rpc(_))));
+        }
+        let h = ring.node_health(0).unwrap();
+        assert_eq!(h.breaker_state(), BreakerState::Open);
+        assert_eq!(h.consecutive_failures(), 3);
+        // While open: fail fast with Unavailable, no request sent.
+        let before = h.failures();
+        match ring.ping(0) {
+            Err(GkfsError::Unavailable(_)) => {}
+            other => panic!("open breaker must fail fast: {other:?}"),
+        }
+        assert_eq!(h.failures(), before, "denied request is not a failure");
+        // After the cooldown one probe goes through (and fails again
+        // here — the endpoint is really dead).
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(matches!(ring.ping(0), Err(GkfsError::Rpc(_))));
+        assert_eq!(h.breaker_state(), BreakerState::Open, "failed probe reopens");
+    }
+
+    #[test]
+    fn deadline_bounds_aggregate_wait() {
+        // Endless retryable failures against a 150 ms operation
+        // deadline: the wait must stop near the deadline, not burn
+        // max_attempts × timeout.
+        let dead: Arc<dyn Endpoint> = Arc::new(DeadEndpoint);
+        let cfg = RetryConfig {
+            max_attempts: 1_000,
+            base_backoff_ms: 5,
+            max_backoff_ms: 10,
+            breaker_threshold: 0,
+            op_deadline_ms: 150,
+            ..RetryConfig::default()
+        };
+        let ring = make_ring_of(vec![dead], cfg);
+        let t0 = std::time::Instant::now();
+        assert!(ring.ping(0).is_err());
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(400),
+            "deadline must bound the retry loop, took {elapsed:?}"
+        );
     }
 }

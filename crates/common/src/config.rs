@@ -54,6 +54,78 @@ impl Default for DaemonConfig {
     }
 }
 
+/// Client-side fault-handling knobs: retry schedule, circuit breaker,
+/// and per-operation deadline. See `gkfs_common::retry` and DESIGN.md
+/// "Fault model".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryConfig {
+    /// Total attempts per RPC (first try included); `1` disables retry.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt, in milliseconds.
+    pub base_backoff_ms: u64,
+    /// Cap on any single backoff, in milliseconds.
+    pub max_backoff_ms: u64,
+    /// Seed for the deterministic backoff jitter.
+    pub jitter_seed: u64,
+    /// Consecutive transport failures that open a node's circuit
+    /// breaker; `0` disables breakers.
+    pub breaker_threshold: u32,
+    /// How long an open breaker fails fast before probing again, in
+    /// milliseconds.
+    pub breaker_cooldown_ms: u64,
+    /// Deadline for one logical client operation (a whole striped
+    /// write, not one RPC), in milliseconds; `0` means unbounded.
+    pub op_deadline_ms: u64,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            max_attempts: 4,
+            base_backoff_ms: 5,
+            max_backoff_ms: 200,
+            jitter_seed: 0x6766_6b73,
+            breaker_threshold: 8,
+            breaker_cooldown_ms: 250,
+            op_deadline_ms: 30_000,
+        }
+    }
+}
+
+impl RetryConfig {
+    /// A configuration with retries, breakers, and deadlines all
+    /// disabled (each RPC gets one attempt with the transport
+    /// timeout) — the pre-retry-layer behavior, useful for tests that
+    /// assert on first-failure semantics.
+    pub fn disabled() -> RetryConfig {
+        RetryConfig {
+            max_attempts: 1,
+            breaker_threshold: 0,
+            op_deadline_ms: 0,
+            ..RetryConfig::default()
+        }
+    }
+
+    /// The [`crate::retry::RetryPolicy`] this configuration describes.
+    pub fn policy(&self) -> crate::retry::RetryPolicy {
+        crate::retry::RetryPolicy {
+            max_attempts: self.max_attempts.max(1),
+            base_backoff: std::time::Duration::from_millis(self.base_backoff_ms),
+            max_backoff: std::time::Duration::from_millis(self.max_backoff_ms),
+            seed: self.jitter_seed,
+        }
+    }
+
+    /// A fresh [`crate::retry::Deadline`] for one client operation.
+    pub fn op_deadline(&self) -> crate::retry::Deadline {
+        if self.op_deadline_ms == 0 {
+            crate::retry::Deadline::never()
+        } else {
+            crate::retry::Deadline::after(std::time::Duration::from_millis(self.op_deadline_ms))
+        }
+    }
+}
+
 /// Cluster-wide configuration shared by clients and daemons.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
@@ -71,6 +143,9 @@ pub struct ClusterConfig {
     /// benefits of caching"). `0` disables caching (the paper's
     /// default: every stat is a round trip).
     pub stat_cache_ttl_ms: u64,
+    /// Client-side fault handling: retry schedule, circuit breakers,
+    /// per-operation deadlines.
+    pub retry: RetryConfig,
 }
 
 impl ClusterConfig {
@@ -82,6 +157,7 @@ impl ClusterConfig {
             distributor: DistributorKind::SimpleHash,
             size_cache_ops: 0,
             stat_cache_ttl_ms: 0,
+            retry: RetryConfig::default(),
         }
     }
 
@@ -109,6 +185,19 @@ impl ClusterConfig {
     /// round-trip elimination; the client always sees its own writes.
     pub fn with_stat_cache_ttl_ms(mut self, ttl_ms: u64) -> Self {
         self.stat_cache_ttl_ms = ttl_ms;
+        self
+    }
+
+    /// With the given fault-handling configuration.
+    pub fn with_retry(mut self, retry: RetryConfig) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// With the per-operation deadline in milliseconds (`0` =
+    /// unbounded).
+    pub fn with_op_deadline_ms(mut self, ms: u64) -> Self {
+        self.retry.op_deadline_ms = ms;
         self
     }
 
@@ -159,6 +248,28 @@ mod tests {
         assert_eq!(c.distributor, DistributorKind::Jump);
         assert_eq!(c.size_cache_ops, 32);
         assert_eq!(c.make_distributor().nodes(), 8);
+    }
+
+    #[test]
+    fn retry_config_builders() {
+        let c = ClusterConfig::new(2);
+        assert_eq!(c.retry, RetryConfig::default());
+        let c = c
+            .with_retry(RetryConfig::disabled())
+            .with_op_deadline_ms(1_500);
+        assert_eq!(c.retry.max_attempts, 1);
+        assert_eq!(c.retry.breaker_threshold, 0);
+        assert_eq!(c.retry.op_deadline_ms, 1_500);
+        assert_eq!(c.retry.policy().max_attempts, 1);
+        // op_deadline_ms == 0 means "never".
+        assert_eq!(
+            RetryConfig {
+                op_deadline_ms: 0,
+                ..RetryConfig::default()
+            }
+            .op_deadline(),
+            crate::retry::Deadline::never()
+        );
     }
 
     #[test]

@@ -44,6 +44,10 @@ pub enum GkfsError {
     ShuttingDown,
     /// Request timed out waiting for a daemon (`ETIMEDOUT`).
     Timeout,
+    /// Daemon is (temporarily) unreachable and its circuit breaker is
+    /// open: the client fails fast instead of burning its deadline on
+    /// a node known to be down (`EHOSTDOWN`).
+    Unavailable(String),
 }
 
 impl GkfsError {
@@ -63,7 +67,36 @@ impl GkfsError {
             GkfsError::Corruption(_) => 11,
             GkfsError::ShuttingDown => 12,
             GkfsError::Timeout => 13,
+            GkfsError::Unavailable(_) => 14,
         }
+    }
+
+    /// Whether a *failed attempt* with this error may be retried at
+    /// the transport level.
+    ///
+    /// Retryable errors are the ones that say nothing about the state
+    /// of the namespace: the daemon was unreachable ([`Rpc`]), did not
+    /// answer in time ([`Timeout`]), or the bytes in flight were
+    /// damaged ([`Corruption`] — a CRC-failed frame kills the
+    /// connection, never the stored data, and attempts are bounded so
+    /// a daemon-side corruption still surfaces after the budget).
+    /// Application errors (`NotFound`, `Exists`, …) mean a healthy
+    /// daemon answered and a retry would return the same answer;
+    /// [`ShuttingDown`] is a deliberate refusal; [`Unavailable`] is
+    /// the retry layer's own fail-fast verdict. Whether a retry is
+    /// *semantically* safe (idempotency) is the caller's decision —
+    /// see DESIGN.md "Fault model".
+    ///
+    /// [`Rpc`]: GkfsError::Rpc
+    /// [`Timeout`]: GkfsError::Timeout
+    /// [`Corruption`]: GkfsError::Corruption
+    /// [`ShuttingDown`]: GkfsError::ShuttingDown
+    /// [`Unavailable`]: GkfsError::Unavailable
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            GkfsError::Rpc(_) | GkfsError::Timeout | GkfsError::Corruption(_)
+        )
     }
 
     /// Reconstruct an error from a wire code plus optional detail text.
@@ -82,6 +115,7 @@ impl GkfsError {
             11 => GkfsError::Corruption(detail.to_string()),
             12 => GkfsError::ShuttingDown,
             13 => GkfsError::Timeout,
+            14 => GkfsError::Unavailable(detail.to_string()),
             other => GkfsError::Rpc(format!("unknown error code {other}: {detail}")),
         }
     }
@@ -92,7 +126,8 @@ impl GkfsError {
             GkfsError::InvalidArgument(s)
             | GkfsError::Io(s)
             | GkfsError::Rpc(s)
-            | GkfsError::Corruption(s) => s,
+            | GkfsError::Corruption(s)
+            | GkfsError::Unavailable(s) => s,
             GkfsError::Unsupported(s) => s,
             _ => "",
         }
@@ -114,6 +149,7 @@ impl GkfsError {
             GkfsError::Corruption(_) => 5,       // EIO
             GkfsError::ShuttingDown => 108,      // ESHUTDOWN
             GkfsError::Timeout => 110,           // ETIMEDOUT
+            GkfsError::Unavailable(_) => 112,    // EHOSTDOWN
         }
     }
 }
@@ -134,6 +170,7 @@ impl fmt::Display for GkfsError {
             GkfsError::Corruption(s) => write!(f, "corruption: {s}"),
             GkfsError::ShuttingDown => write!(f, "daemon shutting down"),
             GkfsError::Timeout => write!(f, "request timed out"),
+            GkfsError::Unavailable(s) => write!(f, "daemon unavailable: {s}"),
         }
     }
 }
@@ -171,6 +208,7 @@ mod tests {
             GkfsError::Corruption("crc".into()),
             GkfsError::ShuttingDown,
             GkfsError::Timeout,
+            GkfsError::Unavailable("node 3 breaker open".into()),
         ];
         for e in all {
             let back = GkfsError::from_code(e.code(), e.detail());
@@ -192,6 +230,24 @@ mod tests {
         assert_eq!(GkfsError::Exists.errno(), 17);
         assert_eq!(GkfsError::BadFileDescriptor.errno(), 9);
         assert_eq!(GkfsError::Timeout.errno(), 110);
+    }
+
+    #[test]
+    fn retryable_classification() {
+        assert!(GkfsError::Rpc("reset".into()).is_retryable());
+        assert!(GkfsError::Timeout.is_retryable());
+        assert!(GkfsError::Corruption("crc".into()).is_retryable());
+        for e in [
+            GkfsError::NotFound,
+            GkfsError::Exists,
+            GkfsError::NotEmpty,
+            GkfsError::InvalidArgument("x".into()),
+            GkfsError::ShuttingDown,
+            GkfsError::Unavailable("open".into()),
+            GkfsError::Io("disk".into()),
+        ] {
+            assert!(!e.is_retryable(), "{e:?} must not be retryable");
+        }
     }
 
     #[test]

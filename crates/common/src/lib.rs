@@ -19,6 +19,9 @@
 //!   RPC layer and the KV store's on-disk formats.
 //! * [`crc`] — CRC32 (IEEE) for WAL and SSTable block integrity.
 //! * [`config`] — daemon/cluster configuration knobs.
+//! * [`retry`] — deadline-aware retry: bounded backoff with
+//!   deterministic jitter, operation deadlines, per-endpoint circuit
+//!   breakers.
 //! * [`lock`] — ranked mutex/rwlock wrappers enforcing the global lock
 //!   hierarchy (strictly descending acquisition), validated at runtime
 //!   in debug builds and lexically by `gkfs-lint`.
@@ -34,12 +37,14 @@ pub mod hash;
 pub mod lock;
 pub mod log;
 pub mod path;
+pub mod retry;
 pub mod types;
 pub mod wire;
 
 pub use chunk::{chunk_range, ChunkInfo, ChunkLayout};
-pub use config::{ClusterConfig, DaemonConfig, DEFAULT_CHUNK_SIZE};
+pub use config::{ClusterConfig, DaemonConfig, RetryConfig, DEFAULT_CHUNK_SIZE};
 pub use distributor::{Distributor, JumpDistributor, LocalityDistributor, SimpleHashDistributor};
 pub use error::{GkfsError, Result};
 pub use lock::{LockRank, OrderedMutex, OrderedRwLock};
+pub use retry::{BreakerState, CircuitBreaker, Deadline, RetryPolicy};
 pub use types::{FileKind, Metadata, OpenFlags};

@@ -93,10 +93,20 @@ pub mod rank {
     pub const RPC_ACCEPT: LockRank = LockRank(184);
     /// The TCP server's list of open connections.
     pub const RPC_CONNS: LockRank = LockRank(180);
+    /// A TCP endpoint's connection slot (live connection + redial
+    /// backoff state); held across a frame write, may acquire
+    /// [`RPC_PENDING`] inside.
+    pub const RPC_CONN: LockRank = LockRank(178);
     /// A TCP endpoint's (or server connection's) write half.
     pub const RPC_WRITER: LockRank = LockRank(176);
     /// A TCP endpoint's pending-reply table.
     pub const RPC_PENDING: LockRank = LockRank(172);
+    /// A chaos proxy's list of live connections (test harness).
+    pub const CHAOS_CONNS: LockRank = LockRank(166);
+    /// A chaos endpoint's parked never-completing replies.
+    pub const CHAOS_PARKED: LockRank = LockRank(164);
+    /// A chaos endpoint's/proxy's seeded PRNG state (leaf).
+    pub const CHAOS_RNG: LockRank = LockRank(162);
     /// One shard of the in-memory chunk store.
     pub const STORAGE_SHARD: LockRank = LockRank(150);
     /// The kvstore's background-thread handles.
@@ -136,8 +146,12 @@ pub mod rank {
             190 => "DAEMON_TCP",
             184 => "RPC_ACCEPT",
             180 => "RPC_CONNS",
+            178 => "RPC_CONN",
             176 => "RPC_WRITER",
             172 => "RPC_PENDING",
+            166 => "CHAOS_CONNS",
+            164 => "CHAOS_PARKED",
+            162 => "CHAOS_RNG",
             150 => "STORAGE_SHARD",
             130 => "KV_THREADS",
             120 => "KV_COMPACTION",

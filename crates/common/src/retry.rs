@@ -1,0 +1,543 @@
+//! Deadline-aware retry: bounded backoff schedules, operation
+//! deadlines, and per-endpoint circuit breakers.
+//!
+//! GekkoFS is explicitly *not* fault tolerant (paper §III-A) — but a
+//! temporary file system still owes its callers **clean failure**:
+//! when a daemon is slow, flaky, or dead, every operation must either
+//! succeed or surface a typed [`GkfsError`] within a bounded deadline.
+//! This module is the arithmetic half of that contract; the RPC and
+//! client layers thread it through every fan-out:
+//!
+//! * [`RetryPolicy`] — bounded attempts with exponential backoff and
+//!   *deterministic* seeded jitter. Jitter is a pure function of
+//!   `(seed, salt, attempt)`, never of the wall clock, so a failing
+//!   schedule replays identically under a fixed seed (the same rule
+//!   the chaos harness follows).
+//! * [`Deadline`] — an absolute time budget for one logical operation.
+//!   Aggregate operations (striped writes, broadcasts) clamp each
+//!   individual `wait` and each backoff sleep to the *remaining*
+//!   budget instead of stacking per-call timeouts N deep.
+//! * [`CircuitBreaker`] — consecutive-failure counter per endpoint:
+//!   after `threshold` straight transport failures the breaker opens
+//!   and callers fail fast with [`GkfsError::Unavailable`] instead of
+//!   burning their deadline on a daemon that is gone; after a cooldown
+//!   a single half-open probe decides whether to close it again.
+//!
+//! What is considered retryable lives on the error type itself
+//! ([`GkfsError::is_retryable`]); *when* a retry is semantically safe
+//! (idempotency) is the caller's decision and is documented in
+//! DESIGN.md ("Fault model").
+//!
+//! [`GkfsError`]: crate::error::GkfsError
+//! [`GkfsError::is_retryable`]: crate::error::GkfsError::is_retryable
+//! [`GkfsError::Unavailable`]: crate::error::GkfsError::Unavailable
+
+use crate::error::Result;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::time::{Duration, Instant};
+
+/// Bounded exponential backoff with deterministic seeded jitter.
+///
+/// Attempt `k` (zero-based) backs off for roughly `base * 2^k`,
+/// capped at `max`, with ±25% jitter derived from
+/// `(seed, salt, attempt)` — no wall-clock entropy, so schedules are
+/// reproducible under a fixed seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). `1` disables retry.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt.
+    pub base_backoff: Duration,
+    /// Upper bound on any single backoff.
+    pub max_backoff: Duration,
+    /// Jitter seed. Two callers with different salts (e.g. node ids)
+    /// de-synchronize even under the same seed.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(200),
+            seed: 0x6766_6b73, // "gfks"
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (single attempt, no backoff).
+    pub fn no_retry() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The backoff to sleep after failed attempt `attempt`
+    /// (zero-based). Pure function of `(self, salt, attempt)`.
+    pub fn backoff(&self, salt: u64, attempt: u32) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.max_backoff);
+        let nanos = exp.as_nanos() as u64;
+        if nanos == 0 {
+            return Duration::ZERO;
+        }
+        // ±25% equal jitter: keep 3/4 of the exponential term, add a
+        // deterministic slice of the remaining half.
+        let jitter_span = nanos / 2;
+        let jitter = if jitter_span == 0 {
+            0
+        } else {
+            splitmix64(self.seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ attempt as u64)
+                % jitter_span
+        };
+        Duration::from_nanos(nanos - nanos / 4 + jitter)
+    }
+
+    /// Total worst-case time spent sleeping across all retries (the
+    /// backoff budget a caller commits to, excluding the ops
+    /// themselves).
+    pub fn max_total_backoff(&self) -> Duration {
+        let mut total = Duration::ZERO;
+        for attempt in 0..self.max_attempts.saturating_sub(1) {
+            let exp = self
+                .base_backoff
+                .saturating_mul(1u32 << attempt.min(16))
+                .min(self.max_backoff);
+            total += exp + exp / 4; // upper edge of the jitter window
+        }
+        total
+    }
+}
+
+/// SplitMix64 — the standard 64-bit finalizer; good avalanche, no
+/// state, no allocation. Used only to derive jitter deterministically.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// An absolute time budget for one logical operation.
+///
+/// `Deadline` is `Copy` and is threaded *down* through helpers: a
+/// striped write creates one deadline and every per-chunk RPC wait and
+/// every retry backoff clamps itself to [`Deadline::clamp`] of it, so
+/// the aggregate operation cannot stack N per-call timeouts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// A deadline `budget` from now.
+    pub fn after(budget: Duration) -> Deadline {
+        Deadline {
+            at: Some(Instant::now() + budget),
+        }
+    }
+
+    /// No deadline: `clamp` is the identity, `expired` is never true.
+    pub fn never() -> Deadline {
+        Deadline { at: None }
+    }
+
+    /// Remaining budget; `None` if unbounded, `Some(ZERO)` if expired.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.at
+            .map(|at| at.saturating_duration_since(Instant::now()))
+    }
+
+    /// True once the budget is exhausted.
+    pub fn expired(&self) -> bool {
+        self.remaining() == Some(Duration::ZERO)
+    }
+
+    /// Clamp a per-call wait to the remaining budget.
+    pub fn clamp(&self, d: Duration) -> Duration {
+        match self.remaining() {
+            None => d,
+            Some(rem) => d.min(rem),
+        }
+    }
+}
+
+/// Run `op` under `policy`, clamping backoff sleeps to `deadline`.
+///
+/// `op` receives the zero-based attempt number. Retries stop when the
+/// error is not [`is_retryable`], attempts are exhausted, or the
+/// deadline expires — the *last* error is returned, so callers see
+/// the typed cause rather than a generic "retries exhausted".
+///
+/// [`is_retryable`]: crate::error::GkfsError::is_retryable
+pub fn retry<T>(
+    policy: &RetryPolicy,
+    deadline: Deadline,
+    salt: u64,
+    mut op: impl FnMut(u32) -> Result<T>,
+) -> Result<T> {
+    let attempts = policy.max_attempts.max(1);
+    let mut attempt = 0;
+    loop {
+        match op(attempt) {
+            Ok(v) => return Ok(v),
+            Err(e) => {
+                if !e.is_retryable() || attempt + 1 >= attempts || deadline.expired() {
+                    return Err(e);
+                }
+                let pause = deadline.clamp(policy.backoff(salt, attempt));
+                if !pause.is_zero() {
+                    std::thread::sleep(pause);
+                }
+                if deadline.expired() {
+                    return Err(e);
+                }
+                attempt += 1;
+            }
+        }
+    }
+}
+
+/// Circuit breaker state, in the classic three-state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation; failures are counted.
+    Closed,
+    /// Failing fast; no requests pass until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed; exactly one probe request is in flight.
+    HalfOpen,
+}
+
+impl std::fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BreakerState::Closed => write!(f, "closed"),
+            BreakerState::Open => write!(f, "open"),
+            BreakerState::HalfOpen => write!(f, "half-open"),
+        }
+    }
+}
+
+const STATE_CLOSED: u8 = 0;
+const STATE_OPEN: u8 = 1;
+const STATE_HALF_OPEN: u8 = 2;
+
+/// Per-endpoint consecutive-failure circuit breaker.
+///
+/// Lock-free (atomics only) so it sits on the RPC fast path without
+/// joining the ranked lock hierarchy. Time is measured against a
+/// per-breaker epoch `Instant`, never the wall clock.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: Duration,
+    epoch: Instant,
+    consecutive: AtomicU32,
+    state: AtomicU8,
+    open_until_nanos: AtomicU64,
+}
+
+impl CircuitBreaker {
+    /// A breaker that opens after `threshold` consecutive failures and
+    /// probes again `cooldown` later. `threshold == 0` disables it.
+    pub fn new(threshold: u32, cooldown: Duration) -> CircuitBreaker {
+        CircuitBreaker {
+            threshold,
+            cooldown,
+            epoch: Instant::now(),
+            consecutive: AtomicU32::new(0),
+            state: AtomicU8::new(STATE_CLOSED),
+            open_until_nanos: AtomicU64::new(0),
+        }
+    }
+
+    fn now_nanos(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// May a request proceed? `false` means fail fast with
+    /// [`Unavailable`]. At most one caller per cooldown window wins
+    /// the half-open probe slot.
+    ///
+    /// [`Unavailable`]: crate::error::GkfsError::Unavailable
+    pub fn allow(&self) -> bool {
+        if self.threshold == 0 {
+            return true;
+        }
+        match self.state.load(Ordering::Acquire) {
+            STATE_CLOSED => true,
+            STATE_OPEN => {
+                if self.now_nanos() >= self.open_until_nanos.load(Ordering::Acquire) {
+                    // Cooldown over: exactly one CAS winner probes. The
+                    // probe itself gets a cooldown-sized window to
+                    // resolve (see the half-open arm below).
+                    if self
+                        .state
+                        .compare_exchange(
+                            STATE_OPEN,
+                            STATE_HALF_OPEN,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        self.open_until_nanos.store(
+                            self.now_nanos() + self.cooldown.as_nanos() as u64,
+                            Ordering::Release,
+                        );
+                        true
+                    } else {
+                        false
+                    }
+                } else {
+                    false
+                }
+            }
+            _ => {
+                // Half-open: a probe is in flight. If its owner never
+                // resolved it (the reply future was dropped), the
+                // breaker must not wedge — after another cooldown the
+                // probe slot is forfeit and one new caller claims it.
+                let until = self.open_until_nanos.load(Ordering::Acquire);
+                let now = self.now_nanos();
+                now >= until
+                    && self
+                        .open_until_nanos
+                        .compare_exchange(
+                            until,
+                            now + self.cooldown.as_nanos() as u64,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+            }
+        }
+    }
+
+    /// Record a successful request: closes the breaker, resets counts.
+    pub fn record_success(&self) {
+        self.consecutive.store(0, Ordering::Release);
+        self.state.store(STATE_CLOSED, Ordering::Release);
+    }
+
+    /// Record a transport-level failure. Application errors from a
+    /// daemon that *answered* (NotFound, Exists, …) must not be fed
+    /// here — a daemon that responds is healthy.
+    pub fn record_failure(&self) {
+        if self.threshold == 0 {
+            return;
+        }
+        let failures = self.consecutive.fetch_add(1, Ordering::AcqRel) + 1;
+        let state = self.state.load(Ordering::Acquire);
+        if state == STATE_HALF_OPEN || failures >= self.threshold {
+            self.open_until_nanos
+                .store(self.now_nanos() + self.cooldown.as_nanos() as u64, Ordering::Release);
+            self.state.store(STATE_OPEN, Ordering::Release);
+        }
+    }
+
+    /// Current state (for health reporting; racy by nature).
+    pub fn state(&self) -> BreakerState {
+        match self.state.load(Ordering::Acquire) {
+            STATE_OPEN => BreakerState::Open,
+            STATE_HALF_OPEN => BreakerState::HalfOpen,
+            _ => BreakerState::Closed,
+        }
+    }
+
+    /// Consecutive transport failures since the last success.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::GkfsError;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn backoff_is_deterministic() {
+        let p = RetryPolicy::default();
+        for attempt in 0..6 {
+            for salt in [0u64, 1, 7, 0xdead] {
+                assert_eq!(
+                    p.backoff(salt, attempt),
+                    p.backoff(salt, attempt),
+                    "same (seed,salt,attempt) must give same backoff"
+                );
+            }
+        }
+        // Different salts de-synchronize the jitter.
+        let schedule =
+            |salt: u64| (0..4).map(|a| p.backoff(salt, a)).collect::<Vec<_>>();
+        assert_ne!(schedule(1), schedule(2));
+        // Different seeds give different schedules for the same salt.
+        let other = RetryPolicy {
+            seed: p.seed + 1,
+            ..p.clone()
+        };
+        assert_ne!(
+            (0..4).map(|a| p.backoff(9, a)).collect::<Vec<_>>(),
+            (0..4).map(|a| other.backoff(9, a)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(80),
+            seed: 42,
+        };
+        for attempt in 0..10 {
+            let b = p.backoff(3, attempt);
+            // 3/4 of the exponential term ≤ backoff ≤ 5/4 of it.
+            let exp = Duration::from_millis(10)
+                .saturating_mul(1 << attempt.min(16))
+                .min(Duration::from_millis(80));
+            assert!(b >= exp - exp / 4, "attempt {attempt}: {b:?} < floor");
+            assert!(b <= exp + exp / 4, "attempt {attempt}: {b:?} > ceiling");
+        }
+        assert!(p.max_total_backoff() <= Duration::from_millis(9 * 100));
+    }
+
+    #[test]
+    fn deadline_clamps_and_expires() {
+        let dl = Deadline::after(Duration::from_millis(40));
+        assert!(!dl.expired());
+        assert!(dl.clamp(Duration::from_secs(30)) <= Duration::from_millis(40));
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(dl.expired());
+        assert_eq!(dl.clamp(Duration::from_secs(30)), Duration::ZERO);
+        let never = Deadline::never();
+        assert!(!never.expired());
+        assert_eq!(never.clamp(Duration::from_secs(7)), Duration::from_secs(7));
+        assert_eq!(never.remaining(), None);
+    }
+
+    #[test]
+    fn retry_retries_only_retryable() {
+        let p = RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            seed: 1,
+        };
+        let calls = AtomicUsize::new(0);
+        let r: Result<()> = retry(&p, Deadline::never(), 0, |_| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Err(GkfsError::Rpc("flaky".into()))
+        });
+        assert!(matches!(r, Err(GkfsError::Rpc(_))));
+        assert_eq!(calls.load(Ordering::SeqCst), 4, "retryable: all attempts");
+
+        let calls = AtomicUsize::new(0);
+        let r: Result<()> = retry(&p, Deadline::never(), 0, |_| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Err(GkfsError::NotFound)
+        });
+        assert!(matches!(r, Err(GkfsError::NotFound)));
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "app errors: no retry");
+
+        // Succeeds on the third attempt.
+        let r = retry(&p, Deadline::never(), 0, |attempt| {
+            if attempt < 2 {
+                Err(GkfsError::Timeout)
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(r.ok(), Some(2));
+    }
+
+    #[test]
+    fn retry_respects_deadline() {
+        let p = RetryPolicy {
+            max_attempts: 100,
+            base_backoff: Duration::from_millis(20),
+            max_backoff: Duration::from_millis(20),
+            seed: 1,
+        };
+        let start = Instant::now();
+        let dl = Deadline::after(Duration::from_millis(50));
+        let r: Result<()> = retry(&p, dl, 0, |_| Err(GkfsError::Timeout));
+        assert!(r.is_err());
+        // Overshoot is bounded by one backoff interval, not 100 × 20ms.
+        assert!(
+            start.elapsed() < Duration::from_millis(200),
+            "took {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn breaker_opens_half_opens_and_closes() {
+        let b = CircuitBreaker::new(3, Duration::from_millis(30));
+        assert_eq!(b.state(), BreakerState::Closed);
+        for _ in 0..3 {
+            assert!(b.allow());
+            b.record_failure();
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow(), "open breaker fails fast");
+        std::thread::sleep(Duration::from_millis(40));
+        // Exactly one probe wins after cooldown.
+        assert!(b.allow());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.allow(), "only one half-open probe at a time");
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.consecutive_failures(), 0);
+        assert!(b.allow());
+    }
+
+    #[test]
+    fn breaker_reopens_on_failed_probe() {
+        let b = CircuitBreaker::new(2, Duration::from_millis(20));
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(b.allow());
+        b.record_failure(); // probe failed
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow());
+    }
+
+    #[test]
+    fn abandoned_probe_does_not_wedge_breaker() {
+        // A caller that wins the half-open probe slot and then drops
+        // its reply future without recording an outcome must not leave
+        // the breaker half-open forever.
+        let b = CircuitBreaker::new(1, Duration::from_millis(20));
+        b.record_failure();
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(b.allow(), "first probe claims the slot");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.allow(), "slot is taken for a cooldown window");
+        // ... the probe owner vanishes ...
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(b.allow(), "forfeited probe slot reopens");
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn zero_threshold_disables_breaker() {
+        let b = CircuitBreaker::new(0, Duration::from_millis(1));
+        for _ in 0..100 {
+            b.record_failure();
+            assert!(b.allow());
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+}

@@ -188,6 +188,7 @@ fn run() -> Result<(), GkfsError> {
             }
         }
         "df" => {
+            let health = fs.node_health();
             for (i, s) in fs.cluster_stats()?.iter().enumerate() {
                 println!(
                     "node {i}: {} metadata entries, {} B written, {} B read",
@@ -209,6 +210,13 @@ fn run() -> Result<(), GkfsError> {
                     s.kv_bloom_skips,
                     mean_group
                 );
+                if let Some(h) = health.get(i) {
+                    println!(
+                        "        health: breaker {} ({} consecutive failures), \
+                         {} retries, {} transport failures, {} reconnects",
+                        h.breaker, h.consecutive_failures, h.retries, h.failures, h.reconnects
+                    );
+                }
             }
         }
         other => {

@@ -52,11 +52,11 @@ pub mod file;
 pub use cluster::{Cluster, TcpCluster};
 pub use file::GekkoFile;
 pub use gkfs_client::client::Whence;
-pub use gkfs_client::{ClientStats, FsckReport, GekkoClient};
+pub use gkfs_client::{ClientStats, FsckReport, GekkoClient, NodeHealthSnapshot};
 pub use gkfs_common::{
     ClusterConfig, DaemonConfig, FileKind, GkfsError, Metadata, OpenFlags, Result,
     DEFAULT_CHUNK_SIZE,
 };
-pub use gkfs_common::config::DistributorKind;
+pub use gkfs_common::config::{DistributorKind, RetryConfig};
 pub use gkfs_common::types::Dirent;
 pub use gkfs_daemon::Daemon;

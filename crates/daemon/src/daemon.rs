@@ -62,6 +62,16 @@ impl Daemon {
         self.rpc.endpoint()
     }
 
+    /// In-process client endpoint with explicit options — chaos and
+    /// fault-injection tests shrink the per-call timeout so dropped
+    /// requests burn milliseconds, not the 30 s default.
+    pub fn endpoint_with(
+        self: &Arc<Daemon>,
+        opts: gkfs_rpc::EndpointOptions,
+    ) -> Arc<dyn Endpoint> {
+        self.rpc.endpoint_with(opts)
+    }
+
     /// Additionally serve TCP on `addr` (e.g. `"127.0.0.1:0"`).
     /// Returns the bound address.
     pub fn serve_tcp(self: &Arc<Daemon>, addr: &str) -> Result<std::net::SocketAddr> {

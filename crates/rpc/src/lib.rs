@@ -32,6 +32,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod handler;
 pub mod message;
 pub mod pool;
@@ -40,6 +41,7 @@ pub mod stats;
 pub mod testing;
 pub mod transport;
 
+pub use chaos::{ChaosConfig, ChaosEndpoint, ChaosListener, ChaosStats};
 pub use handler::{Handler, HandlerFn, HandlerRegistry};
 pub use message::{Opcode, Request, Response, Status};
 pub use pool::HandlerPool;

@@ -42,19 +42,44 @@ pub fn sleepy_body(delay_ms: u16, tag: &[u8]) -> Vec<u8> {
 }
 
 /// Fails every `fail_every`-th call with an RPC error (1 = every call).
+///
+/// Two injection points, mirroring where a real network loses things:
+///
+/// * **submit-path** ([`FlakyEndpoint::new`]): the submission itself
+///   errors; the daemon never sees the request.
+/// * **reply-path** ([`FlakyEndpoint::new_reply_path`]): the request
+///   is *delivered and applied* by the daemon, but the reply is lost
+///   and the waiter gets an error. This is the case that makes blind
+///   retry of non-idempotent operations dangerous — a retried create
+///   can find its own first attempt already applied — so the retry
+///   layer's idempotency handling is tested against exactly this.
 pub struct FlakyEndpoint {
     inner: Arc<dyn Endpoint>,
     fail_every: u64,
+    fail_replies: bool,
     calls: AtomicU64,
 }
 
 impl FlakyEndpoint {
-    /// Wrap `inner` with the injection policy.
+    /// Wrap `inner`, failing every `fail_every`-th **submission**.
     pub fn new(inner: Arc<dyn Endpoint>, fail_every: u64) -> Arc<FlakyEndpoint> {
         assert!(fail_every >= 1);
         Arc::new(FlakyEndpoint {
             inner,
             fail_every,
+            fail_replies: false,
+            calls: AtomicU64::new(0),
+        })
+    }
+
+    /// Wrap `inner`, losing every `fail_every`-th **reply**: the
+    /// request is forwarded (and applied) but its wait fails.
+    pub fn new_reply_path(inner: Arc<dyn Endpoint>, fail_every: u64) -> Arc<FlakyEndpoint> {
+        assert!(fail_every >= 1);
+        Arc::new(FlakyEndpoint {
+            inner,
+            fail_every,
+            fail_replies: true,
             calls: AtomicU64::new(0),
         })
     }
@@ -69,6 +94,16 @@ impl Endpoint for FlakyEndpoint {
     fn submit(&self, req: Request) -> Result<ReplyHandle> {
         let n = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
         if n % self.fail_every == 0 {
+            if self.fail_replies {
+                // Deliver the request for real — the daemon applies
+                // it — then lose the reply. Dropping the inner handle
+                // reaps its pending slot; the caller's wait sees a
+                // retryable error, as with a reply lost on the wire.
+                let _ = self.inner.submit(req)?;
+                return Ok(ReplyHandle::ready(Err(GkfsError::Rpc(
+                    "injected reply fault".into(),
+                ))));
+            }
             return Err(GkfsError::Rpc("injected fault".into()));
         }
         self.inner.submit(req)
@@ -76,6 +111,10 @@ impl Endpoint for FlakyEndpoint {
 
     fn timeout(&self) -> Duration {
         self.inner.timeout()
+    }
+
+    fn reconnects(&self) -> u64 {
+        self.inner.reconnects()
     }
 }
 
@@ -139,6 +178,32 @@ mod tests {
             vec![true, true, false, true, true, false, true, true, false]
         );
         assert_eq!(flaky.calls(), 9);
+    }
+
+    #[test]
+    fn flaky_reply_path_applies_op_but_loses_reply() {
+        // The property that motivates idempotency-aware retry: the
+        // caller sees a failure, yet the daemon executed the request.
+        let applied = Arc::new(AtomicU64::new(0));
+        let counter = applied.clone();
+        let mut reg = HandlerRegistry::new();
+        reg.register_fn(Opcode::Ping, move |req| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            Response::ok(req.body)
+        });
+        let server = RpcServer::new(reg, 1);
+        let flaky = FlakyEndpoint::new_reply_path(server.endpoint(), 2);
+
+        assert!(flaky.call(Request::new(Opcode::Ping, &b""[..])).is_ok());
+        let second = flaky.call(Request::new(Opcode::Ping, &b""[..]));
+        assert!(matches!(second, Err(GkfsError::Rpc(_))));
+
+        // Both requests reached the daemon despite the second's error.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while applied.load(Ordering::Relaxed) < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(applied.load(Ordering::Relaxed), 2, "lost-reply op must still apply");
     }
 
     #[test]

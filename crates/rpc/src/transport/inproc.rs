@@ -90,7 +90,7 @@ impl Endpoint for InprocEndpoint {
         req.id = self.server.next_id.fetch_add(1, Ordering::Relaxed);
         self.server.stats.record_request(req.body.len(), req.bulk.len());
 
-        let (tx, rx) = crossbeam::channel::bounded::<Response>(1);
+        let (tx, rx) = crossbeam::channel::bounded::<Result<Response>>(1);
         let registry = Arc::clone(&self.server.registry);
         let stats = Arc::clone(&self.server.stats);
         self.server.pool.submit(move || {
@@ -100,7 +100,7 @@ impl Endpoint for InprocEndpoint {
                 resp.body.len(),
                 resp.bulk.len(),
             );
-            let _ = tx.send(resp);
+            let _ = tx.send(Ok(resp));
         });
         // If the pool is torn down with the job undrained, the sender
         // drops and the handle disconnects — surface that as shutdown.

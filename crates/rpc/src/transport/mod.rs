@@ -64,8 +64,11 @@ impl EndpointOptions {
 }
 
 enum ReplySource {
-    /// Response will arrive on this channel (transport completion).
-    Waiting(Receiver<Response>),
+    /// Outcome will arrive on this channel (transport completion). The
+    /// transport sends `Ok(resp)` on a normal reply, or `Err(e)` to
+    /// fail the request with a *typed* cause (connection reset, frame
+    /// corruption) so callers can classify it for retry.
+    Waiting(Receiver<Result<Response>>),
     /// Result was known at submission time (test doubles, fast errors).
     Ready(Option<Result<Response>>),
 }
@@ -89,7 +92,7 @@ pub struct ReplyHandle {
 
 impl ReplyHandle {
     /// A handle completed by sending on the paired channel.
-    pub fn pending(rx: Receiver<Response>) -> ReplyHandle {
+    pub fn pending(rx: Receiver<Result<Response>>) -> ReplyHandle {
         ReplyHandle {
             source: ReplySource::Waiting(rx),
             disconnect: GkfsError::Rpc("connection closed".into()),
@@ -124,7 +127,10 @@ impl ReplyHandle {
     /// application status still rides inside the [`Response`]).
     ///
     /// * response arrived → `Ok(resp)`
-    /// * transport died → the disconnect error, immediately
+    /// * transport failed the request with a typed cause (connection
+    ///   reset, corrupt frame) → that error, immediately
+    /// * transport died without a cause → the disconnect error,
+    ///   immediately
     /// * `timeout` elapsed → `Err(Timeout)`, and the pending slot is
     ///   reaped so a late response cannot leak it
     pub fn wait(mut self, timeout: Duration) -> Result<Response> {
@@ -140,10 +146,11 @@ impl ReplyHandle {
                 }
             }
             ReplySource::Waiting(rx) => match rx.recv_timeout(timeout) {
-                Ok(resp) => {
-                    // Completed: the transport already reaped the slot.
+                Ok(outcome) => {
+                    // Completed either way: the transport already
+                    // reaped the slot.
                     self.abandon = None;
-                    Ok(resp)
+                    outcome
                 }
                 Err(RecvTimeoutError::Disconnected) => Err(self.disconnect.clone()),
                 Err(RecvTimeoutError::Timeout) => Err(GkfsError::Timeout),
@@ -183,6 +190,13 @@ pub trait Endpoint: Send + Sync {
     fn call(&self, req: Request) -> Result<Response> {
         self.submit(req)?.wait(self.timeout())
     }
+
+    /// How many times this endpoint has re-established its underlying
+    /// connection. Transports without a connection (in-process, test
+    /// doubles) report zero forever.
+    fn reconnects(&self) -> u64 {
+        0
+    }
 }
 
 #[cfg(test)]
@@ -201,7 +215,7 @@ mod tests {
 
     #[test]
     fn disconnect_fails_fast_with_custom_error() {
-        let (tx, rx) = bounded::<Response>(1);
+        let (tx, rx) = bounded::<Result<Response>>(1);
         let h = ReplyHandle::pending(rx).on_disconnect(GkfsError::ShuttingDown);
         drop(tx);
         let t0 = std::time::Instant::now();
@@ -213,8 +227,19 @@ mod tests {
     }
 
     #[test]
+    fn typed_failure_travels_over_the_channel() {
+        let (tx, rx) = bounded::<Result<Response>>(1);
+        let h = ReplyHandle::pending(rx);
+        tx.send(Err(GkfsError::Corruption("bad frame".into()))).unwrap();
+        assert!(matches!(
+            h.wait(Duration::from_secs(1)),
+            Err(GkfsError::Corruption(_))
+        ));
+    }
+
+    #[test]
     fn timeout_and_drop_run_the_abandon_hook_once() {
-        let (_tx, rx) = bounded::<Response>(1);
+        let (_tx, rx) = bounded::<Result<Response>>(1);
         let reaped = Arc::new(AtomicBool::new(false));
         let flag = reaped.clone();
         let h = ReplyHandle::pending(rx).on_abandon(move || {
@@ -229,13 +254,13 @@ mod tests {
 
     #[test]
     fn completion_skips_the_abandon_hook() {
-        let (tx, rx) = bounded::<Response>(1);
+        let (tx, rx) = bounded::<Result<Response>>(1);
         let reaped = Arc::new(AtomicBool::new(false));
         let flag = reaped.clone();
         let h = ReplyHandle::pending(rx).on_abandon(move || {
             flag.store(true, Ordering::SeqCst);
         });
-        tx.send(Response::ok(&b"done"[..])).unwrap();
+        tx.send(Ok(Response::ok(&b"done"[..]))).unwrap();
         h.wait(Duration::from_secs(1)).unwrap();
         assert!(!reaped.load(Ordering::SeqCst), "completed handles are not abandoned");
     }

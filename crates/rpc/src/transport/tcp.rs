@@ -1,13 +1,25 @@
 //! TCP transport.
 //!
 //! Real sockets, for running daemons as separate processes or on
-//! separate machines. Frames are length-prefixed; each connection has
-//! one reader thread, and responses are correlated to waiting callers
-//! by request id, so one connection multiplexes any number of
-//! concurrent calls (as Mercury does over its network plugins).
-//! Submission is nonblocking: `submit` registers the pending slot and
-//! writes the frame; the reader thread completes handles as responses
-//! arrive, in whatever order the daemon finishes them.
+//! separate machines. Frames are length-prefixed and CRC32-checked;
+//! each connection has one reader thread, and responses are correlated
+//! to waiting callers by request id, so one connection multiplexes any
+//! number of concurrent calls (as Mercury does over its network
+//! plugins). Submission is nonblocking: `submit` registers the pending
+//! slot and writes the frame; the reader thread completes handles as
+//! responses arrive, in whatever order the daemon finishes them.
+//!
+//! # Failure semantics
+//!
+//! A dead connection does not brick the endpoint. When the reader
+//! thread dies (peer reset, EOF, corrupt frame) it fails every
+//! in-flight request with a *typed* error — [`GkfsError::Rpc`] for
+//! connection loss, [`GkfsError::Corruption`] for a checksum mismatch
+//! — and clears the live connection. The next `submit` re-dials,
+//! subject to a small exponential backoff after failed dial attempts
+//! so a down daemon is probed, not hammered. All of these errors
+//! satisfy `GkfsError::is_retryable`, which is what lets the client
+//! retry layer ride through a daemon restart transparently.
 
 use crate::handler::HandlerRegistry;
 use crate::message::{Request, Response};
@@ -23,31 +35,84 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Maximum accepted frame: 256 MiB guards against garbage length
 /// prefixes from a confused peer.
 const MAX_FRAME: u32 = 256 * 1024 * 1024;
 
+/// First re-dial backoff after a failed dial attempt; doubles per
+/// consecutive failure up to [`DIAL_BACKOFF_MAX_MS`].
+const DIAL_BACKOFF_BASE_MS: u64 = 10;
+
+/// Re-dial backoff ceiling.
+const DIAL_BACKOFF_MAX_MS: u64 = 500;
+
+/// CRC32 (IEEE, reflected) lookup table, built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 (IEEE) of `data` — the checksum appended to every wire frame.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Wire frame: `len: u32 LE` (payload bytes only), payload, then
+/// `crc32(payload): u32 LE`. I/O failures are reported as
+/// [`GkfsError::Rpc`] so they classify as retryable connection loss.
 fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> Result<()> {
     let len = payload.len() as u32;
     if len > MAX_FRAME {
         return Err(GkfsError::Rpc(format!("frame too large: {len}")));
     }
-    stream.write_all(&len.to_le_bytes())?;
-    stream.write_all(payload)?;
+    let io = |e: std::io::Error| GkfsError::Rpc(format!("connection lost: {e}"));
+    stream.write_all(&len.to_le_bytes()).map_err(io)?;
+    stream.write_all(payload).map_err(io)?;
+    stream.write_all(&crc32(payload).to_le_bytes()).map_err(io)?;
     Ok(())
 }
 
+/// Counterpart of [`write_frame`]: verifies the trailing checksum and
+/// surfaces a mismatch as [`GkfsError::Corruption`]. The caller must
+/// treat corruption as fatal for the connection — after a bad frame
+/// the stream offset can no longer be trusted, so the only way to
+/// resynchronize is to drop the connection and reconnect.
 fn read_frame(stream: &mut TcpStream) -> Result<Vec<u8>> {
+    let io = |e: std::io::Error| GkfsError::Rpc(format!("connection lost: {e}"));
     let mut len_buf = [0u8; 4];
-    stream.read_exact(&mut len_buf)?;
+    stream.read_exact(&mut len_buf).map_err(io)?;
     let len = u32::from_le_bytes(len_buf);
     if len > MAX_FRAME {
         return Err(GkfsError::Rpc(format!("frame too large: {len}")));
     }
     let mut buf = vec![0u8; len as usize];
-    stream.read_exact(&mut buf)?;
+    stream.read_exact(&mut buf).map_err(io)?;
+    let mut crc_buf = [0u8; 4];
+    stream.read_exact(&mut crc_buf).map_err(io)?;
+    let want = u32::from_le_bytes(crc_buf);
+    let got = crc32(&buf);
+    if got != want {
+        return Err(GkfsError::Corruption(format!(
+            "tcp frame crc mismatch: computed {got:#010x}, frame says {want:#010x}"
+        )));
+    }
     Ok(buf)
 }
 
@@ -153,6 +218,17 @@ impl TcpServer {
         &self.stats
     }
 
+    /// Forcibly sever every established connection while the server
+    /// keeps listening — the moral equivalent of a transient network
+    /// partition or a middlebox reset. Clients see their in-flight
+    /// requests fail with a retryable error and reconnect on the next
+    /// submit. Used by the chaos and robustness tests.
+    pub fn sever_connections(&self) {
+        for c in self.conns.lock().drain(..) {
+            let _ = c.shutdown(std::net::Shutdown::Both);
+        }
+    }
+
     /// Stop accepting and wind down. In-flight requests on open
     /// connections complete; new connections are rejected.
     pub fn shutdown(&self) {
@@ -170,9 +246,7 @@ impl TcpServer {
         }
         // Sever every established connection: a stopped daemon must
         // look stopped to its clients.
-        for c in self.conns.lock().drain(..) {
-            let _ = c.shutdown(std::net::Shutdown::Both);
-        }
+        self.sever_connections();
     }
 }
 
@@ -200,7 +274,10 @@ fn serve_connection(
     loop {
         let frame = match read_frame(&mut reader) {
             Ok(f) => f,
-            Err(_) => break, // peer closed or stream damaged: drop conn
+            // Peer closed, stream damaged, or checksum mismatch: the
+            // stream offset is untrustworthy either way, so drop the
+            // connection and let the client reconnect.
+            Err(_) => break,
         };
         let req = match Request::decode(&frame) {
             Ok(r) => r,
@@ -226,16 +303,123 @@ fn serve_connection(
             let _ = write_frame(&mut writer.lock(), &resp.encode());
         });
     }
+    // The accept loop parked a clone of this socket in the server's
+    // `conns` list (for forcible severing), so dropping our handles
+    // does not close the fd. Shut the socket down explicitly: a stream
+    // this loop abandoned (EOF, corrupt frame, protocol break) must
+    // look closed to the peer *now*, not at server shutdown — the
+    // client fails its in-flight requests fast and reconnects.
+    let _ = reader.shutdown(std::net::Shutdown::Both);
+}
+
+/// Correlation table for one live connection: request id → completion
+/// sender. Each connection generation gets its *own* table, so a
+/// request submitted on connection N can never be completed (or
+/// leaked) by connection N+1's reader.
+type PendingMap = Arc<OrderedMutex<HashMap<u64, Sender<Result<Response>>>>>;
+
+/// One live connection generation.
+struct LiveConn {
+    gen: u64,
+    writer: TcpStream,
+    pending: PendingMap,
+}
+
+/// Mutable connection state behind the endpoint's `conn` lock.
+struct ConnSlot {
+    live: Option<LiveConn>,
+    /// Generation counter; each successful dial gets a fresh one so a
+    /// stale reader thread cannot clear a newer connection.
+    gens: u64,
+    /// `true` while one submitter is off dialing (without the lock
+    /// held); others fail fast with a retryable error instead of
+    /// piling up behind the dial.
+    dialing: bool,
+    /// Consecutive failed dial attempts, drives the re-dial backoff.
+    dial_fails: u32,
+    /// Earliest instant the next dial may be attempted.
+    next_dial: Option<Instant>,
 }
 
 /// Client handle to one TCP daemon. One socket, multiplexed: any
-/// number of submitted requests share it, correlated by id.
+/// number of submitted requests share it, correlated by id. When the
+/// connection dies the endpoint re-dials on the next submit (with
+/// backoff) instead of bricking — see the module docs for the exact
+/// failure semantics.
 pub struct TcpEndpoint {
-    writer: OrderedMutex<TcpStream>,
-    pending: Arc<OrderedMutex<HashMap<u64, Sender<Response>>>>,
+    addr: String,
+    conn: Arc<OrderedMutex<ConnSlot>>,
     next_id: AtomicU64,
     timeout: Duration,
-    closed: Arc<AtomicBool>,
+    reconnects: AtomicU64,
+}
+
+/// Dial `addr` and start its reader thread. The reader owns only the
+/// slot Arc and the connection's pending map — not the endpoint — so
+/// dropping the endpoint does not leak a thread keeping it alive.
+fn dial(addr: &str, conn: &Arc<OrderedMutex<ConnSlot>>, gen: u64) -> Result<LiveConn> {
+    let stream = TcpStream::connect(addr)
+        .map_err(|e| GkfsError::Rpc(format!("connect {addr}: {e}")))?;
+    stream.set_nodelay(true).ok();
+    let reader = stream
+        .try_clone()
+        .map_err(|e| GkfsError::Rpc(e.to_string()))?;
+    let pending: PendingMap = Arc::new(OrderedMutex::new(rank::RPC_PENDING, HashMap::new()));
+
+    {
+        let conn = Arc::clone(conn);
+        let pending = pending.clone();
+        std::thread::Builder::new()
+            .name("gkfs-tcp-reader".into())
+            .spawn(move || {
+                let mut reader = reader;
+                let cause = loop {
+                    match read_frame(&mut reader) {
+                        Ok(frame) => match Response::decode(&frame) {
+                            Ok(resp) => {
+                                if let Some(tx) = pending.lock().remove(&resp.id) {
+                                    let _ = tx.send(Ok(resp));
+                                }
+                            }
+                            Err(e) => {
+                                break GkfsError::Corruption(format!(
+                                    "undecodable response frame: {e}"
+                                ))
+                            }
+                        },
+                        Err(e) => break e,
+                    }
+                };
+                // Retire this connection if it is still the live one
+                // (a submitter that hit a write error may already have
+                // replaced or cleared it).
+                {
+                    let mut s = conn.lock();
+                    if s.live.as_ref().map(|c| c.gen) == Some(gen) {
+                        s.live = None;
+                    }
+                }
+                // Fail every in-flight request with the typed cause.
+                // New submits can no longer reach this map (`live` is
+                // gone and inserts only happen under the conn lock
+                // while this generation is live), so nothing races in
+                // after the drain.
+                let waiters: Vec<Sender<Result<Response>>> = {
+                    let mut p = pending.lock();
+                    p.drain().map(|(_, tx)| tx).collect()
+                };
+                for tx in waiters {
+                    let _ = tx.send(Err(cause.clone()));
+                }
+            })
+            .map_err(|e| GkfsError::Rpc(format!("spawn reader thread: {e}")))?;
+    }
+
+    Ok(LiveConn {
+        gen,
+        writer: stream,
+        pending,
+    })
 }
 
 impl TcpEndpoint {
@@ -244,100 +428,153 @@ impl TcpEndpoint {
         Self::connect_with(addr, EndpointOptions::default())
     }
 
-    /// Connect with explicit [`EndpointOptions`].
+    /// Connect with explicit [`EndpointOptions`]. The initial dial is
+    /// eager so an unreachable daemon fails here, not on first use.
     pub fn connect_with(addr: &str, opts: EndpointOptions) -> Result<Arc<TcpEndpoint>> {
-        let stream = TcpStream::connect(addr)
-            .map_err(|e| GkfsError::Rpc(format!("connect {addr}: {e}")))?;
-        stream.set_nodelay(true).ok();
-        let reader = stream
-            .try_clone()
-            .map_err(|e| GkfsError::Rpc(e.to_string()))?;
-        let pending: Arc<OrderedMutex<HashMap<u64, Sender<Response>>>> =
-            Arc::new(OrderedMutex::new(rank::RPC_PENDING, HashMap::new()));
-        let closed = Arc::new(AtomicBool::new(false));
-
-        {
-            let pending = pending.clone();
-            let closed = closed.clone();
-            std::thread::Builder::new()
-                .name("gkfs-tcp-reader".into())
-                .spawn(move || {
-                    let mut reader = reader;
-                    loop {
-                        let frame = match read_frame(&mut reader) {
-                            Ok(f) => f,
-                            Err(_) => break,
-                        };
-                        let Ok(resp) = Response::decode(&frame) else {
-                            break;
-                        };
-                        if let Some(tx) = pending.lock().remove(&resp.id) {
-                            let _ = tx.send(resp);
-                        }
-                    }
-                    // Order matters for the fail-fast guarantee:
-                    // `closed` flips first, then the pending table is
-                    // drained. A submitter that slips its slot in
-                    // after the drain observes `closed` on its
-                    // post-insert recheck and reaps the slot itself —
-                    // either way every waiter's channel disconnects
-                    // promptly instead of burning its full timeout.
-                    closed.store(true, Ordering::SeqCst);
-                    pending.lock().clear();
-                })
-                .map_err(|e| GkfsError::Rpc(format!("spawn reader thread: {e}")))?;
-        }
-
+        let conn = Arc::new(OrderedMutex::new(
+            rank::RPC_CONN,
+            ConnSlot {
+                live: None,
+                gens: 1,
+                dialing: false,
+                dial_fails: 0,
+                next_dial: None,
+            },
+        ));
+        let live = dial(addr, &conn, 1)?;
+        conn.lock().live = Some(live);
         Ok(Arc::new(TcpEndpoint {
-            writer: OrderedMutex::new(rank::RPC_WRITER, stream),
-            pending,
+            addr: addr.to_string(),
+            conn,
             next_id: AtomicU64::new(1),
             timeout: opts.timeout,
-            closed,
+            reconnects: AtomicU64::new(0),
         }))
     }
 
     /// Number of submitted requests whose responses have not arrived
     /// yet (diagnostics; the pipelining tests assert nothing leaks).
     pub fn pending_len(&self) -> usize {
-        self.pending.lock().len()
+        let s = self.conn.lock();
+        s.live.as_ref().map_or(0, |c| c.pending.lock().len())
     }
-}
 
-impl Endpoint for TcpEndpoint {
-    fn submit(&self, mut req: Request) -> Result<ReplyHandle> {
-        if self.closed.load(Ordering::SeqCst) {
+    /// Register `(id → tx)` on the live connection and write the
+    /// frame, all under the conn lock. On a write error the connection
+    /// is torn down (the socket is broken) so the next submit re-dials
+    /// immediately, and the error — retryable — is returned.
+    fn send_on_live(
+        &self,
+        s: &mut ConnSlot,
+        id: u64,
+        frame: &[u8],
+    ) -> Result<ReplyHandle> {
+        let (tx, rx) = bounded::<Result<Response>>(1);
+        let Some(live) = s.live.as_mut() else {
+            // The connection died between the dial/check and now; the
+            // retry layer treats this as connection loss and retries.
             return Err(closed_err());
+        };
+        live.pending.lock().insert(id, tx);
+        let pending = Arc::clone(&live.pending);
+        if let Err(e) = write_frame(&mut live.writer, frame) {
+            pending.lock().remove(&id);
+            // An established connection broke mid-write: clear it and
+            // allow an immediate re-dial (backoff only gates dials
+            // that themselves failed).
+            s.live = None;
+            s.dial_fails = 0;
+            s.next_dial = None;
+            return Err(e);
         }
-        req.id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let id = req.id;
-        let (tx, rx) = bounded::<Response>(1);
-        self.pending.lock().insert(id, tx);
-        let frame = req.encode();
-        {
-            let mut w = self.writer.lock();
-            if let Err(e) = write_frame(&mut w, &frame) {
-                self.pending.lock().remove(&id);
-                return Err(e);
-            }
-        }
-        // Close race: if the reader died between the check above and
-        // our insert, it has already drained `pending` and will never
-        // see the slot. Reap it ourselves so the handle disconnects
-        // immediately instead of timing out.
-        if self.closed.load(Ordering::SeqCst) {
-            self.pending.lock().remove(&id);
-        }
-        let pending = Arc::clone(&self.pending);
         Ok(ReplyHandle::pending(rx)
             .on_disconnect(closed_err())
             .on_abandon(move || {
                 pending.lock().remove(&id);
             }))
     }
+}
+
+/// What `submit` decided to do after inspecting the conn slot.
+enum SubmitPlan {
+    /// A connection is live; go send on it.
+    UseLive,
+    /// This submitter claimed the dial; `gen` is the new generation.
+    Dial(u64),
+    /// Another submitter is dialing right now.
+    DialInProgress,
+    /// A recent dial failed; next attempt not before the stored time.
+    Backoff,
+}
+
+impl Endpoint for TcpEndpoint {
+    fn submit(&self, mut req: Request) -> Result<ReplyHandle> {
+        req.id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let id = req.id;
+        let frame = req.encode();
+
+        let plan = {
+            let mut s = self.conn.lock();
+            if s.live.is_some() {
+                SubmitPlan::UseLive
+            } else if s.dialing {
+                SubmitPlan::DialInProgress
+            } else if s.next_dial.is_some_and(|t| Instant::now() < t) {
+                SubmitPlan::Backoff
+            } else {
+                s.dialing = true;
+                s.gens += 1;
+                SubmitPlan::Dial(s.gens)
+            }
+        };
+
+        match plan {
+            SubmitPlan::UseLive => {
+                let mut s = self.conn.lock();
+                self.send_on_live(&mut s, id, &frame)
+            }
+            SubmitPlan::DialInProgress => Err(GkfsError::Rpc(format!(
+                "{}: reconnect in progress",
+                self.addr
+            ))),
+            SubmitPlan::Backoff => Err(GkfsError::Rpc(format!(
+                "{}: reconnect backoff",
+                self.addr
+            ))),
+            SubmitPlan::Dial(gen) => {
+                // Dial without the lock held: a slow/unroutable dial
+                // must not stall submitters (they fail fast above).
+                let dialed = dial(&self.addr, &self.conn, gen);
+                let mut s = self.conn.lock();
+                s.dialing = false;
+                match dialed {
+                    Ok(live) => {
+                        s.live = Some(live);
+                        s.dial_fails = 0;
+                        s.next_dial = None;
+                        self.reconnects.fetch_add(1, Ordering::Relaxed);
+                        self.send_on_live(&mut s, id, &frame)
+                    }
+                    Err(e) => {
+                        s.dial_fails = s.dial_fails.saturating_add(1);
+                        // Capped shift: the ceiling is hit long before
+                        // the shift could overflow.
+                        let shift = s.dial_fails.min(16) - 1;
+                        let ms = (DIAL_BACKOFF_BASE_MS << shift).min(DIAL_BACKOFF_MAX_MS);
+                        s.next_dial = Some(Instant::now() + Duration::from_millis(ms));
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
 
     fn timeout(&self) -> Duration {
         self.timeout
+    }
+
+    fn reconnects(&self) -> u64 {
+        self.reconnects.load(Ordering::Relaxed)
     }
 }
 
@@ -352,6 +589,13 @@ mod tests {
         reg.register_fn(Opcode::Ping, |req| Response::ok(req.body).with_bulk(req.bulk));
         reg.register_fn(Opcode::Stat, |_| Response::err(GkfsError::NotFound));
         reg
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The standard CRC32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 
     #[test]
@@ -442,5 +686,84 @@ mod tests {
             .unwrap();
         assert_eq!(resp.bulk, bulk);
         server.shutdown();
+    }
+
+    #[test]
+    fn endpoint_survives_connection_reset() {
+        let server = TcpServer::bind("127.0.0.1:0", echo_registry(), 2).unwrap();
+        let ep = TcpEndpoint::connect(&server.local_addr().to_string()).unwrap();
+        ep.call(Request::new(Opcode::Ping, &b"before"[..])).unwrap();
+        assert_eq!(ep.reconnects(), 0);
+
+        server.sever_connections();
+
+        // The reset may fail one or two calls with a retryable error
+        // while the endpoint notices and re-dials; it must recover
+        // without the endpoint being rebuilt.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let resp = loop {
+            match ep.call(Request::new(Opcode::Ping, &b"after"[..])) {
+                Ok(r) => break r,
+                Err(e) => {
+                    assert!(e.is_retryable(), "reset must surface as retryable, got {e:?}");
+                    assert!(Instant::now() < deadline, "endpoint never recovered");
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        };
+        assert_eq!(&resp.body[..], b"after");
+        assert!(ep.reconnects() >= 1, "recovery must go through a re-dial");
+        server.shutdown();
+    }
+
+    #[test]
+    fn in_flight_requests_fail_typed_on_reset() {
+        // A slow handler so the request is in flight when the reset hits.
+        let mut reg = HandlerRegistry::new();
+        reg.register_fn(Opcode::Ping, |req| {
+            std::thread::sleep(Duration::from_millis(300));
+            Response::ok(req.body)
+        });
+        let server = TcpServer::bind("127.0.0.1:0", reg, 1).unwrap();
+        let ep = TcpEndpoint::connect(&server.local_addr().to_string()).unwrap();
+        let h = ep.submit(Request::new(Opcode::Ping, &b"slow"[..])).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        server.sever_connections();
+        let t0 = Instant::now();
+        let err = h.wait(Duration::from_secs(30)).unwrap_err();
+        assert!(err.is_retryable(), "in-flight failure must be retryable: {err:?}");
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "reset must fail fast, not burn the timeout"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn corrupt_reply_surfaces_as_corruption() {
+        // A raw fake server that answers with a deliberately wrong
+        // checksum: the client must classify it as Corruption, not a
+        // generic connection error.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let t = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut len_buf = [0u8; 4];
+            s.read_exact(&mut len_buf).unwrap();
+            let n = u32::from_le_bytes(len_buf) as usize;
+            let mut buf = vec![0u8; n + 4]; // payload + its crc
+            s.read_exact(&mut buf).unwrap();
+            let payload = Response::ok(&b"x"[..]).encode();
+            s.write_all(&(payload.len() as u32).to_le_bytes()).unwrap();
+            s.write_all(&payload).unwrap();
+            s.write_all(&(crc32(&payload) ^ 1).to_le_bytes()).unwrap();
+            s.flush().unwrap();
+            // Give the client a moment to read before we hang up.
+            std::thread::sleep(Duration::from_millis(200));
+        });
+        let ep = TcpEndpoint::connect(&addr).unwrap();
+        let err = ep.call(Request::new(Opcode::Ping, &b""[..])).unwrap_err();
+        assert!(matches!(err, GkfsError::Corruption(_)), "got {err:?}");
+        t.join().unwrap();
     }
 }

@@ -27,4 +27,13 @@ echo "==> kvstore release stress (optimized timing: stalls, group commit, crash 
 # the contended paths, so run the kvstore suite again in release.
 cargo test -p gkfs-kvstore --release -q
 
+echo "==> chaos suite, release (seeded fault injection under workloads)"
+# Deterministic chaos: mdtest/smallfile-shaped workloads under seeded
+# drop/delay/duplicate/corrupt/reset injection, plus a TCP proxy with
+# mid-workload connection severing. Seeds are fixed in
+# tests/tests/chaos.rs, so a red run reproduces exactly. Release mode:
+# the suite is timeout-bound and debug-mode handler overhead distorts
+# the deadline-bound assertions.
+cargo test -p gkfs-integration --release --test chaos -- --test-threads=2
+
 echo "ci: all green"
