@@ -108,9 +108,67 @@ fn bench_distributor_kind(c: &mut Criterion) {
     group.finish();
 }
 
+/// Multi-chunk batches against one daemon: 64 KiB chunks on a single
+/// node means an N-chunk request arrives as one `ChunkBatchReq` with N
+/// ops — the exact shape the daemon's chunk task engine fans out.
+fn bench_batch_io(c: &mut Criterion) {
+    let mut group = c.benchmark_group("client/batch");
+    for n_chunks in [1u64, 4, 16, 64] {
+        let cluster =
+            Cluster::deploy(ClusterConfig::new(1).with_chunk_size(64 * 1024)).unwrap();
+        let fs = cluster.mount().unwrap();
+        fs.create("/batch", 0o644).unwrap();
+        let len = (n_chunks * 64 * 1024) as usize;
+        let buf = vec![7u8; len];
+        fs.write_at_path("/batch", 0, &buf).unwrap();
+        group.bench_function(format!("write_{n_chunks}chunks"), |b| {
+            b.iter(|| fs.write_at_path("/batch", 0, &buf).unwrap())
+        });
+        group.bench_function(format!("read_{n_chunks}chunks"), |b| {
+            b.iter(|| black_box(fs.read_at_path("/batch", 0, len as u64).unwrap()))
+        });
+        cluster.shutdown();
+    }
+    group.finish();
+}
+
+/// Concurrent clients hammering one daemon with 16-chunk reads; the
+/// handler pool takes the requests, the chunk engine the per-chunk ops.
+fn bench_concurrent_clients(c: &mut Criterion) {
+    let mut group = c.benchmark_group("client/concurrent_read_1m");
+    group.sample_size(10);
+    for n_clients in [1usize, 4, 8] {
+        let cluster =
+            Cluster::deploy(ClusterConfig::new(1).with_chunk_size(64 * 1024)).unwrap();
+        let buf = vec![9u8; 1024 * 1024];
+        let mounts: Vec<_> = (0..n_clients)
+            .map(|i| {
+                let fs = cluster.mount().unwrap();
+                let p = format!("/c{i}");
+                fs.create(&p, 0o644).unwrap();
+                fs.write_at_path(&p, 0, &buf).unwrap();
+                (fs, p)
+            })
+            .collect();
+        group.bench_function(format!("{n_clients}clients"), |b| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for (fs, p) in &mounts {
+                        s.spawn(move || {
+                            black_box(fs.read_at_path(p, 0, 1024 * 1024).unwrap())
+                        });
+                    }
+                });
+            })
+        });
+        cluster.shutdown();
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_metadata_ops, bench_data_path, bench_chunk_size, bench_distributor_kind
+    targets = bench_metadata_ops, bench_data_path, bench_chunk_size, bench_distributor_kind, bench_batch_io, bench_concurrent_clients
 }
 criterion_main!(benches);

@@ -86,7 +86,7 @@ fn bench_merge(c: &mut Criterion) {
 /// background-flush rework to remove).
 fn bench_mixed_threads(c: &mut Criterion) {
     for threads in [1usize, 2, 4, 8] {
-        c.bench_function(&format!("kvstore/mixed_put_get_{threads}t"), |b| {
+        c.bench_function(format!("kvstore/mixed_put_get_{threads}t"), |b| {
             b.iter_custom(|iters| {
                 let db = Db::open_memory(DbOptions {
                     memtable_bytes: 256 * 1024,

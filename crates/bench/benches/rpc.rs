@@ -193,10 +193,10 @@ fn bench_retry_fastpath(c: &mut Criterion) {
     let armed = make_ring(RetryConfig::default());
     let mut group = c.benchmark_group("rpc/retry_fastpath");
     group.bench_function("ping_retry_disabled", |b| {
-        b.iter(|| black_box(disabled.ping(0).unwrap()))
+        b.iter(|| disabled.ping(0).unwrap())
     });
     group.bench_function("ping_retry_default", |b| {
-        b.iter(|| black_box(armed.ping(0).unwrap()))
+        b.iter(|| armed.ping(0).unwrap())
     });
     group.finish();
 }

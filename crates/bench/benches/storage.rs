@@ -2,14 +2,14 @@
 //! backends.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gkfs_storage::{ChunkStorage, FileChunkStorage, MemChunkStorage};
+use gkfs_storage::{BatchOp, ChunkStorage, FileChunkStorage, MemChunkStorage};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 fn bench_backend(c: &mut Criterion, name: &str, storage: &dyn ChunkStorage) {
     let chunk = vec![0xA5u8; 512 * 1024];
     let i = AtomicU64::new(0);
-    c.bench_function(&format!("storage/{name}/write_512k_chunk"), |b| {
+    c.bench_function(format!("storage/{name}/write_512k_chunk"), |b| {
         b.iter(|| {
             let n = i.fetch_add(1, Ordering::Relaxed);
             storage.write_chunk("/bench/file", n, 0, &chunk).unwrap();
@@ -17,12 +17,12 @@ fn bench_backend(c: &mut Criterion, name: &str, storage: &dyn ChunkStorage) {
     });
     // Prepare a chunk for reads.
     storage.write_chunk("/bench/read", 0, 0, &chunk).unwrap();
-    c.bench_function(&format!("storage/{name}/read_512k_chunk"), |b| {
+    c.bench_function(format!("storage/{name}/read_512k_chunk"), |b| {
         b.iter(|| {
             black_box(storage.read_chunk("/bench/read", 0, 0, 512 * 1024).unwrap());
         })
     });
-    c.bench_function(&format!("storage/{name}/read_8k_random_offset"), |b| {
+    c.bench_function(format!("storage/{name}/read_8k_random_offset"), |b| {
         b.iter(|| {
             let n = i.fetch_add(13, Ordering::Relaxed);
             let off = (n * 8192) % (504 * 1024);
@@ -31,14 +31,63 @@ fn bench_backend(c: &mut Criterion, name: &str, storage: &dyn ChunkStorage) {
     });
 }
 
+/// One daemon-side chunk batch: `(chunk_id, offset, len)` per op, all
+/// ops 64 KiB here — the shape a striped 1 MiB client request takes
+/// after the distributor fans it out.
+const BATCH_OP: usize = 64 * 1024;
+
+fn layout(ops: &[(u64, u64, u64)]) -> Vec<BatchOp> {
+    let mut cursor = 0;
+    ops.iter()
+        .map(|&(chunk_id, offset, len)| {
+            let op = BatchOp { chunk_id, offset, len, buf_offset: cursor };
+            cursor += len;
+            op
+        })
+        .collect()
+}
+
+fn batch_write(s: &dyn ChunkStorage, path: &str, ops: &[(u64, u64, u64)], bulk: &[u8]) {
+    s.write_chunks_batch(path, &layout(ops), bulk).unwrap();
+}
+
+fn batch_read(s: &dyn ChunkStorage, path: &str, ops: &[(u64, u64, u64)]) -> Vec<u8> {
+    let total: u64 = ops.iter().map(|&(_, _, len)| len).sum();
+    let mut out = vec![0u8; total as usize];
+    s.read_chunks_batch(path, &layout(ops), &mut out).unwrap();
+    out
+}
+
+/// Multi-chunk batches: 1/4/16/64 chunks per request, mirroring the
+/// daemon's `WriteChunks`/`ReadChunks` handlers.
+fn bench_batches(c: &mut Criterion, name: &str, storage: &dyn ChunkStorage) {
+    let chunk = vec![0xC3u8; BATCH_OP];
+    for id in 0..64u64 {
+        storage.write_chunk("/bench/batch", id, 0, &chunk).unwrap();
+    }
+    let bulk = vec![0x5Au8; BATCH_OP * 64];
+    for n in [1usize, 4, 16, 64] {
+        let ops: Vec<(u64, u64, u64)> =
+            (0..n as u64).map(|id| (id, 0, BATCH_OP as u64)).collect();
+        c.bench_function(format!("storage/{name}/batch_write_{n}x64k"), |b| {
+            b.iter(|| batch_write(storage, "/bench/batch", &ops, &bulk[..n * BATCH_OP]))
+        });
+        c.bench_function(format!("storage/{name}/batch_read_{n}x64k"), |b| {
+            b.iter(|| black_box(batch_read(storage, "/bench/batch", &ops)))
+        });
+    }
+}
+
 fn bench_storages(c: &mut Criterion) {
     let mem = MemChunkStorage::new();
     bench_backend(c, "mem", &mem);
+    bench_batches(c, "mem", &mem);
 
     let dir = std::env::temp_dir().join(format!("gkfs-bench-storage-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let file = FileChunkStorage::open(&dir).unwrap();
     bench_backend(c, "file", &file);
+    bench_batches(c, "file", &file);
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -35,7 +35,7 @@ fn main() {
         for (xfer, label) in [
             (8 * KIB, "8k"),
             (64 * KIB, "64k"),
-            (1 * MIB, "1m"),
+            (MIB, "1m"),
             (16 * MIB, "16m"),
         ] {
             print!("{label:>10}");

@@ -17,7 +17,7 @@ use gkfs_sim::{sim_ior, IorPhase, IorSimConfig, SharedFileMode};
 const MIB: u64 = 1024 * 1024;
 
 fn cfg(nodes: usize, phase: IorPhase, locality: bool, n_to_one: bool) -> IorSimConfig {
-    let mut c = IorSimConfig::new(nodes, phase, 1 * MIB);
+    let mut c = IorSimConfig::new(nodes, phase, MIB);
     c.mode = SharedFileMode::FilePerProcess;
     c.locality = locality;
     c.n_to_one_read = n_to_one;

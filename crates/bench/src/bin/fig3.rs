@@ -11,7 +11,7 @@ const MIB: u64 = 1024 * 1024;
 const XFERS: [(u64, &str); 4] = [
     (8 * KIB, "8k"),
     (64 * KIB, "64k"),
-    (1 * MIB, "1m"),
+    (MIB, "1m"),
     (64 * MIB, "64m"),
 ];
 

@@ -44,6 +44,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+/// Lost-reply tolerance hook: maps an application error seen on a
+/// *retried* attempt to a success value when it proves the first
+/// attempt was applied (e.g. `Exists` after a retried create).
+type Tolerate<T> = Box<dyn Fn(&GkfsError) -> Option<T> + Send>;
+
+
 /// Per-daemon health: the circuit breaker plus counters surfaced by
 /// `cluster_stats` / `gkfs-cli df`.
 #[derive(Debug)]
@@ -143,7 +149,7 @@ pub struct ReplyFuture<T> {
     /// Idempotency tolerance: maps an application error on a *retried*
     /// attempt to a success value when it proves the first attempt was
     /// applied (lost-reply semantics).
-    tolerate: Option<Box<dyn Fn(&GkfsError) -> Option<T> + Send>>,
+    tolerate: Option<Tolerate<T>>,
     decode: Box<dyn Fn(Response) -> Result<T> + Send>,
 }
 
@@ -323,7 +329,7 @@ impl DaemonRing {
         op: Opcode,
         body: impl Into<Bytes>,
         bulk: Bytes,
-        tolerate: Option<Box<dyn Fn(&GkfsError) -> Option<T> + Send>>,
+        tolerate: Option<Tolerate<T>>,
         decode: impl Fn(Response) -> Result<T> + Send + 'static,
     ) -> Result<ReplyFuture<T>> {
         let ep = Arc::clone(self.ep(node)?);

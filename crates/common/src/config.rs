@@ -41,6 +41,13 @@ pub struct DaemonConfig {
     /// trades durability for speed — GekkoFS data is ephemeral by
     /// design, so both settings are legitimate.
     pub kv_wal: bool,
+    /// Workers in the chunk I/O task pool (Argobots ULT stand-in,
+    /// §III-B): per-chunk ops of one batch fan out over these threads.
+    /// `0` runs every batch serially on its handler thread.
+    pub chunk_io_threads: usize,
+    /// Bound on queued chunk tasks; at saturation the handler runs
+    /// tasks inline (caller-runs degradation) instead of queuing more.
+    pub chunk_queue_depth: usize,
 }
 
 impl Default for DaemonConfig {
@@ -50,6 +57,8 @@ impl Default for DaemonConfig {
             chunk_size: DEFAULT_CHUNK_SIZE,
             handler_threads: 4,
             kv_wal: false,
+            chunk_io_threads: 4,
+            chunk_queue_depth: 64,
         }
     }
 }
@@ -278,5 +287,7 @@ mod tests {
         assert!(d.root_dir.is_none());
         assert_eq!(d.chunk_size, DEFAULT_CHUNK_SIZE);
         assert!(d.handler_threads >= 1);
+        assert!(d.chunk_io_threads >= 1);
+        assert!(d.chunk_queue_depth >= d.chunk_io_threads);
     }
 }

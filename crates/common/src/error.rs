@@ -254,7 +254,7 @@ mod tests {
     fn io_error_conversion() {
         let nf = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
         assert_eq!(GkfsError::from(nf), GkfsError::NotFound);
-        let other = std::io::Error::new(std::io::ErrorKind::Other, "weird");
+        let other = std::io::Error::other("weird");
         assert!(matches!(GkfsError::from(other), GkfsError::Io(_)));
     }
 }

@@ -25,6 +25,8 @@
 //! * [`lock`] — ranked mutex/rwlock wrappers enforcing the global lock
 //!   hierarchy (strictly descending acquisition), validated at runtime
 //!   in debug builds and lexically by `gkfs-lint`.
+//! * [`taskpool`] — bounded worker pool with caller-runs overflow, the
+//!   daemon's stand-in for Argobots ULT dispatch (§III-B).
 
 #![warn(missing_docs)]
 
@@ -38,6 +40,7 @@ pub mod lock;
 pub mod log;
 pub mod path;
 pub mod retry;
+pub mod taskpool;
 pub mod types;
 pub mod wire;
 
@@ -47,4 +50,5 @@ pub use distributor::{Distributor, JumpDistributor, LocalityDistributor, SimpleH
 pub use error::{GkfsError, Result};
 pub use lock::{LockRank, OrderedMutex, OrderedRwLock};
 pub use retry::{BreakerState, CircuitBreaker, Deadline, RetryPolicy};
+pub use taskpool::TaskPool;
 pub use types::{FileKind, Metadata, OpenFlags};

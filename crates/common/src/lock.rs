@@ -107,8 +107,16 @@ pub mod rank {
     pub const CHAOS_PARKED: LockRank = LockRank(164);
     /// A chaos endpoint's/proxy's seeded PRNG state (leaf).
     pub const CHAOS_RNG: LockRank = LockRank(162);
+    /// The daemon chunk task pool's work queue. Above the storage
+    /// ranks: a pool worker takes a job off the queue and then runs
+    /// storage code, never the other way around.
+    pub const DAEMON_CHUNK_QUEUE: LockRank = LockRank(156);
     /// One shard of the in-memory chunk store.
     pub const STORAGE_SHARD: LockRank = LockRank(150);
+    /// One shard of the file chunk store's open-fd cache. Below
+    /// `STORAGE_SHARD` so a backend that layered both could resolve
+    /// fds while holding a chunk shard (leaf in practice).
+    pub const STORAGE_FD_SHARD: LockRank = LockRank(146);
     /// The kvstore's background-thread handles.
     pub const KV_THREADS: LockRank = LockRank(130);
     /// Serializes compactions.
@@ -152,7 +160,9 @@ pub mod rank {
             166 => "CHAOS_CONNS",
             164 => "CHAOS_PARKED",
             162 => "CHAOS_RNG",
+            156 => "DAEMON_CHUNK_QUEUE",
             150 => "STORAGE_SHARD",
+            146 => "STORAGE_FD_SHARD",
             130 => "KV_THREADS",
             120 => "KV_COMPACTION",
             116 => "KV_MANIFEST",
@@ -613,6 +623,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "cycle")]
+    #[cfg(debug_assertions)] // the checker module only exists in debug builds
     fn graph_detects_seeded_cycle() {
         // Strict rank checking makes a runtime cycle unreachable, so
         // drive the graph directly: the reverse edge closes a cycle

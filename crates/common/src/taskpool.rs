@@ -1,0 +1,219 @@
+//! Bounded I/O task pool — the stand-in for Argobots ULT dispatch.
+//!
+//! Paper §III-B: the daemon hands each chunk of a request to an
+//! Argobots user-level thread so per-chunk I/O overlaps. We model that
+//! with a small pool of OS threads behind a bounded queue. The
+//! saturation policy mirrors the RPC server's (PR 3): [`TaskPool`]
+//! never blocks a submitter — when the queue is full (or the pool has
+//! no workers at all) `try_submit` hands the job back and the caller
+//! runs it inline on its own thread. Under overload the system thus
+//! degrades to exactly the serial execution it had before the pool
+//! existed, instead of queuing unboundedly.
+
+use crate::lock::{rank, OrderedMutex};
+use parking_lot::Condvar;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A unit of work. Results travel out through whatever channel the
+/// closure captures; the pool itself never sees them.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Queue {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    work_queue: OrderedMutex<Queue>,
+    cv: Condvar,
+    depth: usize,
+    /// Jobs accepted onto the queue (ran on a pool worker).
+    spawned: AtomicU64,
+    /// Jobs bounced back to the submitter (queue full or no workers).
+    inline: AtomicU64,
+}
+
+/// Fixed-size worker pool over a bounded FIFO queue.
+pub struct TaskPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl TaskPool {
+    /// Pool with `threads` workers and room for `depth` queued jobs.
+    /// `threads == 0` is a valid degenerate pool: every submission is
+    /// handed back for inline execution (serial mode).
+    pub fn new(name: &str, threads: usize, depth: usize) -> TaskPool {
+        let shared = Arc::new(Shared {
+            work_queue: OrderedMutex::new(
+                rank::DAEMON_CHUNK_QUEUE,
+                Queue {
+                    jobs: VecDeque::new(),
+                    shutdown: false,
+                },
+            ),
+            cv: Condvar::new(),
+            depth: depth.max(1),
+            spawned: AtomicU64::new(0),
+            inline: AtomicU64::new(0),
+        });
+        let mut workers = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let shared = shared.clone();
+            let builder =
+                std::thread::Builder::new().name(format!("gkfs-{name}-{i}"));
+            // A failed spawn just leaves the pool smaller; with zero
+            // workers everything falls back to inline execution.
+            if let Ok(handle) = builder.spawn(move || worker_loop(&shared)) {
+                workers.push(handle);
+            }
+        }
+        TaskPool { shared, workers }
+    }
+
+    /// Hand `job` to the pool, or hand it back if the pool cannot take
+    /// it right now (queue full, no workers, shutting down). The caller
+    /// must then run it inline — the job is never dropped.
+    pub fn try_submit(&self, job: Job) -> std::result::Result<(), Job> {
+        if self.workers.is_empty() {
+            self.shared.inline.fetch_add(1, Ordering::Relaxed);
+            return Err(job);
+        }
+        {
+            let mut q = self.shared.work_queue.lock();
+            if !q.shutdown && q.jobs.len() < self.shared.depth {
+                q.jobs.push_back(job);
+                self.shared.spawned.fetch_add(1, Ordering::Relaxed);
+                drop(q);
+                self.shared.cv.notify_one();
+                return Ok(());
+            }
+        }
+        self.shared.inline.fetch_add(1, Ordering::Relaxed);
+        Err(job)
+    }
+
+    /// Worker count (0 means pure inline mode).
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// `(tasks_spawned, inline_fallbacks)`.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.shared.spawned.load(Ordering::Relaxed),
+            self.shared.inline.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl Drop for TaskPool {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.work_queue.lock();
+            q.shutdown = true;
+        }
+        self.shared.cv.notify_all();
+        // Join outside any guard (workers drain remaining jobs first).
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.work_queue.lock();
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break Some(job);
+                }
+                if q.shutdown {
+                    break None;
+                }
+                q.wait(&shared.cv);
+            }
+        };
+        match job {
+            // Run outside the queue lock so other workers keep popping.
+            Some(job) => job(),
+            None => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::mpsc;
+
+    #[test]
+    fn runs_submitted_jobs() {
+        let pool = TaskPool::new("t", 2, 16);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..8u32 {
+            let tx = tx.clone();
+            pool.try_submit(Box::new(move || tx.send(i).unwrap()))
+                .ok()
+                .expect("queue has room");
+        }
+        drop(tx);
+        let mut got: Vec<u32> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+        assert_eq!(pool.counters(), (8, 0));
+    }
+
+    #[test]
+    fn zero_workers_means_inline() {
+        let pool = TaskPool::new("t", 0, 16);
+        let ran = AtomicUsize::new(0);
+        let job: Job = Box::new(|| ());
+        let job = pool.try_submit(job).expect_err("no workers: handed back");
+        job();
+        ran.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(pool.counters(), (0, 1));
+        assert_eq!(pool.workers(), 0);
+    }
+
+    #[test]
+    fn full_queue_hands_job_back() {
+        let pool = TaskPool::new("t", 1, 1);
+        // Park the worker so the queue can fill behind it.
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (parked_tx, parked_rx) = mpsc::channel::<()>();
+        pool.try_submit(Box::new(move || {
+            parked_tx.send(()).unwrap();
+            let _ = gate_rx.recv();
+        }))
+        .ok()
+        .expect("first job fits");
+        parked_rx.recv().unwrap(); // worker is now busy
+        pool.try_submit(Box::new(|| ())).ok().expect("depth-1 queue slot");
+        let bounced = pool.try_submit(Box::new(|| ()));
+        assert!(bounced.is_err(), "queue full: job must come back");
+        let (_, inline) = pool.counters();
+        assert_eq!(inline, 1);
+        gate_tx.send(()).unwrap();
+    }
+
+    #[test]
+    fn drop_drains_queued_jobs() {
+        let done = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = TaskPool::new("t", 1, 64);
+            for _ in 0..32 {
+                let done = done.clone();
+                let _ = pool.try_submit(Box::new(move || {
+                    done.fetch_add(1, Ordering::Relaxed);
+                }));
+            }
+        } // drop joins workers after they drain the queue
+        assert_eq!(done.load(Ordering::Relaxed), 32);
+    }
+}

@@ -210,6 +210,16 @@ fn run() -> Result<(), GkfsError> {
                     s.kv_bloom_skips,
                     mean_group
                 );
+                println!(
+                    "        data: {} pool tasks, {} inline runs, fd cache \
+                     {}/{} hit/miss, {} coalesced ops, {} reply copy B",
+                    s.chunk_tasks_spawned,
+                    s.chunk_inline_runs,
+                    s.fd_cache_hits,
+                    s.fd_cache_misses,
+                    s.coalesced_ops,
+                    s.read_reply_copy_bytes
+                );
                 if let Some(h) = health.get(i) {
                     println!(
                         "        health: breaker {} ({} consecutive failures), \

@@ -130,8 +130,10 @@ impl TcpCluster {
         let mut daemons = Vec::with_capacity(config.nodes);
         let mut addrs = Vec::with_capacity(config.nodes);
         for _ in 0..config.nodes {
-            let mut dc = DaemonConfig::default();
-            dc.chunk_size = config.chunk_size;
+            let dc = DaemonConfig {
+                chunk_size: config.chunk_size,
+                ..DaemonConfig::default()
+            };
             let d = Daemon::spawn(dc)?;
             addrs.push(d.serve_tcp("127.0.0.1:0")?);
             daemons.push(d);

@@ -40,14 +40,16 @@ impl Daemon {
                 Arc::new(FileChunkStorage::open(root.join("data"))?),
             ),
         };
-        let backends = Arc::new(Backends { meta, data });
+        let engine = crate::engine::ChunkEngine::new(&config);
+        let backends = Arc::new(Backends { meta, data, engine });
         let registry = build_registry(backends.clone());
         let rpc = RpcServer::new(registry, config.handler_threads);
         gkfs_common::gkfs_info!(
-            "daemon up: root={:?} handlers={} chunk={}",
+            "daemon up: root={:?} handlers={} chunk={} chunk_io={}",
             config.root_dir,
             config.handler_threads,
-            config.chunk_size
+            config.chunk_size,
+            config.chunk_io_threads
         );
         Ok(Arc::new(Daemon {
             backends,

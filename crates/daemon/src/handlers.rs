@@ -5,12 +5,13 @@
 //! storage). Handlers run concurrently on the daemon's pool; all
 //! synchronization lives in the backends.
 
+use crate::engine::ChunkEngine;
 use crate::metadata::MetadataBackend;
 use bytes::Bytes;
 use gkfs_common::{FileKind, GkfsError, Metadata, Result};
 use gkfs_rpc::proto::*;
 use gkfs_rpc::{HandlerRegistry, Opcode, Request, Response};
-use gkfs_storage::ChunkStorage;
+use gkfs_storage::{BatchOp, ChunkStorage};
 use std::sync::Arc;
 
 /// Shared state captured by every handler closure.
@@ -19,6 +20,27 @@ pub struct Backends {
     pub meta: MetadataBackend,
     /// Data.
     pub data: Arc<dyn ChunkStorage>,
+    /// Chunk task engine dispatching data batches over the I/O pool.
+    pub engine: ChunkEngine,
+}
+
+/// Wire ops → batch ops with the running-sum buffer layout the engine
+/// and backends rely on: op *i*'s bytes occupy the `bulk`/reply window
+/// starting at the sum of all earlier ops' lens.
+fn layout_batch(ops: &[ChunkOp]) -> Vec<BatchOp> {
+    let mut cursor = 0u64;
+    ops.iter()
+        .map(|op| {
+            let b = BatchOp {
+                chunk_id: op.chunk_id,
+                offset: op.offset,
+                len: op.len,
+                buf_offset: cursor,
+            };
+            cursor += op.len;
+            b
+        })
+        .collect()
 }
 
 /// Helper: run a fallible handler body, mapping `Err` onto an error
@@ -131,12 +153,8 @@ pub fn build_registry(backends: Arc<Backends>) -> HandlerRegistry {
             respond(|| {
                 let r = ChunkBatchReq::decode(&req.body)?;
                 check_bulk_len(&r, req.bulk.len())?;
-                let mut cursor = 0usize;
-                for op in &r.ops {
-                    let data = &req.bulk[cursor..cursor + op.len as usize];
-                    b.data.write_chunk(&r.path, op.chunk_id, op.offset, data)?;
-                    cursor += op.len as usize;
-                }
+                let ops = layout_batch(&r.ops);
+                b.engine.write_batch(&b.data, &r.path, &ops, &req.bulk)?;
                 Ok(Response::ok(Bytes::new()))
             })
         });
@@ -147,13 +165,8 @@ pub fn build_registry(backends: Arc<Backends>) -> HandlerRegistry {
         reg.register_fn(Opcode::ReadChunks, move |req| {
             respond(|| {
                 let r = ChunkBatchReq::decode(&req.body)?;
-                let mut bulk = Vec::with_capacity(r.total_len() as usize);
-                let mut lens = Vec::with_capacity(r.ops.len());
-                for op in &r.ops {
-                    let data = b.data.read_chunk(&r.path, op.chunk_id, op.offset, op.len)?;
-                    lens.push(data.len() as u64);
-                    bulk.extend_from_slice(&data);
-                }
+                let ops = layout_batch(&r.ops);
+                let (bulk, lens) = b.engine.read_batch(&b.data, &r.path, &ops)?;
                 Ok(Response::ok(ReadChunksResp { lens }.encode()).with_bulk(bulk))
             })
         });
@@ -203,6 +216,8 @@ pub fn build_registry(backends: Arc<Backends>) -> HandlerRegistry {
                 use std::sync::atomic::Ordering::Relaxed;
                 let kv = b.meta.db().stats();
                 let (_, w_bytes, _, r_bytes) = b.data.stats().snapshot();
+                let (fd_hits, fd_misses, coalesced) = b.data.stats().engine_snapshot();
+                let (tasks_spawned, inline_runs, reply_copies) = b.engine.counters();
                 let resp = DaemonStatsResp {
                     meta_entries: b.meta.entry_count()? as u64,
                     kv_puts: kv.puts.load(Relaxed),
@@ -218,6 +233,12 @@ pub fn build_registry(backends: Arc<Backends>) -> HandlerRegistry {
                     kv_group_commits: kv.group_commits.load(Relaxed),
                     kv_group_commit_records: kv.group_commit_records.load(Relaxed),
                     kv_bloom_skips: kv.bloom_skips.load(Relaxed),
+                    chunk_tasks_spawned: tasks_spawned,
+                    chunk_inline_runs: inline_runs,
+                    fd_cache_hits: fd_hits,
+                    fd_cache_misses: fd_misses,
+                    coalesced_ops: coalesced,
+                    read_reply_copy_bytes: reply_copies,
                 };
                 Ok(Response::ok(resp.encode()))
             })
@@ -233,11 +254,15 @@ mod tests {
     use gkfs_storage::MemChunkStorage;
 
     fn registry() -> HandlerRegistry {
-        let backends = Arc::new(Backends {
+        build_registry(backends())
+    }
+
+    fn backends() -> Arc<Backends> {
+        Arc::new(Backends {
             meta: MetadataBackend::open_memory().unwrap(),
             data: Arc::new(MemChunkStorage::new()),
-        });
-        build_registry(backends)
+            engine: ChunkEngine::new(&gkfs_common::DaemonConfig::default()),
+        })
     }
 
     fn call(reg: &HandlerRegistry, op: Opcode, body: Vec<u8>) -> Response {
@@ -300,6 +325,60 @@ mod tests {
         let lens = ReadChunksResp::decode(&resp.body).unwrap().lens;
         assert_eq!(lens, vec![5, 3]);
         assert_eq!(&resp.bulk[..], b"hello+++");
+    }
+
+    /// Acceptance: reply assembly is scatter/gather. A full-length
+    /// multi-chunk read goes straight into the pre-sized reply buffer —
+    /// zero compaction bytes; only a short read forces copies.
+    #[test]
+    fn read_reply_assembly_copies_nothing_on_full_batches() {
+        let b = backends();
+        let reg = build_registry(b.clone());
+        let n = 16usize;
+        let ops: Vec<ChunkOp> = (0..n as u64)
+            .map(|c| ChunkOp { chunk_id: c, offset: 0, len: 4096 })
+            .collect();
+        let batch = ChunkBatchReq { path: "/sg".into(), ops };
+        let bulk: Vec<u8> = (0..n * 4096).map(|i| (i % 241) as u8).collect();
+        call_bulk(&reg, Opcode::WriteChunks, batch.encode(), bulk.clone())
+            .into_result()
+            .unwrap();
+        let resp = call(&reg, Opcode::ReadChunks, batch.encode())
+            .into_result()
+            .unwrap();
+        assert_eq!(&resp.bulk[..], &bulk[..]);
+        let (_, _, reply_copies) = b.engine.counters();
+        assert_eq!(reply_copies, 0, "full-length batch must not compact");
+
+        // Now force a short read: chunk n lands with only 100 bytes,
+        // and an op after it must shift left in the reply.
+        let short = ChunkBatchReq {
+            path: "/sg".into(),
+            ops: vec![
+                ChunkOp { chunk_id: n as u64, offset: 0, len: 4096 },
+                ChunkOp { chunk_id: 0, offset: 0, len: 4096 },
+            ],
+        };
+        call_bulk(
+            &reg,
+            Opcode::WriteChunks,
+            ChunkBatchReq {
+                path: "/sg".into(),
+                ops: vec![ChunkOp { chunk_id: n as u64, offset: 0, len: 100 }],
+            }
+            .encode(),
+            vec![7u8; 100],
+        )
+        .into_result()
+        .unwrap();
+        let resp = call(&reg, Opcode::ReadChunks, short.encode())
+            .into_result()
+            .unwrap();
+        let lens = ReadChunksResp::decode(&resp.body).unwrap().lens;
+        assert_eq!(lens, vec![100, 4096]);
+        assert_eq!(resp.bulk.len(), 4196, "dense reply after short read");
+        let (_, _, reply_copies) = b.engine.counters();
+        assert_eq!(reply_copies, 4096, "only the shifted op's bytes copied");
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //!   including the size merge operator that makes write-size updates
 //!   read-free.
 //! * [`handlers`] — the RPC handler set, one per opcode.
+//! * [`engine`] — the chunk task engine: per-chunk fan-out of data
+//!   batches over a bounded I/O pool (the Argobots ULT model, §III-B).
 //! * [`daemon`] — daemon lifecycle: construction, in-process endpoint
 //!   creation, TCP serving, shutdown.
 //!
@@ -22,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod daemon;
+pub mod engine;
 pub mod handlers;
 pub mod metadata;
 

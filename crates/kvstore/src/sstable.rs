@@ -312,10 +312,8 @@ impl Table {
 
     /// Iterate all entries with `key >= start`, in key order.
     pub fn iter_from(&self, start: &[u8]) -> TableIter<'_> {
-        let block = match self.block_for(start) {
-            Some(b) => b,
-            None => 0, // start before the first key: scan from block 0
-        };
+        // Start before the first key: scan from block 0.
+        let block = self.block_for(start).unwrap_or_default();
         TableIter {
             table: self,
             block_idx: block,

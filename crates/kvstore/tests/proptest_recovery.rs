@@ -5,10 +5,10 @@
 //! Dropping the `Db` handle without `shutdown()` is crash-equivalent:
 //! background threads stop without draining, so frozen memtables die
 //! mid-flight. Every acknowledged operation must still be visible
-//! after reopen, reconstructed from manifest + `flushed_seq` watermark
-//! + WAL segment replay — with group-commit `sync` on and off, and
-//! with memtables small enough that the crash lands mid-background-
-//! flush.
+//! after reopen, reconstructed from the manifest, the `flushed_seq`
+//! watermark, and WAL segment replay — with group-commit `sync` on and
+//! off, and with memtables small enough that the crash lands
+//! mid-background-flush.
 
 use gkfs_kvstore::{Add64MergeOperator, Db, DbOptions, MemBlobStore, WriteBatch};
 use proptest::prelude::*;

@@ -140,7 +140,7 @@ pub fn check_file(rel_path: &str, src: &str, cfg: &Config) -> FileReport {
                             g.opened = true;
                         }
                     }
-                    guards.retain(|g| !(g.mode == Mode::CondTemp && !g.opened));
+                    guards.retain(|g| g.mode != Mode::CondTemp || g.opened);
                 }
             }
             (TokKind::Punct, "}") => {
@@ -164,12 +164,12 @@ pub fn check_file(rel_path: &str, src: &str, cfg: &Config) -> FileReport {
             (TokKind::Ident, "match") | (TokKind::Ident, "for") => {
                 pending_header = Some(true);
             }
-            (TokKind::Ident, "drop") => {
-                if toks.get(i + 1).map(|n| n.is_punct('(')).unwrap_or(false) {
-                    if let Some(name) = toks.get(i + 2).filter(|n| n.kind == TokKind::Ident) {
-                        if toks.get(i + 3).map(|n| n.is_punct(')')).unwrap_or(false) {
-                            guards.retain(|g| g.binding.as_deref() != Some(&name.text));
-                        }
+            (TokKind::Ident, "drop")
+                if toks.get(i + 1).map(|n| n.is_punct('(')).unwrap_or(false) =>
+            {
+                if let Some(name) = toks.get(i + 2).filter(|n| n.kind == TokKind::Ident) {
+                    if toks.get(i + 3).map(|n| n.is_punct(')')).unwrap_or(false) {
+                        guards.retain(|g| g.binding.as_deref() != Some(&name.text));
                     }
                 }
             }

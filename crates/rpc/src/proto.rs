@@ -373,6 +373,20 @@ pub struct DaemonStatsResp {
     pub kv_group_commit_records: u64,
     /// Table probes skipped by bloom filters.
     pub kv_bloom_skips: u64,
+    /// Chunk tasks run on the I/O pool's workers.
+    pub chunk_tasks_spawned: u64,
+    /// Chunk tasks run inline on the handler (pool saturated or serial
+    /// mode).
+    pub chunk_inline_runs: u64,
+    /// Open-fd cache hits in the chunk store.
+    pub fd_cache_hits: u64,
+    /// Open-fd cache misses (each one cost an `open(2)`).
+    pub fd_cache_misses: u64,
+    /// Batch ops merged into a neighbor's syscall by coalescing.
+    pub coalesced_ops: u64,
+    /// Bytes copied compacting read replies after short reads (zero on
+    /// the scatter/gather happy path).
+    pub read_reply_copy_bytes: u64,
 }
 
 impl DaemonStatsResp {
@@ -392,7 +406,13 @@ impl DaemonStatsResp {
             .u64(self.kv_imm_hits)
             .u64(self.kv_group_commits)
             .u64(self.kv_group_commit_records)
-            .u64(self.kv_bloom_skips);
+            .u64(self.kv_bloom_skips)
+            .u64(self.chunk_tasks_spawned)
+            .u64(self.chunk_inline_runs)
+            .u64(self.fd_cache_hits)
+            .u64(self.fd_cache_misses)
+            .u64(self.coalesced_ops)
+            .u64(self.read_reply_copy_bytes);
         e.into_vec()
     }
 
@@ -414,6 +434,12 @@ impl DaemonStatsResp {
             kv_group_commits: d.u64()?,
             kv_group_commit_records: d.u64()?,
             kv_bloom_skips: d.u64()?,
+            chunk_tasks_spawned: d.u64()?,
+            chunk_inline_runs: d.u64()?,
+            fd_cache_hits: d.u64()?,
+            fd_cache_misses: d.u64()?,
+            coalesced_ops: d.u64()?,
+            read_reply_copy_bytes: d.u64()?,
         };
         d.finish()?;
         Ok(r)
@@ -581,6 +607,12 @@ mod tests {
             kv_group_commits: 12,
             kv_group_commit_records: 13,
             kv_bloom_skips: 14,
+            chunk_tasks_spawned: 15,
+            chunk_inline_runs: 16,
+            fd_cache_hits: 17,
+            fd_cache_misses: 18,
+            coalesced_ops: 19,
+            read_reply_copy_bytes: 20,
         };
         assert_eq!(DaemonStatsResp::decode(&r.encode()).unwrap(), r);
     }

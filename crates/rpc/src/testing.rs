@@ -93,7 +93,7 @@ impl FlakyEndpoint {
 impl Endpoint for FlakyEndpoint {
     fn submit(&self, req: Request) -> Result<ReplyHandle> {
         let n = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
-        if n % self.fail_every == 0 {
+        if n.is_multiple_of(self.fail_every) {
             if self.fail_replies {
                 // Deliver the request for real — the daemon applies
                 // it — then lose the reply. Dropping the inner handle

@@ -271,14 +271,10 @@ fn serve_connection(
         },
     ));
     let mut reader = stream;
-    loop {
-        let frame = match read_frame(&mut reader) {
-            Ok(f) => f,
-            // Peer closed, stream damaged, or checksum mismatch: the
-            // stream offset is untrustworthy either way, so drop the
-            // connection and let the client reconnect.
-            Err(_) => break,
-        };
+    // A read error means peer closed, stream damaged, or checksum
+    // mismatch: the stream offset is untrustworthy either way, so drop
+    // the connection and let the client reconnect.
+    while let Ok(frame) = read_frame(&mut reader) {
         let req = match Request::decode(&frame) {
             Ok(r) => r,
             Err(_) => break, // unparseable frame: protocol broken, drop

@@ -319,9 +319,9 @@ mod tests {
 
     #[test]
     fn throughput_scales_with_nodes() {
-        let t2 = run(2, IorPhase::Write, 1 * MIB, false, SharedFileMode::FilePerProcess)
+        let t2 = run(2, IorPhase::Write, MIB, false, SharedFileMode::FilePerProcess)
             .mib_per_sec();
-        let t16 = run(16, IorPhase::Write, 1 * MIB, false, SharedFileMode::FilePerProcess)
+        let t16 = run(16, IorPhase::Write, MIB, false, SharedFileMode::FilePerProcess)
             .mib_per_sec();
         let speedup = t16 / t2;
         assert!(speedup > 6.0, "8× nodes gave only {speedup:.1}× throughput");
@@ -364,9 +364,9 @@ mod tests {
     fn random_at_chunk_size_is_free() {
         // "random accesses for large transfer sizes are conceptually
         // the same as sequential accesses" (§IV-B).
-        let seq = run(4, IorPhase::Write, 1 * MIB, false, SharedFileMode::FilePerProcess)
+        let seq = run(4, IorPhase::Write, MIB, false, SharedFileMode::FilePerProcess)
             .mib_per_sec();
-        let rnd = run(4, IorPhase::Write, 1 * MIB, true, SharedFileMode::FilePerProcess)
+        let rnd = run(4, IorPhase::Write, MIB, true, SharedFileMode::FilePerProcess)
             .mib_per_sec();
         assert!(
             (rnd / seq) > 0.95,
@@ -428,7 +428,7 @@ mod tests {
         // (N-1)/N of the bytes under wide striping and ~0 under
         // locality. Wide striping's cost is the network, its payoff is
         // shared files and location-free reads.
-        let mut wide = IorSimConfig::new(16, IorPhase::Write, 1 * MIB);
+        let mut wide = IorSimConfig::new(16, IorPhase::Write, MIB);
         wide.data_per_proc = 8 * MIB;
         let wide_r = sim_ior(&wide);
 
@@ -457,7 +457,7 @@ mod tests {
         // ONE node, which becomes the bottleneck — precisely why §II
         // calls out that BurstFS "is limited to write data locally".
         let mk = |locality: bool| {
-            let mut cfg = IorSimConfig::new(16, IorPhase::Read, 1 * MIB);
+            let mut cfg = IorSimConfig::new(16, IorPhase::Read, MIB);
             cfg.locality = locality;
             cfg.n_to_one_read = true;
             cfg.data_per_proc = 8 * MIB;

@@ -9,19 +9,58 @@
 //! GekkoFS escapes the file's GekkoFS path into a single directory name
 //! (the C++ implementation substitutes `/` with `:`); we do the same
 //! with a small escape for literal `:` so distinct paths can never
-//! collide. Chunk files are written with positional I/O; sparse writes
-//! rely on the underlying POSIX file zero-filling the gap.
+//! collide. Chunk files are written with positional I/O
+//! ([`FileExt::read_at`]/[`write_all_at`](FileExt::write_all_at)), so
+//! concurrent tasks can hit one chunk file through a shared descriptor
+//! without seek races; sparse writes rely on the underlying POSIX file
+//! zero-filling the gap.
+//!
+//! Descriptors are kept in a sharded open-fd LRU cache: the paper's
+//! Argobots ULTs dispatch many small per-chunk ops against the same
+//! files, and re-running `open(2)` (plus `fstat`) per op dominates the
+//! cost of the op itself. A cached fd can briefly outlive
+//! `remove_chunks`/`truncate_chunks` of its path on a racing thread —
+//! writes then land in an unlinked inode, exactly the POSIX behavior a
+//! concurrent unlink gives the C++ implementation.
 
 use crate::stats::StorageStats;
-use crate::ChunkStorage;
+use crate::{BatchOp, ChunkStorage};
+use gkfs_common::hash::fnv1a64;
+use gkfs_common::lock::{rank, OrderedMutex};
 use gkfs_common::Result;
+use std::collections::HashMap;
 use std::fs;
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::os::unix::fs::FileExt;
 use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+const FD_SHARDS: usize = 8;
+/// Per-shard capacity: 8 × 64 = 512 cached descriptors, comfortably
+/// inside a default 1024 `RLIMIT_NOFILE` alongside sockets and the KV
+/// store's tables.
+const FD_CACHE_PER_SHARD: usize = 64;
+
+struct FdEntry {
+    file: Arc<fs::File>,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct FdShard {
+    /// path → chunk_id → cached descriptor. Nested so lookups borrow
+    /// the path and invalidation drops a whole file in one `remove`.
+    files: HashMap<String, HashMap<u64, FdEntry>>,
+    /// Total entries across `files` (eviction bookkeeping).
+    len: usize,
+    /// Monotonic use counter; larger = more recently used.
+    tick: u64,
+}
 
 /// Chunk store rooted at a directory on the node-local file system.
 pub struct FileChunkStorage {
     chunk_root: PathBuf,
+    fd_shards: Vec<OrderedMutex<FdShard>>,
     stats: StorageStats,
 }
 
@@ -64,6 +103,25 @@ fn unescape_path(escaped: &str) -> String {
     out
 }
 
+/// Positional read loop: fill `buf` from `offset` until full or EOF.
+/// Replaces the old `fstat` + `seek` + `read_exact` triple — EOF is
+/// discovered by the read itself, one syscall in the common case.
+fn read_into(file: &fs::File, mut offset: u64, buf: &mut [u8]) -> Result<usize> {
+    let mut done = 0;
+    while done < buf.len() {
+        match file.read_at(&mut buf[done..], offset) {
+            Ok(0) => break,
+            Ok(n) => {
+                done += n;
+                offset += n as u64;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(done)
+}
+
 impl FileChunkStorage {
     /// Open (creating if needed) a chunk store under `root`.
     pub fn open(root: impl Into<PathBuf>) -> Result<FileChunkStorage> {
@@ -71,6 +129,9 @@ impl FileChunkStorage {
         fs::create_dir_all(&chunk_root)?;
         Ok(FileChunkStorage {
             chunk_root,
+            fd_shards: (0..FD_SHARDS)
+                .map(|_| OrderedMutex::new(rank::STORAGE_FD_SHARD, FdShard::default()))
+                .collect(),
             stats: StorageStats::default(),
         })
     }
@@ -82,49 +143,213 @@ impl FileChunkStorage {
     fn chunk_path(&self, path: &str, chunk_id: u64) -> PathBuf {
         self.file_dir(path).join(format!("{chunk_id}"))
     }
+
+    fn fd_shard(&self, path: &str, chunk_id: u64) -> &OrderedMutex<FdShard> {
+        let h = fnv1a64(path.as_bytes()) ^ chunk_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.fd_shards[(h % FD_SHARDS as u64) as usize]
+    }
+
+    /// The cached descriptor for `(path, chunk_id)`, opening and
+    /// caching on miss. `create` selects `O_CREAT` — the write path
+    /// creates chunk files, the read path must not; a read miss on a
+    /// nonexistent chunk file returns `Ok(None)`. The `open` itself
+    /// runs outside the shard lock so a miss doesn't stall other
+    /// chunks hashed to the same shard.
+    fn chunk_fd(&self, path: &str, chunk_id: u64, create: bool) -> Result<Option<Arc<fs::File>>> {
+        {
+            let mut shard = self.fd_shard(path, chunk_id).lock();
+            shard.tick += 1;
+            let tick = shard.tick;
+            if let Some(entry) = shard
+                .files
+                .get_mut(path)
+                .and_then(|per| per.get_mut(&chunk_id))
+            {
+                entry.last_used = tick;
+                self.stats.fd_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Some(entry.file.clone()));
+            }
+        }
+        self.stats.fd_misses.fetch_add(1, Ordering::Relaxed);
+        let cpath = self.chunk_path(path, chunk_id);
+        // Read+write regardless of caller: the one cached descriptor
+        // serves both directions.
+        let mut opts = fs::OpenOptions::new();
+        opts.read(true).write(true).create(create);
+        let file = match opts.open(&cpath) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                if !create {
+                    return Ok(None);
+                }
+                // First write to this file: the per-file directory is
+                // missing. Racing creators are fine, create_dir_all is
+                // idempotent.
+                fs::create_dir_all(self.file_dir(path))?;
+                opts.open(&cpath)?
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let file = Arc::new(file);
+        let mut shard = self.fd_shard(path, chunk_id).lock();
+        shard.tick += 1;
+        let tick = shard.tick;
+        if shard.len >= FD_CACHE_PER_SHARD {
+            // Evict the least-recently-used entry; the cap is small
+            // enough that a scan beats maintaining an ordered index.
+            let mut victim: Option<(String, u64, u64)> = None;
+            for (p, per) in shard.files.iter() {
+                for (&c, e) in per.iter() {
+                    if victim.as_ref().is_none_or(|v| e.last_used < v.2) {
+                        victim = Some((p.clone(), c, e.last_used));
+                    }
+                }
+            }
+            if let Some((p, c, _)) = victim {
+                let emptied = shard.files.get_mut(&p).map(|per| {
+                    per.remove(&c);
+                    per.is_empty()
+                });
+                if emptied == Some(true) {
+                    shard.files.remove(&p);
+                }
+                shard.len -= 1;
+            }
+        }
+        let per = shard.files.entry(path.to_string()).or_default();
+        if per
+            .insert(
+                chunk_id,
+                FdEntry {
+                    file: file.clone(),
+                    last_used: tick,
+                },
+            )
+            .is_none()
+        {
+            shard.len += 1;
+        }
+        Ok(Some(file))
+    }
+
+    /// Drop every cached descriptor of `path` (after a remove or
+    /// truncate so later ops re-resolve against the real directory).
+    fn invalidate_fds(&self, path: &str) {
+        for fd_shard in &self.fd_shards {
+            let mut shard = fd_shard.lock();
+            if let Some(per) = shard.files.remove(path) {
+                shard.len -= per.len();
+            }
+        }
+    }
+
+    fn write_fd(&self, path: &str, chunk_id: u64) -> Result<Arc<fs::File>> {
+        match self.chunk_fd(path, chunk_id, true)? {
+            Some(f) => Ok(f),
+            // Unreachable with create=true; surface as a plain IO error
+            // rather than panicking in the daemon's data path.
+            None => Err(std::io::Error::from(std::io::ErrorKind::NotFound).into()),
+        }
+    }
 }
 
 impl ChunkStorage for FileChunkStorage {
     fn write_chunk(&self, path: &str, chunk_id: u64, offset: u64, data: &[u8]) -> Result<()> {
         self.stats.record_write(data.len());
-        let dir = self.file_dir(path);
-        // Racing creators are fine: create_dir_all is idempotent.
-        fs::create_dir_all(&dir)?;
-        let mut f = fs::OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(false)
-            .open(self.chunk_path(path, chunk_id))?;
-        f.seek(SeekFrom::Start(offset))?;
-        f.write_all(data)?;
+        let file = self.write_fd(path, chunk_id)?;
+        file.write_all_at(data, offset)?;
         Ok(())
     }
 
     fn read_chunk(&self, path: &str, chunk_id: u64, offset: u64, len: u64) -> Result<Vec<u8>> {
-        let mut out = Vec::new();
-        match fs::File::open(self.chunk_path(path, chunk_id)) {
-            Ok(mut f) => {
-                let size = f.metadata()?.len();
-                if offset < size {
-                    let take = len.min(size - offset);
-                    f.seek(SeekFrom::Start(offset))?;
-                    out.resize(take as usize, 0);
-                    f.read_exact(&mut out)?;
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-            Err(e) => return Err(e.into()),
-        }
-        self.stats.record_read(out.len());
+        let Some(file) = self.chunk_fd(path, chunk_id, false)? else {
+            self.stats.record_read(0);
+            return Ok(Vec::new());
+        };
+        let mut out = vec![0u8; len as usize];
+        let n = read_into(&file, offset, &mut out)?;
+        out.truncate(n);
+        self.stats.record_read(n);
         Ok(out)
     }
 
+    fn write_chunks_batch(&self, path: &str, ops: &[BatchOp], bulk: &[u8]) -> Result<()> {
+        let mut i = 0;
+        while i < ops.len() {
+            let mut end = i + 1;
+            let mut len = ops[i].len;
+            // Merge ops contiguous in both the chunk file and the bulk
+            // buffer: one write_all_at for the whole run.
+            while end < ops.len()
+                && ops[end].chunk_id == ops[i].chunk_id
+                && ops[end].offset == ops[i].offset + len
+                && ops[end].buf_offset == ops[i].buf_offset + len
+            {
+                len += ops[end].len;
+                end += 1;
+            }
+            if end > i + 1 {
+                self.stats
+                    .coalesced_ops
+                    .fetch_add((end - i - 1) as u64, Ordering::Relaxed);
+            }
+            let a = ops[i].buf_offset as usize;
+            let data = &bulk[a..a + len as usize];
+            self.stats.record_write(data.len());
+            let file = self.write_fd(path, ops[i].chunk_id)?;
+            file.write_all_at(data, ops[i].offset)?;
+            i = end;
+        }
+        Ok(())
+    }
+
+    fn read_chunks_batch(&self, path: &str, ops: &[BatchOp], out: &mut [u8]) -> Result<Vec<u64>> {
+        let mut lens = Vec::with_capacity(ops.len());
+        let mut i = 0;
+        while i < ops.len() {
+            let mut end = i + 1;
+            let mut len = ops[i].len;
+            while end < ops.len()
+                && ops[end].chunk_id == ops[i].chunk_id
+                && ops[end].offset == ops[i].offset + len
+                && ops[end].buf_offset == ops[i].buf_offset + len
+            {
+                len += ops[end].len;
+                end += 1;
+            }
+            if end > i + 1 {
+                self.stats
+                    .coalesced_ops
+                    .fetch_add((end - i - 1) as u64, Ordering::Relaxed);
+            }
+            let n = match self.chunk_fd(path, ops[i].chunk_id, false)? {
+                Some(file) => {
+                    let a = ops[i].buf_offset as usize;
+                    read_into(&file, ops[i].offset, &mut out[a..a + len as usize])?
+                }
+                None => 0,
+            };
+            self.stats.record_read(n);
+            // Distribute the merged count back over the run: a short
+            // read is an EOF, so it can only truncate the tail.
+            let mut rel = 0u64;
+            for op in &ops[i..end] {
+                lens.push((n as u64).saturating_sub(rel).min(op.len));
+                rel += op.len;
+            }
+            i = end;
+        }
+        Ok(lens)
+    }
+
     fn remove_chunks(&self, path: &str) -> Result<()> {
-        match fs::remove_dir_all(self.file_dir(path)) {
+        let res = match fs::remove_dir_all(self.file_dir(path)) {
             Ok(()) => Ok(()),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
             Err(e) => Err(e.into()),
-        }
+        };
+        self.invalidate_fds(path);
+        res
     }
 
     fn truncate_chunks(&self, path: &str, keep_chunk: u64, keep_bytes: u64) -> Result<()> {
@@ -148,6 +373,7 @@ impl ChunkStorage for FileChunkStorage {
                 }
             }
         }
+        self.invalidate_fds(path);
         Ok(())
     }
 
@@ -233,6 +459,71 @@ mod tests {
         assert_eq!(names.len(), 2);
         assert!(names.contains(&"0".to_string()));
         assert!(names.contains(&"1".to_string()));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fd_cache_hits_after_first_touch() {
+        let dir = std::env::temp_dir().join(format!("gkfs-fcs-fdcache-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let s = FileChunkStorage::open(&dir).unwrap();
+        s.write_chunk("/hot", 0, 0, b"abcd").unwrap();
+        for _ in 0..10 {
+            assert_eq!(s.read_chunk("/hot", 0, 0, 4).unwrap(), b"abcd");
+        }
+        let (hits, misses, _) = s.stats().engine_snapshot();
+        assert_eq!(misses, 1, "one open for write, reads reuse it");
+        assert!(hits >= 10, "reads must hit the fd cache, got {hits}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn remove_invalidates_cached_fds() {
+        let dir = std::env::temp_dir().join(format!("gkfs-fcs-inval-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let s = FileChunkStorage::open(&dir).unwrap();
+        s.write_chunk("/gone", 0, 0, b"abcd").unwrap();
+        s.remove_chunks("/gone").unwrap();
+        // A stale cached fd would still read the unlinked inode's data.
+        assert!(s.read_chunk("/gone", 0, 0, 4).unwrap().is_empty());
+        // Re-create after remove goes to a fresh file.
+        s.write_chunk("/gone", 0, 0, b"new").unwrap();
+        assert_eq!(s.read_chunk("/gone", 0, 0, 4).unwrap(), b"new");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncate_invalidates_boundary_fd() {
+        let dir = std::env::temp_dir().join(format!("gkfs-fcs-trinval-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let s = FileChunkStorage::open(&dir).unwrap();
+        s.write_chunk("/tr", 0, 0, &[7u8; 64]).unwrap();
+        s.write_chunk("/tr", 1, 0, &[8u8; 64]).unwrap();
+        s.truncate_chunks("/tr", 0, 16).unwrap();
+        assert_eq!(s.read_chunk("/tr", 0, 0, 64).unwrap().len(), 16);
+        assert!(s.read_chunk("/tr", 1, 0, 64).unwrap().is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fd_cache_evicts_beyond_capacity() {
+        let dir = std::env::temp_dir().join(format!("gkfs-fcs-evict-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let s = FileChunkStorage::open(&dir).unwrap();
+        // Far more distinct chunks than the cache holds.
+        let total = FD_SHARDS * FD_CACHE_PER_SHARD * 2;
+        for c in 0..total as u64 {
+            s.write_chunk("/many", c, 0, &c.to_le_bytes()).unwrap();
+        }
+        let cached: usize = s.fd_shards.iter().map(|sh| sh.lock().len).sum();
+        assert!(
+            cached <= FD_SHARDS * FD_CACHE_PER_SHARD,
+            "cache exceeded capacity: {cached}"
+        );
+        // Every chunk still reads back correctly through re-opens.
+        for c in [0u64, 37, total as u64 - 1] {
+            assert_eq!(s.read_chunk("/many", c, 0, 8).unwrap(), c.to_le_bytes());
+        }
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -27,6 +27,26 @@ pub use stats::StorageStats;
 
 use gkfs_common::Result;
 
+/// One chunk-local operation inside a batch request, carrying the
+/// position of its bytes within the batch's shared buffer. For writes
+/// the op's data is `bulk[buf_offset..buf_offset + len]`; for reads
+/// the bytes land in the same window of the output buffer. The daemon
+/// computes the windows as a running sum over the wire-order ops, so
+/// ops that are adjacent in the batch *and* adjacent in the chunk file
+/// are also adjacent in the buffer — what lets a backend coalesce them
+/// into one positional syscall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchOp {
+    /// Chunk within the file.
+    pub chunk_id: u64,
+    /// Byte offset within the chunk.
+    pub offset: u64,
+    /// Byte count.
+    pub len: u64,
+    /// Byte offset of this op's window within the batch buffer.
+    pub buf_offset: u64,
+}
+
 /// Contract for a daemon's chunk store.
 ///
 /// `path` is the file's canonical GekkoFS path (`/a/b`); implementations
@@ -60,6 +80,36 @@ pub trait ChunkStorage: Send + Sync {
     /// Every path this store holds chunks for, with its chunk count —
     /// the daemon-side inventory behind `fsck`.
     fn list_paths(&self) -> Result<Vec<(String, usize)>>;
+
+    /// Write a batch of chunk ops whose data lives in `bulk` at each
+    /// op's `buf_offset` window. Backends may coalesce ops that are
+    /// contiguous in both the chunk file and `bulk` into one syscall.
+    /// The caller guarantees every window lies inside `bulk`.
+    fn write_chunks_batch(&self, path: &str, ops: &[BatchOp], bulk: &[u8]) -> Result<()> {
+        for op in ops {
+            let a = op.buf_offset as usize;
+            self.write_chunk(path, op.chunk_id, op.offset, &bulk[a..a + op.len as usize])?;
+        }
+        Ok(())
+    }
+
+    /// Read a batch of chunk ops directly into `out`: each op's bytes
+    /// land at `out[op.buf_offset..op.buf_offset + actual]`, where
+    /// `actual ≤ op.len` is the per-op count returned. Bytes past
+    /// `actual` inside an op's window are left untouched (the daemon
+    /// pre-zeroes the buffer). The caller guarantees the windows are
+    /// disjoint and inside `out` — concurrent tasks may call this for
+    /// disjoint windows of one shared reply buffer.
+    fn read_chunks_batch(&self, path: &str, ops: &[BatchOp], out: &mut [u8]) -> Result<Vec<u64>> {
+        let mut lens = Vec::with_capacity(ops.len());
+        for op in ops {
+            let data = self.read_chunk(path, op.chunk_id, op.offset, op.len)?;
+            let a = op.buf_offset as usize;
+            out[a..a + data.len()].copy_from_slice(&data);
+            lens.push(data.len() as u64);
+        }
+        Ok(lens)
+    }
 
     /// Operational counters.
     fn stats(&self) -> &StorageStats;
@@ -236,6 +286,88 @@ mod contract_tests {
             );
             s.remove_chunks("/inv/a").unwrap();
             assert_eq!(s.list_paths().unwrap().len(), 1, "{name}");
+        }
+    }
+
+    /// Ops laid out the way the daemon builds them: consecutive wire
+    /// order, buffer windows as a running sum.
+    fn layout_ops(specs: &[(u64, u64, u64)]) -> Vec<BatchOp> {
+        let mut ops = Vec::with_capacity(specs.len());
+        let mut cursor = 0u64;
+        for &(chunk_id, offset, len) in specs {
+            ops.push(BatchOp {
+                chunk_id,
+                offset,
+                len,
+                buf_offset: cursor,
+            });
+            cursor += len;
+        }
+        ops
+    }
+
+    #[test]
+    fn batch_roundtrip_multi_chunk() {
+        for (name, s) in storages() {
+            let ops = layout_ops(&[(0, 0, 64), (1, 0, 64), (2, 0, 64), (7, 16, 32)]);
+            let total: u64 = ops.iter().map(|o| o.len).sum();
+            let bulk: Vec<u8> = (0..total).map(|i| (i % 251) as u8).collect();
+            s.write_chunks_batch("/batch", &ops, &bulk).unwrap();
+            let mut out = vec![0u8; total as usize];
+            let lens = s.read_chunks_batch("/batch", &ops, &mut out).unwrap();
+            assert_eq!(lens, vec![64, 64, 64, 32], "{name}");
+            assert_eq!(out, bulk, "{name}");
+            // And the single-op API sees the same bytes.
+            assert_eq!(s.read_chunk("/batch", 1, 0, 64).unwrap(), &bulk[64..128], "{name}");
+        }
+    }
+
+    #[test]
+    fn batch_coalesces_contiguous_same_chunk_ops() {
+        for (name, s) in storages() {
+            // 4 file-and-buffer-contiguous slices of chunk 3, then a
+            // separate chunk: the file backend merges the first run.
+            let ops = layout_ops(&[(3, 0, 16), (3, 16, 16), (3, 32, 16), (3, 48, 16), (4, 0, 16)]);
+            let bulk: Vec<u8> = (0..80u8).collect();
+            s.write_chunks_batch("/co", &ops, &bulk).unwrap();
+            let mut out = vec![0u8; 80];
+            let lens = s.read_chunks_batch("/co", &ops, &mut out).unwrap();
+            assert_eq!(lens, vec![16, 16, 16, 16, 16], "{name}");
+            assert_eq!(out, bulk, "{name}");
+            if name == "file" {
+                let (_, _, coalesced) = s.stats().engine_snapshot();
+                // 3 merges on the write pass + 3 on the read pass.
+                assert_eq!(coalesced, 6, "{name}: coalescing must trigger");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_read_short_and_missing_chunks() {
+        for (name, s) in storages() {
+            s.write_chunk("/sh", 0, 0, &[9u8; 24]).unwrap();
+            // Op 0 is short (24 of 64), op 1 misses entirely.
+            let ops = layout_ops(&[(0, 0, 64), (5, 0, 64)]);
+            let mut out = vec![0xAAu8; 128];
+            let lens = s.read_chunks_batch("/sh", &ops, &mut out).unwrap();
+            assert_eq!(lens, vec![24, 0], "{name}");
+            assert_eq!(&out[..24], &[9u8; 24], "{name}");
+            // Bytes past `actual` in each window are untouched.
+            assert!(out[24..].iter().all(|&b| b == 0xAA), "{name}");
+        }
+    }
+
+    #[test]
+    fn batch_read_short_within_coalesced_run() {
+        for (name, s) in storages() {
+            // Chunk holds 40 bytes; a coalesced run of 4×16 must report
+            // per-op lens 16,16,8,0 — EOF only truncates the tail.
+            s.write_chunk("/shc", 0, 0, &[5u8; 40]).unwrap();
+            let ops = layout_ops(&[(0, 0, 16), (0, 16, 16), (0, 32, 16), (0, 48, 16)]);
+            let mut out = vec![0u8; 64];
+            let lens = s.read_chunks_batch("/shc", &ops, &mut out).unwrap();
+            assert_eq!(lens, vec![16, 16, 8, 0], "{name}");
+            assert_eq!(&out[..40], &[5u8; 40], "{name}");
         }
     }
 

@@ -7,7 +7,7 @@
 //! for the data-path benchmarks.
 
 use crate::stats::StorageStats;
-use crate::ChunkStorage;
+use crate::{BatchOp, ChunkStorage};
 use gkfs_common::hash::fnv1a64;
 use gkfs_common::Result;
 use gkfs_common::lock::{rank, OrderedRwLock};
@@ -88,6 +88,45 @@ impl ChunkStorage for MemChunkStorage {
             .unwrap_or_default();
         self.stats.record_read(data.len());
         Ok(data)
+    }
+
+    fn write_chunks_batch(&self, path: &str, ops: &[BatchOp], bulk: &[u8]) -> Result<()> {
+        // One shard-lock acquisition for the whole batch; all ops of a
+        // batch share `path` and therefore a shard.
+        let mut shard = self.shard(path).write();
+        let chunks = shard.entry(path.to_string()).or_default();
+        for op in ops {
+            self.stats.record_write(op.len as usize);
+            let chunk = chunks.entry(op.chunk_id).or_default();
+            let end = (op.offset + op.len) as usize;
+            if chunk.len() < end {
+                chunk.resize(end, 0);
+            }
+            let a = op.buf_offset as usize;
+            chunk[op.offset as usize..end].copy_from_slice(&bulk[a..a + op.len as usize]);
+        }
+        Ok(())
+    }
+
+    fn read_chunks_batch(&self, path: &str, ops: &[BatchOp], out: &mut [u8]) -> Result<Vec<u64>> {
+        let shard = self.shard(path).read();
+        let chunks = shard.get(path);
+        let mut lens = Vec::with_capacity(ops.len());
+        for op in ops {
+            let n = match chunks.and_then(|c| c.get(&op.chunk_id)) {
+                Some(chunk) => {
+                    let start = (op.offset as usize).min(chunk.len());
+                    let end = ((op.offset + op.len) as usize).min(chunk.len());
+                    let a = op.buf_offset as usize;
+                    out[a..a + (end - start)].copy_from_slice(&chunk[start..end]);
+                    end - start
+                }
+                None => 0,
+            };
+            self.stats.record_read(n);
+            lens.push(n as u64);
+        }
+        Ok(lens)
     }
 
     fn remove_chunks(&self, path: &str) -> Result<()> {

@@ -13,6 +13,12 @@ pub struct StorageStats {
     pub read_ops: AtomicU64,
     /// Bytes read from chunks.
     pub read_bytes: AtomicU64,
+    /// Open-fd cache hits (file backend; zero for in-memory stores).
+    pub fd_hits: AtomicU64,
+    /// Open-fd cache misses — each one cost an `open(2)`.
+    pub fd_misses: AtomicU64,
+    /// Batch ops merged into a preceding op's syscall by coalescing.
+    pub coalesced_ops: AtomicU64,
 }
 
 impl StorageStats {
@@ -35,6 +41,16 @@ impl StorageStats {
             self.write_bytes.load(Ordering::Relaxed),
             self.read_ops.load(Ordering::Relaxed),
             self.read_bytes.load(Ordering::Relaxed),
+        )
+    }
+
+    /// `(fd_hits, fd_misses, coalesced_ops)` — the data-path engine
+    /// counters surfaced through `DaemonStats` / `gkfs-cli df`.
+    pub fn engine_snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.fd_hits.load(Ordering::Relaxed),
+            self.fd_misses.load(Ordering::Relaxed),
+            self.coalesced_ops.load(Ordering::Relaxed),
         )
     }
 }

@@ -122,7 +122,7 @@ pub fn run_ior_with(
     cfg: &IorConfig,
 ) -> Result<IorResult> {
     assert!(
-        cfg.block_size % cfg.transfer_size == 0,
+        cfg.block_size.is_multiple_of(cfg.transfer_size),
         "block size must be a multiple of transfer size"
     );
     let clients: Vec<GekkoClient> = (0..cfg.processes)
@@ -250,12 +250,11 @@ mod tests {
             random: false,
             work_dir: "/ior-shared".into(),
         };
-        let r = run_ior(&cluster, &cfg).unwrap();
+        let _r = run_ior(&cluster, &cfg).unwrap();
         assert!(verify_ior(&cluster, &cfg).unwrap());
         // Shared file ends up exactly processes * block bytes long.
         let fs = cluster.mount().unwrap();
         assert_eq!(fs.stat("/ior-shared/shared").unwrap().size, 4 * 64 * 1024);
-        drop(r);
         cluster.shutdown();
     }
 

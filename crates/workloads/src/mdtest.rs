@@ -93,8 +93,8 @@ pub fn run_mdtest_with(
     // Setup (untimed, like mdtest's tree creation).
     clients[0].mkdir(&cfg.work_dir, 0o755).ok();
     if cfg.unique_dir {
-        for rank in 0..cfg.processes {
-            clients[rank]
+        for (rank, client) in clients.iter().enumerate().take(cfg.processes) {
+            client
                 .mkdir(&format!("{}/rank{}", cfg.work_dir, rank), 0o755)
                 .ok();
         }

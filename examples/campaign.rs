@@ -8,9 +8,9 @@
 //! ```
 
 use gekkofs::{Cluster, ClusterConfig, DaemonConfig};
-use std::path::PathBuf;
+use std::path::Path;
 
-fn deploy(root: &PathBuf) -> gekkofs::Result<Cluster> {
+fn deploy(root: &Path) -> gekkofs::Result<Cluster> {
     Cluster::deploy_with(ClusterConfig::new(3), |n| DaemonConfig {
         root_dir: Some(root.join(format!("node-{n}"))),
         kv_wal: true,

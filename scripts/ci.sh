@@ -36,4 +36,11 @@ echo "==> chaos suite, release (seeded fault injection under workloads)"
 # the deadline-bound assertions.
 cargo test -p gkfs-integration --release --test chaos -- --test-threads=2
 
+echo "==> parallel-storage stress, release (clients x chunks x chaos seeds)"
+# The chunk task engine + fd-cached storage under concurrent striped
+# I/O from many mounts, against disk-backed daemons. The chaos variant
+# is --ignored in debug runs: only release timing actually contends
+# the fd cache and the per-chunk task pool.
+cargo test -p gkfs-integration --release --test parallel_storage -- --include-ignored --test-threads=2
+
 echo "ci: all green"
