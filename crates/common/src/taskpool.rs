@@ -13,7 +13,8 @@
 use crate::lock::{rank, OrderedMutex};
 use parking_lot::Condvar;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -34,6 +35,13 @@ struct Shared {
     spawned: AtomicU64,
     /// Jobs bounced back to the submitter (queue full or no workers).
     inline: AtomicU64,
+    /// Jobs that panicked on a worker (caught; the worker survives).
+    panicked: AtomicU64,
+    /// Workers currently alive. Jobs are panic-isolated, so this only
+    /// drops below the spawn count if a worker dies some other way —
+    /// at zero `try_submit` bounces instead of queueing jobs nothing
+    /// would ever pop (submitters would hang waiting on results).
+    live: AtomicUsize,
 }
 
 /// Fixed-size worker pool over a bounded FIFO queue.
@@ -59,6 +67,8 @@ impl TaskPool {
             depth: depth.max(1),
             spawned: AtomicU64::new(0),
             inline: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
+            live: AtomicUsize::new(0),
         });
         let mut workers = Vec::with_capacity(threads);
         for i in 0..threads {
@@ -71,6 +81,7 @@ impl TaskPool {
                 workers.push(handle);
             }
         }
+        shared.live.store(workers.len(), Ordering::Release);
         TaskPool { shared, workers }
     }
 
@@ -78,7 +89,7 @@ impl TaskPool {
     /// it right now (queue full, no workers, shutting down). The caller
     /// must then run it inline — the job is never dropped.
     pub fn try_submit(&self, job: Job) -> std::result::Result<(), Job> {
-        if self.workers.is_empty() {
+        if self.shared.live.load(Ordering::Acquire) == 0 {
             self.shared.inline.fetch_add(1, Ordering::Relaxed);
             return Err(job);
         }
@@ -108,6 +119,12 @@ impl TaskPool {
             self.shared.inline.load(Ordering::Relaxed),
         )
     }
+
+    /// Jobs that panicked on a worker (caught and counted; the worker
+    /// kept running).
+    pub fn panics(&self) -> u64 {
+        self.shared.panicked.load(Ordering::Relaxed)
+    }
 }
 
 impl Drop for TaskPool {
@@ -125,6 +142,16 @@ impl Drop for TaskPool {
 }
 
 fn worker_loop(shared: &Shared) {
+    // Decrement `live` on any exit path — including an unwind out of
+    // the loop itself — so `try_submit` stops queueing jobs the moment
+    // the pool can no longer run them.
+    struct LiveGuard<'a>(&'a Shared);
+    impl Drop for LiveGuard<'_> {
+        fn drop(&mut self) {
+            self.0.live.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+    let _live = LiveGuard(shared);
     loop {
         let job = {
             let mut q = shared.work_queue.lock();
@@ -139,8 +166,18 @@ fn worker_loop(shared: &Shared) {
             }
         };
         match job {
-            // Run outside the queue lock so other workers keep popping.
-            Some(job) => job(),
+            // Run outside the queue lock so other workers keep
+            // popping. Panic-isolated: a job that unwinds (e.g. a
+            // slice-bounds panic in a storage backend fed malformed
+            // batch geometry) must not take the worker down with it —
+            // its result-channel sender drops during the unwind, so
+            // the submitter sees a lost-task error, not a hang.
+            Some(job) => {
+                if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                    shared.panicked.fetch_add(1, Ordering::Relaxed);
+                    crate::gkfs_warn!("task pool job panicked; worker continues");
+                }
+            }
             None => return,
         }
     }
@@ -200,6 +237,21 @@ mod tests {
         let (_, inline) = pool.counters();
         assert_eq!(inline, 1);
         gate_tx.send(()).unwrap();
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_worker() {
+        let pool = TaskPool::new("t", 1, 16);
+        pool.try_submit(Box::new(|| panic!("job boom")))
+            .ok()
+            .expect("queue has room");
+        // The pool's only worker must survive to run this one.
+        let (tx, rx) = mpsc::channel();
+        pool.try_submit(Box::new(move || tx.send(7u32).unwrap()))
+            .ok()
+            .expect("queue has room");
+        assert_eq!(rx.recv().unwrap(), 7);
+        assert_eq!(pool.panics(), 1);
     }
 
     #[test]

@@ -146,11 +146,27 @@ impl ChunkEngine {
         path: &str,
         ops: &[BatchOp],
     ) -> Result<(Vec<u8>, Vec<u64>)> {
-        let total: u64 = ops.iter().map(|o| o.len).sum();
-        if total > MAX_READ_BATCH_BYTES {
-            return Err(GkfsError::InvalidArgument(format!(
-                "read batch of {total} bytes exceeds {MAX_READ_BATCH_BYTES}"
-            )));
+        // Wire-controlled lens: an unchecked sum wraps in release
+        // builds (overflow-checks off) and would slip a huge batch
+        // under the size cap while the per-segment windows stay huge,
+        // turning the unsafe scatter path below into out-of-bounds
+        // writes. Sum checked, and verify the dense running-sum
+        // `buf_offset` layout the disjoint-window argument rests on.
+        let mut total: u64 = 0;
+        for op in ops {
+            if op.buf_offset != total {
+                return Err(GkfsError::InvalidArgument(
+                    "batch buffer layout is not the dense running sum".into(),
+                ));
+            }
+            match total.checked_add(op.len) {
+                Some(t) if t <= MAX_READ_BATCH_BYTES => total = t,
+                _ => {
+                    return Err(GkfsError::InvalidArgument(format!(
+                        "read batch exceeds {MAX_READ_BATCH_BYTES} bytes"
+                    )))
+                }
+            }
         }
         let mut out = vec![0u8; total as usize];
         let segs = segment(ops, self.pool.workers());
@@ -165,7 +181,12 @@ impl ChunkEngine {
             let (tx, rx) = mpsc::channel::<(usize, Result<Vec<u64>>)>();
             for (seg_idx, &(start, end)) in segs.iter().enumerate() {
                 let win_start = ops[start].buf_offset;
-                let win_len: u64 = ops[start..end].iter().map(|o| o.len).sum();
+                // Safe by the dense-layout validation above: every
+                // buf_offset is the exact running sum, so window
+                // bounds come straight from it (no re-summing that
+                // could diverge from the checked `total`).
+                let win_end = if end < ops.len() { ops[end].buf_offset } else { total };
+                let win_len = win_end - win_start;
                 // Rebase the segment's ops onto its own window so the
                 // task only ever forms a slice it exclusively owns.
                 let seg_ops: Vec<BatchOp> = ops[start..end]
@@ -351,6 +372,34 @@ mod tests {
         let ops = layout(&[(0, 0, MAX_READ_BATCH_BYTES + 1)]);
         assert!(matches!(
             eng.read_batch(&storage, "/big", &ops),
+            Err(GkfsError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn wrapping_len_sum_rejected() {
+        let eng = engine(2);
+        let storage: Arc<dyn ChunkStorage> = Arc::new(MemChunkStorage::new());
+        // Lens summing past 2^64: an unchecked (wrapping) total would
+        // come out tiny and pass the size cap while the segment
+        // windows stay huge.
+        let ops = vec![
+            BatchOp { chunk_id: 0, offset: 0, len: u64::MAX, buf_offset: 0 },
+            BatchOp { chunk_id: 1, offset: 0, len: 3, buf_offset: u64::MAX },
+        ];
+        assert!(matches!(
+            eng.read_batch(&storage, "/wrap", &ops),
+            Err(GkfsError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn non_dense_layout_rejected() {
+        let eng = engine(2);
+        let storage: Arc<dyn ChunkStorage> = Arc::new(MemChunkStorage::new());
+        let ops = vec![BatchOp { chunk_id: 0, offset: 0, len: 8, buf_offset: 4 }];
+        assert!(matches!(
+            eng.read_batch(&storage, "/hole", &ops),
             Err(GkfsError::InvalidArgument(_))
         ));
     }

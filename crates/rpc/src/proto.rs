@@ -246,9 +246,11 @@ impl ChunkBatchReq {
         Ok(ChunkBatchReq { path, ops })
     }
 
-    /// Total bytes named by the batch.
-    pub fn total_len(&self) -> u64 {
-        self.ops.iter().map(|o| o.len).sum()
+    /// Total bytes named by the batch, or `None` when the
+    /// wire-controlled lens overflow `u64` (a hostile batch that a
+    /// wrapping sum would pass off as small).
+    pub fn total_len(&self) -> Option<u64> {
+        self.ops.iter().try_fold(0u64, |a, o| a.checked_add(o.len))
     }
 }
 
@@ -481,7 +483,11 @@ impl ChunkInventoryResp {
 /// Validate that a bulk payload length matches what a write batch
 /// declares (defensive check at the daemon boundary).
 pub fn check_bulk_len(req: &ChunkBatchReq, bulk_len: usize) -> Result<()> {
-    let expect = req.total_len();
+    let Some(expect) = req.total_len() else {
+        return Err(GkfsError::InvalidArgument(
+            "batch op lens overflow u64".into(),
+        ));
+    };
     if bulk_len as u64 != expect {
         return Err(GkfsError::InvalidArgument(format!(
             "bulk length {bulk_len} does not match batch total {expect}"
@@ -567,9 +573,18 @@ mod tests {
             ],
         };
         assert_eq!(ChunkBatchReq::decode(&r.encode()).unwrap(), r);
-        assert_eq!(r.total_len(), 912);
+        assert_eq!(r.total_len(), Some(912));
         assert!(check_bulk_len(&r, 912).is_ok());
         assert!(check_bulk_len(&r, 911).is_err());
+        let wrap = ChunkBatchReq {
+            path: "/w".into(),
+            ops: vec![
+                ChunkOp { chunk_id: 0, offset: 0, len: u64::MAX },
+                ChunkOp { chunk_id: 1, offset: 0, len: 2 },
+            ],
+        };
+        assert_eq!(wrap.total_len(), None, "overflow must not wrap");
+        assert!(check_bulk_len(&wrap, 1).is_err());
     }
 
     #[test]

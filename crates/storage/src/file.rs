@@ -266,7 +266,13 @@ impl ChunkStorage for FileChunkStorage {
             self.stats.record_read(0);
             return Ok(Vec::new());
         };
-        let mut out = vec![0u8; len as usize];
+        // Clamp the allocation to what the file can actually yield:
+        // the trait contract does not bound `len` (only the engine's
+        // batch path enforces the 256 MiB cap), so a zeroed `len`-sized
+        // buffer would let any caller force a huge allocation against a
+        // chunk holding a few bytes. One fstat on the cached fd.
+        let avail = file.metadata()?.len().saturating_sub(offset).min(len);
+        let mut out = vec![0u8; avail as usize];
         let n = read_into(&file, offset, &mut out)?;
         out.truncate(n);
         self.stats.record_read(n);

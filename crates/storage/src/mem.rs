@@ -3,8 +3,10 @@
 //! Same contract as [`crate::FileChunkStorage`], held in a sharded map.
 //! Used by tests and by in-process clusters where exercising a real
 //! disk would only add noise. Sharding by path hash keeps concurrent
-//! writers of different files off each other's locks, which matters
-//! for the data-path benchmarks.
+//! writers of *different* files off each other's locks; batches for
+//! one file intentionally serialize on their shard lock (the ops are
+//! memcpys — see `write_chunks_batch`), so the chunk engine's
+//! parallel fan-out only pays off on the file backend.
 
 use crate::stats::StorageStats;
 use crate::{BatchOp, ChunkStorage};
@@ -92,7 +94,11 @@ impl ChunkStorage for MemChunkStorage {
 
     fn write_chunks_batch(&self, path: &str, ops: &[BatchOp], bulk: &[u8]) -> Result<()> {
         // One shard-lock acquisition for the whole batch; all ops of a
-        // batch share `path` and therefore a shard.
+        // batch share `path` and therefore a shard. This deliberately
+        // serializes the engine's parallel segments for one file: the
+        // ops are memcpys, so re-acquiring the lock per run would cost
+        // more than it overlaps. Parallel-batch speedups therefore
+        // apply to the file backend only (see EXPERIMENTS.md).
         let mut shard = self.shard(path).write();
         let chunks = shard.entry(path.to_string()).or_default();
         for op in ops {
