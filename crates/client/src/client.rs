@@ -20,6 +20,7 @@ use crate::filemap::{FileMap, OpenFile};
 use crate::rpc::DaemonRing;
 use crate::size_cache::SizeCache;
 use crate::stat_cache::StatCache;
+use crate::writeback::{Absorb, WbRun};
 use bytes::Bytes;
 use gkfs_common::chunk::{chunk_range, ChunkLayout};
 use gkfs_common::distributor::{Distributor, NodeId};
@@ -53,6 +54,20 @@ pub struct ClientStats {
     pub size_updates_sent: AtomicU64,
     /// Size updates absorbed by the client cache (§IV-B).
     pub size_updates_buffered: AtomicU64,
+    /// Logical RPCs issued to daemons (retries excluded). Shared with
+    /// the [`DaemonRing`], which counts every operation at its single
+    /// submission funnel — the number the RPC regression gate watches.
+    pub rpcs_issued: Arc<AtomicU64>,
+    /// Bytes absorbed by per-handle write-back buffers.
+    pub wb_buffered_bytes: AtomicU64,
+    /// Coalesced write-back batches flushed to daemons.
+    pub wb_flushes: AtomicU64,
+    /// Reads and seeks served from an open handle's cached size
+    /// instead of a stat RPC (the killed per-read stat).
+    pub size_cache_hits: AtomicU64,
+    /// Lease-style invalidations applied to the TTL stat cache by
+    /// local mutations (create/unlink/rmdir/truncate).
+    pub lease_invalidations: AtomicU64,
 }
 
 /// Seek origin for [`GekkoClient::lseek`].
@@ -74,6 +89,8 @@ pub struct GekkoClient {
     files: FileMap,
     size_cache: SizeCache,
     stat_cache: Option<StatCache>,
+    /// Per-handle write-back capacity in bytes (0 = disabled).
+    wb_capacity: usize,
     stats: ClientStats,
 }
 
@@ -114,8 +131,15 @@ impl GekkoClient {
                 config.nodes
             )));
         }
+        let ring = DaemonRing::with_retry(endpoints, config.retry.clone());
+        let stats = ClientStats {
+            // One counter, two readers: the ring bumps it at its
+            // submission funnel, `ClientStats` reports it.
+            rpcs_issued: ring.rpc_counter(),
+            ..ClientStats::default()
+        };
         let client = GekkoClient {
-            ring: DaemonRing::with_retry(endpoints, config.retry.clone()),
+            ring,
             dist: config.make_distributor_for(local_node),
             layout: ChunkLayout::new(config.chunk_size),
             files: FileMap::new(),
@@ -127,7 +151,8 @@ impl GekkoClient {
             } else {
                 None
             },
-            stats: ClientStats::default(),
+            wb_capacity: config.write_back as usize,
+            stats,
         };
         // Root directory: non-exclusive create on its owner.
         let root_owner = client.dist.locate_metadata(gpath::ROOT);
@@ -163,6 +188,19 @@ impl GekkoClient {
         self.dist.locate_metadata(path)
     }
 
+    /// Lease-style invalidation hook for the TTL stat cache: every
+    /// local mutation of `path`'s metadata revokes the cached entry, so
+    /// the TTL only ever bounds staleness of *remote* changes. (With
+    /// the cache disabled this is free.)
+    fn revoke_lease(&self, path: &str) {
+        if let Some(cache) = &self.stat_cache {
+            cache.invalidate(path);
+            self.stats
+                .lease_invalidations
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     // ---------------------------------------------------------------
     // Metadata operations
     // ---------------------------------------------------------------
@@ -171,9 +209,7 @@ impl GekkoClient {
     pub fn create(&self, path: &str, mode: u32) -> Result<()> {
         let path = gpath::normalize(path)?;
         self.stats.creates.fetch_add(1, Ordering::Relaxed);
-        if let Some(cache) = &self.stat_cache {
-            cache.invalidate(&path);
-        }
+        self.revoke_lease(&path);
         self.ring
             .create(self.meta_owner(&path), &path, FileKind::File, mode, true, now_ns())
     }
@@ -190,18 +226,31 @@ impl GekkoClient {
             return Err(GkfsError::Exists);
         }
         self.stats.creates.fetch_add(1, Ordering::Relaxed);
+        self.revoke_lease(&path);
         self.ring
             .create(self.meta_owner(&path), &path, FileKind::Directory, mode, true, now_ns())
     }
 
-    /// Fetch metadata. A client with buffered size updates sees its own
-    /// writes reflected (read-your-writes within one client).
+    /// Fetch metadata. A client with buffered size updates or buffered
+    /// write-back bytes sees its own writes reflected (read-your-writes
+    /// within one client).
     pub fn stat(&self, path: &str) -> Result<Metadata> {
         let path = gpath::normalize(path)?;
         self.stats.stats.fetch_add(1, Ordering::Relaxed);
-        let mut meta = self.fetch_meta(&path)?;
-        if let Some(local) = self.size_cache.peek(&path) {
+        self.fetch_meta_merged(&path)
+    }
+
+    /// [`GekkoClient::fetch_meta`] merged with everything this client
+    /// knows locally about the size: the §IV-B size-update window and
+    /// any open handle's cached size (which includes unflushed
+    /// write-back bytes).
+    fn fetch_meta_merged(&self, path: &str) -> Result<Metadata> {
+        let mut meta = self.fetch_meta(path)?;
+        if let Some(local) = self.size_cache.peek(path) {
             meta.size = meta.size.max(local);
+        }
+        if let Some(f) = self.files.find_by_path(path) {
+            meta.size = meta.size.max(f.effective_size());
         }
         Ok(meta)
     }
@@ -226,9 +275,7 @@ impl GekkoClient {
     pub fn unlink(&self, path: &str) -> Result<()> {
         let path = gpath::normalize(path)?;
         self.stats.removes.fetch_add(1, Ordering::Relaxed);
-        if let Some(cache) = &self.stat_cache {
-            cache.invalidate(&path);
-        }
+        self.revoke_lease(&path);
         let meta = self.ring.stat(self.meta_owner(&path), &path)?;
         if meta.is_dir() {
             return Err(GkfsError::IsDirectory);
@@ -268,6 +315,7 @@ impl GekkoClient {
             return Err(GkfsError::InvalidArgument("cannot remove root".into()));
         }
         self.stats.removes.fetch_add(1, Ordering::Relaxed);
+        self.revoke_lease(&path);
         let meta = self.ring.stat(self.meta_owner(&path), &path)?;
         if !meta.is_dir() {
             return Err(GkfsError::NotDirectory);
@@ -306,11 +354,23 @@ impl GekkoClient {
     /// Truncate (or extend) a file to `new_size`.
     pub fn truncate(&self, path: &str, new_size: u64) -> Result<()> {
         let path = gpath::normalize(path)?;
-        // Pending buffered size updates for this path are now moot.
-        self.size_cache.drain(&path);
-        if let Some(cache) = &self.stat_cache {
-            cache.invalidate(&path);
+        // Program order: writes buffered before this truncate must land
+        // before it applies, so force out every open handle's run.
+        for f in self.files.open_files() {
+            if f.path == path {
+                let run = f.wb.lock().take();
+                if let Some(run) = run {
+                    self.flush_run(&f, run)?;
+                }
+            }
         }
+        // Pending buffered size updates for this path are now moot —
+        // and so are any buffered write-back bytes an open handle holds
+        // below the new size (flushing them would resurrect truncated
+        // data); the ones above it the caller flushes first via
+        // [`FileHandle::truncate`].
+        self.size_cache.drain(&path);
+        self.revoke_lease(&path);
         self.ring
             .truncate_meta(self.meta_owner(&path), &path, new_size, now_ns())?;
         let (keep_chunk, keep_bytes) = if new_size == 0 {
@@ -324,6 +384,12 @@ impl GekkoClient {
             .broadcast(|n| self.ring.truncate_chunks_nb(n, &path, keep_chunk, keep_bytes));
         for r in results {
             r?;
+        }
+        // Open handles snap to the authoritative new size.
+        for f in self.files.open_files() {
+            if f.path == path {
+                f.set_cached_size(new_size);
+            }
         }
         Ok(())
     }
@@ -348,10 +414,51 @@ impl GekkoClient {
     // ---------------------------------------------------------------
 
     /// Open (optionally creating) a file, returning a GekkoFS fd.
+    ///
+    /// The descriptor is a registered [`FileHandle`]: it shares the
+    /// same open-state record (cached size, write-back buffer) that
+    /// [`GekkoClient::open_handle`] hands out directly.
     pub fn open(&self, path: &str, flags: OpenFlags) -> Result<i32> {
+        let file = self.open_file(path, flags)?;
+        Ok(self.files.insert_arc(file))
+    }
+
+    /// Open (optionally creating) a file as an explicit [`FileHandle`]
+    /// — the primary I/O surface of the client. The handle carries the
+    /// open-time size (no stat RPC per read) and, when
+    /// [`ClusterConfig::with_write_back`] enables it, a write-back
+    /// buffer coalescing small sequential writes.
+    pub fn open_handle(&self, path: &str, flags: OpenFlags) -> Result<FileHandle<'_>> {
+        let file = self.open_file(path, flags)?;
+        // Register the open file in the descriptor table so path-based
+        // lookups (the deprecated shims, same-client stat overlays, and
+        // truncate's buffered-write ordering) see this handle's state.
+        let reg = self.files.insert_arc(Arc::clone(&file));
+        Ok(FileHandle {
+            client: self,
+            file,
+            reg: Some(reg),
+        })
+    }
+
+    /// Borrow an existing descriptor as a [`FileHandle`] view. The view
+    /// shares the descriptor's offset, cached size, and write-back
+    /// buffer, but never flushes on drop — `close(fd)` owns that.
+    pub fn handle(&self, fd: i32) -> Result<FileHandle<'_>> {
+        Ok(FileHandle {
+            client: self,
+            file: self.files.get(fd)?,
+            reg: None,
+        })
+    }
+
+    /// The open-path protocol shared by [`GekkoClient::open`] and
+    /// [`GekkoClient::open_handle`].
+    fn open_file(&self, path: &str, flags: OpenFlags) -> Result<Arc<OpenFile>> {
         let path = gpath::normalize(path)?;
-        let kind = if flags.create {
+        let (kind, mut size) = if flags.create {
             self.stats.creates.fetch_add(1, Ordering::Relaxed);
+            self.revoke_lease(&path);
             self.ring.create(
                 self.meta_owner(&path),
                 &path,
@@ -361,41 +468,55 @@ impl GekkoClient {
                 now_ns(),
             )?;
             if flags.exclusive {
-                // Freshly created: must be a file — no extra stat on
-                // the mdtest hot path.
-                FileKind::File
+                // Freshly created: must be an empty file — no extra
+                // stat on the mdtest hot path.
+                (FileKind::File, 0)
             } else {
                 // Non-exclusive create may have hit an existing entry
                 // of either kind; `open(dir, O_CREAT|O_WRONLY)` must
                 // fail with EISDIR, not scribble on a directory.
-                let meta = self.ring.stat(self.meta_owner(&path), &path)?;
+                let meta = self.fetch_meta_merged(&path)?;
                 if meta.is_dir() && flags.write {
                     return Err(GkfsError::IsDirectory);
                 }
-                meta.kind
+                (meta.kind, meta.size)
             }
         } else {
-            let meta = self.ring.stat(self.meta_owner(&path), &path)?;
+            let meta = self.fetch_meta_merged(&path)?;
             if meta.is_dir() && flags.write {
                 return Err(GkfsError::IsDirectory);
             }
-            meta.kind
+            (meta.kind, meta.size)
         };
         if flags.truncate && kind == FileKind::File {
             self.truncate(&path, 0)?;
+            size = 0;
         }
-        let file = OpenFile::new(path.clone(), flags, kind);
+        // Write-back only makes sense on writable regular files.
+        let wb_capacity = if kind == FileKind::File && flags.write {
+            self.wb_capacity
+        } else {
+            0
+        };
+        let file = Arc::new(OpenFile::with_state(path, flags, kind, size, wb_capacity));
         if flags.append {
-            let size = self.stat(&path)?.size;
+            // O_APPEND: position at the open-time EOF — the size the
+            // open already learned, not another stat RPC.
             file.seek_to(size);
         }
-        Ok(self.files.insert(file))
+        Ok(file)
     }
 
-    /// Close a descriptor, flushing any buffered size update.
+    /// Close a descriptor: flush its write-back buffer and any buffered
+    /// size update.
     pub fn close(&self, fd: i32) -> Result<()> {
         let file = self.files.remove(fd)?;
-        self.flush_size(&file.path)
+        FileHandle {
+            client: self,
+            file,
+            reg: None,
+        }
+        .flush()
     }
 
     /// `dup(2)`.
@@ -403,88 +524,63 @@ impl GekkoClient {
         self.files.dup(fd)
     }
 
-    /// Reposition a descriptor.
+    /// Reposition a descriptor. `SEEK_END` resolves against the
+    /// handle's cached size — no stat RPC.
     pub fn lseek(&self, fd: i32, offset: i64, whence: Whence) -> Result<u64> {
-        let file = self.files.get(fd)?;
-        let base = match whence {
-            Whence::Set => 0i64,
-            Whence::Cur => file.pos() as i64,
-            Whence::End => self.stat(&file.path)?.size as i64,
-        };
-        let target = base + offset;
-        if target < 0 {
-            return Err(GkfsError::InvalidArgument("seek before start".into()));
-        }
-        Ok(file.seek_to(target as u64))
+        self.handle(fd)?.seek(offset, whence)
     }
 
     /// Write at the current position, advancing it.
     pub fn write(&self, fd: i32, data: &[u8]) -> Result<usize> {
-        let file = self.files.get(fd)?;
-        if !file.flags.write {
-            return Err(GkfsError::BadFileDescriptor);
-        }
-        let offset = if file.flags.append {
-            // O_APPEND: position at current EOF. Concurrent appenders
-            // from different clients may interleave — GekkoFS offers no
-            // distributed locking (§III-A).
-            let size = self.stat(&file.path)?.size;
-            file.seek_to(size + data.len() as u64);
-            size
-        } else {
-            file.advance(data.len() as u64)
-        };
-        self.write_at_path(&file.path, offset, data)?;
-        Ok(data.len())
+        self.handle(fd)?.write(data)
     }
 
     /// Positional write (`pwrite`); does not move the descriptor.
     pub fn pwrite(&self, fd: i32, offset: u64, data: &[u8]) -> Result<usize> {
-        let file = self.files.get(fd)?;
-        if !file.flags.write {
-            return Err(GkfsError::BadFileDescriptor);
-        }
-        self.write_at_path(&file.path, offset, data)?;
-        Ok(data.len())
+        self.handle(fd)?.pwrite(offset, data)
     }
 
     /// Read from the current position, advancing by the bytes returned.
     pub fn read(&self, fd: i32, len: usize) -> Result<Vec<u8>> {
-        let file = self.files.get(fd)?;
-        if !file.flags.read {
-            return Err(GkfsError::BadFileDescriptor);
-        }
-        let size = self.stat(&file.path)?.size;
-        let pos = file.pos();
-        let avail = size.saturating_sub(pos).min(len as u64);
-        let start = file.advance(avail);
-        self.read_at_path(&file.path, start, avail)
+        self.handle(fd)?.read(len)
     }
 
     /// Positional read (`pread`); does not move the descriptor.
     pub fn pread(&self, fd: i32, offset: u64, len: usize) -> Result<Vec<u8>> {
-        let file = self.files.get(fd)?;
-        if !file.flags.read {
-            return Err(GkfsError::BadFileDescriptor);
-        }
-        self.read_at_path(&file.path, offset, len as u64)
+        self.handle(fd)?.pread(offset, len)
     }
 
-    /// Flush buffered size updates for this descriptor's file.
+    /// Flush this descriptor's write-back buffer and buffered size
+    /// updates to the daemons.
     pub fn fsync(&self, fd: i32) -> Result<()> {
-        let file = self.files.get(fd)?;
-        self.flush_size(&file.path)
+        self.handle(fd)?.flush()
     }
 
     // ---------------------------------------------------------------
     // Data path
     // ---------------------------------------------------------------
 
-    /// Write `data` at `offset` of `path`: split into chunks, group by
-    /// owning daemon, fan out in parallel, then update the file size at
-    /// the metadata owner (possibly through the §IV-B cache).
+    /// Positional write by path — a compatibility shim over the handle
+    /// API. When the path is already open, the bytes route through that
+    /// handle (sharing its write-back buffer and cached size);
+    /// otherwise this is a direct write-through.
+    #[deprecated(
+        note = "open a FileHandle (GekkoClient::open_handle) and use pwrite — \
+                see DESIGN.md \"Open handles, write-back and leases\""
+    )]
     pub fn write_at_path(&self, path: &str, offset: u64, data: &[u8]) -> Result<()> {
         let path = gpath::normalize(path)?;
+        if let Some(file) = self.files.find_by_path(&path) {
+            if file.flags.write {
+                let h = FileHandle {
+                    client: self,
+                    file,
+                    reg: None,
+                };
+                h.pwrite(offset, data)?;
+                return Ok(());
+            }
+        }
         self.stats.write_ops.fetch_add(1, Ordering::Relaxed);
         self.stats
             .bytes_written
@@ -494,7 +590,14 @@ impl GekkoClient {
             // it must not extend the file via a size update.
             return Ok(());
         }
+        self.write_through(&path, offset, data)
+    }
 
+    /// The raw write path: split into chunks, group by owning daemon,
+    /// fan out in parallel, then update the file size at the metadata
+    /// owner (possibly through the §IV-B cache). Expects a normalized
+    /// path and counts no client ops — callers do.
+    fn write_through(&self, path: &str, offset: u64, data: &[u8]) -> Result<()> {
         {
             let pieces = chunk_range(self.layout, offset, data.len() as u64);
             // Group chunk-pieces by their owning daemon, gathering each
@@ -502,7 +605,7 @@ impl GekkoClient {
             // transport would build).
             let mut per_node: HashMap<NodeId, (Vec<ChunkOp>, Vec<u8>)> = HashMap::new();
             for p in &pieces {
-                let node = self.dist.locate_chunk(&path, p.chunk_id);
+                let node = self.dist.locate_chunk(path, p.chunk_id);
                 let entry = per_node.entry(node).or_default();
                 entry.0.push(ChunkOp {
                     chunk_id: p.chunk_id,
@@ -513,15 +616,15 @@ impl GekkoClient {
                     .1
                     .extend_from_slice(&data[p.buf_offset as usize..(p.buf_offset + p.len) as usize]);
             }
-            self.fan_out_writes(&path, per_node)?;
+            self.fan_out_writes(path, per_node)?;
         }
 
         // Size update to the metadata owner.
         let candidate = offset + data.len() as u64;
         if let Some(cache) = &self.stat_cache {
-            cache.bump_size(&path, candidate, now_ns());
+            cache.bump_size(path, candidate, now_ns());
         }
-        match self.size_cache.record(&path, candidate, now_ns()) {
+        match self.size_cache.record(path, candidate, now_ns()) {
             Some(pending) => {
                 self.stats.size_updates_sent.fetch_add(1, Ordering::Relaxed);
                 self.ring.update_size(
@@ -567,16 +670,36 @@ impl GekkoClient {
         Ok(())
     }
 
-    /// Read `len` bytes at `offset` of `path`. Returns the bytes up to
-    /// EOF; holes read as zeros.
+    /// Positional read by path — a compatibility shim over the handle
+    /// API. When the path is already open for reading, the read routes
+    /// through that handle: its cached size answers the EOF question
+    /// (no stat round trip — the "double stat" deviation is gone) and
+    /// buffered write-back bytes overlay the result.
+    #[deprecated(
+        note = "open a FileHandle (GekkoClient::open_handle) and use pread — \
+                see DESIGN.md \"Open handles, write-back and leases\""
+    )]
     pub fn read_at_path(&self, path: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
         let path = gpath::normalize(path)?;
+        if let Some(file) = self.files.find_by_path(&path) {
+            if file.flags.read && file.kind == FileKind::File {
+                let h = FileHandle {
+                    client: self,
+                    file,
+                    reg: None,
+                };
+                return h.pread(offset, len as usize);
+            }
+            // A write-only handle can't serve the read, but its
+            // buffered bytes must be visible to it: flush first.
+            let run = file.wb.lock().take();
+            if let Some(run) = run {
+                self.flush_run(&file, run)?;
+            }
+        }
         self.stats.read_ops.fetch_add(1, Ordering::Relaxed);
         let size = {
-            let mut meta = self.fetch_meta(&path)?;
-            if let Some(local) = self.size_cache.peek(&path) {
-                meta.size = meta.size.max(local);
-            }
+            let meta = self.fetch_meta_merged(&path)?;
             if meta.is_dir() {
                 return Err(GkfsError::IsDirectory);
             }
@@ -586,10 +709,20 @@ impl GekkoClient {
             return Ok(Vec::new());
         }
         let effective = len.min(size - offset);
+        let out = self.read_scatter(&path, offset, effective)?;
+        self.stats
+            .bytes_read
+            .fetch_add(out.len() as u64, Ordering::Relaxed);
+        Ok(out)
+    }
+
+    /// The raw scatter-gather read of `[offset, offset + len)`; the
+    /// caller has already clamped `len` to EOF. Holes read as zeros.
+    fn read_scatter(&self, path: &str, offset: u64, effective: u64) -> Result<Vec<u8>> {
         let pieces = chunk_range(self.layout, offset, effective);
         let mut per_node: HashMap<NodeId, Vec<(u64, ChunkOp)>> = HashMap::new();
         for p in &pieces {
-            let node = self.dist.locate_chunk(&path, p.chunk_id);
+            let node = self.dist.locate_chunk(path, p.chunk_id);
             per_node.entry(node).or_default().push((
                 p.buf_offset,
                 ChunkOp {
@@ -610,7 +743,7 @@ impl GekkoClient {
             .into_iter()
             .map(|(node, batch)| {
                 let ops: Vec<ChunkOp> = batch.iter().map(|(_, op)| *op).collect();
-                (batch, self.ring.read_chunks_nb(node, &path, ops))
+                (batch, self.ring.read_chunks_nb(node, path, ops))
             })
             .collect();
         for (batch, fut) in inflight {
@@ -624,10 +757,18 @@ impl GekkoClient {
                 cursor += got;
             }
         }
-        self.stats
-            .bytes_read
-            .fetch_add(out.len() as u64, Ordering::Relaxed);
         Ok(out)
+    }
+
+    /// Send one displaced or forced write-back run to the daemons.
+    /// Called with no locks held — the run was taken out under the
+    /// buffer lock and the guard dropped before any RPC (GKL002).
+    fn flush_run(&self, file: &OpenFile, run: WbRun) -> Result<()> {
+        self.stats.wb_flushes.fetch_add(1, Ordering::Relaxed);
+        let end = run.end();
+        self.write_through(&file.path, run.start, &run.data)?;
+        file.grow_cached_size(end);
+        Ok(())
     }
 
     // ---------------------------------------------------------------
@@ -644,9 +785,18 @@ impl GekkoClient {
         Ok(())
     }
 
-    /// Flush all buffered size updates (unmount). One update per dirty
-    /// file, all submitted before any reply is awaited.
+    /// Flush all buffered state (unmount): every open handle's
+    /// write-back run, then all buffered size updates — one update per
+    /// dirty file, all submitted before any reply is awaited.
     pub fn flush_all(&self) -> Result<()> {
+        // Buffer flushes first: they enqueue the size updates the
+        // drain below sends.
+        for file in self.files.open_files() {
+            let run = file.wb.lock().take();
+            if let Some(run) = run {
+                self.flush_run(&file, run)?;
+            }
+        }
         let deadline = self.ring.op_deadline();
         let inflight: Vec<_> = self
             .size_cache
@@ -765,6 +915,252 @@ impl GekkoClient {
     }
 }
 
+/// An explicit open-file handle — the primary I/O surface of the
+/// client ([`GekkoClient::open_handle`]).
+///
+/// The handle carries what GekkoFS keeps in its client-side open-file
+/// table: the open flags, a cached size seeded by the open-time stat
+/// (so reads and `SEEK_END` never pay a stat RPC), and an optional
+/// write-back buffer that coalesces small sequential writes into
+/// chunk-aligned batches ([`ClusterConfig::with_write_back`]).
+///
+/// Consistency contract: reads through the handle see its own buffered
+/// writes immediately (read-your-writes), and `stat` on the same
+/// client sees the buffered tail in the size; *other* clients see the
+/// bytes only after `flush`/`fsync`/`close` — the same relaxation the
+/// paper's §IV-B size cache already makes. Cross-client growth of the
+/// file becomes visible on re-open.
+///
+/// Handles from [`GekkoClient::open_handle`] flush on drop
+/// (best-effort, errors swallowed); call [`FileHandle::close`] to
+/// observe flush errors. Views from [`GekkoClient::handle`] never
+/// flush on drop — the descriptor table owns their lifecycle.
+pub struct FileHandle<'c> {
+    client: &'c GekkoClient,
+    file: Arc<OpenFile>,
+    /// The descriptor-table registration for handles that own their
+    /// open file (`open_handle`). `None` for borrowed views
+    /// ([`GekkoClient::handle`]) — those neither flush on drop nor
+    /// deregister, `close(fd)` owns both.
+    reg: Option<i32>,
+}
+
+impl FileHandle<'_> {
+    /// The normalized path this handle is open on.
+    pub fn path(&self) -> &str {
+        &self.file.path
+    }
+
+    /// File or directory?
+    pub fn kind(&self) -> FileKind {
+        self.file.kind
+    }
+
+    /// The file size as this handle knows it: open-time size, grown by
+    /// this handle's writes, including any unflushed write-back tail.
+    /// Never issues an RPC.
+    pub fn size(&self) -> u64 {
+        self.client
+            .stats
+            .size_cache_hits
+            .fetch_add(1, Ordering::Relaxed);
+        self.file.effective_size()
+    }
+
+    /// Full metadata (one stat, possibly served by the TTL cache),
+    /// with the size merged against this handle's local knowledge.
+    pub fn stat(&self) -> Result<Metadata> {
+        let mut meta = self.client.stat(&self.file.path)?;
+        meta.size = meta.size.max(self.file.effective_size());
+        Ok(meta)
+    }
+
+    /// Positional write; does not move the handle's offset. Small
+    /// writes coalesce in the write-back buffer when enabled.
+    pub fn pwrite(&self, offset: u64, data: &[u8]) -> Result<usize> {
+        let c = self.client;
+        if !self.file.flags.write {
+            return Err(GkfsError::BadFileDescriptor);
+        }
+        c.stats.write_ops.fetch_add(1, Ordering::Relaxed);
+        c.stats
+            .bytes_written
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        if data.is_empty() {
+            // POSIX: a zero-length write has no effect — in particular
+            // it must not extend the file via a size update.
+            return Ok(0);
+        }
+        let end = offset + data.len() as u64;
+        // Decide under the buffer lock; every RPC happens after the
+        // guard drops (GKL002).
+        let (flush_first, through, ready) = {
+            let mut wb = self.file.wb.lock();
+            match wb.offer(offset, data) {
+                Absorb::Buffered { flush_first } => {
+                    let ready = if wb.full() { wb.take() } else { None };
+                    (flush_first, false, ready)
+                }
+                Absorb::Through { flush_first } => (flush_first, true, None),
+            }
+        };
+        if let Some(run) = flush_first {
+            c.flush_run(&self.file, run)?;
+        }
+        if through {
+            c.write_through(&self.file.path, offset, data)?;
+            self.file.grow_cached_size(end);
+        } else {
+            c.stats
+                .wb_buffered_bytes
+                .fetch_add(data.len() as u64, Ordering::Relaxed);
+            // Buffered bytes stay visible to same-client stats.
+            if let Some(cache) = &c.stat_cache {
+                cache.bump_size(&self.file.path, end, now_ns());
+            }
+        }
+        if let Some(run) = ready {
+            c.flush_run(&self.file, run)?;
+        }
+        Ok(data.len())
+    }
+
+    /// Write at the current offset, advancing it. `O_APPEND` handles
+    /// position at this handle's view of EOF — no stat RPC; concurrent
+    /// appenders from different clients may interleave (no distributed
+    /// locking, §III-A).
+    pub fn write(&self, data: &[u8]) -> Result<usize> {
+        if !self.file.flags.write {
+            return Err(GkfsError::BadFileDescriptor);
+        }
+        let offset = if self.file.flags.append {
+            let size = self.file.effective_size();
+            self.file.seek_to(size + data.len() as u64);
+            size
+        } else {
+            self.file.advance(data.len() as u64)
+        };
+        self.pwrite(offset, data)?;
+        Ok(data.len())
+    }
+
+    /// Positional read; does not move the handle's offset. EOF comes
+    /// from the handle's cached size (no stat RPC) and buffered
+    /// write-back bytes overlay the daemons' data.
+    pub fn pread(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let c = self.client;
+        if !self.file.flags.read {
+            return Err(GkfsError::BadFileDescriptor);
+        }
+        if self.file.kind == FileKind::Directory {
+            return Err(GkfsError::IsDirectory);
+        }
+        c.stats.read_ops.fetch_add(1, Ordering::Relaxed);
+        // Snapshot the buffered run once: the same bytes answer the
+        // EOF question and the overlay below, even if a concurrent
+        // flush empties the buffer in between.
+        let overlay = self.file.wb.lock().snapshot();
+        let size = self
+            .file
+            .cached_size()
+            .max(overlay.as_ref().map_or(0, |r| r.end()));
+        c.stats
+            .size_cache_hits
+            .fetch_add(1, Ordering::Relaxed);
+        if offset >= size || len == 0 {
+            return Ok(Vec::new());
+        }
+        let effective = (len as u64).min(size - offset);
+        let mut out = c.read_scatter(&self.file.path, offset, effective)?;
+        if let Some(run) = overlay {
+            let lo = offset.max(run.start);
+            let hi = (offset + effective).min(run.end());
+            if lo < hi {
+                let src = (lo - run.start) as usize;
+                let dst = (lo - offset) as usize;
+                let n = (hi - lo) as usize;
+                out[dst..dst + n].copy_from_slice(&run.data[src..src + n]);
+            }
+        }
+        c.stats
+            .bytes_read
+            .fetch_add(out.len() as u64, Ordering::Relaxed);
+        Ok(out)
+    }
+
+    /// Read from the current offset, advancing by the bytes returned.
+    pub fn read(&self, len: usize) -> Result<Vec<u8>> {
+        if !self.file.flags.read {
+            return Err(GkfsError::BadFileDescriptor);
+        }
+        if self.file.kind == FileKind::Directory {
+            return Err(GkfsError::IsDirectory);
+        }
+        let size = self.file.effective_size();
+        let pos = self.file.pos();
+        let avail = size.saturating_sub(pos).min(len as u64);
+        let start = self.file.advance(avail);
+        self.pread(start, avail as usize)
+    }
+
+    /// Reposition the handle. `SEEK_END` resolves against the cached
+    /// size — no stat RPC.
+    pub fn seek(&self, offset: i64, whence: Whence) -> Result<u64> {
+        let base = match whence {
+            Whence::Set => 0i64,
+            Whence::Cur => self.file.pos() as i64,
+            Whence::End => self.size() as i64,
+        };
+        let target = base + offset;
+        if target < 0 {
+            return Err(GkfsError::InvalidArgument("seek before start".into()));
+        }
+        Ok(self.file.seek_to(target as u64))
+    }
+
+    /// Force the write-back buffer and any buffered size update out to
+    /// the daemons. After `flush` returns Ok, every byte written
+    /// through this handle is visible to every client.
+    pub fn flush(&self) -> Result<()> {
+        let run = self.file.wb.lock().take();
+        if let Some(run) = run {
+            self.client.flush_run(&self.file, run)?;
+        }
+        self.client.flush_size(&self.file.path)
+    }
+
+    /// `fsync(2)` semantics: [`FileHandle::flush`].
+    pub fn fsync(&self) -> Result<()> {
+        self.flush()
+    }
+
+    /// Truncate (or extend) the file, flushing buffered writes first
+    /// (program order: writes issued before the truncate land before
+    /// it applies).
+    pub fn truncate(&self, new_size: u64) -> Result<()> {
+        self.client.truncate(&self.file.path, new_size)
+    }
+
+    /// Close the handle, flushing buffered state and reporting errors
+    /// (the drop flush cannot).
+    pub fn close(mut self) -> Result<()> {
+        if let Some(fd) = self.reg.take() {
+            let _ = self.client.files.remove(fd);
+        }
+        self.flush()
+    }
+}
+
+impl Drop for FileHandle<'_> {
+    fn drop(&mut self) {
+        if let Some(fd) = self.reg.take() {
+            let _ = self.client.files.remove(fd);
+            // Best-effort: close() is the error-reporting path.
+            let _ = self.flush();
+        }
+    }
+}
+
 /// Outcome of [`GekkoClient::fsck`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FsckReport {
@@ -819,13 +1215,12 @@ mod tests {
     #[test]
     fn write_read_roundtrip_single_chunk() {
         let (_d, c) = cluster(4);
-        c.create("/f", 0o644).unwrap();
-        c.write_at_path("/f", 0, b"hello distributed world").unwrap();
+        let h = c.open_handle("/f", OpenFlags::RDWR.with_create()).unwrap();
+        h.pwrite(0, b"hello distributed world").unwrap();
         assert_eq!(c.stat("/f").unwrap().size, 23);
-        let data = c.read_at_path("/f", 0, 100).unwrap();
-        assert_eq!(data, b"hello distributed world");
-        let mid = c.read_at_path("/f", 6, 11).unwrap();
-        assert_eq!(mid, b"distributed");
+        assert_eq!(h.pread(0, 100).unwrap(), b"hello distributed world");
+        assert_eq!(h.pread(6, 11).unwrap(), b"distributed");
+        h.close().unwrap();
     }
 
     #[test]
@@ -833,15 +1228,17 @@ mod tests {
         // Small chunks force wide striping.
         let config = ClusterConfig::new(4).with_chunk_size(4096);
         let (_d, c) = cluster_with(4, config);
-        c.create("/big", 0o644).unwrap();
+        let h = c.open_handle("/big", OpenFlags::RDWR.with_create()).unwrap();
         let data: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
-        c.write_at_path("/big", 0, &data).unwrap();
+        h.pwrite(0, &data).unwrap();
         assert_eq!(c.stat("/big").unwrap().size, 100_000);
-        let back = c.read_at_path("/big", 0, 100_000).unwrap();
+        assert_eq!(h.size(), 100_000);
+        let back = h.pread(0, 100_000).unwrap();
         assert_eq!(back, data);
         // Unaligned interior read crossing chunk boundaries.
-        let slice = c.read_at_path("/big", 4000, 10_000).unwrap();
+        let slice = h.pread(4000, 10_000).unwrap();
         assert_eq!(slice, &data[4000..14_000]);
+        h.close().unwrap();
         // Verify chunks really spread over multiple daemons.
         let stats = c.cluster_stats().unwrap();
         let nodes_with_data = stats.iter().filter(|s| s.storage_write_bytes > 0).count();
@@ -852,23 +1249,29 @@ mod tests {
     fn sparse_files_read_zeros() {
         let config = ClusterConfig::new(2).with_chunk_size(4096);
         let (_d, c) = cluster_with(2, config);
-        c.create("/sparse", 0o644).unwrap();
-        c.write_at_path("/sparse", 10_000, b"tail").unwrap();
+        let h = c.open_handle("/sparse", OpenFlags::RDWR.with_create()).unwrap();
+        h.pwrite(10_000, b"tail").unwrap();
         assert_eq!(c.stat("/sparse").unwrap().size, 10_004);
-        let head = c.read_at_path("/sparse", 0, 16).unwrap();
-        assert_eq!(head, vec![0u8; 16]);
-        let tail = c.read_at_path("/sparse", 10_000, 10).unwrap();
-        assert_eq!(tail, b"tail");
+        assert_eq!(h.pread(0, 16).unwrap(), vec![0u8; 16]);
+        assert_eq!(h.pread(10_000, 10).unwrap(), b"tail");
+        h.close().unwrap();
     }
 
     #[test]
     fn reads_stop_at_eof() {
         let (_d, c) = cluster(2);
-        c.create("/short", 0o644).unwrap();
-        c.write_at_path("/short", 0, b"12345").unwrap();
-        assert_eq!(c.read_at_path("/short", 0, 1000).unwrap(), b"12345");
-        assert!(c.read_at_path("/short", 5, 10).unwrap().is_empty());
-        assert!(c.read_at_path("/short", 500, 10).unwrap().is_empty());
+        let h = c.open_handle("/short", OpenFlags::RDWR.with_create()).unwrap();
+        h.pwrite(0, b"12345").unwrap();
+        assert_eq!(h.pread(0, 1000).unwrap(), b"12345");
+        assert!(h.pread(5, 10).unwrap().is_empty());
+        assert!(h.pread(500, 10).unwrap().is_empty());
+        h.close().unwrap();
+        // A fresh read-only handle sees the same EOF from its open-time
+        // stat, without a per-read round trip.
+        let r = c.open_handle("/short", OpenFlags::RDONLY).unwrap();
+        assert_eq!(r.pread(0, 1000).unwrap(), b"12345");
+        assert!(r.pread(5, 10).unwrap().is_empty());
+        r.close().unwrap();
     }
 
     #[test]
@@ -905,12 +1308,14 @@ mod tests {
     #[test]
     fn append_mode_writes_at_eof() {
         let (_d, c) = cluster(2);
-        c.create("/log", 0o644).unwrap();
-        c.write_at_path("/log", 0, b"first").unwrap();
+        let h = c.open_handle("/log", OpenFlags::WRONLY.with_create()).unwrap();
+        h.pwrite(0, b"first").unwrap();
+        h.close().unwrap();
         let fd = c.open("/log", OpenFlags::WRONLY.with_append()).unwrap();
         c.write(fd, b"|second").unwrap();
         c.close(fd).unwrap();
-        assert_eq!(c.read_at_path("/log", 0, 100).unwrap(), b"first|second");
+        let r = c.open_handle("/log", OpenFlags::RDONLY).unwrap();
+        assert_eq!(r.pread(0, 100).unwrap(), b"first|second");
     }
 
     #[test]
@@ -954,12 +1359,14 @@ mod tests {
     #[test]
     fn open_truncate_clears_data() {
         let (_d, c) = cluster(2);
-        c.create("/t", 0o644).unwrap();
-        c.write_at_path("/t", 0, b"old contents").unwrap();
+        let h = c.open_handle("/t", OpenFlags::WRONLY.with_create()).unwrap();
+        h.pwrite(0, b"old contents").unwrap();
+        h.close().unwrap();
         let fd = c.open("/t", OpenFlags::WRONLY.with_truncate()).unwrap();
         c.close(fd).unwrap();
         assert_eq!(c.stat("/t").unwrap().size, 0);
-        assert!(c.read_at_path("/t", 0, 100).unwrap().is_empty());
+        let r = c.open_handle("/t", OpenFlags::RDONLY).unwrap();
+        assert!(r.pread(0, 100).unwrap().is_empty());
     }
 
     #[test]
@@ -993,10 +1400,12 @@ mod tests {
         // sizes without a per-entry stat round.
         let (_d, c) = cluster(3);
         c.mkdir("/ls", 0o755).unwrap();
-        c.create("/ls/small", 0o644).unwrap();
-        c.write_at_path("/ls/small", 0, b"12345").unwrap();
-        c.create("/ls/large", 0o644).unwrap();
-        c.write_at_path("/ls/large", 0, &vec![0u8; 10_000]).unwrap();
+        let h = c.open_handle("/ls/small", OpenFlags::WRONLY.with_create()).unwrap();
+        h.pwrite(0, b"12345").unwrap();
+        h.close().unwrap();
+        let h = c.open_handle("/ls/large", OpenFlags::WRONLY.with_create()).unwrap();
+        h.pwrite(0, &vec![0u8; 10_000]).unwrap();
+        h.close().unwrap();
         c.mkdir("/ls/sub", 0o755).unwrap();
         let entries = c.readdir("/ls").unwrap();
         let by_name: std::collections::HashMap<&str, &gkfs_common::types::Dirent> =
@@ -1022,19 +1431,21 @@ mod tests {
     fn truncate_shrinks_and_extends() {
         let config = ClusterConfig::new(3).with_chunk_size(4096);
         let (_d, c) = cluster_with(3, config);
-        c.create("/t", 0o644).unwrap();
+        let h = c.open_handle("/t", OpenFlags::RDWR.with_create()).unwrap();
         let data: Vec<u8> = (0..20_000u32).map(|i| (i % 256) as u8).collect();
-        c.write_at_path("/t", 0, &data).unwrap();
-        c.truncate("/t", 5000).unwrap();
+        h.pwrite(0, &data).unwrap();
+        h.truncate(5000).unwrap();
         assert_eq!(c.stat("/t").unwrap().size, 5000);
-        let back = c.read_at_path("/t", 0, 20_000).unwrap();
+        assert_eq!(h.size(), 5000, "open handle snaps to the new size");
+        let back = h.pread(0, 20_000).unwrap();
         assert_eq!(back, &data[..5000]);
         // Extending truncate zero-fills.
         c.truncate("/t", 8000).unwrap();
         assert_eq!(c.stat("/t").unwrap().size, 8000);
-        let back = c.read_at_path("/t", 0, 8000).unwrap();
+        let back = h.pread(0, 8000).unwrap();
         assert_eq!(&back[..5000], &data[..5000]);
         assert!(back[5000..].iter().all(|&b| b == 0));
+        h.close().unwrap();
     }
 
     #[test]
@@ -1049,9 +1460,9 @@ mod tests {
     fn size_cache_buffers_and_flushes() {
         let config = ClusterConfig::new(2).with_size_cache(8);
         let (_d, c) = cluster_with(2, config);
-        c.create("/cached", 0o644).unwrap();
+        let h = c.open_handle("/cached", OpenFlags::WRONLY.with_create()).unwrap();
         for i in 0..5 {
-            c.write_at_path("/cached", i * 10, &[1u8; 10]).unwrap();
+            h.pwrite(i * 10, &[1u8; 10]).unwrap();
         }
         // Fewer writes than the window: nothing sent yet, but the
         // writing client still sees its own size.
@@ -1061,36 +1472,38 @@ mod tests {
         assert_eq!(c.stats().size_updates_sent.load(Ordering::Relaxed), 1);
         // After flush the daemons agree.
         for i in 5..8 {
-            c.write_at_path("/cached", i * 10, &[1u8; 10]).unwrap();
+            h.pwrite(i * 10, &[1u8; 10]).unwrap();
         }
         for i in 8..16 {
-            c.write_at_path("/cached", i * 10, &[1u8; 10]).unwrap();
+            h.pwrite(i * 10, &[1u8; 10]).unwrap();
         }
         // 11 buffered writes crossed the window of 8 once.
         assert!(c.stats().size_updates_sent.load(Ordering::Relaxed) >= 2);
         c.flush_all().unwrap();
         assert_eq!(c.stat("/cached").unwrap().size, 160);
+        h.close().unwrap();
     }
 
     #[test]
     fn concurrent_shared_file_writers_converge() {
         let config = ClusterConfig::new(4).with_chunk_size(4096);
         let (_d, c) = cluster_with(4, config);
-        c.create("/shared", 0o644).unwrap();
+        let h = c.open_handle("/shared", OpenFlags::RDWR.with_create()).unwrap();
         std::thread::scope(|s| {
             for t in 0..8u64 {
-                let c = &c;
+                let h = &h;
                 s.spawn(move || {
                     for i in 0..50u64 {
                         let off = (t * 50 + i) * 100;
-                        c.write_at_path("/shared", off, &[t as u8 + 1; 100]).unwrap();
+                        h.pwrite(off, &[t as u8 + 1; 100]).unwrap();
                     }
                 });
             }
         });
         assert_eq!(c.stat("/shared").unwrap().size, 40_000);
-        let data = c.read_at_path("/shared", 0, 40_000).unwrap();
+        let data = h.pread(0, 40_000).unwrap();
         assert!(data.iter().all(|&b| (1..=8).contains(&b)));
+        h.close().unwrap();
     }
 
     #[test]
@@ -1123,9 +1536,11 @@ mod tests {
         // Rank on node 2 writes its private file: every byte must land
         // on daemon 2 (the BurstFS pattern).
         let c2 = GekkoClient::mount_on(endpoints(&daemons), &config, 2).unwrap();
-        c2.create("/rank2.out", 0o644).unwrap();
+        let h2 = c2
+            .open_handle("/rank2.out", OpenFlags::RDWR.with_create())
+            .unwrap();
         let data: Vec<u8> = (0..50_000u32).map(|i| i as u8).collect();
-        c2.write_at_path("/rank2.out", 0, &data).unwrap();
+        h2.pwrite(0, &data).unwrap();
         for (n, d) in daemons.iter().enumerate() {
             let (_, w_bytes, _, _) = d.backends().data.stats().snapshot();
             if n == 2 {
@@ -1135,14 +1550,16 @@ mod tests {
             }
         }
         // The writer reads its own data back fine.
-        assert_eq!(c2.read_at_path("/rank2.out", 0, 50_000).unwrap(), data);
+        assert_eq!(h2.pread(0, 50_000).unwrap(), data);
+        h2.close().unwrap();
 
         // The documented BurstFS limitation: a client on another node
         // can stat the file (metadata is hash-placed) but resolves the
         // chunks to *its* node and sees holes.
         let c0 = GekkoClient::mount_on(endpoints(&daemons), &config, 0).unwrap();
         assert_eq!(c0.stat("/rank2.out").unwrap().size, 50_000);
-        let cross = c0.read_at_path("/rank2.out", 0, 100).unwrap();
+        let h0 = c0.open_handle("/rank2.out", OpenFlags::RDONLY).unwrap();
+        let cross = h0.pread(0, 100).unwrap();
         assert_eq!(cross, vec![0u8; 100], "cross-node read sees holes");
     }
 
@@ -1160,8 +1577,9 @@ mod tests {
         c.mkdir("/data", 0o755).unwrap();
         for i in 0..10 {
             let p = format!("/data/f{i}");
-            c.create(&p, 0o644).unwrap();
-            c.write_at_path(&p, 0, &vec![1u8; 10_000]).unwrap();
+            let h = c.open_handle(&p, OpenFlags::WRONLY.with_create()).unwrap();
+            h.pwrite(0, &vec![1u8; 10_000]).unwrap();
+            h.close().unwrap();
         }
         let report = c.fsck().unwrap();
         assert!(report.is_clean(), "{report:?}");
@@ -1174,8 +1592,11 @@ mod tests {
     fn fsck_finds_and_purges_orphan_chunks() {
         let config = ClusterConfig::new(3).with_chunk_size(4096);
         let (daemons, c) = cluster_with(3, config);
-        c.create("/will-orphan", 0o644).unwrap();
-        c.write_at_path("/will-orphan", 0, &vec![7u8; 30_000]).unwrap();
+        let h = c
+            .open_handle("/will-orphan", OpenFlags::WRONLY.with_create())
+            .unwrap();
+        h.pwrite(0, &vec![7u8; 30_000]).unwrap();
+        h.close().unwrap();
         // Sabotage: remove the metadata entry directly on its owner,
         // leaving the chunks stranded (a remove whose fan-out died).
         let mut removed = false;
@@ -1212,8 +1633,9 @@ mod tests {
     fn stat_cache_eliminates_round_trips_but_sees_own_writes() {
         let config = ClusterConfig::new(2).with_stat_cache_ttl_ms(60_000);
         let (daemons, c) = cluster_with(2, config);
-        c.create("/hot", 0o644).unwrap();
-        c.write_at_path("/hot", 0, b"12345").unwrap();
+        let h = c.open_handle("/hot", OpenFlags::WRONLY.with_create()).unwrap();
+        h.pwrite(0, b"12345").unwrap();
+        h.close().unwrap();
 
         let gets = |ds: &Vec<Arc<Daemon>>| -> u64 {
             ds.iter()
@@ -1229,7 +1651,9 @@ mod tests {
         assert!(delta <= 1, "cache should absorb the storm, saw {delta} gets");
 
         // The client's own writes stay visible (bump_size).
-        c.write_at_path("/hot", 100, b"x").unwrap();
+        let h = c.open_handle("/hot", OpenFlags::WRONLY).unwrap();
+        h.pwrite(100, b"x").unwrap();
+        h.close().unwrap();
         assert_eq!(c.stat("/hot").unwrap().size, 101);
         // Truncate invalidates; next stat refetches the exact value.
         c.truncate("/hot", 3).unwrap();
@@ -1252,10 +1676,176 @@ mod tests {
                 _d.iter().map(|d| d.endpoint()).collect();
             GekkoClient::mount(endpoints, &ClusterConfig::new(2)).unwrap()
         };
-        writer.write_at_path("/ttl", 0, b"abcdef").unwrap();
+        let wh = writer.open_handle("/ttl", OpenFlags::WRONLY).unwrap();
+        wh.pwrite(0, b"abcdef").unwrap();
+        wh.close().unwrap();
         // Within the TTL the observer may still see the stale size;
         // after expiry it must see the truth.
         std::thread::sleep(std::time::Duration::from_millis(50));
         assert_eq!(observer.stat("/ttl").unwrap().size, 6);
+    }
+
+    #[test]
+    fn write_back_coalesces_small_writes() {
+        let config = ClusterConfig::new(2).with_write_back(64 * 1024);
+        let (daemons, c) = cluster_with(2, config);
+        let h = c.open_handle("/wb", OpenFlags::RDWR.with_create()).unwrap();
+        // 8 sequential 1 KiB writes: all buffered, zero data RPCs.
+        let payload: Vec<u8> = (0..8192u32).map(|i| (i % 251) as u8).collect();
+        for i in 0..8usize {
+            h.pwrite(i as u64 * 1024, &payload[i * 1024..(i + 1) * 1024])
+                .unwrap();
+        }
+        assert_eq!(c.stats().wb_buffered_bytes.load(Ordering::Relaxed), 8192);
+        assert_eq!(c.stats().wb_flushes.load(Ordering::Relaxed), 0);
+        // Read-your-writes straight from the buffer; size included.
+        assert_eq!(h.pread(0, 8192).unwrap(), payload);
+        assert_eq!(h.size(), 8192);
+        assert_eq!(c.stat("/wb").unwrap().size, 8192);
+        // Another client sees nothing until the flush...
+        let other = {
+            let eps: Vec<Arc<dyn Endpoint>> = daemons.iter().map(|d| d.endpoint()).collect();
+            GekkoClient::mount(eps, &ClusterConfig::new(2)).unwrap()
+        };
+        assert_eq!(other.stat("/wb").unwrap().size, 0);
+        // ...which lands all eight writes as one coalesced batch.
+        h.flush().unwrap();
+        assert_eq!(c.stats().wb_flushes.load(Ordering::Relaxed), 1);
+        assert_eq!(other.stat("/wb").unwrap().size, 8192);
+        let oh = other.open_handle("/wb", OpenFlags::RDONLY).unwrap();
+        assert_eq!(oh.pread(0, 8192).unwrap(), payload);
+        oh.close().unwrap();
+        h.close().unwrap();
+    }
+
+    #[test]
+    fn write_back_drains_at_capacity_and_on_displacement() {
+        let config = ClusterConfig::new(2).with_write_back(4096);
+        let (_d, c) = cluster_with(2, config);
+        let h = c.open_handle("/drain", OpenFlags::RDWR.with_create()).unwrap();
+        for i in 0..4u64 {
+            h.pwrite(i * 1024, &[i as u8 + 1; 1024]).unwrap();
+        }
+        // Hit capacity: exactly one coalesced batch went out.
+        assert_eq!(c.stats().wb_flushes.load(Ordering::Relaxed), 1);
+        // A disjoint write displaces the current run.
+        h.pwrite(100_000, b"far").unwrap();
+        h.pwrite(4096, b"near").unwrap();
+        assert_eq!(c.stats().wb_flushes.load(Ordering::Relaxed), 2);
+        h.flush().unwrap();
+        assert_eq!(c.stats().wb_flushes.load(Ordering::Relaxed), 3);
+        assert_eq!(h.size(), 100_003);
+        assert_eq!(h.pread(100_000, 3).unwrap(), b"far");
+        assert_eq!(h.pread(4096, 4).unwrap(), b"near");
+        // An oversized write (>= capacity) goes straight through.
+        h.pwrite(0, &vec![9u8; 8192]).unwrap();
+        assert_eq!(
+            c.stats().wb_flushes.load(Ordering::Relaxed),
+            3,
+            "write-through, not a buffer flush"
+        );
+        assert_eq!(h.pread(0, 8192).unwrap(), vec![9u8; 8192]);
+        h.close().unwrap();
+    }
+
+    #[test]
+    fn buffered_writes_survive_truncate_ordering() {
+        // Writes buffered before a truncate must land before it
+        // applies (program order), so the truncate wins.
+        let config = ClusterConfig::new(2).with_write_back(64 * 1024);
+        let (_d, c) = cluster_with(2, config);
+        let h = c.open_handle("/order", OpenFlags::RDWR.with_create()).unwrap();
+        h.pwrite(0, b"0123456789").unwrap();
+        h.truncate(4).unwrap();
+        assert_eq!(h.size(), 4);
+        assert_eq!(h.pread(0, 100).unwrap(), b"0123");
+        // Writing after the truncate extends again from the cut.
+        h.pwrite(4, b"XY").unwrap();
+        h.flush().unwrap();
+        assert_eq!(c.stat("/order").unwrap().size, 6);
+        assert_eq!(h.pread(0, 100).unwrap(), b"0123XY");
+        h.close().unwrap();
+    }
+
+    #[test]
+    fn handle_reads_skip_the_stat_round_trip() {
+        let (daemons, c) = cluster(2);
+        let h = c
+            .open_handle("/no-read-stat", OpenFlags::RDWR.with_create())
+            .unwrap();
+        h.pwrite(0, b"0123456789").unwrap();
+        let gets = |ds: &Vec<Arc<Daemon>>| -> u64 {
+            ds.iter()
+                .map(|d| d.backends().meta.db().stats().gets.load(Ordering::Relaxed))
+                .sum()
+        };
+        let before = gets(&daemons);
+        for _ in 0..50 {
+            assert_eq!(h.pread(0, 10).unwrap(), b"0123456789");
+        }
+        assert_eq!(
+            gets(&daemons) - before,
+            0,
+            "handle reads must not stat the metadata owner"
+        );
+        assert!(c.stats().size_cache_hits.load(Ordering::Relaxed) >= 50);
+        // SEEK_END is served from the cached size too.
+        assert_eq!(h.seek(0, Whence::End).unwrap(), 10);
+        assert_eq!(gets(&daemons) - before, 0);
+        h.close().unwrap();
+    }
+
+    #[test]
+    fn rpc_counter_counts_logical_rpcs() {
+        let (_d, c) = cluster(2);
+        // Mounting created the root: the counter is already warm.
+        let base = c.stats().rpcs_issued.load(Ordering::Relaxed);
+        assert!(base >= 1);
+        c.create("/r", 0o644).unwrap();
+        assert_eq!(c.stats().rpcs_issued.load(Ordering::Relaxed), base + 1);
+        c.stat("/r").unwrap();
+        assert_eq!(c.stats().rpcs_issued.load(Ordering::Relaxed), base + 2);
+    }
+
+    #[test]
+    fn lease_revocations_keep_stat_cache_honest() {
+        let config = ClusterConfig::new(2).with_stat_cache_ttl_ms(60_000);
+        let (_d, c) = cluster_with(2, config);
+        c.create("/lease", 0o644).unwrap();
+        assert!(c.stats().lease_invalidations.load(Ordering::Relaxed) >= 1);
+        assert_eq!(c.stat("/lease").unwrap().size, 0);
+        // Truncate revokes: the very next stat refetches the truth.
+        c.truncate("/lease", 123).unwrap();
+        assert_eq!(c.stat("/lease").unwrap().size, 123);
+        c.unlink("/lease").unwrap();
+        assert!(c.stat("/lease").is_err());
+        // mkdir/rmdir revoke too (a stale "directory exists" entry
+        // would make a later create look spuriously conflicted).
+        c.mkdir("/ld", 0o755).unwrap();
+        c.stat("/ld").unwrap();
+        let n = c.stats().lease_invalidations.load(Ordering::Relaxed);
+        c.rmdir("/ld").unwrap();
+        assert!(c.stats().lease_invalidations.load(Ordering::Relaxed) > n);
+        assert!(c.stat("/ld").is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn path_shims_route_through_open_handles() {
+        let config = ClusterConfig::new(2).with_write_back(64 * 1024);
+        let (_d, c) = cluster_with(2, config);
+        let h = c.open_handle("/shim", OpenFlags::RDWR.with_create()).unwrap();
+        // A path-based write lands in the open handle's buffer...
+        c.write_at_path("/shim", 0, b"buffered").unwrap();
+        assert_eq!(c.stats().wb_buffered_bytes.load(Ordering::Relaxed), 8);
+        // ...and the path-based read sees it without any flush or stat.
+        assert_eq!(c.read_at_path("/shim", 0, 8).unwrap(), b"buffered");
+        assert_eq!(c.stats().wb_flushes.load(Ordering::Relaxed), 0);
+        h.close().unwrap();
+        // With no handle open the shims fall back to the anonymous
+        // through-path, as before the handle API existed.
+        c.create("/anon", 0o644).unwrap();
+        c.write_at_path("/anon", 0, b"direct").unwrap();
+        assert_eq!(c.read_at_path("/anon", 0, 6).unwrap(), b"direct");
     }
 }

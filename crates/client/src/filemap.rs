@@ -7,11 +7,12 @@
 //! preloaded into an application) and map to [`OpenFile`] records with
 //! their own offset state.
 
+use crate::writeback::WbBuf;
 use gkfs_common::types::{FileKind, OpenFlags};
 use gkfs_common::{GkfsError, Result};
 use gkfs_common::lock::{rank, OrderedMutex, OrderedRwLock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicI32, Ordering};
+use std::sync::atomic::{AtomicI32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// First descriptor handed out — mirrors GekkoFS' offset trick that
@@ -30,17 +31,63 @@ pub struct OpenFile {
     /// read-modify-write sequences on it must be atomic with the I/O
     /// size decision.
     pos: OrderedMutex<u64>,
+    /// The open-handle size cache: the file size as this handle knows
+    /// it — seeded by the open-time stat (0 for exclusive creates and
+    /// truncating opens), grown by this client's writes. Reads and
+    /// `SEEK_END` consult it instead of paying a stat RPC; cross-client
+    /// growth becomes visible on re-open (the GekkoFS handle contract).
+    cached_size: AtomicU64,
+    /// The handle's write-back buffer (capacity 0 = disabled).
+    pub(crate) wb: OrderedMutex<WbBuf>,
 }
 
 impl OpenFile {
-    /// New.
+    /// New, with size 0 and write-back disabled (tests, simple opens).
     pub fn new(path: impl Into<String>, flags: OpenFlags, kind: FileKind) -> OpenFile {
+        Self::with_state(path, flags, kind, 0, 0)
+    }
+
+    /// New, seeded with the open-time size and a write-back capacity.
+    pub fn with_state(
+        path: impl Into<String>,
+        flags: OpenFlags,
+        kind: FileKind,
+        size: u64,
+        wb_capacity: usize,
+    ) -> OpenFile {
         OpenFile {
             path: path.into(),
             flags,
             kind,
             pos: OrderedMutex::new(rank::CLIENT_FILE_POS, 0),
+            cached_size: AtomicU64::new(size),
+            wb: OrderedMutex::new(rank::CLIENT_WB, WbBuf::new(wb_capacity)),
         }
+    }
+
+    /// The size as this handle knows it (open-time stat merged with
+    /// this client's writes; excludes unflushed write-back bytes — see
+    /// [`OpenFile::effective_size`] for the merged view).
+    pub fn cached_size(&self) -> u64 {
+        self.cached_size.load(Ordering::Acquire)
+    }
+
+    /// Record a locally-known size (truncate, authoritative re-stat).
+    pub fn set_cached_size(&self, size: u64) {
+        self.cached_size.store(size, Ordering::Release);
+    }
+
+    /// Grow the cached size to at least `candidate` (writes only ever
+    /// extend; a concurrent truncate uses [`OpenFile::set_cached_size`]).
+    pub fn grow_cached_size(&self, candidate: u64) {
+        self.cached_size.fetch_max(candidate, Ordering::AcqRel);
+    }
+
+    /// The size including any unflushed write-back tail — what reads
+    /// and `stat` through this handle must see.
+    pub fn effective_size(&self) -> u64 {
+        let buffered_end = self.wb.lock().end().unwrap_or(0);
+        self.cached_size().max(buffered_end)
     }
 
     /// Current position.
@@ -88,8 +135,14 @@ impl FileMap {
 
     /// Insert an open file, returning its new descriptor.
     pub fn insert(&self, file: OpenFile) -> i32 {
+        self.insert_arc(Arc::new(file))
+    }
+
+    /// Insert an already-shared open file (registering a handle's
+    /// state record in the descriptor table).
+    pub fn insert_arc(&self, file: Arc<OpenFile>) -> i32 {
         let fd = self.next_fd.fetch_add(1, Ordering::Relaxed);
-        self.files.write().insert(fd, Arc::new(file));
+        self.files.write().insert(fd, file);
         fd
     }
 
@@ -143,6 +196,28 @@ impl FileMap {
             .values()
             .map(|f| f.path.clone())
             .collect()
+    }
+
+    /// Any open file for `path` — how the deprecated path-based shims
+    /// route through an existing handle's size cache and write-back
+    /// buffer instead of re-statting the metadata owner.
+    pub fn find_by_path(&self, path: &str) -> Option<Arc<OpenFile>> {
+        self.files
+            .read()
+            .values()
+            .find(|f| f.path == path)
+            .cloned()
+    }
+
+    /// All distinct open files (close-time flush fan-out on unmount).
+    pub fn open_files(&self) -> Vec<Arc<OpenFile>> {
+        let mut out: Vec<Arc<OpenFile>> = Vec::new();
+        for f in self.files.read().values() {
+            if !out.iter().any(|o| Arc::ptr_eq(o, f)) {
+                out.push(Arc::clone(f));
+            }
+        }
+        out
     }
 }
 

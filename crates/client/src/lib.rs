@@ -14,10 +14,16 @@
 //! * [`rpc`] — typed wrappers over the RPC endpoints, one per opcode.
 //! * [`size_cache`] — the client-side write-size coalescing cache the
 //!   paper adds in §IV-B to fix shared-file write throughput.
+//! * [`writeback`] — the per-handle write-back buffer coalescing small
+//!   sequential writes into chunk-aligned batches.
 //! * [`client`] — [`client::GekkoClient`]: path normalization, the
 //!   distributor, chunking, parallel fan-out of reads/writes, and the
 //!   POSIX-relaxed operation set (no rename/links/locks, eventually
 //!   consistent `readdir`, strong consistency for single-file ops).
+//!   I/O goes through explicit open handles
+//!   ([`client::GekkoClient::open_handle`] → [`client::FileHandle`]);
+//!   the path-based `write_at_path`/`read_at_path` surface remains as
+//!   deprecated shims over an internal anonymous handle.
 //!
 //! The interception interface itself — component (1), an `LD_PRELOAD`
 //! shim in C++ GekkoFS — is provided as a C ABI in the `gkfs-posix`
@@ -30,7 +36,8 @@ pub mod filemap;
 pub mod rpc;
 pub mod size_cache;
 pub mod stat_cache;
+pub mod writeback;
 
-pub use client::{ClientStats, FsckReport, GekkoClient};
+pub use client::{ClientStats, FileHandle, FsckReport, GekkoClient};
 pub use filemap::{FileMap, OpenFile};
 pub use rpc::{DaemonRing, NodeHealth, NodeHealthSnapshot, ReplyFuture};

@@ -240,6 +240,10 @@ pub struct DaemonRing {
     health: Vec<Arc<NodeHealth>>,
     /// Monotonic jitter-salt source (one per issued future).
     salts: AtomicU64,
+    /// Logical RPCs issued (retries excluded) — every operation passes
+    /// through [`DaemonRing::unary_tol`], so this is the ground truth
+    /// the RPC-count regression gate and `ClientStats` report.
+    rpcs: Arc<AtomicU64>,
 }
 
 impl DaemonRing {
@@ -263,7 +267,20 @@ impl DaemonRing {
             policy,
             health,
             salts: AtomicU64::new(0),
+            rpcs: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// The shared logical-RPC counter (retries excluded). The client
+    /// clones this into its [`crate::client::ClientStats`] so tests and
+    /// `gkfs-cli df` can observe RPCs-per-op.
+    pub fn rpc_counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.rpcs)
+    }
+
+    /// Logical RPCs issued so far.
+    pub fn rpcs_issued(&self) -> u64 {
+        self.rpcs.load(Ordering::Relaxed)
     }
 
     /// Nodes.
@@ -334,6 +351,7 @@ impl DaemonRing {
     ) -> Result<ReplyFuture<T>> {
         let ep = Arc::clone(self.ep(node)?);
         let health = Arc::clone(&self.health[node]);
+        self.rpcs.fetch_add(1, Ordering::Relaxed);
         let timeout = ep.timeout();
         let body: Bytes = body.into();
         let submit = {

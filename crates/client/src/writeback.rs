@@ -1,0 +1,305 @@
+//! Per-handle write-back buffering — the client half of the
+//! BuffetFS/AsyncFS-style small-write optimization.
+//!
+//! GekkoFS pays one chunk RPC (plus a size update) per `write`, which
+//! is exactly the small-op tax the paper's 8 KiB IOR numbers show.
+//! A [`WbBuf`] coalesces small *sequential* writes on one open handle
+//! into a single contiguous run of bytes; the run is written out as
+//! one chunk-aligned batch when it reaches capacity, when a disjoint
+//! write displaces it, or when `flush`/`fsync`/`close` force it.
+//!
+//! The buffer itself is pure data: no locks, no RPCs. The handle owns
+//! it behind an `OrderedMutex` (rank `CLIENT_WB`), and the client is
+//! careful to *take* the run out under the lock and send it after the
+//! guard is dropped — an RPC under the buffer lock would violate the
+//! lock hierarchy (GKL002).
+//!
+//! Consistency contract (see DESIGN.md "Open handles, write-back and
+//! leases"): buffered bytes are visible to reads **through the same
+//! handle** (read overlays the run) and to `stat` on the same client
+//! (the handle size includes the buffered tail). Other clients see
+//! them only after a flush — the same relaxation GekkoFS already
+//! accepts for the §IV-B size cache.
+
+/// One contiguous run of buffered bytes, starting at `start`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WbRun {
+    /// File offset of the first buffered byte.
+    pub start: u64,
+    /// The buffered bytes.
+    pub data: Vec<u8>,
+}
+
+impl WbRun {
+    /// One past the last buffered byte.
+    pub fn end(&self) -> u64 {
+        self.start + self.data.len() as u64
+    }
+}
+
+/// What [`WbBuf::offer`] decided about a write.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Absorb {
+    /// The bytes were absorbed into the buffer. If a previous run was
+    /// displaced (disjoint write), it must be written out now.
+    Buffered {
+        /// Displaced run to flush, if any.
+        flush_first: Option<WbRun>,
+    },
+    /// The write is too large for the buffer: the caller writes it
+    /// through directly, after flushing the returned run (program
+    /// order: buffered bytes precede this write).
+    Through {
+        /// Pending run to flush before the write-through, if any.
+        flush_first: Option<WbRun>,
+    },
+}
+
+/// A bounded write-back buffer holding at most one contiguous run.
+///
+/// `capacity == 0` disables buffering: every offer is `Through`.
+#[derive(Debug)]
+pub struct WbBuf {
+    capacity: usize,
+    run: Option<WbRun>,
+}
+
+impl WbBuf {
+    /// New buffer with the given capacity in bytes.
+    pub fn new(capacity: usize) -> WbBuf {
+        WbBuf {
+            capacity,
+            run: None,
+        }
+    }
+
+    /// Is buffering enabled?
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Bytes currently buffered.
+    pub fn len(&self) -> usize {
+        self.run.as_ref().map_or(0, |r| r.data.len())
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.run.is_none()
+    }
+
+    /// One past the last buffered byte, if any.
+    pub fn end(&self) -> Option<u64> {
+        self.run.as_ref().map(|r| r.end())
+    }
+
+    /// Offer a write to the buffer. Decides between absorbing the
+    /// bytes (sequential append, in-run overwrite, or a fresh run) and
+    /// writing through (oversized or disabled), and reports any
+    /// displaced run the caller must flush first.
+    pub fn offer(&mut self, offset: u64, data: &[u8]) -> Absorb {
+        if self.capacity == 0 || data.len() >= self.capacity {
+            // Oversized writes skip the buffer entirely; any pending
+            // run goes out first so earlier bytes are not reordered
+            // past later ones on overlapping ranges.
+            return Absorb::Through {
+                flush_first: self.run.take(),
+            };
+        }
+        match &mut self.run {
+            None => {
+                self.run = Some(WbRun {
+                    start: offset,
+                    data: data.to_vec(),
+                });
+                Absorb::Buffered { flush_first: None }
+            }
+            Some(run) if offset >= run.start && offset <= run.end() => {
+                // Overlapping or exactly-appending write: copy over the
+                // overlap and extend the tail. This is the sequential
+                // fast path (`offset == run.end()`) and the in-run
+                // rewrite path in one.
+                let rel = (offset - run.start) as usize;
+                let overlap = data.len().min(run.data.len() - rel);
+                run.data[rel..rel + overlap].copy_from_slice(&data[..overlap]);
+                run.data.extend_from_slice(&data[overlap..]);
+                Absorb::Buffered { flush_first: None }
+            }
+            Some(_) => {
+                // Disjoint (or backwards-overlapping) write: displace
+                // the old run and start a new one here.
+                let old = self.run.take();
+                self.run = Some(WbRun {
+                    start: offset,
+                    data: data.to_vec(),
+                });
+                Absorb::Buffered { flush_first: old }
+            }
+        }
+    }
+
+    /// Has the run reached capacity (time to drain)?
+    pub fn full(&self) -> bool {
+        self.capacity > 0 && self.len() >= self.capacity
+    }
+
+    /// Take the pending run out (flush/fsync/close/drain).
+    pub fn take(&mut self) -> Option<WbRun> {
+        self.run.take()
+    }
+
+    /// Clone of the pending run, for read overlay (the run stays
+    /// buffered; reads must see buffered bytes without forcing I/O).
+    pub fn snapshot(&self) -> Option<WbRun> {
+        self.run.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_buffer_passes_everything_through() {
+        let mut b = WbBuf::new(0);
+        assert!(!b.enabled());
+        match b.offer(0, b"abc") {
+            Absorb::Through { flush_first: None } => {}
+            other => panic!("{other:?}"),
+        }
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn sequential_writes_coalesce_into_one_run() {
+        let mut b = WbBuf::new(64);
+        assert_eq!(b.offer(0, b"hello"), Absorb::Buffered { flush_first: None });
+        assert_eq!(b.offer(5, b" world"), Absorb::Buffered { flush_first: None });
+        let run = b.take().unwrap();
+        assert_eq!(run.start, 0);
+        assert_eq!(run.data, b"hello world");
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn in_run_overwrite_patches_buffered_bytes() {
+        let mut b = WbBuf::new(64);
+        b.offer(10, b"xxxxxxxx");
+        b.offer(12, b"AB");
+        let run = b.snapshot().unwrap();
+        assert_eq!(run.start, 10);
+        assert_eq!(run.data, b"xxABxxxx");
+        // Overwrite extending past the tail grows the run.
+        b.offer(16, b"tailtail");
+        assert_eq!(b.snapshot().unwrap().data, b"xxABxxtailtail");
+        assert_eq!(b.end(), Some(24));
+    }
+
+    #[test]
+    fn disjoint_write_displaces_the_old_run() {
+        let mut b = WbBuf::new(64);
+        b.offer(0, b"first");
+        match b.offer(1000, b"second") {
+            Absorb::Buffered {
+                flush_first: Some(old),
+            } => {
+                assert_eq!(old.start, 0);
+                assert_eq!(old.data, b"first");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(b.snapshot().unwrap().start, 1000);
+    }
+
+    #[test]
+    fn backwards_write_also_displaces() {
+        let mut b = WbBuf::new(64);
+        b.offer(100, b"tail");
+        match b.offer(90, b"head") {
+            Absorb::Buffered {
+                flush_first: Some(old),
+            } => assert_eq!(old.start, 100),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_write_goes_through_after_flush() {
+        let mut b = WbBuf::new(8);
+        b.offer(0, b"abc");
+        match b.offer(3, &[7u8; 32]) {
+            Absorb::Through {
+                flush_first: Some(old),
+            } => assert_eq!(old.data, b"abc"),
+            other => panic!("{other:?}"),
+        }
+        assert!(b.is_empty(), "through writes never populate the buffer");
+    }
+
+    #[test]
+    fn full_signals_at_capacity() {
+        let mut b = WbBuf::new(8);
+        b.offer(0, b"1234");
+        assert!(!b.full());
+        b.offer(4, b"5678");
+        assert!(b.full());
+        assert_eq!(b.take().unwrap().data, b"12345678");
+        assert!(!b.full());
+    }
+
+    #[test]
+    fn model_check_random_small_writes() {
+        // Deterministic pseudo-random writes against a Vec<u8> model:
+        // replaying (flushes + buffered run) must equal the model.
+        let mut state = 0x9E37u64;
+        let mut rand = move |m: u64| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % m
+        };
+        for _ in 0..50 {
+            let mut b = WbBuf::new(32);
+            let mut model = vec![0u8; 256];
+            let mut disk = vec![0u8; 256];
+            let apply = |disk: &mut Vec<u8>, run: WbRun| {
+                let s = run.start as usize;
+                disk[s..s + run.data.len()].copy_from_slice(&run.data);
+            };
+            for _ in 0..40 {
+                let off = rand(200);
+                let len = (rand(24) + 1) as usize;
+                let byte = rand(255) as u8 + 1;
+                let data = vec![byte; len];
+                model[off as usize..off as usize + len].copy_from_slice(&data);
+                match b.offer(off, &data) {
+                    Absorb::Buffered { flush_first } => {
+                        if let Some(r) = flush_first {
+                            apply(&mut disk, r);
+                        }
+                    }
+                    Absorb::Through { flush_first } => {
+                        if let Some(r) = flush_first {
+                            apply(&mut disk, r);
+                        }
+                        apply(
+                            &mut disk,
+                            WbRun {
+                                start: off,
+                                data: data.clone(),
+                            },
+                        );
+                    }
+                }
+                if b.full() {
+                    let r = b.take().unwrap();
+                    apply(&mut disk, r);
+                }
+            }
+            if let Some(r) = b.take() {
+                apply(&mut disk, r);
+            }
+            assert_eq!(disk, model);
+        }
+    }
+}

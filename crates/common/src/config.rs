@@ -152,6 +152,12 @@ pub struct ClusterConfig {
     /// benefits of caching"). `0` disables caching (the paper's
     /// default: every stat is a round trip).
     pub stat_cache_ttl_ms: u64,
+    /// Client-side write-back buffer capacity per open handle, in
+    /// bytes. Small sequential writes on one handle coalesce into
+    /// batches of up to this many bytes before the chunk fan-out;
+    /// `flush`/`fsync`/`close` force the batch out. `0` disables
+    /// write-back (the paper's default: every write is an RPC).
+    pub write_back: u64,
     /// Client-side fault handling: retry schedule, circuit breakers,
     /// per-operation deadlines.
     pub retry: RetryConfig,
@@ -166,6 +172,7 @@ impl ClusterConfig {
             distributor: DistributorKind::SimpleHash,
             size_cache_ops: 0,
             stat_cache_ttl_ms: 0,
+            write_back: 0,
             retry: RetryConfig::default(),
         }
     }
@@ -194,6 +201,15 @@ impl ClusterConfig {
     /// round-trip elimination; the client always sees its own writes.
     pub fn with_stat_cache_ttl_ms(mut self, ttl_ms: u64) -> Self {
         self.stat_cache_ttl_ms = ttl_ms;
+        self
+    }
+
+    /// Enable the per-handle write-back buffer with the given capacity
+    /// in bytes. Pass [`ClusterConfig::chunk_size`]-sized (or larger)
+    /// capacities to get chunk-aligned batches out of small sequential
+    /// writes.
+    pub fn with_write_back(mut self, bytes: u64) -> Self {
+        self.write_back = bytes;
         self
     }
 

@@ -83,6 +83,11 @@ pub mod rank {
     pub const CLIENT_FILEMAP: LockRank = LockRank(220);
     /// A single open file's seek position.
     pub const CLIENT_FILE_POS: LockRank = LockRank(216);
+    /// A single open handle's write-back buffer. Below
+    /// [`CLIENT_FILE_POS`] so a positional write may claim its offset
+    /// and then buffer the bytes; a flush drops the guard before any
+    /// RPC (GKL002).
+    pub const CLIENT_WB: LockRank = LockRank(214);
     /// The client's stat cache.
     pub const CLIENT_STAT_CACHE: LockRank = LockRank(212);
     /// The client's write-back size cache.
@@ -149,6 +154,7 @@ pub mod rank {
             230 => "POSIX_DIR_STREAMS",
             220 => "CLIENT_FILEMAP",
             216 => "CLIENT_FILE_POS",
+            214 => "CLIENT_WB",
             212 => "CLIENT_STAT_CACHE",
             208 => "CLIENT_SIZE_CACHE",
             190 => "DAEMON_TCP",

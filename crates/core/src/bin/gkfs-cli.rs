@@ -132,33 +132,29 @@ fn run() -> Result<(), GkfsError> {
         "put" => {
             let data = std::fs::read(arg(1))?;
             // Create if missing; overwrite from zero.
-            match fs.create(arg(2), 0o644) {
-                Ok(()) => {}
-                Err(GkfsError::Exists) => fs.truncate(arg(2), 0)?,
-                Err(e) => return Err(e),
-            }
-            fs.write_at_path(arg(2), 0, &data)?;
+            let flags = gekkofs::OpenFlags::WRONLY.with_create().with_truncate();
+            let h = fs.open_handle(arg(2), flags)?;
+            h.pwrite(0, &data)?;
+            h.close()?;
             println!("{} bytes -> {}", data.len(), arg(2));
         }
         "get" => {
-            let size = fs.stat(arg(1))?.size;
-            let data = fs.read_at_path(arg(1), 0, size)?;
+            let h = fs.open_handle(arg(1), gekkofs::OpenFlags::RDONLY)?;
+            let data = h.pread(0, h.size() as usize)?;
             std::fs::write(arg(2), &data)?;
             println!("{} bytes <- {}", data.len(), arg(1));
         }
         "cat" => {
-            let size = fs.stat(arg(1))?.size;
-            let data = fs.read_at_path(arg(1), 0, size)?;
+            let h = fs.open_handle(arg(1), gekkofs::OpenFlags::RDONLY)?;
+            let data = h.pread(0, h.size() as usize)?;
             use std::io::Write;
             std::io::stdout().write_all(&data)?;
         }
         "write" => {
             let text = arg(2).as_bytes();
-            match fs.create(arg(1), 0o644) {
-                Ok(()) | Err(GkfsError::Exists) => {}
-                Err(e) => return Err(e),
-            }
-            fs.write_at_path(arg(1), 0, text)?;
+            let h = fs.open_handle(arg(1), gekkofs::OpenFlags::WRONLY.with_create())?;
+            h.pwrite(0, text)?;
+            h.close()?;
         }
         "truncate" => {
             let size: u64 = arg(2).parse().map_err(|_| {
@@ -228,6 +224,17 @@ fn run() -> Result<(), GkfsError> {
                     );
                 }
             }
+            let st = fs.stats();
+            use std::sync::atomic::Ordering::Relaxed;
+            println!(
+                "client: {} rpcs issued, write-back {} B buffered / {} coalesced \
+                 flushes, {} size-cache hits, {} lease invalidations",
+                st.rpcs_issued.load(Relaxed),
+                st.wb_buffered_bytes.load(Relaxed),
+                st.wb_flushes.load(Relaxed),
+                st.size_cache_hits.load(Relaxed),
+                st.lease_invalidations.load(Relaxed)
+            );
         }
         other => {
             eprintln!("unknown command: {other}");

@@ -191,7 +191,9 @@ mod tests {
         let fd = fs.open("/hello", OpenFlags::RDWR.with_create()).unwrap();
         fs.write(fd, b"cluster").unwrap();
         fs.close(fd).unwrap();
-        assert_eq!(fs.read_at_path("/hello", 0, 10).unwrap(), b"cluster");
+        let h = fs.open_handle("/hello", OpenFlags::RDONLY).unwrap();
+        assert_eq!(h.pread(0, 10).unwrap(), b"cluster");
+        drop(h);
         cluster.shutdown();
         assert!(fs.stat("/hello").is_err(), "daemons refuse after shutdown");
     }
@@ -201,12 +203,14 @@ mod tests {
         let cluster = Cluster::deploy(ClusterConfig::new(2)).unwrap();
         let a = cluster.mount().unwrap();
         let b = cluster.mount().unwrap();
-        a.create("/from-a", 0o644).unwrap();
-        a.write_at_path("/from-a", 0, b"written by a").unwrap();
+        let ha = a.open_handle("/from-a", OpenFlags::WRONLY.with_create()).unwrap();
+        ha.pwrite(0, b"written by a").unwrap();
+        ha.close().unwrap();
         // Client B sees it immediately: single-file ops are strongly
         // consistent.
         assert_eq!(b.stat("/from-a").unwrap().size, 12);
-        assert_eq!(b.read_at_path("/from-a", 0, 64).unwrap(), b"written by a");
+        let hb = b.open_handle("/from-a", OpenFlags::RDONLY).unwrap();
+        assert_eq!(hb.pread(0, 64).unwrap(), b"written by a");
         cluster.shutdown();
     }
 
@@ -229,9 +233,11 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let cluster = Cluster::deploy_on_disk(ClusterConfig::new(2), &dir).unwrap();
         let fs = cluster.mount().unwrap();
-        fs.create("/on-disk", 0o644).unwrap();
-        fs.write_at_path("/on-disk", 0, b"persistent bytes").unwrap();
-        assert_eq!(fs.read_at_path("/on-disk", 0, 64).unwrap(), b"persistent bytes");
+        let h = fs.open_handle("/on-disk", OpenFlags::RDWR.with_create()).unwrap();
+        h.pwrite(0, b"persistent bytes").unwrap();
+        h.flush().unwrap();
+        assert_eq!(h.pread(0, 64).unwrap(), b"persistent bytes");
+        h.close().unwrap();
         // Chunk files exist on the real file system.
         let chunk_files = walk(&dir)
             .into_iter()
@@ -261,10 +267,12 @@ mod tests {
     fn tcp_cluster_full_path() {
         let cluster = TcpCluster::deploy(ClusterConfig::new(3)).unwrap();
         let fs = cluster.mount().unwrap();
-        fs.create("/tcp", 0o644).unwrap();
+        let h = fs.open_handle("/tcp", OpenFlags::RDWR.with_create()).unwrap();
         let payload: Vec<u8> = (0..200_000u32).map(|i| (i % 251) as u8).collect();
-        fs.write_at_path("/tcp", 0, &payload).unwrap();
-        assert_eq!(fs.read_at_path("/tcp", 0, payload.len() as u64).unwrap(), payload);
+        h.pwrite(0, &payload).unwrap();
+        h.flush().unwrap();
+        assert_eq!(h.pread(0, payload.len()).unwrap(), payload);
+        h.close().unwrap();
         // A second, independently connected client.
         let fs2 = TcpCluster::mount_remote(cluster.addrs(), &ClusterConfig::new(3)).unwrap();
         assert_eq!(fs2.stat("/tcp").unwrap().size, payload.len() as u64);

@@ -61,10 +61,10 @@ impl<'fs> GekkoFile<'fs> {
         self.fd
     }
 
-    /// Current file size (via the metadata owner).
+    /// Current file size (via the open handle's size cache — no stat
+    /// round-trip; includes unflushed write-back bytes).
     pub fn len(&self) -> gkfs_common::Result<u64> {
-        let path = self.fs.files().get(self.fd)?.path.clone();
-        Ok(self.fs.stat(&path)?.size)
+        Ok(self.fs.handle(self.fd)?.size())
     }
 
     /// True when the file has zero length.
@@ -153,10 +153,8 @@ mod tests {
         let n = std::io::copy(&mut src, &mut dst).unwrap();
         assert_eq!(n, payload.len() as u64);
         drop((src, dst));
-        assert_eq!(
-            fs.read_at_path("/dst", 0, payload.len() as u64).unwrap(),
-            payload
-        );
+        let h = fs.open_handle("/dst", OpenFlags::RDONLY).unwrap();
+        assert_eq!(h.pread(0, payload.len()).unwrap(), payload);
         cluster.shutdown();
     }
 

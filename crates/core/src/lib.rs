@@ -25,11 +25,12 @@
 //! let cluster = Cluster::deploy(gekkofs::ClusterConfig::new(4)).unwrap();
 //! let fs = cluster.mount().unwrap();
 //!
-//! fs.create("/results.dat", 0o644).unwrap();
-//! fs.write_at_path("/results.dat", 0, b"simulation output").unwrap();
-//! assert_eq!(fs.stat("/results.dat").unwrap().size, 17);
-//! let back = fs.read_at_path("/results.dat", 0, 64).unwrap();
+//! let f = fs.open_handle("/results.dat", OpenFlags::RDWR.with_create()).unwrap();
+//! f.pwrite(0, b"simulation output").unwrap();
+//! assert_eq!(f.size(), 17);
+//! let back = f.pread(0, 64).unwrap();
 //! assert_eq!(back, b"simulation output");
+//! f.close().unwrap();
 //!
 //! cluster.shutdown();
 //! ```
@@ -42,7 +43,8 @@
 //!   enforcement;
 //! * synchronous and cache-less by default; the optional write-size
 //!   coalescing cache from §IV-B is enabled with
-//!   [`ClusterConfig::with_size_cache`].
+//!   [`ClusterConfig::with_size_cache`], and the opt-in per-handle
+//!   write-back buffer with [`ClusterConfig::with_write_back`].
 
 #![warn(missing_docs)]
 
@@ -52,7 +54,7 @@ pub mod file;
 pub use cluster::{Cluster, TcpCluster};
 pub use file::GekkoFile;
 pub use gkfs_client::client::Whence;
-pub use gkfs_client::{ClientStats, FsckReport, GekkoClient, NodeHealthSnapshot};
+pub use gkfs_client::{ClientStats, FileHandle, FsckReport, GekkoClient, NodeHealthSnapshot};
 pub use gkfs_common::{
     ClusterConfig, DaemonConfig, FileKind, GkfsError, Metadata, OpenFlags, Result,
     DEFAULT_CHUNK_SIZE,

@@ -60,13 +60,13 @@ fn three_daemon_processes_serve_one_namespace() {
     // Full workout across process boundaries.
     fs.mkdir("/mp", 0o755).unwrap();
     let data: Vec<u8> = (0..150_000u32).map(|i| (i % 251) as u8).collect();
-    fs.create("/mp/blob", 0o644).unwrap();
-    fs.write_at_path("/mp/blob", 0, &data).unwrap();
+    let h = fs
+        .open_handle("/mp/blob", gkfs_common::OpenFlags::RDWR.with_create())
+        .unwrap();
+    h.pwrite(0, &data).unwrap();
     assert_eq!(fs.stat("/mp/blob").unwrap().size, data.len() as u64);
-    assert_eq!(
-        fs.read_at_path("/mp/blob", 0, data.len() as u64).unwrap(),
-        data
-    );
+    assert_eq!(h.pread(0, data.len()).unwrap(), data);
+    h.close().unwrap();
     // Striping really crossed processes: more than one daemon holds data.
     let stats = fs.cluster_stats().unwrap();
     let holders = stats.iter().filter(|s| s.storage_write_bytes > 0).count();

@@ -361,8 +361,9 @@ pub unsafe extern "C" fn gkfs_fstat(fd: c_int, out: *mut GkfsStat) -> c_int {
         if out.is_null() {
             return Err(GkfsError::InvalidArgument("NULL stat buffer".into()));
         }
-        let path = c.files().get(fd)?.path.clone();
-        let m = c.stat(&path)?;
+        // Through the open handle: the reported size merges the
+        // handle's cached size and any unflushed write-back tail.
+        let m = c.handle(fd)?.stat()?;
         // SAFETY: `out` is non-null (checked above) and the caller
         // guarantees it is valid for writes.
         unsafe { *out = GkfsStat {
@@ -380,8 +381,9 @@ pub unsafe extern "C" fn gkfs_fstat(fd: c_int, out: *mut GkfsStat) -> c_int {
 #[no_mangle]
 pub extern "C" fn gkfs_ftruncate(fd: c_int, size: u64) -> c_int {
     ret_int(with_client(|c| {
-        let path = c.files().get(fd)?.path.clone();
-        c.truncate(&path, size).map(|_| 0)
+        // Through the open handle: buffered writes flush first
+        // (program order), then the truncate applies.
+        c.handle(fd)?.truncate(size).map(|_| 0)
     }))
 }
 

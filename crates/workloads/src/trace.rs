@@ -24,7 +24,7 @@
 //! deterministic payloads; reads verify length (content checks happen
 //! in the tests, where the expected pattern is known).
 
-use gekkofs::{GekkoClient, GkfsError, Result};
+use gekkofs::{GekkoClient, GkfsError, OpenFlags, Result};
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
@@ -222,11 +222,15 @@ pub fn replay_trace(
                             TraceOp::Create(p) => client.create(p, 0o644)?,
                             TraceOp::Write(p, off, len) => {
                                 let data = trace_pattern(rank, *off, *len);
-                                client.write_at_path(p, *off, &data)?;
+                                let h = client.open_handle(p, OpenFlags::WRONLY)?;
+                                h.pwrite(*off, &data)?;
+                                h.close()?;
                                 written.fetch_add(*len, Ordering::Relaxed);
                             }
                             TraceOp::Read(p, off, len) => {
-                                let data = client.read_at_path(p, *off, *len)?;
+                                let h = client.open_handle(p, OpenFlags::RDONLY)?;
+                                let data = h.pread(*off, *len as usize)?;
+                                h.close()?;
                                 read.fetch_add(data.len() as u64, Ordering::Relaxed);
                             }
                             TraceOp::Stat(p) => {
@@ -377,7 +381,8 @@ mod tests {
         assert!(r.ops_executed >= 6);
         // The data really is the rank-stamped pattern.
         let fs = cluster.mount().unwrap();
-        let data = fs.read_at_path("/t/shared", 0, 20_000).unwrap();
+        let h = fs.open_handle("/t/shared", OpenFlags::RDONLY).unwrap();
+        let data = h.pread(0, 20_000).unwrap();
         assert_eq!(&data[..10_000], &trace_pattern(0, 0, 10_000)[..]);
         assert_eq!(&data[10_000..], &trace_pattern(1, 10_000, 10_000)[..]);
         cluster.shutdown();

@@ -7,7 +7,7 @@
 //! cargo run -p gkfs-examples --bin campaign
 //! ```
 
-use gekkofs::{Cluster, ClusterConfig, DaemonConfig};
+use gekkofs::{Cluster, ClusterConfig, DaemonConfig, OpenFlags};
 use std::path::Path;
 
 fn deploy(root: &Path) -> gekkofs::Result<Cluster> {
@@ -29,9 +29,10 @@ fn main() -> gekkofs::Result<()> {
         fs.mkdir("/campaign", 0o755)?;
         for step in 0..3 {
             let path = format!("/campaign/ckpt-{step:03}");
-            fs.create(&path, 0o644)?;
+            let h = fs.open_handle(&path, OpenFlags::WRONLY.with_create().with_exclusive())?;
             let data: Vec<u8> = (0..200_000u32).map(|i| (i + step) as u8).collect();
-            fs.write_at_path(&path, 0, &data)?;
+            h.pwrite(0, &data)?;
+            h.close()?;
         }
         println!("job 1 wrote {} checkpoints", fs.readdir("/campaign")?.len());
         cluster.shutdown(); // job ends, daemons stop
@@ -44,7 +45,8 @@ fn main() -> gekkofs::Result<()> {
         let entries = fs.readdir("/campaign")?;
         println!("job 2 found {} checkpoints after daemon restart:", entries.len());
         for e in &entries {
-            let data = fs.read_at_path(&format!("/campaign/{}", e.name), 0, e.size)?;
+            let h = fs.open_handle(&format!("/campaign/{}", e.name), OpenFlags::RDONLY)?;
+            let data = h.pread(0, e.size as usize)?;
             println!("  {} -> {} bytes (first byte {})", e.name, data.len(), data[0]);
         }
         assert_eq!(entries.len(), 3, "campaign state must survive restarts");

@@ -7,7 +7,7 @@
 //! ```
 
 use gekkofs::cluster::TcpCluster;
-use gekkofs::ClusterConfig;
+use gekkofs::{ClusterConfig, OpenFlags};
 
 fn main() -> gekkofs::Result<()> {
     let config = ClusterConfig::new(3);
@@ -23,17 +23,18 @@ fn main() -> gekkofs::Result<()> {
 
     fs.mkdir("/wire", 0o755)?;
     let payload: Vec<u8> = (0..2_000_000u32).map(|i| (i % 251) as u8).collect();
-    fs.create("/wire/blob", 0o644)?;
-    fs.write_at_path("/wire/blob", 0, &payload)?;
+    let h = fs.open_handle("/wire/blob", OpenFlags::RDWR.with_create())?;
+    h.pwrite(0, &payload)?;
     println!(
         "wrote {} bytes over TCP, striped across {} daemons",
         payload.len(),
         cluster.addrs().len()
     );
 
-    let back = fs.read_at_path("/wire/blob", 0, payload.len() as u64)?;
+    let back = h.pread(0, payload.len())?;
     assert_eq!(back, payload, "data must round-trip bit-exact");
     println!("read back and verified {} bytes", back.len());
+    h.close()?;
 
     // Show where the bytes physically went.
     for (i, stats) in fs.cluster_stats()?.iter().enumerate() {

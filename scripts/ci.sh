@@ -20,6 +20,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> bench smoke (compile + run benches in test mode)"
 cargo bench -p gkfs-bench --bench rpc -- --test
 
+echo "==> client RPC budget gate (handle API vs itemized pre-handle baseline)"
+# mdtest-small and 8 KiB sequential IOR, counted in client RPCs
+# (ClientStats::rpcs_issued): fails if RPCs-per-op exceeds the pinned
+# budget or drops under the 2x-vs-old-protocol acceptance bound. RPC
+# counts are deterministic, so this gate is noise-free even on loaded
+# CI machines.
+cargo test -p gkfs-integration --release --test rpc_budget
+
 echo "==> kvstore release stress (optimized timing: stalls, group commit, crash recovery)"
 # The LSM concurrency tests (background flush races, write stalls,
 # group-commit fan-in, crash/reopen proptests) depend on real timing

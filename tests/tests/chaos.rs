@@ -11,7 +11,7 @@
 //! wall-clock decisions), so a failing run reproduces exactly. CI runs
 //! this suite in release mode with the three fixed seeds below.
 
-use gekkofs::{ClusterConfig, Daemon, DaemonConfig, GekkoClient, RetryConfig};
+use gekkofs::{ClusterConfig, Daemon, DaemonConfig, GekkoClient, OpenFlags, RetryConfig};
 use gkfs_rpc::{ChaosConfig, ChaosEndpoint, ChaosListener, Endpoint, EndpointOptions, TcpEndpoint};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -173,8 +173,12 @@ fn smallfile_data_under_heavy_chaos_never_silently_corrupts() {
         for i in 0..40u8 {
             let p = format!("/sf/small.{i}");
             let data = vec![i ^ 0x5A; 2048];
-            if bounded(&p, || fs.create(&p, 0o644)) && bounded(&p, || fs.write_at_path(&p, 0, &data))
-            {
+            let wrote = bounded(&p, || {
+                let h = fs.open_handle(&p, OpenFlags::WRONLY.with_create().with_exclusive())?;
+                h.pwrite(0, &data)?;
+                h.close()
+            });
+            if wrote {
                 written.push((p, data));
             }
         }
@@ -183,7 +187,10 @@ fn smallfile_data_under_heavy_chaos_never_silently_corrupts() {
             let t0 = Instant::now();
             // A typed failure is allowed under heavy chaos; a reply
             // that claims success must be bit-exact.
-            if let Ok(back) = fs.read_at_path(p, 0, data.len() as u64) {
+            let back = fs
+                .open_handle(p, OpenFlags::RDONLY)
+                .and_then(|h| h.pread(0, data.len()));
+            if let Ok(back) = back {
                 assert_eq!(&back, data, "seed {seed:#x}: silent corruption on {p}");
                 verified += 1;
             }
@@ -219,6 +226,133 @@ fn smallfile_data_under_heavy_chaos_never_silently_corrupts() {
             d.shutdown();
         }
     }
+}
+
+#[test]
+fn forced_write_back_flush_under_chaos_lands_fully_or_errors() {
+    // The write-back contract under faults: a flush (`fsync`) that
+    // reports success has landed *every* buffered byte — chaos may
+    // fail the flush loudly, never drop the tail of the run silently.
+    for seed in SEEDS {
+        let ds = daemons(2);
+        let (endpoints, injectors) = chaos_endpoints(&ds, ChaosConfig::heavy, seed);
+        let config = ClusterConfig::new(2)
+            .with_chunk_size(4096)
+            .with_write_back(64 * 1024)
+            .with_retry(chaos_retry());
+        let fs = match GekkoClient::mount(endpoints, &config) {
+            Ok(fs) => fs,
+            Err(e) => {
+                eprintln!("seed {seed:#x}: mount lost to heavy chaos ({e}) — acceptable");
+                for d in &ds {
+                    d.shutdown();
+                }
+                continue;
+            }
+        };
+
+        let mut acked: Vec<(String, Vec<u8>)> = Vec::new();
+        for i in 0..24u8 {
+            let p = format!("/wbf/run.{i}");
+            let Ok(h) = fs.open_handle(&p, OpenFlags::WRONLY.with_create()) else {
+                continue;
+            };
+            // Buffer a multi-chunk run of small sequential writes (all
+            // absorbed client-side: no RPCs yet, so none can fail).
+            let data: Vec<u8> = (0..12 * 1024u32).map(|b| (b as u8) ^ i).collect();
+            let mut all_buffered = true;
+            for j in 0..12 {
+                if h.pwrite((j * 1024) as u64, &data[j * 1024..(j + 1) * 1024]).is_err() {
+                    all_buffered = false;
+                    break;
+                }
+            }
+            if !all_buffered {
+                continue;
+            }
+            // The forced flush is the all-or-error point.
+            if bounded(&p, || h.fsync()) {
+                acked.push((p, data));
+            }
+        }
+        let injected: u64 = injectors.iter().map(|i| i.stats().total()).sum();
+        assert!(injected > 0, "seed {seed:#x}: chaos never fired");
+
+        // Judge acked flushes from a clean client: size and bytes must
+        // both be complete — a short file here is a silently lost tail.
+        let clean_eps: Vec<Arc<dyn Endpoint>> = ds.iter().map(|d| d.endpoint()).collect();
+        let clean = GekkoClient::mount(
+            clean_eps,
+            &ClusterConfig::new(2).with_chunk_size(4096),
+        )
+        .unwrap();
+        for (p, data) in &acked {
+            let m = clean.stat(p).unwrap();
+            assert_eq!(
+                m.size,
+                data.len() as u64,
+                "seed {seed:#x}: flush acked but size is short on {p}"
+            );
+            let h = clean.open_handle(p, OpenFlags::RDONLY).unwrap();
+            assert_eq!(
+                &h.pread(0, data.len()).unwrap(),
+                data,
+                "seed {seed:#x}: flush acked but bytes lost on {p}"
+            );
+        }
+        assert!(
+            !acked.is_empty(),
+            "seed {seed:#x}: heavy chaos should still let some flushes through"
+        );
+        for d in &ds {
+            d.shutdown();
+        }
+    }
+}
+
+#[test]
+fn forced_flush_after_daemon_kill_errors_or_lands_completely() {
+    // Kill a daemon while a handle still holds a buffered run, then
+    // force the flush. The flush must either surface a typed error or
+    // — if every chunk of the run happens to live on surviving nodes —
+    // land completely and read back bit-exact. Nothing in between.
+    let ds = daemons(2);
+    let endpoints: Vec<Arc<dyn Endpoint>> = ds.iter().map(|d| d.endpoint()).collect();
+    let config = ClusterConfig::new(2)
+        .with_chunk_size(4096)
+        .with_write_back(64 * 1024);
+    let fs = GekkoClient::mount(endpoints, &config).unwrap();
+
+    let h = fs
+        .open_handle("/kill/buffered", OpenFlags::RDWR.with_create())
+        .unwrap();
+    let data: Vec<u8> = (0..32 * 1024u32).map(|b| (b % 241) as u8).collect();
+    for j in 0..32 {
+        h.pwrite((j * 1024) as u64, &data[j * 1024..(j + 1) * 1024]).unwrap();
+    }
+
+    // Mid-flight kill: the 8-chunk run is hash-striped over both
+    // nodes, so the dead daemon almost certainly owns part of it.
+    ds[1].shutdown();
+
+    match h.fsync() {
+        Err(_) => {
+            // Loud failure: the contract held. The buffered tail was
+            // not silently dropped — the caller knows to recover.
+        }
+        Ok(()) => {
+            // Success claims every chunk landed on live nodes; the
+            // same handle (cached size, no stat RPC) must read the
+            // whole run back bit-exact.
+            assert_eq!(
+                h.pread(0, data.len()).unwrap(),
+                data,
+                "flush acked after daemon kill but bytes are not readable"
+            );
+        }
+    }
+    drop(h);
+    ds[0].shutdown();
 }
 
 #[test]

@@ -2,7 +2,7 @@
 //! strong consistency for single-file operations, eventual consistency
 //! for directory listings, documented relaxations for everything else.
 
-use gekkofs::{Cluster, ClusterConfig, GkfsError};
+use gekkofs::{Cluster, ClusterConfig, GkfsError, OpenFlags};
 use gkfs_integration::payload;
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -16,8 +16,12 @@ fn single_file_ops_are_strongly_consistent_across_clients() {
     // no sessions (the paper's synchronous design).
     a.create("/strong", 0o644).unwrap();
     assert!(b.stat("/strong").is_ok());
-    a.write_at_path("/strong", 0, b"v1").unwrap();
-    assert_eq!(b.read_at_path("/strong", 0, 10).unwrap(), b"v1");
+    let ha = a.open_handle("/strong", OpenFlags::WRONLY).unwrap();
+    ha.pwrite(0, b"v1").unwrap();
+    ha.close().unwrap();
+    let hb = b.open_handle("/strong", OpenFlags::RDONLY).unwrap();
+    assert_eq!(hb.pread(0, 10).unwrap(), b"v1");
+    hb.close().unwrap();
     a.truncate("/strong", 1).unwrap();
     assert_eq!(b.stat("/strong").unwrap().size, 1);
     a.unlink("/strong").unwrap();
@@ -64,16 +68,20 @@ fn non_overlapping_concurrent_writes_all_land() {
             s.spawn(move || {
                 let fs = cluster.mount().unwrap();
                 let data = payload(region as usize, t);
-                fs.write_at_path("/regions", t * region, &data).unwrap();
+                let h = fs.open_handle("/regions", OpenFlags::WRONLY).unwrap();
+                h.pwrite(t * region, &data).unwrap();
+                h.close().unwrap();
             });
         }
     });
     let fs = cluster.mount().unwrap();
+    let h = fs.open_handle("/regions", OpenFlags::RDONLY).unwrap();
     for t in 0..8u64 {
         let expect = payload(region as usize, t);
-        let got = fs.read_at_path("/regions", t * region, region).unwrap();
+        let got = h.pread(t * region, region as usize).unwrap();
         assert_eq!(got, expect, "region {t} corrupted by concurrency");
     }
+    h.close().unwrap();
     cluster.shutdown();
 }
 
@@ -127,7 +135,10 @@ fn size_cache_trades_visibility_for_throughput() {
     let writer = cluster.mount().unwrap();
     let other = cluster.mount().unwrap();
     writer.create("/lazy", 0o644).unwrap();
-    writer.write_at_path("/lazy", 0, &[1u8; 500]).unwrap();
+    // Keep the handle open across the window: close() would flush the
+    // buffered size update and end the staleness this test observes.
+    let h = writer.open_handle("/lazy", OpenFlags::WRONLY).unwrap();
+    h.pwrite(0, &[1u8; 500]).unwrap();
 
     // Writer: read-your-writes.
     assert_eq!(writer.stat("/lazy").unwrap().size, 500);
@@ -136,6 +147,7 @@ fn size_cache_trades_visibility_for_throughput() {
     // After the writer flushes, everyone agrees.
     writer.flush_size("/lazy").unwrap();
     assert_eq!(other.stat("/lazy").unwrap().size, 500);
+    h.close().unwrap();
     cluster.shutdown();
 }
 
@@ -148,13 +160,13 @@ fn chunk_data_is_visible_before_size_flush() {
     let cluster = Cluster::deploy(ClusterConfig::new(2).with_size_cache(100)).unwrap();
     let writer = cluster.mount().unwrap();
     writer.create("/early", 0o644).unwrap();
-    writer.write_at_path("/early", 0, b"already-there").unwrap();
+    let h = writer.open_handle("/early", OpenFlags::RDWR).unwrap();
+    h.pwrite(0, b"already-there").unwrap();
 
     // Direct chunk read through a second client works once size is
-    // known; here we verify via the writer's own view.
-    assert_eq!(
-        writer.read_at_path("/early", 0, 13).unwrap(),
-        b"already-there"
-    );
+    // known; here we verify via the writer's own view (the handle's
+    // size cache makes the range known without a stat).
+    assert_eq!(h.pread(0, 13).unwrap(), b"already-there");
+    h.close().unwrap();
     cluster.shutdown();
 }

@@ -28,8 +28,11 @@ fn checkpoint_restart_scenario() {
             s.spawn(move || {
                 let fs = cluster.mount().unwrap();
                 let path = format!("/ckpt/step-1/rank-{rank:04}");
-                fs.create(&path, 0o644).unwrap();
-                fs.write_at_path(&path, 0, ckpt).unwrap();
+                let h = fs
+                    .open_handle(&path, OpenFlags::WRONLY.with_create().with_exclusive())
+                    .unwrap();
+                h.pwrite(0, ckpt).unwrap();
+                h.close().unwrap();
             });
         }
     });
@@ -38,10 +41,13 @@ fn checkpoint_restart_scenario() {
     let fs = cluster.mount().unwrap();
     for rank in 0..ranks {
         let path = format!("/ckpt/step-1/rank-{rank:04}");
-        let m = fs.stat(&path).unwrap();
-        assert_eq!(m.size, ckpt.len() as u64);
-        let back = fs.read_at_path(&path, 0, m.size).unwrap();
+        let h = fs.open_handle(&path, OpenFlags::RDONLY).unwrap();
+        // The open-time stat seeds the handle's size cache; the read
+        // itself pays no further stat round trip.
+        assert_eq!(h.size(), ckpt.len() as u64);
+        let back = h.pread(0, ckpt.len()).unwrap();
         assert_eq!(back, ckpt, "rank {rank} checkpoint corrupted");
+        h.close().unwrap();
     }
 
     // The namespace lists all checkpoints (readdir broadcast).
@@ -58,21 +64,24 @@ fn producer_consumer_pipeline() {
     let producer = cluster.mount().unwrap();
     let consumer = cluster.mount().unwrap();
 
-    producer.create("/pipe/records", 0o644).unwrap();
+    let prod = producer
+        .open_handle("/pipe/records", OpenFlags::WRONLY.with_create().with_exclusive())
+        .unwrap();
     let record = payload(10_000, 7);
     for i in 0..20u64 {
-        producer
-            .write_at_path("/pipe/records", i * record.len() as u64, &record)
-            .unwrap();
-        // Strong single-file consistency: the consumer immediately
-        // sees the new size and the data.
+        prod.pwrite(i * record.len() as u64, &record).unwrap();
+        prod.flush().unwrap();
+        // Strong single-file consistency: once flushed, the consumer
+        // immediately sees the new size and the data. Cross-client
+        // growth is a re-open event under the handle contract, so the
+        // consumer opens a fresh handle per record.
         let size = consumer.stat("/pipe/records").unwrap().size;
         assert_eq!(size, (i + 1) * record.len() as u64);
-        let back = consumer
-            .read_at_path("/pipe/records", i * record.len() as u64, record.len() as u64)
-            .unwrap();
+        let h = consumer.open_handle("/pipe/records", OpenFlags::RDONLY).unwrap();
+        let back = h.pread(i * record.len() as u64, record.len()).unwrap();
         assert_eq!(back, record);
     }
+    prod.close().unwrap();
     cluster.shutdown();
 }
 
@@ -84,17 +93,22 @@ fn same_behaviour_over_tcp() {
 
     fs.mkdir("/t", 0o755).unwrap();
     let data = payload(200_000, 99);
-    fs.create("/t/blob", 0o644).unwrap();
-    fs.write_at_path("/t/blob", 0, &data).unwrap();
+    let h = fs
+        .open_handle("/t/blob", OpenFlags::WRONLY.with_create())
+        .unwrap();
+    h.pwrite(0, &data).unwrap();
+    h.close().unwrap();
 
     // Second client over fresh connections sees everything.
     let fs2 = TcpCluster::mount_remote(cluster.addrs(), &config).unwrap();
-    assert_eq!(fs2.read_at_path("/t/blob", 0, data.len() as u64).unwrap(), data);
+    let h2 = fs2.open_handle("/t/blob", OpenFlags::RDONLY).unwrap();
+    assert_eq!(h2.pread(0, data.len()).unwrap(), data);
     assert_eq!(fs2.readdir("/t").unwrap().len(), 1);
 
     // Partial reads at unaligned offsets over the wire.
-    let mid = fs2.read_at_path("/t/blob", 33_333, 44_444).unwrap();
+    let mid = h2.pread(33_333, 44_444).unwrap();
     assert_eq!(mid, &data[33_333..33_333 + 44_444]);
+    h2.close().unwrap();
 
     fs2.unlink("/t/blob").unwrap();
     assert!(matches!(fs.stat("/t/blob"), Err(GkfsError::NotFound)));
@@ -149,7 +163,11 @@ fn flat_namespace_properties() {
     assert!(!root.contains(&"never".to_string()), "no implicit dirs");
 
     // Path normalization: the same object through messy spellings.
-    fs.write_at_path("/never/made/dirs/../dirs/file", 0, b"x").unwrap();
+    let h = fs
+        .open_handle("/never/made/dirs/../dirs/file", OpenFlags::WRONLY)
+        .unwrap();
+    h.pwrite(0, b"x").unwrap();
+    h.close().unwrap();
     assert_eq!(fs.stat("/never//made/./dirs/file").unwrap().size, 1);
     cluster.shutdown();
 }
@@ -161,20 +179,23 @@ fn large_striped_file_integrity() {
     let cluster = small_chunk_cluster(8, 8 * 1024).unwrap();
     let fs = cluster.mount().unwrap();
     let data = payload(1_000_000, 1234);
-    fs.create("/big", 0o644).unwrap();
+    let h = fs
+        .open_handle("/big", OpenFlags::RDWR.with_create().with_exclusive())
+        .unwrap();
     // Write in scattered order.
     let step = 100_000;
     let mut order: Vec<usize> = (0..10).collect();
     order.reverse();
     for i in order {
         let start = i * step;
-        fs.write_at_path("/big", start as u64, &data[start..start + step]).unwrap();
+        h.pwrite(start as u64, &data[start..start + step]).unwrap();
     }
     assert_eq!(fs.stat("/big").unwrap().size, 1_000_000);
     for (off, len) in [(0usize, 1_000_000usize), (1, 999_999), (123_456, 500_000), (999_000, 1000)] {
-        let back = fs.read_at_path("/big", off as u64, len as u64).unwrap();
+        let back = h.pread(off as u64, len).unwrap();
         assert_eq!(back, &data[off..off + len], "window {off}+{len}");
     }
+    h.close().unwrap();
     // Every daemon holds some chunks.
     let with_data = fs
         .cluster_stats()

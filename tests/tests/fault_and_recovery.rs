@@ -1,7 +1,7 @@
 //! Failure behaviour: orderly shutdown, disk persistence, WAL
 //! recovery, and resilience against malformed inputs.
 
-use gekkofs::{Cluster, ClusterConfig, DaemonConfig, Daemon, GkfsError};
+use gekkofs::{Cluster, ClusterConfig, DaemonConfig, Daemon, GkfsError, OpenFlags};
 use gkfs_integration::payload;
 use gkfs_kvstore::{BlobStore, Db, DbOptions, MemBlobStore};
 use std::sync::Arc;
@@ -38,8 +38,11 @@ fn disk_backed_cluster_survives_redeploy() {
         })
         .unwrap();
         let fs = cluster.mount().unwrap();
-        fs.create("/campaign/data", 0o644).unwrap();
-        fs.write_at_path("/campaign/data", 0, &data).unwrap();
+        let h = fs
+            .open_handle("/campaign/data", OpenFlags::WRONLY.with_create())
+            .unwrap();
+        h.pwrite(0, &data).unwrap();
+        h.close().unwrap();
         cluster.shutdown();
     }
 
@@ -52,13 +55,14 @@ fn disk_backed_cluster_survives_redeploy() {
         })
         .unwrap();
         let fs = cluster.mount().unwrap();
-        let m = fs.stat("/campaign/data").unwrap();
-        assert_eq!(m.size, data.len() as u64);
+        let h = fs.open_handle("/campaign/data", OpenFlags::RDONLY).unwrap();
+        assert_eq!(h.size(), data.len() as u64);
         assert_eq!(
-            fs.read_at_path("/campaign/data", 0, m.size).unwrap(),
+            h.pread(0, data.len()).unwrap(),
             data,
             "campaign data must survive daemon restarts"
         );
+        h.close().unwrap();
         cluster.shutdown();
     }
     std::fs::remove_dir_all(&root).unwrap();

@@ -10,7 +10,7 @@
 //! mode (`--ignored`) where timing actually exercises the contended
 //! paths.
 
-use gekkofs::{ClusterConfig, Daemon, DaemonConfig, GekkoClient, RetryConfig};
+use gekkofs::{ClusterConfig, Daemon, DaemonConfig, GekkoClient, OpenFlags, RetryConfig};
 use gkfs_integration::payload;
 use gkfs_rpc::{ChaosConfig, ChaosEndpoint, Endpoint, EndpointOptions};
 use std::sync::Arc;
@@ -66,12 +66,15 @@ fn parallel_clients_on_disk_backed_storage() {
                 let fs = GekkoClient::mount(eps, config).unwrap();
                 let p = format!("/stress/f{c}");
                 let data = payload((chunks_per_file * CHUNK) as usize, c as u64 + 1);
-                fs.create(&p, 0o644).unwrap();
-                fs.write_at_path(&p, 0, &data).unwrap();
-                // Immediately read back through the same mount while
+                let h = fs
+                    .open_handle(&p, OpenFlags::RDWR.with_create().with_exclusive())
+                    .unwrap();
+                h.pwrite(0, &data).unwrap();
+                // Immediately read back through the same handle while
                 // the other clients are still writing.
-                let back = fs.read_at_path(&p, 0, data.len() as u64).unwrap();
+                let back = h.pread(0, data.len()).unwrap();
                 assert_eq!(back, data, "client {c}: lossy interleaving");
+                h.close().unwrap();
             });
         }
     });
@@ -83,7 +86,9 @@ fn parallel_clients_on_disk_backed_storage() {
     for c in 0..clients {
         let p = format!("/stress/f{c}");
         let data = payload((chunks_per_file * CHUNK) as usize, c as u64 + 1);
-        assert_eq!(fs.read_at_path(&p, 0, data.len() as u64).unwrap(), data);
+        let h = fs.open_handle(&p, OpenFlags::RDONLY).unwrap();
+        assert_eq!(h.pread(0, data.len()).unwrap(), data);
+        h.close().unwrap();
     }
     let stats = fs.cluster_stats().unwrap();
     let touches: u64 = stats.iter().map(|s| s.fd_cache_hits + s.fd_cache_misses).sum();
@@ -159,16 +164,18 @@ fn parallel_storage_stress_under_chaos_seeds() {
                     };
                     let p = format!("/chaos-stress/f{c}");
                     let data = payload((chunks_per_file * CHUNK) as usize, seed ^ c as u64);
-                    if fs.create(&p, 0o644).is_err() {
+                    let Ok(h) =
+                        fs.open_handle(&p, OpenFlags::RDWR.with_create().with_exclusive())
+                    else {
                         return;
-                    }
-                    if fs.write_at_path(&p, 0, &data).is_err() {
+                    };
+                    if h.pwrite(0, &data).is_err() {
                         return; // failed loudly: fine under chaos
                     }
                     // A write that claimed success must read back
                     // bit-exact — chaos may delay or fail loudly,
                     // never corrupt.
-                    if let Ok(back) = fs.read_at_path(&p, 0, data.len() as u64) {
+                    if let Ok(back) = h.pread(0, data.len()) {
                         assert_eq!(back, data, "seed {seed:#x}: silent corruption on {p}");
                         verified.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     }

@@ -7,7 +7,7 @@
 //! over the whole stack: placement, chunk math, size accounting, and
 //! truncate interactions all funnel through here.
 
-use gekkofs::{Cluster, ClusterConfig, GkfsError};
+use gekkofs::{Cluster, ClusterConfig, GkfsError, OpenFlags};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -127,32 +127,26 @@ proptest! {
                     let p = path(*file);
                     let data = pattern(*seed, *len as usize);
                     let expect = model.write(&p, *offset as usize, &data);
-                    let got = fs.write_at_path(&p, *offset as u64, &data);
-                    // GekkoFS (flat namespace, no open check in
-                    // write_at_path) writes chunks even for files whose
-                    // metadata is missing — but the size update merge
-                    // creates metadata. To keep semantics clean the
-                    // model only allows writes to existing files, so
-                    // guard: only compare when the file exists.
-                    if expect {
-                        prop_assert!(got.is_ok(), "write to {} failed: {:?}", p, got);
-                    } else {
-                        // Skip: drop the model-less write's effects by
-                        // removing any resurrected metadata.
-                        if got.is_ok() {
-                            let _ = fs.unlink(&p);
-                        }
-                    }
+                    // The handle API checks existence at open time, so
+                    // a write to a missing file fails there — exactly
+                    // the model's rule, with no metadata resurrection
+                    // to undo (the old path-shim quirk).
+                    let got = fs.open_handle(&p, OpenFlags::WRONLY).and_then(|h| {
+                        h.pwrite(*offset as u64, &data)?;
+                        h.close()
+                    });
+                    prop_assert_eq!(expect, got.is_ok(), "write {} -> {:?}", p, got);
                 }
                 Op::Read { file, offset, len } => {
                     let p = path(*file);
                     match model.read(&p, *offset as usize, *len as usize) {
                         Some(expect) => {
-                            let got = fs.read_at_path(&p, *offset as u64, *len as u64).unwrap();
+                            let h = fs.open_handle(&p, OpenFlags::RDONLY).unwrap();
+                            let got = h.pread(*offset as u64, *len as usize).unwrap();
                             prop_assert_eq!(&expect, &got, "read {} @{}+{}", p, offset, len);
                         }
                         None => {
-                            prop_assert!(fs.read_at_path(&p, *offset as u64, *len as u64).is_err());
+                            prop_assert!(fs.open_handle(&p, OpenFlags::RDONLY).is_err());
                         }
                     }
                 }
@@ -185,7 +179,8 @@ proptest! {
         for (p, contents) in &model.files {
             let m = fs.stat(p).unwrap();
             prop_assert_eq!(contents.len() as u64, m.size);
-            let got = fs.read_at_path(p, 0, contents.len() as u64).unwrap();
+            let h = fs.open_handle(p, OpenFlags::RDONLY).unwrap();
+            let got = h.pread(0, contents.len()).unwrap();
             prop_assert_eq!(contents, &got, "final contents of {}", p);
         }
         cluster.shutdown();

@@ -1,0 +1,119 @@
+//! Client RPC-count regression gate (wired into `scripts/ci.sh`).
+//!
+//! The handle redesign's acceptance bar is stated in RPCs, not
+//! wall-clock: wall-clock on a shared-core in-process cluster is
+//! noisy, but every RPC the client issues is counted exactly
+//! ([`gekkofs::ClientStats::rpcs_issued`], shared with the daemon
+//! ring). These tests pin the budget so a future change that quietly
+//! re-introduces a per-op round trip (an extra stat on open, a
+//! size-update per buffered write, a re-resolve per read) turns CI red
+//! with a number attached.
+//!
+//! Baseline: the pre-handle synchronous protocol, itemized per
+//! mdtest-small file on a 2-node cluster with the payload issued as
+//! 8 x 512 B sequential writes (the paper's §I "small I/O requests"):
+//!
+//! | op                | RPCs | why                                   |
+//! |-------------------|------|---------------------------------------|
+//! | create            |  1   | meta insert at the owner              |
+//! | 8 x write         | 16   | chunk write + synchronous size update |
+//! | stat              |  1   | meta fetch                            |
+//! | unlink            |  3   | meta remove + 2-node chunk broadcast  |
+//! | **total**         | **21**                                       |
+//!
+//! The handle path must do the same chain in one create, one coalesced
+//! flush (chunk write + size update), one stat and one unlink
+//! broadcast: ~7 per file. The gate asserts the >= 2x acceptance bound
+//! against the itemized baseline *and* a tighter absolute budget so
+//! regressions inside the 2x headroom still trip.
+
+use gekkofs::{Cluster, ClusterConfig, OpenFlags};
+use gkfs_workloads::{run_mdtest_small, MdtestSmallConfig};
+use std::sync::atomic::Ordering;
+
+/// Pre-handle protocol cost per mdtest-small file (itemized above).
+const OLD_PROTOCOL_RPCS_PER_FILE: f64 = 21.0;
+
+/// Absolute budget for the handle path: ~7 structural RPCs per file
+/// plus headroom for the run's amortized setup (mkdir) — NOT enough
+/// headroom to hide a reintroduced per-op round trip (+1 per stat or
+/// per flush would blow it).
+const HANDLE_RPCS_PER_FILE_BUDGET: f64 = 8.0;
+
+#[test]
+fn mdtest_small_rpc_budget_holds() {
+    let cluster = Cluster::deploy(
+        ClusterConfig::new(2)
+            .with_chunk_size(64 * 1024)
+            .with_write_back(64 * 1024),
+    )
+    .unwrap();
+    let cfg = MdtestSmallConfig {
+        processes: 2,
+        files_per_process: 100,
+        file_size: 4 * 1024,
+        transfer_size: 512,
+        work_dir: "/rpc-gate".into(),
+    };
+    let r = run_mdtest_small(&cluster, &cfg).unwrap();
+    cluster.shutdown();
+
+    assert!(r.wb_flushes > 0, "write-back never engaged");
+    let per_file = r.rpcs_per_file();
+    assert!(
+        per_file * 2.0 <= OLD_PROTOCOL_RPCS_PER_FILE,
+        "acceptance bound: {per_file:.2} RPCs/file is not 2x under the \
+         old protocol's {OLD_PROTOCOL_RPCS_PER_FILE}"
+    );
+    assert!(
+        per_file <= HANDLE_RPCS_PER_FILE_BUDGET,
+        "regression: {per_file:.2} RPCs/file exceeds the {HANDLE_RPCS_PER_FILE_BUDGET} budget \
+         ({} RPCs / {} files)",
+        r.rpcs_issued,
+        r.total_files
+    );
+}
+
+/// 8 KiB sequential IOR-style writes: with a 64 KiB write-back buffer
+/// the client must issue at least 2x fewer RPCs than write-through —
+/// measured, not modeled, by running the same write stream against two
+/// clusters that differ only in the buffer.
+#[test]
+fn ior_8k_sequential_write_rpc_budget_holds() {
+    let writes = 256usize; // 2 MiB total, 8 KiB at a time
+    let run = |write_back: u64| -> u64 {
+        let cluster = Cluster::deploy(
+            ClusterConfig::new(2)
+                .with_chunk_size(512 * 1024)
+                .with_write_back(write_back),
+        )
+        .unwrap();
+        let fs = cluster.mount().unwrap();
+        let h = fs
+            .open_handle("/ior8k", OpenFlags::WRONLY.with_create().with_exclusive())
+            .unwrap();
+        let base = fs.stats().rpcs_issued.load(Ordering::Relaxed);
+        let buf = vec![0xA5u8; 8 * 1024];
+        for i in 0..writes {
+            h.pwrite((i * buf.len()) as u64, &buf).unwrap();
+        }
+        h.close().unwrap();
+        let issued = fs.stats().rpcs_issued.load(Ordering::Relaxed) - base;
+        cluster.shutdown();
+        issued
+    };
+
+    let through = run(0);
+    let buffered = run(64 * 1024);
+    assert!(
+        buffered * 2 <= through,
+        "8 KiB sequential writes must issue >= 2x fewer RPCs with \
+         write-back: {buffered} vs {through}"
+    );
+    // Structural expectation: one coalesced flush (chunk write + size
+    // update) per 64 KiB run => ~0.25 RPCs per 8 KiB write.
+    assert!(
+        (buffered as f64) / (writes as f64) <= 1.0,
+        "buffered path re-grew a per-write round trip: {buffered} RPCs / {writes} writes"
+    );
+}

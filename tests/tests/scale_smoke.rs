@@ -87,19 +87,22 @@ fn sixty_four_megabytes_round_trip() {
             let block = &block;
             s.spawn(move || {
                 let fs = cluster.mount().unwrap();
-                fs.write_at_path("/huge", w * block.len() as u64, block).unwrap();
+                let h = fs.open_handle("/huge", OpenFlags::WRONLY).unwrap();
+                h.pwrite(w * block.len() as u64, block).unwrap();
+                h.close().unwrap();
             });
         }
     });
     assert_eq!(fs.stat("/huge").unwrap().size, 64 * 1024 * 1024);
 
     // Verify random windows rather than the whole 64 MiB.
+    let h = fs.open_handle("/huge", OpenFlags::RDONLY).unwrap();
     for (i, off) in [0u64, 3_333_333, 17_000_000, 44_444_444, 63 * 1024 * 1024]
         .iter()
         .enumerate()
     {
-        let len = 100_000u64;
-        let got = fs.read_at_path("/huge", *off, len).unwrap();
+        let len = 100_000usize;
+        let got = h.pread(*off, len).unwrap();
         for (j, b) in got.iter().enumerate() {
             let pos = (*off as usize + j) % block.len();
             assert_eq!(*b, block[pos], "window {i} offset {off}+{j}");

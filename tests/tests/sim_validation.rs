@@ -193,10 +193,13 @@ fn real_size_cache_reduces_update_rpcs() {
         let cluster =
             Cluster::deploy(ClusterConfig::new(2).with_size_cache(window)).unwrap();
         let fs = cluster.mount().unwrap();
-        fs.create("/w", 0o644).unwrap();
+        let h = fs
+            .open_handle("/w", gekkofs::OpenFlags::WRONLY.with_create())
+            .unwrap();
         for i in 0..256u64 {
-            fs.write_at_path("/w", i * 64, &[1u8; 64]).unwrap();
+            h.pwrite(i * 64, &[1u8; 64]).unwrap();
         }
+        h.close().unwrap();
         fs.flush_all().unwrap();
         let sent = fs
             .stats()

@@ -1,0 +1,133 @@
+//! Write-back buffer property test: random interleavings of buffered
+//! writes, reads, flushes, truncates, and size probes on a single
+//! handle must be indistinguishable from a plain `Vec<u8>`.
+//!
+//! This is the correctness net over the handle's write-back protocol:
+//! sequential absorb, in-run overwrite, displacement flushes, the
+//! read-your-buffered-writes overlay, truncate's pre-flush, and the
+//! cached-size bookkeeping all funnel through here. The buffer is kept
+//! deliberately small (8 KiB) relative to the offset range so random
+//! sequences constantly displace and re-fill the run.
+
+use gekkofs::{Cluster, ClusterConfig, OpenFlags};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum HOp {
+    /// pwrite at a random offset — usually disjoint from the buffered
+    /// run, forcing a displacement flush.
+    Write { offset: u16, len: u8, seed: u8 },
+    /// pwrite exactly at EOF — the sequential-absorb fast path.
+    Append { len: u8, seed: u8 },
+    /// pread through the overlay: buffered bytes must be visible.
+    Read { offset: u16, len: u16 },
+    /// Forced flush; afterwards a *fresh* handle must see everything.
+    Flush,
+    /// Truncate (either direction) — pre-flushes the buffered run.
+    Truncate { size: u16 },
+    /// Cached size probe — no RPC, must still equal the model's len.
+    Size,
+}
+
+fn op_strategy() -> impl Strategy<Value = HOp> {
+    prop_oneof![
+        3 => (any::<u16>(), any::<u8>(), any::<u8>())
+            .prop_map(|(offset, len, seed)| HOp::Write { offset: offset % 20_000, len, seed }),
+        3 => (any::<u8>(), any::<u8>()).prop_map(|(len, seed)| HOp::Append { len, seed }),
+        3 => (any::<u16>(), any::<u16>())
+            .prop_map(|(offset, len)| HOp::Read { offset: offset % 25_000, len: len % 25_000 }),
+        1 => Just(HOp::Flush),
+        1 => any::<u16>().prop_map(|size| HOp::Truncate { size: size % 25_000 }),
+        2 => Just(HOp::Size),
+    ]
+}
+
+fn pattern(seed: u8, len: usize) -> Vec<u8> {
+    (0..len).map(|i| (seed as usize).wrapping_add(i.wrapping_mul(37)) as u8).collect()
+}
+
+fn model_write(contents: &mut Vec<u8>, offset: usize, data: &[u8]) {
+    if data.is_empty() {
+        return;
+    }
+    let end = offset + data.len();
+    if contents.len() < end {
+        contents.resize(end, 0);
+    }
+    contents[offset..end].copy_from_slice(data);
+}
+
+fn model_read(contents: &[u8], offset: usize, len: usize) -> Vec<u8> {
+    let start = offset.min(contents.len());
+    let end = (offset + len).min(contents.len());
+    contents[start..end].to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16, // each case deploys a whole cluster: keep the count sane
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn buffered_handle_agrees_with_vec_model(ops in prop::collection::vec(op_strategy(), 1..48)) {
+        // Small chunks force striping; a small buffer forces constant
+        // displacement; write-back on is the entire point.
+        let cluster = Cluster::deploy(
+            ClusterConfig::new(2)
+                .with_chunk_size(4096)
+                .with_write_back(8 * 1024),
+        )
+        .unwrap();
+        let fs = cluster.mount().unwrap();
+        let h = fs.open_handle("/wb/prop", OpenFlags::RDWR.with_create()).unwrap();
+        let mut model: Vec<u8> = Vec::new();
+
+        for op in &ops {
+            match op {
+                HOp::Write { offset, len, seed } => {
+                    let data = pattern(*seed, *len as usize);
+                    h.pwrite(*offset as u64, &data).unwrap();
+                    model_write(&mut model, *offset as usize, &data);
+                }
+                HOp::Append { len, seed } => {
+                    let data = pattern(*seed, *len as usize);
+                    h.pwrite(model.len() as u64, &data).unwrap();
+                    let at = model.len();
+                    model_write(&mut model, at, &data);
+                }
+                HOp::Read { offset, len } => {
+                    let got = h.pread(*offset as u64, *len as usize).unwrap();
+                    let expect = model_read(&model, *offset as usize, *len as usize);
+                    prop_assert_eq!(&expect, &got, "read @{}+{}", offset, len);
+                }
+                HOp::Flush => {
+                    h.flush().unwrap();
+                    // Everything buffered so far is now durable: a fresh
+                    // handle (fresh open-time stat, empty buffer) must
+                    // see the model bit-exact.
+                    let fresh = fs.open_handle("/wb/prop", OpenFlags::RDONLY).unwrap();
+                    prop_assert_eq!(fresh.size(), model.len() as u64, "size after flush");
+                    let got = fresh.pread(0, model.len().max(1)).unwrap();
+                    prop_assert_eq!(&model, &got, "contents after flush");
+                }
+                HOp::Truncate { size } => {
+                    h.truncate(*size as u64).unwrap();
+                    model.resize(*size as usize, 0);
+                }
+                HOp::Size => {
+                    prop_assert_eq!(h.size(), model.len() as u64, "cached size");
+                }
+            }
+        }
+
+        // Close forces the final flush; the durable state must equal
+        // the model exactly — no silently lost buffered tail.
+        h.close().unwrap();
+        prop_assert_eq!(fs.stat("/wb/prop").unwrap().size, model.len() as u64);
+        let fresh = fs.open_handle("/wb/prop", OpenFlags::RDONLY).unwrap();
+        let got = fresh.pread(0, model.len().max(1)).unwrap();
+        prop_assert_eq!(&model, &got, "final durable contents");
+        cluster.shutdown();
+    }
+}
