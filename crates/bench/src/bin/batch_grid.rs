@@ -1,0 +1,135 @@
+//! Multi-core batch data-plane scoreboard: clients × chunk-io-threads.
+//!
+//! Drives `ChunkStorage::submit_batch` read batches against the file
+//! backend from N concurrent "handler" threads while the storage engine
+//! runs M I/O threads, over the two shapes the daemon actually sees:
+//! many large chunks (64×64 KiB — IOR-style streaming) and many small
+//! ones (256×16 KiB — small-file / DL workloads). This is the
+//! scoreboard for data-plane PRs: EXPERIMENTS.md records its grid, and
+//! regressions show up as a cell, not an average.
+//!
+//! `io-threads = 0` collapses the engine to fully synchronous serial
+//! I/O and is the baseline column; on this backend reads are served
+//! from cached chunk mappings on every engine, so the columns mostly
+//! measure how well completion fan-out overlaps *independent* clients.
+//!
+//! Usage: batch_grid [rounds] [iters]
+
+use gkfs_common::IoBackend;
+use gkfs_storage::{BatchOp, BatchPayload, ChunkStorage, FileChunkStorage};
+use std::time::Instant;
+
+const KIB: u64 = 1024;
+
+struct Shape {
+    label: &'static str,
+    chunks: u64,
+    op_len: u64,
+}
+
+const SHAPES: [Shape; 2] = [
+    Shape { label: "64x64k", chunks: 64, op_len: 64 * KIB },
+    Shape { label: "256x16k", chunks: 256, op_len: 16 * KIB },
+];
+
+fn dense_ops(shape: &Shape) -> Vec<BatchOp> {
+    (0..shape.chunks)
+        .map(|id| BatchOp {
+            chunk_id: id,
+            offset: 0,
+            len: shape.op_len,
+            buf_offset: id * shape.op_len,
+        })
+        .collect()
+}
+
+/// One grid cell: `clients` threads each running `iters` read batches
+/// against their own path (distinct fd-cache entries, like distinct
+/// files on a real daemon). Returns best-round per-batch latency (µs)
+/// and the matching aggregate throughput (MiB/s).
+fn cell(
+    storage: &FileChunkStorage,
+    shape: &Shape,
+    clients: usize,
+    rounds: usize,
+    iters: usize,
+) -> (f64, f64) {
+    let ops = dense_ops(shape);
+    let total = (shape.chunks * shape.op_len) as usize;
+    let chunk = vec![0xB7u8; shape.op_len as usize];
+    for c in 0..clients {
+        for id in 0..shape.chunks {
+            storage
+                .write_chunk(&format!("/grid/{}/{c}", shape.label), id, 0, &chunk)
+                .unwrap();
+        }
+    }
+    let run_client = |c: usize, iters: usize| {
+        let path = format!("/grid/{}/{c}", shape.label);
+        for _ in 0..iters {
+            let done = storage
+                .submit_batch(&path, &ops, BatchPayload::Read)
+                .wait()
+                .unwrap();
+            std::hint::black_box(done);
+        }
+    };
+    // Warm the fd/mapping caches before timing.
+    for c in 0..clients {
+        run_client(c, 2);
+    }
+    let mut best_us = f64::MAX;
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for c in 0..clients {
+                s.spawn(move || run_client(c, iters));
+            }
+        });
+        let us = t0.elapsed().as_secs_f64() * 1e6 / (iters * clients) as f64;
+        if us < best_us {
+            best_us = us;
+        }
+    }
+    let mib_s = (clients * total) as f64 / (1 << 20) as f64 / (best_us * 1e-6 * clients as f64);
+    (best_us, mib_s)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let rounds: usize = args.get(1).map(|s| s.parse().unwrap()).unwrap_or(3);
+    let iters: usize = args.get(2).map(|s| s.parse().unwrap()).unwrap_or(20);
+    let io_threads = [0usize, 1, 2, 4];
+    let clients = [1usize, 2, 4];
+    println!("== multi-core batch read grid (best of {rounds} rounds, {iters} iters/cell) ==");
+    for shape in &SHAPES {
+        println!("\n-- shape {} ({} KiB/batch) --", shape.label, shape.chunks * shape.op_len / KIB);
+        print!("{:>12}", "io-threads");
+        for c in &clients {
+            print!(" {:>9}", format!("c={c} us"));
+        }
+        println!(" {:>10}", "agg MiB/s");
+        for &t in &io_threads {
+            let dir = std::env::temp_dir()
+                .join(format!("gkfs-grid-{}-{}-{t}", std::process::id(), shape.label));
+            let _ = std::fs::remove_dir_all(&dir);
+            let backend = if t == 0 { IoBackend::Serial } else { IoBackend::Pool };
+            let storage = FileChunkStorage::open_with(&dir, backend, t, 64).unwrap();
+            let mut row = Vec::new();
+            let mut last_mib = 0.0;
+            for &c in &clients {
+                let (us, mib) = cell(&storage, shape, c, rounds, iters);
+                row.push(us);
+                last_mib = mib;
+            }
+            print!("{:>10} {:>1}", storage.engine_name(), t);
+            for us in &row {
+                print!(" {:>9.1}", us);
+            }
+            println!(" {:>10.0}", last_mib);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+    println!("\n(agg MiB/s column is for the widest client count; per-batch");
+    println!(" latency is wall-clock across all clients / total batches)");
+}

@@ -26,6 +26,26 @@ pub enum DistributorKind {
     WriteLocal,
 }
 
+/// Which engine drives the daemon's batch chunk I/O (the storage
+/// layer's `submit_batch` backend).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoBackend {
+    /// Pick the best generally-available engine: the task-pool
+    /// fan-out. io_uring stays opt-in (`Uring`) until registered
+    /// buffers land — see DESIGN.md "Zero-copy data plane".
+    #[default]
+    Auto,
+    /// Run every batch serially on the submitting thread.
+    Serial,
+    /// Fan batch segments out over a `TaskPool` of pread/pwrite
+    /// workers (the Argobots-ULT stand-in).
+    Pool,
+    /// Submit whole batches to an io_uring completion ring. Probed at
+    /// startup; kernels without io_uring (or builds without the
+    /// storage crate's `uring` feature) fall back to `Pool`.
+    Uring,
+}
+
 /// Per-daemon configuration.
 #[derive(Debug, Clone)]
 pub struct DaemonConfig {
@@ -48,6 +68,8 @@ pub struct DaemonConfig {
     /// Bound on queued chunk tasks; at saturation the handler runs
     /// tasks inline (caller-runs degradation) instead of queuing more.
     pub chunk_queue_depth: usize,
+    /// Engine behind the chunk store's completion-based batch API.
+    pub io_backend: IoBackend,
 }
 
 impl Default for DaemonConfig {
@@ -59,6 +81,7 @@ impl Default for DaemonConfig {
             kv_wal: false,
             chunk_io_threads: 4,
             chunk_queue_depth: 64,
+            io_backend: IoBackend::Auto,
         }
     }
 }
@@ -305,5 +328,6 @@ mod tests {
         assert!(d.handler_threads >= 1);
         assert!(d.chunk_io_threads >= 1);
         assert!(d.chunk_queue_depth >= d.chunk_io_threads);
+        assert_eq!(d.io_backend, IoBackend::Auto);
     }
 }

@@ -1,25 +1,49 @@
-//! CRC32 (IEEE 802.3 polynomial), table-driven, implemented from scratch.
+//! CRC32 (IEEE 802.3 polynomial), slice-by-8, implemented from scratch.
 //!
-//! Used to frame records in the KV store's write-ahead log and to
-//! protect SSTable blocks — the same role CRC32C plays in RocksDB.
+//! Used to frame records in the KV store's write-ahead log, to protect
+//! SSTable blocks, and as the trailer checksum on every TCP RPC frame —
+//! the same role CRC32C plays in RocksDB. The RPC data plane pushes
+//! multi-MiB chunk payloads through this function on every read reply,
+//! so the classic one-table bytewise loop (one table lookup and one
+//! shift per byte, a serial dependency chain) showed up in profiles.
+//! Slice-by-8 processes eight bytes per iteration through eight
+//! precomputed tables, breaking the dependency chain: the eight lookups
+//! are independent and the XOR tree reassociates freely, which is worth
+//! roughly 3-4x on payloads larger than a cache line.
+//!
+//! The tables are built in a `const` block at compile time — no lazy
+//! init on the hot path, no locks, and the flat 8 KiB array lands in
+//! rodata.
 
-/// Lazily built 256-entry lookup table for the reflected IEEE
-/// polynomial `0xEDB88320`.
-fn table() -> &'static [u32; 256] {
-    use std::sync::OnceLock;
-    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    TABLE.get_or_init(|| {
-        let mut t = [0u32; 256];
-        for (i, e) in t.iter_mut().enumerate() {
-            let mut c = i as u32;
-            for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB88320 ^ (c >> 1) } else { c >> 1 };
-            }
-            *e = c;
+/// Eight 256-entry tables for the reflected IEEE polynomial
+/// `0xEDB88320`. `TABLES[0]` is the classic bytewise table;
+/// `TABLES[k][b]` is the CRC of byte `b` followed by `k` zero bytes,
+/// which is what lets eight adjacent input bytes be looked up
+/// independently and combined with XOR.
+const TABLES: [[u32; 256]; 8] = {
+    let mut t = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB88320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
         }
-        t
-    })
-}
+        t[0][i] = c;
+        i += 1;
+    }
+    let mut n = 1;
+    while n < 8 {
+        let mut i = 0;
+        while i < 256 {
+            t[n][i] = (t[n - 1][i] >> 8) ^ t[0][(t[n - 1][i] & 0xFF) as usize];
+            i += 1;
+        }
+        n += 1;
+    }
+    t
+};
 
 /// Compute the CRC32 of `data` (initial value 0).
 pub fn crc32(data: &[u8]) -> u32 {
@@ -27,12 +51,29 @@ pub fn crc32(data: &[u8]) -> u32 {
 }
 
 /// Continue a CRC computation: `crc` is the value returned by a
-/// previous call for the preceding bytes.
+/// previous call for the preceding bytes. Incremental use is exact —
+/// feeding a buffer in arbitrary splits yields the same value as one
+/// shot, which is what lets the TCP transport checksum a vectored
+/// frame (header + borrowed payload segments) without assembling it.
 pub fn crc32_update(crc: u32, data: &[u8]) -> u32 {
-    let t = table();
     let mut c = !crc;
-    for &b in data {
-        c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    let mut chunks = data.chunks_exact(8);
+    for ch in &mut chunks {
+        // Fold the current CRC into the first four bytes, then look all
+        // eight bytes up in their position-shifted tables. The eight
+        // loads are independent — no serial shift chain.
+        let lo = u32::from_le_bytes([ch[0], ch[1], ch[2], ch[3]]) ^ c;
+        c = TABLES[7][(lo & 0xFF) as usize]
+            ^ TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ TABLES[4][(lo >> 24) as usize]
+            ^ TABLES[3][ch[4] as usize]
+            ^ TABLES[2][ch[5] as usize]
+            ^ TABLES[1][ch[6] as usize]
+            ^ TABLES[0][ch[7] as usize];
+    }
+    for &b in chunks.remainder() {
+        c = TABLES[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
     }
     !c
 }
@@ -41,23 +82,59 @@ pub fn crc32_update(crc: u32, data: &[u8]) -> u32 {
 mod tests {
     use super::*;
 
+    /// The original bytewise loop, kept as the cross-check reference
+    /// for the slice-by-8 implementation.
+    fn crc32_bytewise(data: &[u8]) -> u32 {
+        let mut c = 0xFFFF_FFFFu32;
+        for &b in data {
+            c = TABLES[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        c ^ 0xFFFF_FFFF
+    }
+
     #[test]
     fn reference_vectors() {
         // The canonical CRC32 check value.
         assert_eq!(crc32(b"123456789"), 0xCBF43926);
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414FA339);
+        // RFC 3720-style all-zero / all-ones blocks (IEEE, reflected).
+        assert_eq!(crc32(&[0u8; 32]), 0x190A55AD);
+        assert_eq!(crc32(&[0xFFu8; 32]), 0xFF6CAB0B);
+    }
+
+    #[test]
+    fn slice_by_8_matches_bytewise_on_all_lengths() {
+        // Every length 0..=64 plus some larger ones, so every
+        // remainder path of the 8-byte main loop is exercised.
+        let data: Vec<u8> = (0..4096u32).map(|i| (i.wrapping_mul(31) % 256) as u8).collect();
+        for len in (0..=64).chain([255, 1023, 4096]) {
+            assert_eq!(
+                crc32(&data[..len]),
+                crc32_bytewise(&data[..len]),
+                "len {len}"
+            );
+        }
+        // Unaligned starts too: `chunks_exact` begins at the slice
+        // head, so the table math must hold regardless of alignment.
+        for start in 1..9 {
+            assert_eq!(crc32(&data[start..]), crc32_bytewise(&data[start..]), "start {start}");
+        }
     }
 
     #[test]
     fn incremental_matches_oneshot() {
-        let data = b"hello crc32 incremental world";
-        let whole = crc32(data);
-        let mut c = 0;
-        for part in data.chunks(7) {
-            c = crc32_update(c, part);
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let whole = crc32(&data);
+        // Arbitrary split sizes, including splits inside an 8-byte
+        // block (the incremental state must not assume alignment).
+        for chunk in [1usize, 3, 7, 8, 13, 64] {
+            let mut c = 0;
+            for part in data.chunks(chunk) {
+                c = crc32_update(c, part);
+            }
+            assert_eq!(whole, c, "chunk size {chunk}");
         }
-        assert_eq!(whole, c);
     }
 
     #[test]

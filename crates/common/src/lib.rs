@@ -45,7 +45,7 @@ pub mod types;
 pub mod wire;
 
 pub use chunk::{chunk_range, ChunkInfo, ChunkLayout};
-pub use config::{ClusterConfig, DaemonConfig, RetryConfig, DEFAULT_CHUNK_SIZE};
+pub use config::{ClusterConfig, DaemonConfig, IoBackend, RetryConfig, DEFAULT_CHUNK_SIZE};
 pub use distributor::{Distributor, JumpDistributor, LocalityDistributor, SimpleHashDistributor};
 pub use error::{GkfsError, Result};
 pub use lock::{LockRank, OrderedMutex, OrderedRwLock};

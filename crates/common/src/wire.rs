@@ -212,6 +212,14 @@ impl<'a> Decoder<'a> {
         self.buf.len() - self.pos
     }
 
+    /// Byte offset of the cursor from the start of the buffer. Lets a
+    /// caller that owns the backing buffer (e.g. a refcounted frame)
+    /// turn a just-decoded field into a sub-range of the original
+    /// allocation instead of copying it out.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
     /// Assert the frame was consumed exactly — trailing garbage is
     /// treated as corruption.
     pub fn finish(&self) -> Result<()> {
@@ -220,6 +228,114 @@ impl<'a> Decoder<'a> {
                 "{} trailing bytes in frame",
                 self.buf.len() - self.pos
             )));
+        }
+        Ok(())
+    }
+}
+
+/// Vectored frame emitter for byte-stream transports.
+///
+/// The TCP wire format is `[payload_len: u32 LE][payload][crc32(payload):
+/// u32 LE]`. The original transport assembled `payload` into one
+/// contiguous `Vec` and issued three `write_all` calls (length, payload,
+/// CRC) — for a `ReadChunks` reply that meant memcpy'ing every chunk
+/// buffer into a concatenation `Vec` and paying three syscalls per
+/// frame. `FrameWriter` instead takes the payload as a list of borrowed
+/// segments (e.g. the encoded header prefix plus each chunk buffer),
+/// computes the CRC incrementally across them, and hands the kernel one
+/// `writev`-shaped `write_vectored` call covering header, every
+/// segment, and the trailer. Nothing is concatenated; the bytes go
+/// fd→chunk buffer→socket.
+///
+/// Ownership rule: segments are *borrowed* for the duration of
+/// [`FrameWriter::write_to`] only. The caller keeps the buffers alive
+/// (and unmodified) until the call returns; the writer never stashes
+/// them.
+///
+/// Partial writes are handled by advancing through the logical slice
+/// list (`IoSlice::advance_slices` is still unstable-adjacent in spirit;
+/// we rebuild the iovec from the current cursor instead, which also
+/// keeps the borrow local). `Interrupted` is retried.
+pub struct FrameWriter<'a> {
+    segments: Vec<&'a [u8]>,
+    payload_len: usize,
+}
+
+impl<'a> Default for FrameWriter<'a> {
+    fn default() -> Self {
+        FrameWriter::new()
+    }
+}
+
+impl<'a> FrameWriter<'a> {
+    /// Start an empty frame.
+    pub fn new() -> FrameWriter<'a> {
+        FrameWriter {
+            segments: Vec::with_capacity(4),
+            payload_len: 0,
+        }
+    }
+
+    /// Append one borrowed payload segment. Empty segments are legal
+    /// and contribute nothing to the wire image.
+    pub fn segment(&mut self, s: &'a [u8]) -> &mut Self {
+        if !s.is_empty() {
+            self.segments.push(s);
+        }
+        self.payload_len += s.len();
+        self
+    }
+
+    /// Total payload length (excludes the 8 framing bytes).
+    pub fn payload_len(&self) -> usize {
+        self.payload_len
+    }
+
+    /// Emit `[len][segments...][crc]` with vectored writes. The common
+    /// case is a single `write_vectored` syscall; short writes resume
+    /// from the exact byte reached.
+    pub fn write_to(&self, w: &mut impl std::io::Write) -> std::io::Result<()> {
+        let header = (self.payload_len as u32).to_le_bytes();
+        let mut crc = 0u32;
+        for s in &self.segments {
+            crc = crate::crc::crc32_update(crc, s);
+        }
+        let trailer = crc.to_le_bytes();
+
+        let mut slices: Vec<&[u8]> = Vec::with_capacity(self.segments.len() + 2);
+        slices.push(&header);
+        slices.extend(self.segments.iter().copied());
+        slices.push(&trailer);
+
+        let mut idx = 0usize; // current slice
+        let mut off = 0usize; // bytes of slices[idx] already written
+        let mut iov: Vec<std::io::IoSlice<'_>> = Vec::with_capacity(slices.len());
+        while idx < slices.len() {
+            iov.clear();
+            iov.push(std::io::IoSlice::new(&slices[idx][off..]));
+            iov.extend(slices[idx + 1..].iter().map(|s| std::io::IoSlice::new(s)));
+            let mut n = match w.write_vectored(&iov) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "wrote zero bytes of frame",
+                    ));
+                }
+                Ok(n) => n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            while n > 0 && idx < slices.len() {
+                let rem = slices[idx].len() - off;
+                if n < rem {
+                    off += n;
+                    n = 0;
+                } else {
+                    n -= rem;
+                    idx += 1;
+                    off = 0;
+                }
+            }
         }
         Ok(())
     }
@@ -312,5 +428,89 @@ mod tests {
     fn truncated_varint_is_error() {
         let mut d = Decoder::new(&[0x80, 0x80]); // continuation bits, no end
         assert!(d.varint().is_err());
+    }
+
+    /// Reference frame image: what the old contiguous
+    /// `write_all(len); write_all(payload); write_all(crc)` path put on
+    /// the wire. The vectored writer must be byte-identical.
+    fn contiguous_frame(payload: &[u8]) -> Vec<u8> {
+        let mut v = Vec::with_capacity(payload.len() + 8);
+        v.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        v.extend_from_slice(payload);
+        v.extend_from_slice(&crate::crc::crc32(payload).to_le_bytes());
+        v
+    }
+
+    #[test]
+    fn frame_writer_matches_contiguous_encoding() {
+        let payload: Vec<u8> = (0..300u32).map(|i| (i % 251) as u8).collect();
+        // Split the payload at a few arbitrary points, including empty
+        // and 1-byte segments.
+        let splits: &[&[usize]] = &[&[], &[0], &[300], &[1, 2, 150], &[100, 200], &[299]];
+        for cuts in splits {
+            let mut fw = FrameWriter::new();
+            let mut prev = 0;
+            for &c in *cuts {
+                fw.segment(&payload[prev..c]);
+                prev = c;
+            }
+            fw.segment(&payload[prev..]);
+            let mut out = Vec::new();
+            fw.write_to(&mut out).unwrap();
+            assert_eq!(out, contiguous_frame(&payload), "cuts {cuts:?}");
+        }
+    }
+
+    #[test]
+    fn frame_writer_empty_payload() {
+        let mut out = Vec::new();
+        FrameWriter::new().write_to(&mut out).unwrap();
+        assert_eq!(out, contiguous_frame(b""));
+        let mut out = Vec::new();
+        let mut fw = FrameWriter::new();
+        fw.segment(b"").segment(b"");
+        fw.write_to(&mut out).unwrap();
+        assert_eq!(out, contiguous_frame(b""));
+    }
+
+    /// Writer that accepts at most `cap` bytes per call and fails with
+    /// `Interrupted` every third call — exercises the resume cursor.
+    struct TrickleWriter {
+        out: Vec<u8>,
+        cap: usize,
+        calls: usize,
+    }
+
+    impl std::io::Write for TrickleWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.calls += 1;
+            if self.calls.is_multiple_of(3) {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::Interrupted,
+                    "signal",
+                ));
+            }
+            let n = buf.len().min(self.cap);
+            self.out.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+        // No write_vectored override: the default trait impl forwards
+        // the first non-empty buffer to `write`, which is exactly the
+        // short-write shape we want to torture the cursor with.
+    }
+
+    #[test]
+    fn frame_writer_survives_short_writes_and_interrupts() {
+        let payload: Vec<u8> = (0..1000u32).map(|i| (i % 241) as u8).collect();
+        for cap in [1usize, 2, 3, 7, 64, 4096] {
+            let mut fw = FrameWriter::new();
+            fw.segment(&payload[..333]).segment(&payload[333..334]).segment(&payload[334..]);
+            let mut w = TrickleWriter { out: Vec::new(), cap, calls: 0 };
+            fw.write_to(&mut w).unwrap();
+            assert_eq!(w.out, contiguous_frame(&payload), "cap {cap}");
+        }
     }
 }

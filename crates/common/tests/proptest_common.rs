@@ -7,11 +7,28 @@ use gkfs_common::distributor::{
 use gkfs_common::path as gpath;
 use proptest::prelude::*;
 
+/// Lowercase ASCII strings of length `min..=max`, spelled out as an
+/// explicit generator (equivalent to the regex strategy `[a-z]{min,max}`).
+fn lowercase(min: usize, max: usize) -> impl Strategy<Value = String> {
+    prop::collection::vec(0u8..26, min..max + 1)
+        .prop_map(|v| v.into_iter().map(|b| (b'a' + b) as char).collect())
+}
+
+/// Strings over `[a-z/]` of length `min..=max` (equivalent to the regex
+/// strategy `[a-z/]{min,max}`).
+fn pathish(min: usize, max: usize) -> impl Strategy<Value = String> {
+    prop::collection::vec(0u8..27, min..max + 1).prop_map(|v| {
+        v.into_iter()
+            .map(|b| if b == 26 { '/' } else { (b'a' + b) as char })
+            .collect()
+    })
+}
+
 /// Arbitrary path-ish strings: segments from a small alphabet glued
 /// with separators and dot-segments.
 fn path_strategy() -> impl Strategy<Value = String> {
     let segment = prop_oneof![
-        4 => "[a-z]{1,8}".prop_map(|s| s),
+        4 => lowercase(1, 8),
         1 => Just(".".to_string()),
         1 => Just("..".to_string()),
         1 => Just("".to_string()),
@@ -54,7 +71,7 @@ proptest! {
 
     #[test]
     fn distributors_always_in_range_and_deterministic(
-        path in "[a-z/]{1,32}",
+        path in pathish(1, 32),
         chunk in any::<u64>(),
         nodes in 1usize..700,
     ) {
@@ -77,7 +94,7 @@ proptest! {
 
     #[test]
     fn locality_and_simple_agree_on_metadata(
-        path in "[a-z/]{1,32}",
+        path in pathish(1, 32),
         nodes in 1usize..100,
         local in any::<usize>(),
     ) {
@@ -87,5 +104,67 @@ proptest! {
         let simple = SimpleHashDistributor::new(nodes);
         let localdist = LocalityDistributor::new(nodes, local % nodes);
         prop_assert_eq!(simple.locate_metadata(&p), localdist.locate_metadata(&p));
+    }
+}
+
+/// The frame image the pre-vectored transport emitted:
+/// `write_all(len); write_all(payload); write_all(crc)` over one
+/// contiguous buffer. The vectored writer must match it byte for byte
+/// regardless of how the payload is sliced.
+fn contiguous_frame(payload: &[u8]) -> Vec<u8> {
+    let mut v = Vec::with_capacity(payload.len() + 8);
+    v.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    v.extend_from_slice(payload);
+    v.extend_from_slice(&gkfs_common::crc::crc32(payload).to_le_bytes());
+    v
+}
+
+/// Sink that accepts at most `cap` bytes per call — forces the frame
+/// writer through its partial-write resume cursor at every boundary.
+struct CappedWriter {
+    out: Vec<u8>,
+    cap: usize,
+}
+
+impl std::io::Write for CappedWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = buf.len().min(self.cap);
+        self.out.extend_from_slice(&buf[..n]);
+        Ok(n)
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Arbitrary payloads under arbitrary segment splits — including
+    /// empty and 1-byte slices — produce exactly the contiguous
+    /// encoder's wire image, even when the socket only takes a few
+    /// bytes per call.
+    #[test]
+    fn vectored_frames_match_contiguous_encoder(
+        payload in prop::collection::vec(any::<u8>(), 0..2048),
+        cuts in prop::collection::vec(any::<u16>(), 0..12),
+        cap in prop_oneof![Just(usize::MAX), 1usize..97],
+    ) {
+        let mut cuts: Vec<usize> = cuts
+            .into_iter()
+            .map(|c| c as usize % (payload.len() + 1))
+            .collect();
+        cuts.sort_unstable();
+        let mut fw = gkfs_common::wire::FrameWriter::new();
+        let mut prev = 0;
+        for &c in &cuts {
+            fw.segment(&payload[prev..c]); // empty when cuts repeat
+            prev = c;
+        }
+        fw.segment(&payload[prev..]);
+        prop_assert_eq!(fw.payload_len(), payload.len());
+        let mut w = CappedWriter { out: Vec::new(), cap };
+        fw.write_to(&mut w).unwrap();
+        prop_assert_eq!(w.out, contiguous_frame(&payload), "cuts {:?} cap {}", cuts, cap);
     }
 }

@@ -35,12 +35,25 @@ impl Daemon {
                 MetadataBackend::open_memory()?,
                 Arc::new(MemChunkStorage::new()),
             ),
-            Some(root) => (
-                MetadataBackend::open_dir(root.join("metadata"), config.kv_wal)?,
-                Arc::new(FileChunkStorage::open(root.join("data"))?),
-            ),
+            Some(root) => {
+                // Size the storage I/O pool like the paper sizes
+                // Argobots execution streams: a fixed set bounded by
+                // the machine, never oversubscribing kernel threads.
+                let cores = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1);
+                (
+                    MetadataBackend::open_dir(root.join("metadata"), config.kv_wal)?,
+                    Arc::new(FileChunkStorage::open_with(
+                        root.join("data"),
+                        config.io_backend,
+                        config.chunk_io_threads.min(cores),
+                        config.chunk_queue_depth,
+                    )?),
+                )
+            }
         };
-        let engine = crate::engine::ChunkEngine::new(&config);
+        let engine = crate::engine::ChunkEngine::new();
         let backends = Arc::new(Backends { meta, data, engine });
         let registry = build_registry(backends.clone());
         let rpc = RpcServer::new(registry, config.handler_threads);

@@ -1,110 +1,58 @@
-//! The chunk task engine — per-chunk fan-out for the data path.
+//! The chunk batch engine — the daemon's edge of the data path.
 //!
 //! Paper §III-B: a daemon splits each I/O request into its chunks and
 //! hands every chunk to an Argobots user-level thread so chunk I/O
-//! overlaps. This module is that dispatch layer over
-//! [`gkfs_common::TaskPool`]: a `WriteChunks`/`ReadChunks` batch is cut
-//! into contiguous *segments* (aligned to same-chunk runs so backend
-//! coalescing is never split), the segments run on the pool's workers,
-//! and the handler thread gathers results in op order. Saturation
-//! degrades gracefully — when the pool queue is full the handler runs
-//! the segment itself (caller-runs, like the RPC server's accept path),
-//! so overload collapses to the serial pre-engine behavior instead of
-//! queuing without bound.
+//! overlaps. Earlier revisions did that fan-out here, in the daemon;
+//! the parallelism now lives *inside* the storage backend behind the
+//! completion-based [`ChunkStorage::submit_batch`] API, so direct
+//! storage users (benches, tools, future RDMA paths) get the same
+//! overlap and the daemon is a thin adapter:
 //!
-//! Read replies are scatter/gather: the handler sizes one reply buffer
-//! up front and every segment writes its bytes directly into its own
-//! disjoint window — no per-op `extend_from_slice` concatenation. Only
-//! a short read (EOF inside the batch) forces compaction copies, and
-//! those are counted in `reply_copy_bytes` so the "no-copy on the happy
-//! path" claim is checkable from `gkfs-cli df`.
+//! * validate the wire-controlled geometry (size cap, dense layout),
+//! * submit the batch and wait on its [`BatchCompletion`],
+//! * compact the read reply for the wire.
+//!
+//! Read replies are scatter/gather end to end: storage sizes one reply
+//! buffer and its segment tasks write their bytes directly into
+//! disjoint windows — no per-op concatenation. Only a short read (EOF
+//! inside the batch) forces compaction copies here, and those are
+//! counted in `reply_copy_bytes` so the "no-copy on the happy path"
+//! claim is checkable from `gkfs-cli df` (and gated in CI).
 
 use bytes::Bytes;
-use gkfs_common::{DaemonConfig, GkfsError, Result, TaskPool};
-use gkfs_storage::{BatchOp, ChunkStorage};
+use gkfs_common::{GkfsError, Result};
+use gkfs_storage::{BatchOp, BatchPayload, ChunkStorage};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::Arc;
 
 /// Reject read batches whose reply would exceed this (a malformed or
 /// hostile request, not a real stripe: clients cap far below it).
-pub const MAX_READ_BATCH_BYTES: u64 = 256 * 1024 * 1024;
+/// Mirrors the storage layer's own batch cap.
+pub const MAX_READ_BATCH_BYTES: u64 = gkfs_storage::MAX_BATCH_BYTES;
 
-/// Per-daemon chunk dispatch: the task pool plus engine counters.
+/// Per-daemon batch adapter: wire-side validation plus reply-assembly
+/// counters. The I/O engine itself (task pool or io_uring) belongs to
+/// the storage backend.
+#[derive(Default)]
 pub struct ChunkEngine {
-    pool: TaskPool,
     /// Bytes moved while compacting a read reply after short reads.
     reply_copy_bytes: AtomicU64,
 }
 
-/// Raw base pointer of the shared reply buffer, made sendable so
-/// segment tasks can carry their window across threads.
-struct SendPtr(*mut u8);
-
-// SAFETY: only ever sliced over one segment's own window — windows of
-// distinct segments are disjoint by construction (running-sum
-// `buf_offset` layout in `read_batch`), and the buffer outlives every
-// task because the handler blocks in `gather` until all tasks report.
-unsafe impl Send for SendPtr {}
-
-/// `(start, end)` op-index ranges: at most `max_tasks` contiguous
-/// segments, never splitting a run of ops on the same chunk (those are
-/// the backend's coalescing unit).
-fn segment(ops: &[BatchOp], max_tasks: usize) -> Vec<(usize, usize)> {
-    let target = ops.len().div_ceil(max_tasks.max(1)).max(1);
-    let mut segs = Vec::new();
-    let mut start = 0;
-    while start < ops.len() {
-        let mut end = (start + target).min(ops.len());
-        // Extend to the end of the current same-chunk run.
-        while end < ops.len() && ops[end].chunk_id == ops[end - 1].chunk_id {
-            end += 1;
-        }
-        segs.push((start, end));
-        start = end;
-    }
-    segs
-}
-
 impl ChunkEngine {
-    /// Engine sized from the daemon's config knobs. The worker count
-    /// is capped at the machine's available parallelism: Argobots in
-    /// the paper multiplexes chunk ULTs over a fixed set of execution
-    /// streams rather than oversubscribing kernel threads, and extra
-    /// workers beyond the core count only add context switches (on a
-    /// single-core node the engine degenerates to the inline path).
-    pub fn new(config: &DaemonConfig) -> ChunkEngine {
-        let cores = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        ChunkEngine {
-            pool: TaskPool::new(
-                "chunk-io",
-                config.chunk_io_threads.min(cores),
-                config.chunk_queue_depth,
-            ),
-            reply_copy_bytes: AtomicU64::new(0),
-        }
+    /// A fresh adapter (all counters zero).
+    pub fn new() -> ChunkEngine {
+        ChunkEngine::default()
     }
 
-    /// Uncapped worker count, so tests exercise the multi-segment
-    /// scatter/gather path even on a single-core machine.
-    #[cfg(test)]
-    fn with_workers(threads: usize, depth: usize) -> ChunkEngine {
-        ChunkEngine {
-            pool: TaskPool::new("chunk-io", threads, depth),
-            reply_copy_bytes: AtomicU64::new(0),
-        }
+    /// Bytes moved compacting read replies after short reads — zero on
+    /// the happy path (every op full-length).
+    pub fn reply_copy_bytes(&self) -> u64 {
+        self.reply_copy_bytes.load(Ordering::Relaxed)
     }
 
-    /// `(tasks_spawned, inline_fallbacks, reply_copy_bytes)`.
-    pub fn counters(&self) -> (u64, u64, u64) {
-        let (spawned, inline) = self.pool.counters();
-        (spawned, inline, self.reply_copy_bytes.load(Ordering::Relaxed))
-    }
-
-    /// Execute a write batch: fan segments out over the pool, run
-    /// overflow inline, first error in op order wins. `bulk` is shared
-    /// by reference count — tasks never copy the payload.
+    /// Execute a write batch. `bulk` is shared by reference count —
+    /// the storage backend's segment tasks never copy the payload.
     pub fn write_batch(
         &self,
         storage: &Arc<dyn ChunkStorage>,
@@ -112,127 +60,30 @@ impl ChunkEngine {
         ops: &[BatchOp],
         bulk: &Bytes,
     ) -> Result<()> {
-        let segs = segment(ops, self.pool.workers());
-        if segs.len() <= 1 {
-            return storage.write_chunks_batch(path, ops, bulk);
-        }
-        let (tx, rx) = mpsc::channel::<(usize, Result<()>)>();
-        for (seg_idx, &(start, end)) in segs.iter().enumerate() {
-            let job = {
-                let storage = storage.clone();
-                let path = path.to_string();
-                let seg_ops = ops[start..end].to_vec();
-                let bulk = bulk.clone();
-                let tx = tx.clone();
-                move || {
-                    let res = storage.write_chunks_batch(&path, &seg_ops, &bulk);
-                    let _ = tx.send((seg_idx, res));
-                }
-            };
-            if let Err(job) = self.pool.try_submit(Box::new(job)) {
-                job(); // caller-runs: the handler thread absorbs overflow
-            }
-        }
-        drop(tx);
-        gather(rx, segs.len()).map(|_| ())
+        storage
+            .submit_batch(path, ops, BatchPayload::Write(bulk.clone()))
+            .wait()
+            .map(|_| ())
     }
 
-    /// Execute a read batch into one pre-sized reply buffer; returns
-    /// `(bulk, per-op lens)` with the bulk already compacted to the
-    /// dense concatenation the wire contract requires.
+    /// Execute a read batch; returns `(bulk, per-op lens)` with the
+    /// bulk already compacted to the dense concatenation the wire
+    /// contract requires.
     pub fn read_batch(
         &self,
         storage: &Arc<dyn ChunkStorage>,
         path: &str,
         ops: &[BatchOp],
     ) -> Result<(Vec<u8>, Vec<u64>)> {
-        // Wire-controlled lens: an unchecked sum wraps in release
-        // builds (overflow-checks off) and would slip a huge batch
-        // under the size cap while the per-segment windows stay huge,
-        // turning the unsafe scatter path below into out-of-bounds
-        // writes. Sum checked, and verify the dense running-sum
-        // `buf_offset` layout the disjoint-window argument rests on.
-        let mut total: u64 = 0;
-        for op in ops {
-            if op.buf_offset != total {
-                return Err(GkfsError::InvalidArgument(
-                    "batch buffer layout is not the dense running sum".into(),
-                ));
-            }
-            match total.checked_add(op.len) {
-                Some(t) if t <= MAX_READ_BATCH_BYTES => total = t,
-                _ => {
-                    return Err(GkfsError::InvalidArgument(format!(
-                        "read batch exceeds {MAX_READ_BATCH_BYTES} bytes"
-                    )))
-                }
-            }
-        }
-        let mut out = vec![0u8; total as usize];
-        let segs = segment(ops, self.pool.workers());
-        let mut seg_lens: Vec<Option<Vec<u64>>> = vec![None; segs.len()];
-        if segs.len() <= 1 {
-            let lens = storage.read_chunks_batch(path, ops, &mut out)?;
-            if let Some(slot) = seg_lens.first_mut() {
-                *slot = Some(lens);
-            }
-        } else {
-            let base = SendPtr(out.as_mut_ptr());
-            let (tx, rx) = mpsc::channel::<(usize, Result<Vec<u64>>)>();
-            for (seg_idx, &(start, end)) in segs.iter().enumerate() {
-                let win_start = ops[start].buf_offset;
-                // Safe by the dense-layout validation above: every
-                // buf_offset is the exact running sum, so window
-                // bounds come straight from it (no re-summing that
-                // could diverge from the checked `total`).
-                let win_end = if end < ops.len() { ops[end].buf_offset } else { total };
-                let win_len = win_end - win_start;
-                // Rebase the segment's ops onto its own window so the
-                // task only ever forms a slice it exclusively owns.
-                let seg_ops: Vec<BatchOp> = ops[start..end]
-                    .iter()
-                    .map(|o| BatchOp {
-                        buf_offset: o.buf_offset - win_start,
-                        ..*o
-                    })
-                    .collect();
-                // SAFETY: `base` stays valid and unaliased for this
-                // window: the buffer lives on this stack frame past the
-                // `gather` below, and no other segment's window
-                // overlaps [win_start, win_start + win_len).
-                let win = unsafe {
-                    let ptr = base.0.add(win_start as usize);
-                    SendPtr(ptr)
-                };
-                let job = {
-                    let storage = storage.clone();
-                    let path = path.to_string();
-                    let tx = tx.clone();
-                    move || {
-                        let win = win;
-                        // SAFETY: disjoint window of the shared reply
-                        // buffer; see the invariants on `SendPtr`.
-                        let out: &mut [u8] = unsafe {
-                            std::slice::from_raw_parts_mut(win.0, win_len as usize)
-                        };
-                        let res = storage.read_chunks_batch(&path, &seg_ops, out);
-                        let _ = tx.send((seg_idx, res));
-                    }
-                };
-                if let Err(job) = self.pool.try_submit(Box::new(job)) {
-                    job();
-                }
-            }
-            drop(tx);
-            // Blocks until every task has reported (or provably died):
-            // only after this may `out` move or drop.
-            for (idx, lens) in gather(rx, segs.len())? {
-                seg_lens[idx] = Some(lens);
-            }
-        }
-        let mut lens = Vec::with_capacity(ops.len());
-        for seg in seg_lens {
-            lens.extend(seg.unwrap_or_default());
+        // Wire-controlled lens: validate before any allocation so a
+        // hostile batch can't force a huge zeroed buffer. The storage
+        // layer re-checks (its API is public), but the daemon owns the
+        // error the client sees.
+        gkfs_storage::validate_dense_layout(ops)?;
+        let out = storage.submit_batch(path, ops, BatchPayload::Read).wait()?;
+        let (mut bulk, lens) = (out.data, out.lens);
+        if lens.len() != ops.len() {
+            return Err(GkfsError::Rpc("storage returned mismatched batch lens".into()));
         }
         // Compact: short reads leave holes; the wire format wants the
         // dense concatenation. Happy path (every op full-length) moves
@@ -242,55 +93,21 @@ impl ChunkEngine {
             let n = n as usize;
             let planned = op.buf_offset as usize;
             if planned != dense && n > 0 {
-                out.copy_within(planned..planned + n, dense);
+                bulk.copy_within(planned..planned + n, dense);
                 self.reply_copy_bytes.fetch_add(n as u64, Ordering::Relaxed);
             }
             dense += n;
         }
-        out.truncate(dense);
-        Ok((out, lens))
-    }
-}
-
-/// Collect one result per segment, returning successes or the error
-/// with the lowest segment index (op order). A closed channel with
-/// results missing means a task died without reporting — surfaced as
-/// an RPC-layer error rather than a hang or a partial reply.
-fn gather<T>(
-    rx: mpsc::Receiver<(usize, Result<T>)>,
-    expect: usize,
-) -> Result<Vec<(usize, T)>> {
-    let mut oks = Vec::with_capacity(expect);
-    let mut first_err: Option<(usize, GkfsError)> = None;
-    for _ in 0..expect {
-        match rx.recv() {
-            Ok((idx, Ok(v))) => oks.push((idx, v)),
-            Ok((idx, Err(e))) => {
-                if first_err.as_ref().is_none_or(|(i, _)| idx < *i) {
-                    first_err = Some((idx, e));
-                }
-            }
-            Err(_) => {
-                return Err(first_err.map(|(_, e)| e).unwrap_or_else(|| {
-                    GkfsError::Rpc("chunk task lost without result".into())
-                }));
-            }
-        }
-    }
-    match first_err {
-        None => Ok(oks),
-        Some((_, e)) => Err(e),
+        bulk.truncate(dense);
+        Ok((bulk, lens))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gkfs_storage::MemChunkStorage;
-
-    fn engine(threads: usize) -> ChunkEngine {
-        ChunkEngine::with_workers(threads, DaemonConfig::default().chunk_queue_depth)
-    }
+    use gkfs_common::IoBackend;
+    use gkfs_storage::{FileChunkStorage, MemChunkStorage};
 
     fn layout(specs: &[(u64, u64, u64)]) -> Vec<BatchOp> {
         let mut cursor = 0;
@@ -304,70 +121,64 @@ mod tests {
             .collect()
     }
 
-    #[test]
-    fn segments_align_to_chunk_runs() {
-        let ops = layout(&[(0, 0, 4), (0, 4, 4), (1, 0, 4), (2, 0, 4), (2, 4, 4)]);
-        let segs = segment(&ops, 2);
-        assert_eq!(segs, vec![(0, 3), (3, 5)]);
-        for w in segs.windows(2) {
-            assert_eq!(w[0].1, w[1].0, "contiguous cover");
-        }
-        // A run never straddles segments.
-        for &(_, e) in &segs {
-            if e < ops.len() {
-                assert_ne!(ops[e - 1].chunk_id, ops[e].chunk_id);
-            }
-        }
+    /// Backends for end-to-end engine tests: the serial in-memory
+    /// store and a file store on the parallel pool engine, so the
+    /// multi-segment scatter/gather path runs even on small machines.
+    fn storages(tag: &str) -> Vec<(&'static str, Arc<dyn ChunkStorage>, Option<std::path::PathBuf>)> {
+        let dir = std::env::temp_dir().join(format!("gkfs-eng-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        vec![
+            ("mem", Arc::new(MemChunkStorage::new()), None),
+            (
+                "file-pool",
+                Arc::new(FileChunkStorage::open_with(&dir, IoBackend::Pool, 4, 64).unwrap()),
+                Some(dir),
+            ),
+        ]
     }
 
     #[test]
-    fn segments_degenerate_cases() {
-        assert!(segment(&[], 4).is_empty());
-        let one = layout(&[(0, 0, 8)]);
-        assert_eq!(segment(&one, 4), vec![(0, 1)]);
-        // max_tasks == 0 behaves like 1 (single inline segment).
-        let many = layout(&[(0, 0, 4), (1, 0, 4), (2, 0, 4)]);
-        assert_eq!(segment(&many, 0), vec![(0, 3)]);
-    }
-
-    #[test]
-    fn write_read_roundtrip_through_pool() {
-        for threads in [0usize, 1, 4] {
-            let eng = engine(threads);
-            let storage: Arc<dyn ChunkStorage> = Arc::new(MemChunkStorage::new());
+    fn write_read_roundtrip() {
+        for (name, storage, dir) in storages("rt") {
+            let eng = ChunkEngine::new();
             let ops = layout(&[(0, 0, 64), (1, 0, 64), (2, 0, 64), (3, 0, 64)]);
             let bulk: Vec<u8> = (0..256u32).map(|i| (i % 251) as u8).collect();
             eng.write_batch(&storage, "/e", &ops, &Bytes::from(bulk.clone()))
                 .unwrap();
             let (out, lens) = eng.read_batch(&storage, "/e", &ops).unwrap();
-            assert_eq!(lens, vec![64; 4], "threads={threads}");
-            assert_eq!(out, bulk, "threads={threads}");
-            let (_, _, copies) = eng.counters();
-            assert_eq!(copies, 0, "full-length reads must not compact");
+            assert_eq!(lens, vec![64; 4], "{name}");
+            assert_eq!(out, bulk, "{name}");
+            assert_eq!(eng.reply_copy_bytes(), 0, "full-length reads must not compact");
+            if let Some(dir) = dir {
+                let _ = std::fs::remove_dir_all(dir);
+            }
         }
     }
 
     #[test]
     fn short_reads_compact_densely() {
-        let eng = engine(2);
-        let storage: Arc<dyn ChunkStorage> = Arc::new(MemChunkStorage::new());
-        // Chunk 0 holds 16 bytes, chunk 1 holds 32: reading 32 from
-        // each leaves a hole after chunk 0's short read.
-        storage.write_chunk("/s", 0, 0, &[1u8; 16]).unwrap();
-        storage.write_chunk("/s", 1, 0, &[2u8; 32]).unwrap();
-        let ops = layout(&[(0, 0, 32), (1, 0, 32)]);
-        let (out, lens) = eng.read_batch(&storage, "/s", &ops).unwrap();
-        assert_eq!(lens, vec![16, 32]);
-        assert_eq!(out.len(), 48, "dense reply: no hole");
-        assert_eq!(&out[..16], &[1u8; 16]);
-        assert_eq!(&out[16..], &[2u8; 32]);
-        let (_, _, copies) = eng.counters();
-        assert_eq!(copies, 32, "chunk 1's bytes moved left once");
+        for (name, storage, dir) in storages("short") {
+            let eng = ChunkEngine::new();
+            // Chunk 0 holds 16 bytes, chunk 1 holds 32: reading 32 from
+            // each leaves a hole after chunk 0's short read.
+            storage.write_chunk("/s", 0, 0, &[1u8; 16]).unwrap();
+            storage.write_chunk("/s", 1, 0, &[2u8; 32]).unwrap();
+            let ops = layout(&[(0, 0, 32), (1, 0, 32)]);
+            let (out, lens) = eng.read_batch(&storage, "/s", &ops).unwrap();
+            assert_eq!(lens, vec![16, 32], "{name}");
+            assert_eq!(out.len(), 48, "dense reply: no hole ({name})");
+            assert_eq!(&out[..16], &[1u8; 16], "{name}");
+            assert_eq!(&out[16..], &[2u8; 32], "{name}");
+            assert_eq!(eng.reply_copy_bytes(), 32, "chunk 1's bytes moved left once ({name})");
+            if let Some(dir) = dir {
+                let _ = std::fs::remove_dir_all(dir);
+            }
+        }
     }
 
     #[test]
     fn oversized_read_batch_rejected() {
-        let eng = engine(1);
+        let eng = ChunkEngine::new();
         let storage: Arc<dyn ChunkStorage> = Arc::new(MemChunkStorage::new());
         let ops = layout(&[(0, 0, MAX_READ_BATCH_BYTES + 1)]);
         assert!(matches!(
@@ -378,7 +189,7 @@ mod tests {
 
     #[test]
     fn wrapping_len_sum_rejected() {
-        let eng = engine(2);
+        let eng = ChunkEngine::new();
         let storage: Arc<dyn ChunkStorage> = Arc::new(MemChunkStorage::new());
         // Lens summing past 2^64: an unchecked (wrapping) total would
         // come out tiny and pass the size cap while the segment
@@ -395,7 +206,7 @@ mod tests {
 
     #[test]
     fn non_dense_layout_rejected() {
-        let eng = engine(2);
+        let eng = ChunkEngine::new();
         let storage: Arc<dyn ChunkStorage> = Arc::new(MemChunkStorage::new());
         let ops = vec![BatchOp { chunk_id: 0, offset: 0, len: 8, buf_offset: 4 }];
         assert!(matches!(
@@ -406,8 +217,11 @@ mod tests {
 
     #[test]
     fn concurrent_batches_from_many_handler_threads() {
-        let eng = Arc::new(engine(4));
-        let storage: Arc<dyn ChunkStorage> = Arc::new(MemChunkStorage::new());
+        let dir = std::env::temp_dir().join(format!("gkfs-eng-conc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let eng = Arc::new(ChunkEngine::new());
+        let storage: Arc<dyn ChunkStorage> =
+            Arc::new(FileChunkStorage::open_with(&dir, IoBackend::Pool, 4, 64).unwrap());
         std::thread::scope(|s| {
             for t in 0..8u64 {
                 let eng = eng.clone();
@@ -425,5 +239,6 @@ mod tests {
                 });
             }
         });
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

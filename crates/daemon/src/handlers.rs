@@ -20,7 +20,8 @@ pub struct Backends {
     pub meta: MetadataBackend,
     /// Data.
     pub data: Arc<dyn ChunkStorage>,
-    /// Chunk task engine dispatching data batches over the I/O pool.
+    /// Batch adapter: wire-side validation and reply compaction; the
+    /// I/O parallelism itself lives inside `data`'s engine.
     pub engine: ChunkEngine,
 }
 
@@ -217,7 +218,8 @@ pub fn build_registry(backends: Arc<Backends>) -> HandlerRegistry {
                 let kv = b.meta.db().stats();
                 let (_, w_bytes, _, r_bytes) = b.data.stats().snapshot();
                 let (fd_hits, fd_misses, coalesced) = b.data.stats().engine_snapshot();
-                let (tasks_spawned, inline_runs, reply_copies) = b.engine.counters();
+                let (tasks_spawned, inline_runs) = b.data.stats().task_snapshot();
+                let reply_copies = b.engine.reply_copy_bytes();
                 let resp = DaemonStatsResp {
                     meta_entries: b.meta.entry_count()? as u64,
                     kv_puts: kv.puts.load(Relaxed),
@@ -261,7 +263,7 @@ mod tests {
         Arc::new(Backends {
             meta: MetadataBackend::open_memory().unwrap(),
             data: Arc::new(MemChunkStorage::new()),
-            engine: ChunkEngine::new(&gkfs_common::DaemonConfig::default()),
+            engine: ChunkEngine::new(),
         })
     }
 
@@ -347,8 +349,7 @@ mod tests {
             .into_result()
             .unwrap();
         assert_eq!(&resp.bulk[..], &bulk[..]);
-        let (_, _, reply_copies) = b.engine.counters();
-        assert_eq!(reply_copies, 0, "full-length batch must not compact");
+        assert_eq!(b.engine.reply_copy_bytes(), 0, "full-length batch must not compact");
 
         // Now force a short read: chunk n lands with only 100 bytes,
         // and an op after it must shift left in the reply.
@@ -377,8 +378,7 @@ mod tests {
         let lens = ReadChunksResp::decode(&resp.body).unwrap().lens;
         assert_eq!(lens, vec![100, 4096]);
         assert_eq!(resp.bulk.len(), 4196, "dense reply after short read");
-        let (_, _, reply_copies) = b.engine.counters();
-        assert_eq!(reply_copies, 4096, "only the shifted op's bytes copied");
+        assert_eq!(b.engine.reply_copy_bytes(), 4096, "only the shifted op's bytes copied");
     }
 
     #[test]

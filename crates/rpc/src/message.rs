@@ -112,6 +112,45 @@ impl Request {
         e.into_vec()
     }
 
+    /// Serialize the frame *prefix* only: everything up to and
+    /// including the bulk length word, but not the bulk bytes
+    /// themselves. Writing `encode_prefix()` followed by the raw bulk
+    /// is byte-identical to [`Request::encode`] — the transport hands
+    /// both to a vectored frame writer so a large write payload goes to
+    /// the socket as a borrowed slice instead of being concatenated
+    /// into a fresh `Vec`.
+    pub fn encode_prefix(&self) -> Vec<u8> {
+        let mut e = Encoder::with_capacity(self.body.len() + 32);
+        e.u16(self.opcode as u16);
+        e.u64(self.id);
+        e.bytes(&self.body);
+        e.u32(self.bulk.len() as u32);
+        e.into_vec()
+    }
+
+    /// Deserialize from an owned (refcounted) frame buffer. Body and
+    /// bulk are taken as sub-ranges of `frame` rather than decoded
+    /// field-by-field, so a transport that reads a whole frame into one
+    /// buffer can hand large payloads onward without a per-field copy.
+    pub fn decode_owned(frame: &Bytes) -> Result<Request> {
+        let mut d = Decoder::new(frame);
+        let opcode = Opcode::from_u16(d.u16()?)?;
+        let id = d.u64()?;
+        let body_len = d.u32()? as usize;
+        let body_start = d.position();
+        d.raw(body_len)?;
+        let bulk_len = d.u32()? as usize;
+        let bulk_start = d.position();
+        d.raw(bulk_len)?;
+        d.finish()?;
+        Ok(Request {
+            opcode,
+            id,
+            body: frame.slice(body_start..body_start + body_len),
+            bulk: frame.slice(bulk_start..bulk_start + bulk_len),
+        })
+    }
+
     /// Deserialize from [`Request::encode`] output.
     pub fn decode(buf: &[u8]) -> Result<Request> {
         let mut d = Decoder::new(buf);
@@ -205,6 +244,56 @@ impl Response {
         e.into_vec()
     }
 
+    /// Serialize the frame *prefix* only — the reply analogue of
+    /// [`Request::encode_prefix`]. `encode_prefix()` + raw bulk is
+    /// byte-identical to [`Response::encode`]; a `ReadChunks` reply's
+    /// scatter-gather buffer is passed to the transport as a borrowed
+    /// slice and never re-buffered.
+    pub fn encode_prefix(&self) -> Vec<u8> {
+        let mut e = Encoder::with_capacity(self.body.len() + 32);
+        e.u64(self.id);
+        match &self.status {
+            Status::Ok => {
+                e.u32(0);
+                e.str("");
+            }
+            Status::Err(err) => {
+                e.u32(err.code());
+                e.str(err.detail());
+            }
+        }
+        e.bytes(&self.body);
+        e.u32(self.bulk.len() as u32);
+        e.into_vec()
+    }
+
+    /// Deserialize from an owned (refcounted) frame buffer, slicing
+    /// body and bulk out of `frame` instead of copying field-by-field.
+    pub fn decode_owned(frame: &Bytes) -> Result<Response> {
+        let mut d = Decoder::new(frame);
+        let id = d.u64()?;
+        let code = d.u32()?;
+        let detail = d.str()?.to_string();
+        let status = if code == 0 {
+            Status::Ok
+        } else {
+            Status::Err(GkfsError::from_code(code, &detail))
+        };
+        let body_len = d.u32()? as usize;
+        let body_start = d.position();
+        d.raw(body_len)?;
+        let bulk_len = d.u32()? as usize;
+        let bulk_start = d.position();
+        d.raw(bulk_len)?;
+        d.finish()?;
+        Ok(Response {
+            id,
+            status,
+            body: frame.slice(body_start..body_start + body_len),
+            bulk: frame.slice(bulk_start..bulk_start + bulk_len),
+        })
+    }
+
     /// Deserialize from [`Response::encode`] output.
     pub fn decode(buf: &[u8]) -> Result<Response> {
         let mut d = Decoder::new(buf);
@@ -270,6 +359,51 @@ mod tests {
             assert_eq!(op as u16, v);
         }
         assert!(Opcode::from_u16(999).is_err());
+    }
+
+    #[test]
+    fn prefix_plus_bulk_is_byte_identical_to_encode() {
+        let mut req = Request::new(Opcode::WriteChunks, &b"args"[..])
+            .with_bulk(Bytes::from(vec![3u8; 777]));
+        req.id = 42;
+        let mut framed = req.encode_prefix();
+        framed.extend_from_slice(&req.bulk);
+        assert_eq!(framed, req.encode());
+
+        let mut resp = Response::ok(&b"lens"[..]).with_bulk(Bytes::from(vec![7u8; 123]));
+        resp.id = 42;
+        let mut framed = resp.encode_prefix();
+        framed.extend_from_slice(&resp.bulk);
+        assert_eq!(framed, resp.encode());
+
+        // Error responses and empty bulks too.
+        let mut resp = Response::err(GkfsError::NotFound);
+        resp.id = 9;
+        let framed = resp.encode_prefix();
+        assert_eq!(framed, resp.encode());
+    }
+
+    #[test]
+    fn decode_owned_agrees_with_decode() {
+        let mut req = Request::new(Opcode::ReadChunks, &b"body"[..])
+            .with_bulk(Bytes::from(vec![5u8; 64]));
+        req.id = 11;
+        let frame = Bytes::from(req.encode());
+        let a = Request::decode(&frame).unwrap();
+        let b = Request::decode_owned(&frame).unwrap();
+        assert_eq!((a.opcode, a.id, &a.body[..], &a.bulk[..]), (b.opcode, b.id, &b.body[..], &b.bulk[..]));
+
+        let mut resp = Response::ok(&b"res"[..]).with_bulk(Bytes::from(vec![8u8; 32]));
+        resp.id = 12;
+        let frame = Bytes::from(resp.encode());
+        let a = Response::decode(&frame).unwrap();
+        let b = Response::decode_owned(&frame).unwrap();
+        assert_eq!(a.status, b.status);
+        assert_eq!((a.id, &a.body[..], &a.bulk[..]), (b.id, &b.body[..], &b.bulk[..]));
+
+        // Truncated frames error instead of panicking.
+        assert!(Request::decode_owned(&Bytes::from_static(&[1, 2, 3])).is_err());
+        assert!(Response::decode_owned(&Bytes::new()).is_err());
     }
 
     #[test]

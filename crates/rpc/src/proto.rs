@@ -4,7 +4,14 @@
 //! Each request/response struct encodes into the body of a
 //! [`crate::Request`]/[`crate::Response`] frame with the
 //! [`gkfs_common::wire`] codec. Bulk data (chunk contents) never
-//! appears here — it rides the frame's out-of-band bulk payload.
+//! appears here — it rides the frame's out-of-band bulk payload as a
+//! *borrowed* `Bytes` handle all the way to the transport: in-proc
+//! passes it by refcount, TCP hands it to
+//! [`gkfs_common::wire::FrameWriter`] as a vectored segment. Keeping
+//! chunk bytes out of these encoders is what makes the daemon's
+//! zero-copy reply shape (`read_reply_copy_bytes == 0`) possible —
+//! an encoder that pulled bulk into its body `Vec` would reintroduce
+//! the assembly copy the data plane was rebuilt to remove.
 
 use gkfs_common::wire::{Decoder, Encoder};
 use gkfs_common::{GkfsError, Result};

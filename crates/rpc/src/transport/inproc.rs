@@ -8,6 +8,15 @@
 //! with zero copies — the moral equivalent of the paper's RDMA path,
 //! where "the client exposes the relevant chunk memory region to the
 //! daemon".
+//!
+//! Since the vectored-TCP rework this transport is no longer the
+//! only zero-copy path: TCP reaches the same reply shape by handing
+//! the borrowed bulk to `FrameWriter` as writev segments. What stays
+//! unique here is the *request* direction (TCP must still read
+//! request bytes off the socket into a buffer; in-proc passes the
+//! client's own `Bytes` through), which is why client-write
+//! microbenchmarks on the in-process cluster run a copy cheaper than
+//! their TCP equivalents.
 
 use crate::handler::HandlerRegistry;
 use crate::message::{Request, Response};

@@ -9,6 +9,18 @@
 //! slot and writes the frame; the reader thread completes handles as
 //! responses arrive, in whatever order the daemon finishes them.
 //!
+//! # Zero-copy framing
+//!
+//! Frames go out through [`FrameWriter`]: the message prefix (opcode,
+//! id, body, bulk length) and the bulk payload are handed to the
+//! kernel as separate `writev` segments in a single vectored write —
+//! no concatenation `Vec`, no separate len/payload/CRC syscalls. A
+//! `ReadChunks` reply therefore travels fd → scatter-gather buffer →
+//! socket, the TCP analogue of the in-process transport's by-reference
+//! bulk handover. Inbound, each connection reuses one scratch buffer
+//! (trimmed back to 64 KiB after oversized frames) instead of a fresh
+//! zeroed allocation per frame.
+//!
 //! # Failure semantics
 //!
 //! A dead connection does not brick the endpoint. When the reader
@@ -28,10 +40,12 @@ use crate::stats::RpcStats;
 use crate::transport::{Endpoint, EndpointOptions, ReplyHandle};
 use crate::Status;
 use crossbeam::channel::{bounded, Sender};
+use gkfs_common::crc::crc32;
 use gkfs_common::lock::{rank, OrderedMutex};
+use gkfs_common::wire::FrameWriter;
 use gkfs_common::{GkfsError, Result};
 use std::collections::HashMap;
-use std::io::{Read, Write};
+use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -41,6 +55,12 @@ use std::time::{Duration, Instant};
 /// prefixes from a confused peer.
 const MAX_FRAME: u32 = 256 * 1024 * 1024;
 
+/// Reader scratch buffers shrink back to this capacity after an
+/// oversized frame, so one 256 MiB read reply does not pin 256 MiB per
+/// connection forever. Frames at or below this size are read with zero
+/// allocation.
+const SCRATCH_TRIM: usize = 64 * 1024;
+
 /// First re-dial backoff after a failed dial attempt; doubles per
 /// consecutive failure up to [`DIAL_BACKOFF_MAX_MS`].
 const DIAL_BACKOFF_BASE_MS: u64 = 10;
@@ -48,53 +68,42 @@ const DIAL_BACKOFF_BASE_MS: u64 = 10;
 /// Re-dial backoff ceiling.
 const DIAL_BACKOFF_MAX_MS: u64 = 500;
 
-/// CRC32 (IEEE, reflected) lookup table, built at compile time.
-const CRC32_TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut k = 0;
-        while k < 8 {
-            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
-            k += 1;
-        }
-        table[i] = c;
-        i += 1;
-    }
-    table
-};
-
-/// CRC32 (IEEE) of `data` — the checksum appended to every wire frame.
-pub fn crc32(data: &[u8]) -> u32 {
-    let mut c = 0xFFFF_FFFFu32;
-    for &b in data {
-        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
-    }
-    c ^ 0xFFFF_FFFF
-}
-
 /// Wire frame: `len: u32 LE` (payload bytes only), payload, then
-/// `crc32(payload): u32 LE`. I/O failures are reported as
+/// `crc32(payload): u32 LE`. The payload is given as borrowed
+/// segments (message prefix + raw bulk); [`FrameWriter`] checksums
+/// across them and emits the whole frame — header, every segment, CRC
+/// trailer — with vectored writes, one syscall in the common case and
+/// no concatenation buffer ever. I/O failures are reported as
 /// [`GkfsError::Rpc`] so they classify as retryable connection loss.
-fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> Result<()> {
-    let len = payload.len() as u32;
-    if len > MAX_FRAME {
-        return Err(GkfsError::Rpc(format!("frame too large: {len}")));
+fn write_frame_segments(stream: &mut TcpStream, segments: &[&[u8]]) -> Result<()> {
+    let mut fw = FrameWriter::new();
+    for s in segments {
+        fw.segment(s);
     }
-    let io = |e: std::io::Error| GkfsError::Rpc(format!("connection lost: {e}"));
-    stream.write_all(&len.to_le_bytes()).map_err(io)?;
-    stream.write_all(payload).map_err(io)?;
-    stream.write_all(&crc32(payload).to_le_bytes()).map_err(io)?;
-    Ok(())
+    if fw.payload_len() > MAX_FRAME as usize {
+        return Err(GkfsError::Rpc(format!("frame too large: {}", fw.payload_len())));
+    }
+    fw.write_to(stream)
+        .map_err(|e| GkfsError::Rpc(format!("connection lost: {e}")))
 }
 
-/// Counterpart of [`write_frame`]: verifies the trailing checksum and
-/// surfaces a mismatch as [`GkfsError::Corruption`]. The caller must
-/// treat corruption as fatal for the connection — after a bad frame
-/// the stream offset can no longer be trusted, so the only way to
-/// resynchronize is to drop the connection and reconnect.
-fn read_frame(stream: &mut TcpStream) -> Result<Vec<u8>> {
+/// Write one response frame: encoded prefix plus the bulk payload as a
+/// borrowed slice. A `ReadChunks` reply's scatter-gather buffer goes
+/// from here straight to the socket.
+fn write_response(stream: &mut TcpStream, resp: &Response) -> Result<()> {
+    let prefix = resp.encode_prefix();
+    write_frame_segments(stream, &[&prefix, &resp.bulk])
+}
+
+/// Counterpart of [`write_frame_segments`]: reads one frame into
+/// `scratch` (reused across frames on the connection — no fresh zeroed
+/// allocation per frame) and returns the payload length. Verifies the
+/// trailing checksum and surfaces a mismatch as
+/// [`GkfsError::Corruption`]. The caller must treat corruption as
+/// fatal for the connection — after a bad frame the stream offset can
+/// no longer be trusted, so the only way to resynchronize is to drop
+/// the connection and reconnect.
+fn read_frame_into(stream: &mut TcpStream, scratch: &mut Vec<u8>) -> Result<usize> {
     let io = |e: std::io::Error| GkfsError::Rpc(format!("connection lost: {e}"));
     let mut len_buf = [0u8; 4];
     stream.read_exact(&mut len_buf).map_err(io)?;
@@ -102,18 +111,32 @@ fn read_frame(stream: &mut TcpStream) -> Result<Vec<u8>> {
     if len > MAX_FRAME {
         return Err(GkfsError::Rpc(format!("frame too large: {len}")));
     }
-    let mut buf = vec![0u8; len as usize];
-    stream.read_exact(&mut buf).map_err(io)?;
+    let len = len as usize;
+    if scratch.len() < len {
+        // Grow-only: the one-time zeroing of the new tail is amortized
+        // over every later frame that fits.
+        scratch.resize(len, 0);
+    }
+    stream.read_exact(&mut scratch[..len]).map_err(io)?;
     let mut crc_buf = [0u8; 4];
     stream.read_exact(&mut crc_buf).map_err(io)?;
     let want = u32::from_le_bytes(crc_buf);
-    let got = crc32(&buf);
+    let got = crc32(&scratch[..len]);
     if got != want {
         return Err(GkfsError::Corruption(format!(
             "tcp frame crc mismatch: computed {got:#010x}, frame says {want:#010x}"
         )));
     }
-    Ok(buf)
+    Ok(len)
+}
+
+/// Release an oversized scratch buffer back to [`SCRATCH_TRIM`] after
+/// the frame it carried has been decoded.
+fn trim_scratch(scratch: &mut Vec<u8>) {
+    if scratch.capacity() > SCRATCH_TRIM {
+        scratch.truncate(SCRATCH_TRIM);
+        scratch.shrink_to(SCRATCH_TRIM);
+    }
 }
 
 fn closed_err() -> GkfsError {
@@ -271,18 +294,20 @@ fn serve_connection(
         },
     ));
     let mut reader = stream;
+    let mut scratch: Vec<u8> = Vec::new();
     // A read error means peer closed, stream damaged, or checksum
     // mismatch: the stream offset is untrustworthy either way, so drop
     // the connection and let the client reconnect.
-    while let Ok(frame) = read_frame(&mut reader) {
-        let req = match Request::decode(&frame) {
+    while let Ok(n) = read_frame_into(&mut reader, &mut scratch) {
+        let req = match Request::decode(&scratch[..n]) {
             Ok(r) => r,
             Err(_) => break, // unparseable frame: protocol broken, drop
         };
+        trim_scratch(&mut scratch);
         if shutting_down.load(Ordering::SeqCst) {
             let mut resp = Response::err(GkfsError::ShuttingDown);
             resp.id = req.id;
-            let _ = write_frame(&mut writer.lock(), &resp.encode());
+            let _ = write_response(&mut writer.lock(), &resp);
             continue;
         }
         stats.record_request(req.body.len(), req.bulk.len());
@@ -296,7 +321,7 @@ fn serve_connection(
                 resp.body.len(),
                 resp.bulk.len(),
             );
-            let _ = write_frame(&mut writer.lock(), &resp.encode());
+            let _ = write_response(&mut writer.lock(), &resp);
         });
     }
     // The accept loop parked a clone of this socket in the server's
@@ -369,10 +394,12 @@ fn dial(addr: &str, conn: &Arc<OrderedMutex<ConnSlot>>, gen: u64) -> Result<Live
             .name("gkfs-tcp-reader".into())
             .spawn(move || {
                 let mut reader = reader;
+                let mut scratch: Vec<u8> = Vec::new();
                 let cause = loop {
-                    match read_frame(&mut reader) {
-                        Ok(frame) => match Response::decode(&frame) {
+                    match read_frame_into(&mut reader, &mut scratch) {
+                        Ok(n) => match Response::decode(&scratch[..n]) {
                             Ok(resp) => {
+                                trim_scratch(&mut scratch);
                                 if let Some(tx) = pending.lock().remove(&resp.id) {
                                     let _ = tx.send(Ok(resp));
                                 }
@@ -456,14 +483,16 @@ impl TcpEndpoint {
     }
 
     /// Register `(id → tx)` on the live connection and write the
-    /// frame, all under the conn lock. On a write error the connection
-    /// is torn down (the socket is broken) so the next submit re-dials
-    /// immediately, and the error — retryable — is returned.
+    /// frame — encoded prefix plus borrowed bulk, vectored — all under
+    /// the conn lock. On a write error the connection is torn down
+    /// (the socket is broken) so the next submit re-dials immediately,
+    /// and the error — retryable — is returned.
     fn send_on_live(
         &self,
         s: &mut ConnSlot,
         id: u64,
-        frame: &[u8],
+        prefix: &[u8],
+        bulk: &[u8],
     ) -> Result<ReplyHandle> {
         let (tx, rx) = bounded::<Result<Response>>(1);
         let Some(live) = s.live.as_mut() else {
@@ -473,7 +502,7 @@ impl TcpEndpoint {
         };
         live.pending.lock().insert(id, tx);
         let pending = Arc::clone(&live.pending);
-        if let Err(e) = write_frame(&mut live.writer, frame) {
+        if let Err(e) = write_frame_segments(&mut live.writer, &[prefix, bulk]) {
             pending.lock().remove(&id);
             // An established connection broke mid-write: clear it and
             // allow an immediate re-dial (backoff only gates dials
@@ -507,7 +536,10 @@ impl Endpoint for TcpEndpoint {
     fn submit(&self, mut req: Request) -> Result<ReplyHandle> {
         req.id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let id = req.id;
-        let frame = req.encode();
+        // Only the prefix (opcode, id, body, bulk length) is
+        // serialized; the bulk payload rides to the socket as a
+        // borrowed slice of `req.bulk`.
+        let prefix = req.encode_prefix();
 
         let plan = {
             let mut s = self.conn.lock();
@@ -527,7 +559,7 @@ impl Endpoint for TcpEndpoint {
         match plan {
             SubmitPlan::UseLive => {
                 let mut s = self.conn.lock();
-                self.send_on_live(&mut s, id, &frame)
+                self.send_on_live(&mut s, id, &prefix, &req.bulk)
             }
             SubmitPlan::DialInProgress => Err(GkfsError::Rpc(format!(
                 "{}: reconnect in progress",
@@ -549,7 +581,7 @@ impl Endpoint for TcpEndpoint {
                         s.dial_fails = 0;
                         s.next_dial = None;
                         self.reconnects.fetch_add(1, Ordering::Relaxed);
-                        self.send_on_live(&mut s, id, &frame)
+                        self.send_on_live(&mut s, id, &prefix, &req.bulk)
                     }
                     Err(e) => {
                         s.dial_fails = s.dial_fails.saturating_add(1);
@@ -579,6 +611,7 @@ mod tests {
     use super::*;
     use crate::message::Opcode;
     use bytes::Bytes;
+    use std::io::Write;
 
     fn echo_registry() -> HandlerRegistry {
         let mut reg = HandlerRegistry::new();
@@ -589,9 +622,46 @@ mod tests {
 
     #[test]
     fn crc32_known_vector() {
-        // The standard CRC32 check value.
+        // The standard CRC32 check value (via gkfs_common::crc — the
+        // transport no longer carries its own table).
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn nodelay_set_on_both_ends() {
+        let server = TcpServer::bind("127.0.0.1:0", echo_registry(), 1).unwrap();
+        let ep = TcpEndpoint::connect(&server.local_addr().to_string()).unwrap();
+        // One call guarantees the accept loop has parked the accepted
+        // socket's clone in `conns`.
+        ep.call(Request::new(Opcode::Ping, &b"x"[..])).unwrap();
+        // Dialed side: the live connection's write half.
+        {
+            let s = ep.conn.lock();
+            let live = s.live.as_ref().expect("connection is live");
+            assert!(live.writer.nodelay().unwrap(), "dialed socket must be TCP_NODELAY");
+        }
+        // Accepted side: the server's parked clone shares the fd (and
+        // therefore the socket options) with the serving stream.
+        {
+            let conns = server.conns.lock();
+            assert!(!conns.is_empty());
+            for c in conns.iter() {
+                assert!(c.nodelay().unwrap(), "accepted socket must be TCP_NODELAY");
+            }
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn scratch_trims_after_oversized_frame() {
+        let mut scratch = vec![0u8; SCRATCH_TRIM * 4];
+        trim_scratch(&mut scratch);
+        assert!(scratch.capacity() <= SCRATCH_TRIM * 2, "scratch must shrink");
+        // Small buffers are left alone (no churn on the common path).
+        let mut small = vec![0u8; 512];
+        trim_scratch(&mut small);
+        assert_eq!(small.len(), 512);
     }
 
     #[test]

@@ -150,3 +150,62 @@ fn zero_timeout_request_times_out_not_hangs() {
     assert!(ep2.call(Request::new(Opcode::Ping, &b"ok"[..])).is_ok());
     server.shutdown();
 }
+
+#[test]
+fn peer_death_mid_vectored_write_fails_cleanly_then_reconnects() {
+    // A "daemon" that accepts, reads a token amount, and slams the
+    // connection shut (RST via SO_LINGER-like immediate drop) while the
+    // client is still inside a multi-megabyte vectored frame write. The
+    // endpoint must surface a retryable error — not a panic, not a
+    // hang, not a torn success — and re-dial once a real server is up.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let killer = std::thread::spawn(move || {
+        use std::io::Read;
+        let (mut conn, _) = listener.accept().unwrap();
+        let mut tiny = [0u8; 16];
+        let _ = conn.read(&mut tiny);
+        // Drop without draining: the client's in-flight writev hits a
+        // closed peer (EPIPE/ECONNRESET) with most of the frame unsent.
+        drop(conn);
+        // Listener drops here, freeing the port for the real server.
+    });
+
+    let ep = TcpEndpoint::connect(&addr).unwrap();
+    // 8 MiB of bulk guarantees the frame cannot fit any socket buffer,
+    // so the peer dies mid-write, not after.
+    let big = Bytes::from(vec![0xAB; 8 * 1024 * 1024]);
+    let t0 = std::time::Instant::now();
+    let r = ep.call(Request::new(Opcode::Ping, &b"w"[..]).with_bulk(big));
+    match r {
+        Err(e) => assert!(e.is_retryable(), "mid-writev peer death must be retryable: {e:?}"),
+        Ok(_) => panic!("a frame the peer never read cannot succeed"),
+    }
+    assert!(t0.elapsed() < Duration::from_secs(10), "failure must be prompt");
+    killer.join().unwrap();
+
+    // Real daemon on the same port: the endpoint recovers by re-dialing.
+    let server = match TcpServer::bind(&addr, echo_registry(), 1) {
+        Ok(s) => s,
+        Err(_) => return, // port snatched by another process: skip rest
+    };
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        match ep.call(Request::new(Opcode::Ping, &b"back"[..])) {
+            Ok(resp) => {
+                assert_eq!(&resp.body[..], b"back");
+                break;
+            }
+            Err(e) => {
+                assert!(e.is_retryable(), "recovery errors must stay retryable: {e:?}");
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "endpoint never recovered after mid-write peer death"
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+    assert!(ep.reconnects() >= 1, "recovery must re-dial, not reuse the dead socket");
+    server.shutdown();
+}

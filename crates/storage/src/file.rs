@@ -22,28 +22,77 @@
 //! `remove_chunks`/`truncate_chunks` of its path on a racing thread —
 //! writes then land in an unlinked inode, exactly the POSIX behavior a
 //! concurrent unlink gives the C++ implementation.
+//!
+//! # Batch I/O engines
+//!
+//! Batch ops execute on one of three engines, selected at open time
+//! ([`FileChunkStorage::open_with`]):
+//!
+//! * **Serial** — every batch runs on the calling thread.
+//! * **Pool** — batches are cut into contiguous *segments* (aligned to
+//!   same-chunk runs so coalescing is never split) and fanned out over
+//!   a [`TaskPool`] of pread/pwrite workers; the synchronous batch
+//!   entry points run the first segment on the calling thread while
+//!   workers handle the rest, and the completion-based
+//!   [`ChunkStorage::submit_batch`] dispatches every segment and
+//!   returns immediately.
+//! * **Uring** (feature `uring`, runtime-probed) — whole coalesced
+//!   runs become io_uring SQEs submitted as one kernel batch; the
+//!   completion queue replaces the worker threads.
+//!
+//! Saturation degrades gracefully: when the pool queue is full the
+//! submitting thread runs the segment itself (caller-runs), so
+//! overload collapses to serial behavior instead of queuing without
+//! bound.
 
+use crate::mmap::ChunkMap;
 use crate::stats::StorageStats;
-use crate::{BatchOp, ChunkStorage};
+use crate::{segment, validate_dense_layout, BatchOp, BatchPayload};
+use crate::{BatchCompletion, BatchOutput, ChunkStorage, SegmentResult};
 use gkfs_common::hash::fnv1a64;
 use gkfs_common::lock::{rank, OrderedMutex};
-use gkfs_common::Result;
+use gkfs_common::{GkfsError, IoBackend, Result, TaskPool};
 use std::collections::HashMap;
 use std::fs;
 use std::os::unix::fs::FileExt;
 use std::path::PathBuf;
 use std::sync::atomic::Ordering;
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 
-const FD_SHARDS: usize = 8;
-/// Per-shard capacity: 8 × 64 = 512 cached descriptors, comfortably
-/// inside a default 1024 `RLIMIT_NOFILE` alongside sockets and the KV
-/// store's tables.
-const FD_CACHE_PER_SHARD: usize = 64;
+const FD_SHARDS: usize = 16;
+/// Per-shard capacity: 16 × 192 = 3072 cached descriptors. A daemon
+/// raises `RLIMIT_NOFILE` into the tens of thousands anyway, and each
+/// cached fd also carries the chunk's read-only mapping — falling off
+/// the cache costs open+fstat+mmap on the next touch, so the cache is
+/// sized past the working set of a few hundred hot files rather than
+/// squeezed under a default 1024-fd limit.
+const FD_CACHE_PER_SHARD: usize = 192;
+
+/// Queue entries on a probed io_uring (and the submit-batch bound).
+#[cfg(feature = "uring")]
+const URING_ENTRIES: u32 = 64;
 
 struct FdEntry {
     file: Arc<fs::File>,
+    /// Known file length: fstat'ed once at open, then maintained by
+    /// the write paths. Chunk files never shrink in place (truncation
+    /// replaces via rename), so this only grows while cached.
+    len: u64,
+    /// Lazily created read-only mapping (see [`crate::mmap`]); stale
+    /// when `map.valid < len` and replaced on the next read.
+    map: Option<Arc<ChunkMap>>,
     last_used: u64,
+}
+
+/// Where a read run's bytes come from.
+enum ReadSrc {
+    /// Memcpy out of the cached mapping — zero syscalls.
+    Map(Arc<ChunkMap>),
+    /// Positional read through the cached descriptor (mapping
+    /// unavailable: non-x86_64, odd file system, or mmap refused).
+    File(Arc<fs::File>),
+    /// No chunk file on disk.
+    Absent,
 }
 
 #[derive(Default)]
@@ -57,11 +106,26 @@ struct FdShard {
     tick: u64,
 }
 
-/// Chunk store rooted at a directory on the node-local file system.
-pub struct FileChunkStorage {
+/// The engine driving batch execution (see module docs).
+enum IoEngine {
+    Serial,
+    Pool(TaskPool),
+    #[cfg(feature = "uring")]
+    Uring(crate::uring::UringEngine),
+}
+
+/// Everything batch tasks need, behind one `Arc` so pool jobs can
+/// outlive the borrow that submitted them.
+struct Inner {
     chunk_root: PathBuf,
     fd_shards: Vec<OrderedMutex<FdShard>>,
     stats: StorageStats,
+}
+
+/// Chunk store rooted at a directory on the node-local file system.
+pub struct FileChunkStorage {
+    inner: Arc<Inner>,
+    engine: IoEngine,
 }
 
 /// Escape a GekkoFS path into one directory-name-safe component.
@@ -122,20 +186,75 @@ fn read_into(file: &fs::File, mut offset: u64, buf: &mut [u8]) -> Result<usize> 
     Ok(done)
 }
 
-impl FileChunkStorage {
-    /// Open (creating if needed) a chunk store under `root`.
-    pub fn open(root: impl Into<PathBuf>) -> Result<FileChunkStorage> {
-        let chunk_root = root.into().join("chunks");
-        fs::create_dir_all(&chunk_root)?;
-        Ok(FileChunkStorage {
-            chunk_root,
-            fd_shards: (0..FD_SHARDS)
-                .map(|_| OrderedMutex::new(rank::STORAGE_FD_SHARD, FdShard::default()))
-                .collect(),
-            stats: StorageStats::default(),
-        })
-    }
+/// Raw base pointer of a shared reply buffer, made sendable so segment
+/// tasks can carry their window across threads.
+struct SendPtr(*mut u8);
 
+// The pointer is only ever sliced over one segment's own window, and
+// windows of distinct segments are disjoint by construction (dense
+// running-sum `buf_offset` layout, checked before fan-out).
+// SAFETY: disjoint windows + the buffer outlives every task — the
+// sync paths gather before returning (drop-guarded) and the
+// completion path parks the buffer inside the `BatchCompletion`,
+// whose `wait`/`Drop` block until all tasks report or provably die.
+unsafe impl Send for SendPtr {}
+
+/// Drop guard around a segment fan-out: receives until every
+/// outstanding task reported (or its sender died), so the borrowed
+/// buffer the tasks scatter into can never be freed under them — even
+/// on an early return or unwind.
+struct Gather {
+    rx: mpsc::Receiver<SegmentResult>,
+    outstanding: usize,
+}
+
+impl Gather {
+    /// Collect results into `seg_lens`, tracking the error with the
+    /// lowest segment index (op order).
+    fn collect(
+        &mut self,
+        seg_lens: &mut [Option<Vec<u64>>],
+        first_err: &mut Option<(usize, GkfsError)>,
+    ) {
+        while self.outstanding > 0 {
+            match self.rx.recv() {
+                Ok((idx, Ok(lens))) => {
+                    seg_lens[idx] = Some(lens);
+                    self.outstanding -= 1;
+                }
+                Ok((idx, Err(e))) => {
+                    if first_err.as_ref().is_none_or(|(i, _)| idx < *i) {
+                        *first_err = Some((idx, e));
+                    }
+                    self.outstanding -= 1;
+                }
+                Err(_) => {
+                    // All senders gone with results missing: a task
+                    // died without reporting. No task can touch the
+                    // buffer anymore, so it is safe to stop.
+                    self.outstanding = 0;
+                    if first_err.is_none() {
+                        *first_err =
+                            Some((usize::MAX, GkfsError::Rpc("chunk batch task lost without result".into())));
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Gather {
+    fn drop(&mut self) {
+        while self.outstanding > 0 {
+            match self.rx.recv() {
+                Ok(_) => self.outstanding -= 1,
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+impl Inner {
     fn file_dir(&self, path: &str) -> PathBuf {
         self.chunk_root.join(escape_path(path))
     }
@@ -155,7 +274,12 @@ impl FileChunkStorage {
     /// nonexistent chunk file returns `Ok(None)`. The `open` itself
     /// runs outside the shard lock so a miss doesn't stall other
     /// chunks hashed to the same shard.
-    fn chunk_fd(&self, path: &str, chunk_id: u64, create: bool) -> Result<Option<Arc<fs::File>>> {
+    fn chunk_fd(
+        &self,
+        path: &str,
+        chunk_id: u64,
+        create: bool,
+    ) -> Result<Option<(Arc<fs::File>, u64)>> {
         {
             let mut shard = self.fd_shard(path, chunk_id).lock();
             shard.tick += 1;
@@ -167,7 +291,7 @@ impl FileChunkStorage {
             {
                 entry.last_used = tick;
                 self.stats.fd_hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(Some(entry.file.clone()));
+                return Ok(Some((entry.file.clone(), entry.len)));
             }
         }
         self.stats.fd_misses.fetch_add(1, Ordering::Relaxed);
@@ -190,10 +314,29 @@ impl FileChunkStorage {
             }
             Err(e) => return Err(e.into()),
         };
+        // One fstat per cache fill seeds the length bookkeeping that
+        // lets reads skip per-op fstat/pread entirely.
+        let len = file.metadata()?.len();
         let file = Arc::new(file);
         let mut shard = self.fd_shard(path, chunk_id).lock();
         shard.tick += 1;
         let tick = shard.tick;
+        if let Some(entry) = shard
+            .files
+            .get_mut(path)
+            .and_then(|per| per.get_mut(&chunk_id))
+        {
+            // A racing opener filled this slot while we were opening.
+            // Keep the cached entry: its `len` may already cover writes
+            // that landed after our fstat (`note_grow` runs once the
+            // bytes are on disk), so replacing it would shrink the
+            // length bookkeeping and clamp mapped reads short. Both
+            // lengths are observed lower bounds of the file, so their
+            // max is too.
+            entry.last_used = tick;
+            entry.len = entry.len.max(len);
+            return Ok(Some((entry.file.clone(), entry.len)));
+        }
         if shard.len >= FD_CACHE_PER_SHARD {
             // Evict the least-recently-used entry; the cap is small
             // enough that a scan beats maintaining an ordered index.
@@ -222,6 +365,8 @@ impl FileChunkStorage {
                 chunk_id,
                 FdEntry {
                     file: file.clone(),
+                    len,
+                    map: None,
                     last_used: tick,
                 },
             )
@@ -229,7 +374,78 @@ impl FileChunkStorage {
         {
             shard.len += 1;
         }
-        Ok(Some(file))
+        Ok(Some((file, len)))
+    }
+
+    /// Resolve where a read of `(path, chunk_id)` should pull bytes
+    /// from, preferring the cached mapping (zero syscalls). A fresh or
+    /// grown file is (re)mapped outside the shard lock and cached for
+    /// the next reader.
+    fn read_source(&self, path: &str, chunk_id: u64) -> Result<ReadSrc> {
+        let found = {
+            let mut shard = self.fd_shard(path, chunk_id).lock();
+            shard.tick += 1;
+            let tick = shard.tick;
+            match shard
+                .files
+                .get_mut(path)
+                .and_then(|per| per.get_mut(&chunk_id))
+            {
+                Some(entry) => {
+                    entry.last_used = tick;
+                    self.stats.fd_hits.fetch_add(1, Ordering::Relaxed);
+                    if let Some(map) = &entry.map {
+                        if map.valid == entry.len {
+                            return Ok(ReadSrc::Map(map.clone()));
+                        }
+                    }
+                    Some((entry.file.clone(), entry.len))
+                }
+                None => None,
+            }
+        };
+        let (file, len) = match found {
+            Some(pair) => pair,
+            None => match self.chunk_fd(path, chunk_id, false)? {
+                Some(pair) => pair,
+                None => return Ok(ReadSrc::Absent),
+            },
+        };
+        match ChunkMap::map(&file, len).map(Arc::new) {
+            None => Ok(ReadSrc::File(file)),
+            Some(map) => {
+                let mut shard = self.fd_shard(path, chunk_id).lock();
+                if let Some(entry) = shard
+                    .files
+                    .get_mut(path)
+                    .and_then(|per| per.get_mut(&chunk_id))
+                {
+                    // Cache only if still fresh — a racing writer may
+                    // have grown the file; the next read remaps.
+                    if entry.len == map.valid {
+                        entry.map = Some(map.clone());
+                    }
+                }
+                Ok(ReadSrc::Map(map))
+            }
+        }
+    }
+
+    /// Record that a successful write extended `(path, chunk_id)` to
+    /// at least `end` bytes. Called only after the bytes are on the
+    /// file — a length ahead of the data would let a reader map pages
+    /// past EOF.
+    fn note_grow(&self, path: &str, chunk_id: u64, end: u64) {
+        let mut shard = self.fd_shard(path, chunk_id).lock();
+        if let Some(entry) = shard
+            .files
+            .get_mut(path)
+            .and_then(|per| per.get_mut(&chunk_id))
+        {
+            if end > entry.len {
+                entry.len = end;
+            }
+        }
     }
 
     /// Drop every cached descriptor of `path` (after a remove or
@@ -245,99 +461,78 @@ impl FileChunkStorage {
 
     fn write_fd(&self, path: &str, chunk_id: u64) -> Result<Arc<fs::File>> {
         match self.chunk_fd(path, chunk_id, true)? {
-            Some(f) => Ok(f),
+            Some((f, _)) => Ok(f),
             // Unreachable with create=true; surface as a plain IO error
             // rather than panicking in the daemon's data path.
             None => Err(std::io::Error::from(std::io::ErrorKind::NotFound).into()),
         }
     }
-}
 
-impl ChunkStorage for FileChunkStorage {
-    fn write_chunk(&self, path: &str, chunk_id: u64, offset: u64, data: &[u8]) -> Result<()> {
-        self.stats.record_write(data.len());
-        let file = self.write_fd(path, chunk_id)?;
-        file.write_all_at(data, offset)?;
-        Ok(())
+    /// Coalescing run cursor shared by the batch paths: extend from
+    /// `i` while ops stay contiguous in both the chunk file and the
+    /// buffer, returning `(end, merged_len)`.
+    fn run_end(&self, ops: &[BatchOp], i: usize) -> (usize, u64) {
+        let mut end = i + 1;
+        let mut len = ops[i].len;
+        while end < ops.len()
+            && ops[end].chunk_id == ops[i].chunk_id
+            && ops[end].offset == ops[i].offset + len
+            && ops[end].buf_offset == ops[i].buf_offset + len
+        {
+            len += ops[end].len;
+            end += 1;
+        }
+        if end > i + 1 {
+            self.stats
+                .coalesced_ops
+                .fetch_add((end - i - 1) as u64, Ordering::Relaxed);
+        }
+        (end, len)
     }
 
-    fn read_chunk(&self, path: &str, chunk_id: u64, offset: u64, len: u64) -> Result<Vec<u8>> {
-        let Some(file) = self.chunk_fd(path, chunk_id, false)? else {
-            self.stats.record_read(0);
-            return Ok(Vec::new());
-        };
-        // Clamp the allocation to what the file can actually yield:
-        // the trait contract does not bound `len` (only the engine's
-        // batch path enforces the 256 MiB cap), so a zeroed `len`-sized
-        // buffer would let any caller force a huge allocation against a
-        // chunk holding a few bytes. One fstat on the cached fd.
-        let avail = file.metadata()?.len().saturating_sub(offset).min(len);
-        let mut out = vec![0u8; avail as usize];
-        let n = read_into(&file, offset, &mut out)?;
-        out.truncate(n);
-        self.stats.record_read(n);
-        Ok(out)
-    }
-
-    fn write_chunks_batch(&self, path: &str, ops: &[BatchOp], bulk: &[u8]) -> Result<()> {
+    /// Serial write path: one `write_all_at` per coalesced run.
+    fn write_runs(&self, path: &str, ops: &[BatchOp], bulk: &[u8]) -> Result<()> {
         let mut i = 0;
         while i < ops.len() {
-            let mut end = i + 1;
-            let mut len = ops[i].len;
-            // Merge ops contiguous in both the chunk file and the bulk
-            // buffer: one write_all_at for the whole run.
-            while end < ops.len()
-                && ops[end].chunk_id == ops[i].chunk_id
-                && ops[end].offset == ops[i].offset + len
-                && ops[end].buf_offset == ops[i].buf_offset + len
-            {
-                len += ops[end].len;
-                end += 1;
-            }
-            if end > i + 1 {
-                self.stats
-                    .coalesced_ops
-                    .fetch_add((end - i - 1) as u64, Ordering::Relaxed);
-            }
+            let (end, len) = self.run_end(ops, i);
             let a = ops[i].buf_offset as usize;
             let data = &bulk[a..a + len as usize];
             self.stats.record_write(data.len());
             let file = self.write_fd(path, ops[i].chunk_id)?;
             file.write_all_at(data, ops[i].offset)?;
+            self.note_grow(path, ops[i].chunk_id, ops[i].offset + len);
             i = end;
         }
         Ok(())
     }
 
-    fn read_chunks_batch(&self, path: &str, ops: &[BatchOp], out: &mut [u8]) -> Result<Vec<u64>> {
+    /// Serial read path: one memcpy out of the cached mapping per
+    /// coalesced run (zero syscalls once warm), falling back to a
+    /// positional read where mapping is unavailable. The per-run count
+    /// is distributed back over the run (a short read is an EOF, so it
+    /// can only truncate the tail).
+    fn read_runs(&self, path: &str, ops: &[BatchOp], out: &mut [u8]) -> Result<Vec<u64>> {
         let mut lens = Vec::with_capacity(ops.len());
         let mut i = 0;
         while i < ops.len() {
-            let mut end = i + 1;
-            let mut len = ops[i].len;
-            while end < ops.len()
-                && ops[end].chunk_id == ops[i].chunk_id
-                && ops[end].offset == ops[i].offset + len
-                && ops[end].buf_offset == ops[i].buf_offset + len
-            {
-                len += ops[end].len;
-                end += 1;
-            }
-            if end > i + 1 {
-                self.stats
-                    .coalesced_ops
-                    .fetch_add((end - i - 1) as u64, Ordering::Relaxed);
-            }
-            let n = match self.chunk_fd(path, ops[i].chunk_id, false)? {
-                Some(file) => {
-                    let a = ops[i].buf_offset as usize;
-                    read_into(&file, ops[i].offset, &mut out[a..a + len as usize])?
+            let (end, len) = self.run_end(ops, i);
+            let a = ops[i].buf_offset as usize;
+            let offset = ops[i].offset;
+            let n = match self.read_source(path, ops[i].chunk_id)? {
+                ReadSrc::Absent => 0,
+                ReadSrc::Map(map) => {
+                    let avail = map.valid.saturating_sub(offset).min(len) as usize;
+                    if avail > 0 {
+                        let src = &map.bytes()[offset as usize..offset as usize + avail];
+                        out[a..a + avail].copy_from_slice(src);
+                    }
+                    avail
                 }
-                None => 0,
+                ReadSrc::File(file) => {
+                    read_into(&file, offset, &mut out[a..a + len as usize])?
+                }
             };
             self.stats.record_read(n);
-            // Distribute the merged count back over the run: a short
-            // read is an EOF, so it can only truncate the tail.
             let mut rel = 0u64;
             for op in &ops[i..end] {
                 lens.push((n as u64).saturating_sub(rel).min(op.len));
@@ -348,18 +543,400 @@ impl ChunkStorage for FileChunkStorage {
         Ok(lens)
     }
 
+    /// io_uring write path: one SQE per coalesced run.
+    #[cfg(feature = "uring")]
+    fn write_runs_uring(
+        &self,
+        ring: &crate::uring::UringEngine,
+        path: &str,
+        ops: &[BatchOp],
+        bulk: &[u8],
+    ) -> Result<()> {
+        use crate::uring::RingOp;
+        let mut runs: Vec<(usize, u64, Arc<fs::File>)> = Vec::new();
+        let mut i = 0;
+        while i < ops.len() {
+            let (end, len) = self.run_end(ops, i);
+            self.stats.record_write(len as usize);
+            runs.push((i, len, self.write_fd(path, ops[i].chunk_id)?));
+            i = end;
+        }
+        let ring_ops: Vec<RingOp> = runs
+            .iter()
+            .map(|&(i, len, ref file)| {
+                let a = ops[i].buf_offset as usize;
+                RingOp::write(file, bulk[a..a + len as usize].as_ptr(), len as u32, ops[i].offset)
+            })
+            .collect();
+        let results = ring.run(&ring_ops)?;
+        for (idx, &(i, len, ref file)) in runs.iter().enumerate() {
+            let res = results[idx];
+            if res < 0 {
+                return Err(std::io::Error::from_raw_os_error(-res).into());
+            }
+            let n = res as usize;
+            if (n as u64) < len {
+                // Finish the tail positionally — write_all_at loops.
+                let a = ops[i].buf_offset as usize + n;
+                file.write_all_at(&bulk[a..a + (len as usize - n)], ops[i].offset + n as u64)?;
+            }
+            self.note_grow(path, ops[i].chunk_id, ops[i].offset + len);
+        }
+        Ok(())
+    }
+}
+
+/// Rebase a segment's ops onto a window starting at `win_start`, so a
+/// task only ever indexes the slice it exclusively owns.
+fn rebase(ops: &[BatchOp], win_start: u64) -> Vec<BatchOp> {
+    ops.iter()
+        .map(|o| BatchOp {
+            buf_offset: o.buf_offset - win_start,
+            ..*o
+        })
+        .collect()
+}
+
+impl FileChunkStorage {
+    /// Open (creating if needed) a chunk store under `root` with the
+    /// default engine ([`IoBackend::Auto`]: a task pool sized to the
+    /// machine).
+    pub fn open(root: impl Into<PathBuf>) -> Result<FileChunkStorage> {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self::open_with(root, IoBackend::Auto, threads, 64)
+    }
+
+    /// Open a chunk store under `root` with an explicit batch engine.
+    /// `threads`/`queue_depth` size the task pool (`threads == 0`
+    /// selects the serial engine); `IoBackend::Uring` probes the
+    /// kernel at open time and falls back to the pool when io_uring is
+    /// unavailable (or the `uring` feature is off).
+    pub fn open_with(
+        root: impl Into<PathBuf>,
+        backend: IoBackend,
+        threads: usize,
+        queue_depth: usize,
+    ) -> Result<FileChunkStorage> {
+        let chunk_root = root.into().join("chunks");
+        fs::create_dir_all(&chunk_root)?;
+        let engine = match backend {
+            IoBackend::Serial => IoEngine::Serial,
+            IoBackend::Auto | IoBackend::Pool => Self::pool_engine(threads, queue_depth),
+            IoBackend::Uring => Self::uring_or_pool(threads, queue_depth),
+        };
+        Ok(FileChunkStorage {
+            inner: Arc::new(Inner {
+                chunk_root,
+                fd_shards: (0..FD_SHARDS)
+                    .map(|_| OrderedMutex::new(rank::STORAGE_FD_SHARD, FdShard::default()))
+                    .collect(),
+                stats: StorageStats::default(),
+            }),
+            engine,
+        })
+    }
+
+    fn pool_engine(threads: usize, queue_depth: usize) -> IoEngine {
+        if threads == 0 {
+            IoEngine::Serial
+        } else {
+            IoEngine::Pool(TaskPool::new("chunk-io", threads, queue_depth.max(threads)))
+        }
+    }
+
+    #[cfg(feature = "uring")]
+    fn uring_or_pool(threads: usize, queue_depth: usize) -> IoEngine {
+        match crate::uring::UringEngine::probe(URING_ENTRIES) {
+            Some(ring) => IoEngine::Uring(ring),
+            None => Self::pool_engine(threads, queue_depth),
+        }
+    }
+
+    #[cfg(not(feature = "uring"))]
+    fn uring_or_pool(threads: usize, queue_depth: usize) -> IoEngine {
+        Self::pool_engine(threads, queue_depth)
+    }
+
+    /// Name of the active batch engine (diagnostics and tests).
+    pub fn engine_name(&self) -> &'static str {
+        match &self.engine {
+            IoEngine::Serial => "serial",
+            IoEngine::Pool(_) => "pool",
+            #[cfg(feature = "uring")]
+            IoEngine::Uring(_) => "uring",
+        }
+    }
+
+    /// Submit `job` to the pool, running it inline on overflow, and
+    /// count which way it went.
+    fn dispatch(&self, pool: &TaskPool, job: Box<dyn FnOnce() + Send>) {
+        match pool.try_submit(job) {
+            Ok(()) => {
+                self.inner.stats.tasks_spawned.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(job) => {
+                self.inner.stats.tasks_inline.fetch_add(1, Ordering::Relaxed);
+                job(); // caller-runs: the submitting thread absorbs overflow
+            }
+        }
+    }
+
+    /// Synchronous parallel read: fan segments `1..` out over the
+    /// pool, run segment 0 on the calling thread, gather before
+    /// returning. Requires the dense layout (checked by the caller).
+    fn read_fan_out(
+        &self,
+        pool: &TaskPool,
+        path: &str,
+        ops: &[BatchOp],
+        out: &mut [u8],
+        segs: &[(usize, usize)],
+        total: u64,
+    ) -> Result<Vec<u64>> {
+        let base = SendPtr(out.as_mut_ptr());
+        let (tx, rx) = mpsc::channel::<SegmentResult>();
+        let mut gather = Gather { rx, outstanding: 0 };
+        for (seg_idx, &(start, end)) in segs.iter().enumerate().skip(1) {
+            let win_start = ops[start].buf_offset;
+            // Window bounds come straight from the validated dense
+            // layout (no re-summing that could diverge from `total`).
+            let win_end = if end < ops.len() { ops[end].buf_offset } else { total };
+            let win_len = (win_end - win_start) as usize;
+            let seg_ops = rebase(&ops[start..end], win_start);
+            // SAFETY: `base` stays valid and unaliased for this
+            // window: the buffer lives past the gather below (drop
+            // guard), and no other segment's window overlaps
+            // [win_start, win_start + win_len).
+            let win = unsafe { SendPtr(base.0.add(win_start as usize)) };
+            let inner = self.inner.clone();
+            let path = path.to_string();
+            let tx = tx.clone();
+            gather.outstanding += 1;
+            self.dispatch(
+                pool,
+                Box::new(move || {
+                    let win = win;
+                    // SAFETY: disjoint window of the shared reply
+                    // buffer; see the invariants on `SendPtr`.
+                    let buf: &mut [u8] =
+                        unsafe { std::slice::from_raw_parts_mut(win.0, win_len) };
+                    let res = inner.read_runs(&path, &seg_ops, buf);
+                    let _ = tx.send((seg_idx, res));
+                }),
+            );
+        }
+        drop(tx);
+        // The calling thread works segment 0 while the pool handles
+        // the rest — on an n-core box this keeps the submitter busy
+        // instead of parked in the gather.
+        let (s0, e0) = segs[0];
+        let first_end = ops[e0].buf_offset as usize; // e0 < ops.len(): segs.len() > 1
+        let first = self.inner.read_runs(path, &ops[s0..e0], &mut out[..first_end]);
+        let mut seg_lens: Vec<Option<Vec<u64>>> = vec![None; segs.len()];
+        let mut first_err: Option<(usize, GkfsError)> = None;
+        match first {
+            Ok(lens) => seg_lens[0] = Some(lens),
+            Err(e) => first_err = Some((0, e)),
+        }
+        gather.collect(&mut seg_lens, &mut first_err);
+        if let Some((_, e)) = first_err {
+            return Err(e);
+        }
+        let mut lens = Vec::with_capacity(ops.len());
+        for seg in seg_lens {
+            lens.extend(seg.unwrap_or_default());
+        }
+        Ok(lens)
+    }
+}
+
+impl ChunkStorage for FileChunkStorage {
+    fn write_chunk(&self, path: &str, chunk_id: u64, offset: u64, data: &[u8]) -> Result<()> {
+        self.inner.stats.record_write(data.len());
+        let file = self.inner.write_fd(path, chunk_id)?;
+        file.write_all_at(data, offset)?;
+        self.inner
+            .note_grow(path, chunk_id, offset + data.len() as u64);
+        Ok(())
+    }
+
+    fn read_chunk(&self, path: &str, chunk_id: u64, offset: u64, len: u64) -> Result<Vec<u8>> {
+        // The allocation is clamped to what the file can actually
+        // yield (the trait contract does not bound `len` — only the
+        // batch path enforces the 256 MiB cap), so a caller cannot
+        // force a huge zeroed buffer against a chunk holding a few
+        // bytes. The cached length bookkeeping makes this clamp free.
+        match self.inner.read_source(path, chunk_id)? {
+            ReadSrc::Absent => {
+                self.inner.stats.record_read(0);
+                Ok(Vec::new())
+            }
+            ReadSrc::Map(map) => {
+                let avail = map.valid.saturating_sub(offset).min(len) as usize;
+                let out = if avail > 0 {
+                    map.bytes()[offset as usize..offset as usize + avail].to_vec()
+                } else {
+                    Vec::new()
+                };
+                self.inner.stats.record_read(out.len());
+                Ok(out)
+            }
+            ReadSrc::File(file) => {
+                let avail = file.metadata()?.len().saturating_sub(offset).min(len);
+                let mut out = vec![0u8; avail as usize];
+                let n = read_into(&file, offset, &mut out)?;
+                out.truncate(n);
+                self.inner.stats.record_read(n);
+                Ok(out)
+            }
+        }
+    }
+
+    fn write_chunks_batch(&self, path: &str, ops: &[BatchOp], bulk: &[u8]) -> Result<()> {
+        match &self.engine {
+            #[cfg(feature = "uring")]
+            IoEngine::Uring(ring) => self.inner.write_runs_uring(ring, path, ops, bulk),
+            _ => self.inner.write_runs(path, ops, bulk),
+        }
+    }
+
+    fn read_chunks_batch(&self, path: &str, ops: &[BatchOp], out: &mut [u8]) -> Result<Vec<u64>> {
+        match &self.engine {
+            // Reads serve from cached mappings on every engine — the
+            // ring only accelerates writes, which must hit the kernel.
+            IoEngine::Serial => self.inner.read_runs(path, ops, out),
+            #[cfg(feature = "uring")]
+            IoEngine::Uring(_) => self.inner.read_runs(path, ops, out),
+            IoEngine::Pool(pool) => {
+                // Fan out only for the dense layout the daemon builds;
+                // other (merely disjoint) layouts run serially — the
+                // segment-window math below depends on density.
+                let dense = validate_dense_layout(ops);
+                let Ok(total) = dense else {
+                    return self.inner.read_runs(path, ops, out);
+                };
+                if total as usize > out.len() {
+                    return self.inner.read_runs(path, ops, out);
+                }
+                let segs = segment(ops, pool.workers() + 1);
+                if segs.len() <= 1 {
+                    return self.inner.read_runs(path, ops, out);
+                }
+                self.read_fan_out(pool, path, ops, out, &segs, total)
+            }
+        }
+    }
+
+    fn submit_batch(&self, path: &str, ops: &[BatchOp], payload: BatchPayload) -> BatchCompletion {
+        let pool = match &self.engine {
+            IoEngine::Pool(pool) => pool,
+            // Serial and uring engines complete synchronously (the
+            // uring batch is itself one kernel-level completion round).
+            _ => {
+                let res = match payload {
+                    BatchPayload::Write(bulk) => match check_write_windows(ops, bulk.len()) {
+                        Err(e) => Err(e),
+                        Ok(()) => self
+                            .write_chunks_batch(path, ops, &bulk)
+                            .map(|()| BatchOutput::default()),
+                    },
+                    BatchPayload::Read => validate_dense_layout(ops).and_then(|total| {
+                        let mut data = vec![0u8; total as usize];
+                        let lens = self.read_chunks_batch(path, ops, &mut data)?;
+                        Ok(BatchOutput { data, lens })
+                    }),
+                };
+                return BatchCompletion::ready(res);
+            }
+        };
+        match payload {
+            BatchPayload::Write(bulk) => {
+                if let Err(e) = check_write_windows(ops, bulk.len()) {
+                    return BatchCompletion::ready(Err(e));
+                }
+                let segs = segment(ops, pool.workers().max(1));
+                if segs.len() <= 1 {
+                    return BatchCompletion::ready(
+                        self.inner.write_runs(path, ops, &bulk).map(|()| BatchOutput::default()),
+                    );
+                }
+                let (tx, rx) = mpsc::channel::<SegmentResult>();
+                for (seg_idx, &(start, end)) in segs.iter().enumerate() {
+                    let inner = self.inner.clone();
+                    let path = path.to_string();
+                    let seg_ops = ops[start..end].to_vec();
+                    let bulk = bulk.clone();
+                    let tx = tx.clone();
+                    self.dispatch(
+                        pool,
+                        Box::new(move || {
+                            // Windows keep their original offsets into
+                            // the shared refcounted bulk — no copy.
+                            let res = inner.write_runs(&path, &seg_ops, &bulk).map(|()| Vec::new());
+                            let _ = tx.send((seg_idx, res));
+                        }),
+                    );
+                }
+                BatchCompletion::pending(rx, segs.len(), Vec::new(), segs.len())
+            }
+            BatchPayload::Read => {
+                let total = match validate_dense_layout(ops) {
+                    Ok(t) => t,
+                    Err(e) => return BatchCompletion::ready(Err(e)),
+                };
+                let mut data = vec![0u8; total as usize];
+                let segs = segment(ops, pool.workers().max(1));
+                if segs.len() <= 1 {
+                    let res = self
+                        .inner
+                        .read_runs(path, ops, &mut data)
+                        .map(|lens| BatchOutput { data, lens });
+                    return BatchCompletion::ready(res);
+                }
+                let base = SendPtr(data.as_mut_ptr());
+                let (tx, rx) = mpsc::channel::<SegmentResult>();
+                for (seg_idx, &(start, end)) in segs.iter().enumerate() {
+                    let win_start = ops[start].buf_offset;
+                    let win_end = if end < ops.len() { ops[end].buf_offset } else { total };
+                    let win_len = (win_end - win_start) as usize;
+                    let seg_ops = rebase(&ops[start..end], win_start);
+                    // SAFETY: disjoint window of the heap buffer the
+                    // returned completion owns (moving the Vec into it
+                    // leaves heap storage in place); its wait/Drop
+                    // block until every task reported.
+                    let win = unsafe { SendPtr(base.0.add(win_start as usize)) };
+                    let inner = self.inner.clone();
+                    let path = path.to_string();
+                    let tx = tx.clone();
+                    self.dispatch(
+                        pool,
+                        Box::new(move || {
+                            let win = win;
+                            // SAFETY: exclusive window; see `SendPtr`.
+                            let buf: &mut [u8] =
+                                unsafe { std::slice::from_raw_parts_mut(win.0, win_len) };
+                            let res = inner.read_runs(&path, &seg_ops, buf);
+                            let _ = tx.send((seg_idx, res));
+                        }),
+                    );
+                }
+                BatchCompletion::pending(rx, segs.len(), data, segs.len())
+            }
+        }
+    }
+
     fn remove_chunks(&self, path: &str) -> Result<()> {
-        let res = match fs::remove_dir_all(self.file_dir(path)) {
+        let res = match fs::remove_dir_all(self.inner.file_dir(path)) {
             Ok(()) => Ok(()),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
             Err(e) => Err(e.into()),
         };
-        self.invalidate_fds(path);
+        self.inner.invalidate_fds(path);
         res
     }
 
     fn truncate_chunks(&self, path: &str, keep_chunk: u64, keep_bytes: u64) -> Result<()> {
-        let dir = self.file_dir(path);
+        let dir = self.inner.file_dir(path);
         let entries = match fs::read_dir(&dir) {
             Ok(e) => e,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
@@ -373,18 +950,30 @@ impl ChunkStorage for FileChunkStorage {
             if id > keep_chunk {
                 fs::remove_file(entry.path())?;
             } else if id == keep_chunk {
-                let f = fs::OpenOptions::new().write(true).open(entry.path())?;
+                let cur = entry.path();
+                let f = fs::File::open(&cur)?;
                 if f.metadata()?.len() > keep_bytes {
-                    f.set_len(keep_bytes)?;
+                    // Rewrite-and-rename rather than `set_len`: chunk
+                    // files never shrink in place, so a concurrently
+                    // mapped reader keeps the old inode (the same
+                    // stale window a cached fd already has) instead of
+                    // faulting on pages yanked from under its memcpy.
+                    // The file is larger than keep_bytes, so this
+                    // fills completely (holes materialize as zeros).
+                    let mut kept = vec![0u8; keep_bytes as usize];
+                    read_into(&f, 0, &mut kept)?;
+                    let tmp = cur.with_extension("t");
+                    fs::write(&tmp, &kept)?;
+                    fs::rename(&tmp, &cur)?;
                 }
             }
         }
-        self.invalidate_fds(path);
+        self.inner.invalidate_fds(path);
         Ok(())
     }
 
     fn chunk_count(&self, path: &str) -> Result<usize> {
-        match fs::read_dir(self.file_dir(path)) {
+        match fs::read_dir(self.inner.file_dir(path)) {
             Ok(entries) => Ok(entries.count()),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(0),
             Err(e) => Err(e.into()),
@@ -393,7 +982,7 @@ impl ChunkStorage for FileChunkStorage {
 
     fn list_paths(&self) -> Result<Vec<(String, usize)>> {
         let mut out = Vec::new();
-        for entry in fs::read_dir(&self.chunk_root)? {
+        for entry in fs::read_dir(&self.inner.chunk_root)? {
             let entry = entry?;
             if !entry.path().is_dir() {
                 continue;
@@ -410,13 +999,27 @@ impl ChunkStorage for FileChunkStorage {
     }
 
     fn stats(&self) -> &StorageStats {
-        &self.stats
+        &self.inner.stats
     }
+}
+
+/// Bounds-check every write op's bulk window (writes don't require the
+/// dense layout — their windows just have to fit the payload).
+fn check_write_windows(ops: &[BatchOp], bulk_len: usize) -> Result<()> {
+    for op in ops {
+        if op.buf_offset.checked_add(op.len).is_none_or(|e| e > bulk_len as u64) {
+            return Err(GkfsError::InvalidArgument(
+                "write batch op window exceeds bulk".into(),
+            ));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::Bytes;
 
     #[test]
     fn escaping_is_injective_for_tricky_paths() {
@@ -521,7 +1124,7 @@ mod tests {
         for c in 0..total as u64 {
             s.write_chunk("/many", c, 0, &c.to_le_bytes()).unwrap();
         }
-        let cached: usize = s.fd_shards.iter().map(|sh| sh.lock().len).sum();
+        let cached: usize = s.inner.fd_shards.iter().map(|sh| sh.lock().len).sum();
         assert!(
             cached <= FD_SHARDS * FD_CACHE_PER_SHARD,
             "cache exceeded capacity: {cached}"
@@ -530,6 +1133,88 @@ mod tests {
         for c in [0u64, 37, total as u64 - 1] {
             assert_eq!(s.read_chunk("/many", c, 0, 8).unwrap(), c.to_le_bytes());
         }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn layout(specs: &[(u64, u64, u64)]) -> Vec<BatchOp> {
+        let mut cursor = 0;
+        specs
+            .iter()
+            .map(|&(chunk_id, offset, len)| {
+                let op = BatchOp { chunk_id, offset, len, buf_offset: cursor };
+                cursor += len;
+                op
+            })
+            .collect()
+    }
+
+    /// Every engine must produce identical batch results: roundtrips,
+    /// short reads inside coalesced runs, and parallel fan-out all
+    /// agree with the serial reference.
+    #[test]
+    fn engines_agree_on_batches() {
+        let base = std::env::temp_dir().join(format!("gkfs-fcs-engines-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&base);
+        let stores = vec![
+            ("serial", FileChunkStorage::open_with(base.join("s"), IoBackend::Serial, 0, 0).unwrap()),
+            ("pool", FileChunkStorage::open_with(base.join("p"), IoBackend::Pool, 4, 64).unwrap()),
+            ("uring-or-pool", FileChunkStorage::open_with(base.join("u"), IoBackend::Uring, 4, 64).unwrap()),
+        ];
+        for (name, s) in &stores {
+            let ops = layout(&[
+                (0, 0, 64), (0, 64, 64), (1, 0, 64), (2, 0, 64),
+                (3, 0, 64), (4, 0, 64), (5, 0, 64), (6, 0, 64),
+            ]);
+            let bulk: Vec<u8> = (0..8 * 64u32).map(|i| (i % 249) as u8).collect();
+            s.write_chunks_batch("/eng", &ops, &bulk).unwrap();
+            let mut out = vec![0u8; bulk.len()];
+            let lens = s.read_chunks_batch("/eng", &ops, &mut out).unwrap();
+            assert_eq!(lens, vec![64; 8], "{name}");
+            assert_eq!(out, bulk, "{name}");
+            // Short read within a coalesced run: chunk 7 holds 40 of
+            // the 64 requested; per-op lens must be 16,16,8,0.
+            s.write_chunk("/eng", 7, 0, &[5u8; 40]).unwrap();
+            let short = layout(&[(7, 0, 16), (7, 16, 16), (7, 32, 16), (7, 48, 16)]);
+            let mut out = vec![0u8; 64];
+            let lens = s.read_chunks_batch("/eng", &short, &mut out).unwrap();
+            assert_eq!(lens, vec![16, 16, 8, 0], "{name}");
+            assert_eq!(&out[..40], &[5u8; 40], "{name}");
+        }
+        let _ = fs::remove_dir_all(&base);
+    }
+
+    /// The pool engine's completion API overlaps segments; results
+    /// must still be byte-identical and op-ordered, and errors must
+    /// surface (not hang) when waited or dropped.
+    #[test]
+    fn pool_submit_batch_completes_out_of_line() {
+        let dir = std::env::temp_dir().join(format!("gkfs-fcs-submit-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let s = FileChunkStorage::open_with(&dir, IoBackend::Pool, 4, 64).unwrap();
+        assert_eq!(s.engine_name(), "pool");
+        let ops = layout(&[(0, 0, 4096), (1, 0, 4096), (2, 0, 4096), (3, 0, 4096)]);
+        let bulk: Vec<u8> = (0..4 * 4096u32).map(|i| (i % 239) as u8).collect();
+        // Submit the write, then immediately submit the read: wait on
+        // the write completion first, then the read must see it all.
+        let wc = s.submit_batch("/cmpl", &ops, BatchPayload::Write(Bytes::from(bulk.clone())));
+        wc.wait().unwrap();
+        let rc = s.submit_batch("/cmpl", &ops, BatchPayload::Read);
+        let out = rc.wait().unwrap();
+        assert_eq!(out.lens, vec![4096; 4]);
+        assert_eq!(out.data, bulk);
+        let (spawned, _) = s.stats().task_snapshot();
+        assert!(spawned > 0, "pool engine must actually spawn tasks");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn zero_thread_pool_collapses_to_serial() {
+        let dir = std::env::temp_dir().join(format!("gkfs-fcs-serial0-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let s = FileChunkStorage::open_with(&dir, IoBackend::Pool, 0, 0).unwrap();
+        assert_eq!(s.engine_name(), "serial");
+        s.write_chunk("/z", 0, 0, b"ok").unwrap();
+        assert_eq!(s.read_chunk("/z", 0, 0, 2).unwrap(), b"ok");
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -19,13 +19,22 @@
 
 pub mod file;
 pub mod mem;
+mod mmap;
 pub mod stats;
+#[cfg(feature = "uring")]
+pub mod uring;
 
 pub use file::FileChunkStorage;
 pub use mem::MemChunkStorage;
 pub use stats::StorageStats;
 
-use gkfs_common::Result;
+use bytes::Bytes;
+use gkfs_common::{GkfsError, Result};
+use std::sync::mpsc;
+
+/// Reject batches whose buffer would exceed this (a malformed or
+/// hostile request, not a real stripe: clients cap far below it).
+pub const MAX_BATCH_BYTES: u64 = 256 * 1024 * 1024;
 
 /// One chunk-local operation inside a batch request, carrying the
 /// position of its bytes within the batch's shared buffer. For writes
@@ -45,6 +54,196 @@ pub struct BatchOp {
     pub len: u64,
     /// Byte offset of this op's window within the batch buffer.
     pub buf_offset: u64,
+}
+
+/// Validate the dense running-sum buffer layout the daemon builds
+/// (`op.buf_offset` equals the sum of all earlier ops' lens) and
+/// return the total byte count. An unchecked sum wraps in release
+/// builds and would slip a huge batch under the size cap while the
+/// per-segment scatter windows stay huge, so the sum is checked and
+/// capped at [`MAX_BATCH_BYTES`].
+pub fn validate_dense_layout(ops: &[BatchOp]) -> Result<u64> {
+    let mut total: u64 = 0;
+    for op in ops {
+        if op.buf_offset != total {
+            return Err(GkfsError::InvalidArgument(
+                "batch buffer layout is not the dense running sum".into(),
+            ));
+        }
+        match total.checked_add(op.len) {
+            Some(t) if t <= MAX_BATCH_BYTES => total = t,
+            _ => {
+                return Err(GkfsError::InvalidArgument(format!(
+                    "batch exceeds {MAX_BATCH_BYTES} bytes"
+                )))
+            }
+        }
+    }
+    Ok(total)
+}
+
+/// `(start, end)` op-index ranges: at most `max_tasks` contiguous
+/// segments, never splitting a run of ops on the same chunk (those are
+/// a backend's coalescing unit).
+pub fn segment(ops: &[BatchOp], max_tasks: usize) -> Vec<(usize, usize)> {
+    let target = ops.len().div_ceil(max_tasks.max(1)).max(1);
+    let mut segs = Vec::new();
+    let mut start = 0;
+    while start < ops.len() {
+        let mut end = (start + target).min(ops.len());
+        // Extend to the end of the current same-chunk run.
+        while end < ops.len() && ops[end].chunk_id == ops[end - 1].chunk_id {
+            end += 1;
+        }
+        segs.push((start, end));
+        start = end;
+    }
+    segs
+}
+
+/// Direction and payload of a [`ChunkStorage::submit_batch`] call.
+pub enum BatchPayload {
+    /// Write: op windows index into this buffer. Shared by refcount so
+    /// a backend may hand it to worker threads without copying.
+    Write(Bytes),
+    /// Read: the completion allocates and owns the reply buffer.
+    Read,
+}
+
+/// What a completed batch yields: the reply buffer and per-op byte
+/// counts for reads; both empty for writes.
+#[derive(Debug, Default)]
+pub struct BatchOutput {
+    /// Reply bytes, windowed per [`BatchOp::buf_offset`] (reads only).
+    /// Short reads leave the tail of an op's window untouched (zero).
+    pub data: Vec<u8>,
+    /// Bytes actually read per op, in op order (reads only).
+    pub lens: Vec<u64>,
+}
+
+/// Per-segment completion message a backend's in-flight tasks post:
+/// `(segment index, op-ordered lens or the segment's error)`.
+pub type SegmentResult = (usize, Result<Vec<u64>>);
+
+/// In-flight handle for a submitted batch.
+///
+/// [`wait`](BatchCompletion::wait) blocks until every outstanding
+/// segment has completed and yields the assembled [`BatchOutput`].
+/// Dropping an unawaited completion also blocks until the backend's
+/// tasks are done: the completion owns the reply buffer those tasks
+/// scatter into, so it must never be freed out from under them.
+pub struct BatchCompletion {
+    state: CompletionState,
+}
+
+enum CompletionState {
+    Ready(Option<Result<BatchOutput>>),
+    Pending(PendingBatch),
+}
+
+struct PendingBatch {
+    rx: mpsc::Receiver<SegmentResult>,
+    outstanding: usize,
+    /// The shared reply buffer in-flight tasks write into (empty for
+    /// writes). Owned here so it outlives every task; heap storage
+    /// stays put when the completion itself moves.
+    data: Vec<u8>,
+    /// Per-segment lens, indexed by segment.
+    seg_lens: Vec<Option<Vec<u64>>>,
+}
+
+impl PendingBatch {
+    /// Receive until every outstanding segment reported (or provably
+    /// died). Returns the error with the lowest segment index (op
+    /// order); a closed channel with results missing means a task died
+    /// without reporting — surfaced as an error, never a hang or a
+    /// partial reply.
+    fn drain(&mut self) -> Result<()> {
+        let mut first_err: Option<(usize, GkfsError)> = None;
+        while self.outstanding > 0 {
+            match self.rx.recv() {
+                Ok((idx, Ok(lens))) => {
+                    self.seg_lens[idx] = Some(lens);
+                    self.outstanding -= 1;
+                }
+                Ok((idx, Err(e))) => {
+                    if first_err.as_ref().is_none_or(|(i, _)| idx < *i) {
+                        first_err = Some((idx, e));
+                    }
+                    self.outstanding -= 1;
+                }
+                Err(_) => {
+                    self.outstanding = 0;
+                    return Err(first_err.map(|(_, e)| e).unwrap_or_else(|| {
+                        GkfsError::Rpc("chunk batch task lost without result".into())
+                    }));
+                }
+            }
+        }
+        match first_err.take() {
+            None => Ok(()),
+            Some((_, e)) => Err(e),
+        }
+    }
+}
+
+impl BatchCompletion {
+    /// A completion that finished synchronously.
+    pub fn ready(res: Result<BatchOutput>) -> BatchCompletion {
+        BatchCompletion {
+            state: CompletionState::Ready(Some(res)),
+        }
+    }
+
+    /// A completion gathering `outstanding` segment results from `rx`,
+    /// owning the reply buffer `data` (empty for writes) that those
+    /// segments scatter into; `segments` is the total segment count.
+    pub fn pending(
+        rx: mpsc::Receiver<SegmentResult>,
+        outstanding: usize,
+        data: Vec<u8>,
+        segments: usize,
+    ) -> BatchCompletion {
+        BatchCompletion {
+            state: CompletionState::Pending(PendingBatch {
+                rx,
+                outstanding,
+                data,
+                seg_lens: vec![None; segments],
+            }),
+        }
+    }
+
+    /// Block until the batch completes; returns the assembled output
+    /// or the first error in op order.
+    pub fn wait(mut self) -> Result<BatchOutput> {
+        match &mut self.state {
+            CompletionState::Ready(res) => res
+                .take()
+                .unwrap_or_else(|| Err(GkfsError::Rpc("batch completion already taken".into()))),
+            CompletionState::Pending(p) => {
+                p.drain()?;
+                let mut lens = Vec::new();
+                for seg in &mut p.seg_lens {
+                    lens.extend(std::mem::take(seg).unwrap_or_default());
+                }
+                Ok(BatchOutput {
+                    data: std::mem::take(&mut p.data),
+                    lens,
+                })
+            }
+        }
+    }
+}
+
+impl Drop for BatchCompletion {
+    fn drop(&mut self) {
+        if let CompletionState::Pending(p) = &mut self.state {
+            // Tasks may still be scattering into `data`; block until
+            // every sender is accounted for before freeing it.
+            let _ = p.drain();
+        }
+    }
 }
 
 /// Contract for a daemon's chunk store.
@@ -109,6 +308,36 @@ pub trait ChunkStorage: Send + Sync {
             lens.push(data.len() as u64);
         }
         Ok(lens)
+    }
+
+    /// Submit a batch for completion-based execution and return an
+    /// in-flight handle. Writes pull their bytes from the payload's
+    /// refcounted buffer; reads scatter into a buffer the returned
+    /// completion owns. The default implementation runs the batch
+    /// synchronously on the calling thread; backends with an I/O
+    /// engine (task pool, io_uring) overlap the batch's segments and
+    /// complete asynchronously.
+    fn submit_batch(&self, path: &str, ops: &[BatchOp], payload: BatchPayload) -> BatchCompletion {
+        let res = (|| match payload {
+            BatchPayload::Write(bulk) => {
+                for op in ops {
+                    if op.buf_offset.checked_add(op.len).is_none_or(|e| e > bulk.len() as u64) {
+                        return Err(GkfsError::InvalidArgument(
+                            "write batch op window exceeds bulk".into(),
+                        ));
+                    }
+                }
+                self.write_chunks_batch(path, ops, &bulk)?;
+                Ok(BatchOutput::default())
+            }
+            BatchPayload::Read => {
+                let total = validate_dense_layout(ops)?;
+                let mut data = vec![0u8; total as usize];
+                let lens = self.read_chunks_batch(path, ops, &mut data)?;
+                Ok(BatchOutput { data, lens })
+            }
+        })();
+        BatchCompletion::ready(res)
     }
 
     /// Operational counters.
@@ -368,6 +597,105 @@ mod contract_tests {
             let lens = s.read_chunks_batch("/shc", &ops, &mut out).unwrap();
             assert_eq!(lens, vec![16, 16, 8, 0], "{name}");
             assert_eq!(&out[..40], &[5u8; 40], "{name}");
+        }
+    }
+
+    #[test]
+    fn segments_align_to_chunk_runs() {
+        let ops = layout_ops(&[(0, 0, 4), (0, 4, 4), (1, 0, 4), (2, 0, 4), (2, 4, 4)]);
+        let segs = segment(&ops, 2);
+        assert_eq!(segs, vec![(0, 3), (3, 5)]);
+        for w in segs.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "contiguous cover");
+        }
+        // A run never straddles segments.
+        for &(_, e) in &segs {
+            if e < ops.len() {
+                assert_ne!(ops[e - 1].chunk_id, ops[e].chunk_id);
+            }
+        }
+    }
+
+    #[test]
+    fn segments_degenerate_cases() {
+        assert!(segment(&[], 4).is_empty());
+        let one = layout_ops(&[(0, 0, 8)]);
+        assert_eq!(segment(&one, 4), vec![(0, 1)]);
+        // max_tasks == 0 behaves like 1 (single inline segment).
+        let many = layout_ops(&[(0, 0, 4), (1, 0, 4), (2, 0, 4)]);
+        assert_eq!(segment(&many, 0), vec![(0, 3)]);
+    }
+
+    #[test]
+    fn dense_layout_validation() {
+        let ops = layout_ops(&[(0, 0, 16), (1, 0, 16)]);
+        assert_eq!(validate_dense_layout(&ops).unwrap(), 32);
+        // Hole in the layout.
+        let holey = vec![BatchOp { chunk_id: 0, offset: 0, len: 8, buf_offset: 4 }];
+        assert!(validate_dense_layout(&holey).is_err());
+        // Oversized.
+        let big = layout_ops(&[(0, 0, MAX_BATCH_BYTES + 1)]);
+        assert!(validate_dense_layout(&big).is_err());
+        // Wrapping sum: an unchecked total would come out tiny.
+        let wrap = vec![
+            BatchOp { chunk_id: 0, offset: 0, len: u64::MAX, buf_offset: 0 },
+            BatchOp { chunk_id: 1, offset: 0, len: 3, buf_offset: u64::MAX },
+        ];
+        assert!(validate_dense_layout(&wrap).is_err());
+    }
+
+    #[test]
+    fn submit_batch_roundtrip_and_short_reads() {
+        for (name, s) in storages() {
+            let ops = layout_ops(&[(0, 0, 64), (1, 0, 64), (2, 0, 64), (3, 0, 64)]);
+            let bulk: Vec<u8> = (0..256u32).map(|i| (i % 251) as u8).collect();
+            s.submit_batch("/sub", &ops, BatchPayload::Write(Bytes::from(bulk.clone())))
+                .wait()
+                .unwrap();
+            let out = s.submit_batch("/sub", &ops, BatchPayload::Read).wait().unwrap();
+            assert_eq!(out.lens, vec![64; 4], "{name}");
+            assert_eq!(out.data, bulk, "{name}");
+            // Short read: chunk 9 holds 10 bytes, read asks for 64.
+            s.write_chunk("/sub", 9, 0, &[3u8; 10]).unwrap();
+            let short = layout_ops(&[(9, 0, 64), (0, 0, 64)]);
+            let out = s.submit_batch("/sub", &short, BatchPayload::Read).wait().unwrap();
+            assert_eq!(out.lens, vec![10, 64], "{name}");
+            assert_eq!(&out.data[..10], &[3u8; 10], "{name}");
+            assert_eq!(&out.data[64..128], &bulk[..64], "{name}: window preserved");
+        }
+    }
+
+    #[test]
+    fn submit_batch_rejects_bad_layouts() {
+        for (name, s) in storages() {
+            // Write window past the bulk.
+            let ops = layout_ops(&[(0, 0, 64)]);
+            let res = s
+                .submit_batch("/bad", &ops, BatchPayload::Write(Bytes::from(vec![0u8; 32])))
+                .wait();
+            assert!(res.is_err(), "{name}");
+            // Non-dense read layout.
+            let holey = vec![BatchOp { chunk_id: 0, offset: 0, len: 8, buf_offset: 4 }];
+            assert!(
+                s.submit_batch("/bad", &holey, BatchPayload::Read).wait().is_err(),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn dropping_unawaited_completion_is_safe() {
+        for (name, s) in storages() {
+            let ops = layout_ops(&[(0, 0, 4096), (1, 0, 4096), (2, 0, 4096), (3, 0, 4096)]);
+            let bulk = Bytes::from(vec![0x5Au8; 4 * 4096]);
+            s.submit_batch("/drop", &ops, BatchPayload::Write(bulk)).wait().unwrap();
+            for _ in 0..8 {
+                // Drop without waiting: must block in Drop until every
+                // in-flight task is done, then free the buffer.
+                drop(s.submit_batch("/drop", &ops, BatchPayload::Read));
+            }
+            let out = s.submit_batch("/drop", &ops, BatchPayload::Read).wait().unwrap();
+            assert_eq!(out.lens, vec![4096; 4], "{name}");
         }
     }
 

@@ -5,8 +5,9 @@
 //! disk would only add noise. Sharding by path hash keeps concurrent
 //! writers of *different* files off each other's locks; batches for
 //! one file intentionally serialize on their shard lock (the ops are
-//! memcpys — see `write_chunks_batch`), so the chunk engine's
-//! parallel fan-out only pays off on the file backend.
+//! memcpys — see `write_chunks_batch`), so this store keeps the
+//! trait's serial [`ChunkStorage::submit_batch`] default: parallel
+//! fan-out and io_uring only pay off on the file backend.
 
 use crate::stats::StorageStats;
 use crate::{BatchOp, ChunkStorage};

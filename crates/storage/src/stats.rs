@@ -19,6 +19,11 @@ pub struct StorageStats {
     pub fd_misses: AtomicU64,
     /// Batch ops merged into a preceding op's syscall by coalescing.
     pub coalesced_ops: AtomicU64,
+    /// Batch segments dispatched onto the I/O task pool.
+    pub tasks_spawned: AtomicU64,
+    /// Batch segments run inline on the submitting thread (pool
+    /// saturated, or caller-runs overflow).
+    pub tasks_inline: AtomicU64,
 }
 
 impl StorageStats {
@@ -51,6 +56,14 @@ impl StorageStats {
             self.fd_hits.load(Ordering::Relaxed),
             self.fd_misses.load(Ordering::Relaxed),
             self.coalesced_ops.load(Ordering::Relaxed),
+        )
+    }
+
+    /// `(tasks_spawned, tasks_inline)` — batch fan-out counters.
+    pub fn task_snapshot(&self) -> (u64, u64) {
+        (
+            self.tasks_spawned.load(Ordering::Relaxed),
+            self.tasks_inline.load(Ordering::Relaxed),
         )
     }
 }

@@ -28,6 +28,14 @@ echo "==> client RPC budget gate (handle API vs itemized pre-handle baseline)"
 # CI machines.
 cargo test -p gkfs-integration --release --test rpc_budget
 
+echo "==> data-plane copy-bytes gate (TCP scatter-gather replies copy zero bytes)"
+# The zero-copy data plane's regression gate: over real TCP, full-data
+# ReadChunks replies must report read_reply_copy_bytes == 0 (bytes go
+# fd -> chunk buffer -> socket with no assembly Vec), while a sparse
+# control batch proves the counter is live. Byte counts are exact, so
+# this gate is noise-free like the RPC budget above.
+cargo test -p gkfs-integration --release --test copy_gate
+
 echo "==> kvstore release stress (optimized timing: stalls, group commit, crash recovery)"
 # The LSM concurrency tests (background flush races, write stalls,
 # group-commit fan-in, crash/reopen proptests) depend on real timing

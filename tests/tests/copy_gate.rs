@@ -1,0 +1,93 @@
+//! Data-plane copy-bytes regression gate (wired into `scripts/ci.sh`).
+//!
+//! The zero-copy data plane's acceptance bar: a scatter-gather
+//! `ReadChunks` reply over **real TCP** moves bytes fd → per-chunk
+//! buffer → socket with no assembly copy. The daemon counts every byte
+//! it has to memmove while building a read reply
+//! (`DaemonStats::read_reply_copy_bytes` — reply compaction in the
+//! batch engine); for full-data dense reads that counter must be
+//! exactly zero, and this gate turns CI red if an intermediate
+//! concatenation `Vec` (or any per-reply shuffle) sneaks back in.
+//!
+//! Short reads (EOF inside the batch window) legitimately compact, so
+//! the gate also checks the counter *moves* there — proving the zero
+//! on the hot path is a measured zero, not a dead counter.
+
+use gekkofs::{OpenFlags, TcpCluster};
+use gkfs_common::ClusterConfig;
+
+const CHUNK: u64 = 64 * 1024;
+
+#[test]
+fn tcp_scatter_gather_read_replies_copy_zero_bytes() {
+    let cluster = TcpCluster::deploy(
+        ClusterConfig::new(2).with_chunk_size(CHUNK),
+    )
+    .unwrap();
+    let fs = cluster.mount().unwrap();
+
+    // 16 chunks of payload through a handle, flushed to the daemons.
+    let h = fs
+        .open_handle("/gate/full", OpenFlags::RDWR.with_create())
+        .unwrap();
+    let data: Vec<u8> = (0..16 * CHUNK).map(|i| (i % 251) as u8).collect();
+    h.pwrite(0, &data).unwrap();
+    h.flush().unwrap();
+
+    // Full-data scatter-gather reads: every byte the daemons return is
+    // exactly the byte count requested, chunk-aligned and not — the
+    // reply is pure gather, nothing may be compacted or re-assembled.
+    for (off, len) in [
+        (0u64, 16 * CHUNK),          // whole file, 16-chunk batch
+        (0, CHUNK),                  // single chunk
+        (3 * CHUNK + 17, 4 * CHUNK), // unaligned window inside the file
+    ] {
+        let got = h.pread(off, len as usize).unwrap();
+        assert_eq!(got.len() as u64, len);
+        assert_eq!(got[..], data[off as usize..(off + len) as usize]);
+    }
+    h.close().unwrap();
+
+    let copied: u64 = fs
+        .cluster_stats()
+        .unwrap()
+        .iter()
+        .map(|s| s.read_reply_copy_bytes)
+        .sum();
+    assert_eq!(
+        copied, 0,
+        "scatter-gather read replies must not copy: {copied} bytes re-assembled"
+    );
+
+    cluster.shutdown();
+
+    // Control: a hole in the middle of a batch forces reply
+    // compaction (later chunks' bytes move down over the gap), so the
+    // counter must move — proving the zero above is a measured zero,
+    // not a dead counter. One node so the whole sparse batch lands in
+    // a single daemon-side read.
+    let cluster = TcpCluster::deploy(ClusterConfig::new(1).with_chunk_size(CHUNK)).unwrap();
+    let fs = cluster.mount().unwrap();
+    let h = fs
+        .open_handle("/gate/sparse", OpenFlags::RDWR.with_create())
+        .unwrap();
+    h.pwrite(0, &data[..CHUNK as usize]).unwrap(); // chunk 0: data
+    h.pwrite(3 * CHUNK, &data[..CHUNK as usize]).unwrap(); // chunks 1-2: hole
+    h.flush().unwrap();
+    let got = h.pread(0, (4 * CHUNK) as usize).unwrap();
+    assert_eq!(got.len() as u64, 4 * CHUNK);
+    assert_eq!(got[CHUNK as usize..3 * CHUNK as usize], vec![0u8; 2 * CHUNK as usize]);
+    h.close().unwrap();
+    let compacted: u64 = fs
+        .cluster_stats()
+        .unwrap()
+        .iter()
+        .map(|s| s.read_reply_copy_bytes)
+        .sum();
+    assert!(
+        compacted > 0,
+        "sparse-read control must exercise compaction (counter is live)"
+    );
+
+    cluster.shutdown();
+}

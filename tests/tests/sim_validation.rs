@@ -45,7 +45,9 @@ fn scaling_mechanism_validated_spreading_real_throughput_sim() {
         max / min.max(1.0) < 2.0,
         "metadata load must balance across daemons: {puts:?}"
     );
-    assert!(r.creates_per_sec() > 10_000.0, "sanity: real FS is functional");
+    // Lax floor: this is a liveness check, not a perf bar — CI boxes
+    // share cores with the whole test run and absolute rates swing 10x.
+    assert!(r.creates_per_sec() > 1_000.0, "sanity: real FS is functional");
     cluster.shutdown();
 
     // (b) adding daemons must not collapse throughput.
